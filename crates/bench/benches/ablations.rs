@@ -1,0 +1,104 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! grouping (r = 1 vs 4-per-sign), sketch rows (2 vs 4), sketch columns
+//! (d/5 vs d/2), and deterministic vs stochastic ZipML rounding. Each bench
+//! measures compression wall time; the decode-error consequences are
+//! printed once per run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sketchml_core::{
+    roundtrip_error, GradientCompressor, QuantileBackend, Rounding, SketchMlCompressor,
+    SketchMlConfig, SparseGradient, ZipMlCompressor,
+};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(20)
+}
+
+fn gradient(nnz: usize) -> SparseGradient {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut cur = 0u64;
+    let keys: Vec<u64> = (0..nnz)
+        .map(|_| {
+            cur += rng.gen_range(1..60);
+            cur
+        })
+        .collect();
+    let values: Vec<f64> = (0..nnz)
+        .map(|_| {
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            sign * rng.gen::<f64>().powi(6) * 0.35 + 1e-12
+        })
+        .collect();
+    SparseGradient::new(cur + 1, keys, values).expect("valid gradient")
+}
+
+fn variant(f: impl FnOnce(&mut SketchMlConfig)) -> SketchMlCompressor {
+    let mut cfg = SketchMlConfig::default();
+    f(&mut cfg);
+    SketchMlCompressor::new(cfg).expect("valid variant")
+}
+
+fn bench_sketchml_variants(c: &mut Criterion) {
+    let grad = gradient(50_000);
+    let variants: Vec<(&str, SketchMlCompressor)> = vec![
+        ("default_r4", SketchMlCompressor::default()),
+        ("ungrouped_r1", variant(|c| c.groups = 1)),
+        ("rows4", variant(|c| c.rows = 4)),
+        ("cols_d2", variant(|c| c.col_ratio = 0.5)),
+        ("q256_per_sign", variant(|c| c.buckets_per_sign = 256)),
+        (
+            "gk_backend",
+            variant(|c| c.quantile_backend = QuantileBackend::Gk),
+        ),
+        (
+            "tdigest_backend",
+            variant(|c| c.quantile_backend = QuantileBackend::TDigest),
+        ),
+    ];
+    // Print the error/size consequences once.
+    let mut summary = String::new();
+    for (name, comp) in &variants {
+        let stats = roundtrip_error(comp, &grad).expect("roundtrip");
+        summary.push_str(&format!(
+            " {name}: err={:.4} bytes={}",
+            stats.squared_error.sqrt(),
+            stats.compressed_bytes
+        ));
+    }
+    eprintln!("\n[sketchml ablations, 50k pairs]{summary}");
+
+    let mut group = c.benchmark_group("sketchml_variant_compress");
+    for (name, comp) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(comp.compress(&grad).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_zipml_rounding(c: &mut Criterion) {
+    let grad = gradient(50_000);
+    let det = ZipMlCompressor::new(16, Rounding::Deterministic).unwrap();
+    let sto = ZipMlCompressor::new(16, Rounding::Stochastic).unwrap();
+    let mut group = c.benchmark_group("zipml_rounding");
+    group.bench_function("deterministic", |b| {
+        b.iter(|| black_box(det.compress(&grad).unwrap().len()))
+    });
+    group.bench_function("stochastic", |b| {
+        b.iter(|| black_box(sto.compress(&grad).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sketchml_variants, bench_zipml_rounding
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion benches over the full compressor implementations: compress and
+//! decompress throughput and achieved rates across every method the paper
+//! evaluates, at several gradient sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sketchml_core::{
+    GradientCompressor, KeyCompressor, QuantCompressor, RawCompressor, SketchMlCompressor,
+    SparseGradient, TruncationCompressor, ZipMlCompressor,
+};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(20)
+}
+
+fn gradient(nnz: usize, seed: u64) -> SparseGradient {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cur = 0u64;
+    let keys: Vec<u64> = (0..nnz)
+        .map(|_| {
+            cur += rng.gen_range(1..80);
+            cur
+        })
+        .collect();
+    let dim = cur + 1;
+    let values: Vec<f64> = (0..nnz)
+        .map(|_| {
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            sign * rng.gen::<f64>().powi(6) * 0.35 + 1e-12
+        })
+        .collect();
+    SparseGradient::new(dim, keys, values).expect("valid gradient")
+}
+
+fn methods() -> Vec<(&'static str, Box<dyn GradientCompressor>)> {
+    vec![
+        ("sketchml", Box::new(SketchMlCompressor::default())),
+        ("quan", Box::new(QuantCompressor::default())),
+        ("key", Box::new(KeyCompressor)),
+        ("raw", Box::new(RawCompressor::default())),
+        ("zipml16", Box::new(ZipMlCompressor::paper_default())),
+        ("truncation", Box::new(TruncationCompressor::default())),
+    ]
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    for nnz in [10_000usize, 100_000] {
+        let grad = gradient(nnz, 11);
+        for (name, compressor) in methods() {
+            group.bench_with_input(BenchmarkId::new(name, nnz), &grad, |b, grad| {
+                b.iter(|| black_box(compressor.compress(grad).unwrap().len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress");
+    let grad = gradient(100_000, 12);
+    for (name, compressor) in methods() {
+        let msg = compressor.compress(&grad).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(compressor.decompress(&msg.payload).unwrap().nnz()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip_rates(c: &mut Criterion) {
+    // Print the rate table once (the quantity Figure 8(b) reports).
+    let grad = gradient(100_000, 13);
+    let mut summary = String::new();
+    for (name, compressor) in methods() {
+        let msg = compressor.compress(&grad).unwrap();
+        summary.push_str(&format!(
+            " {name}={:.2}x({}B)",
+            msg.report.compression_rate(),
+            msg.len()
+        ));
+    }
+    eprintln!("\n[compression rates, 100k-pair gradient]{summary}");
+    let sk = SketchMlCompressor::default();
+    c.bench_function("roundtrip_sketchml_100k", |b| {
+        b.iter(|| {
+            let msg = sk.compress(&grad).unwrap();
+            black_box(sk.decompress(&msg.payload).unwrap().nnz())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_compress, bench_decompress, bench_roundtrip_rates
+}
+criterion_main!(benches);

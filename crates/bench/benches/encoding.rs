@@ -1,0 +1,135 @@
+//! Criterion micro-benches for the key codecs: delta-binary vs bitmap vs
+//! RLE vs Huffman vs CSR vs raw 4-byte keys — throughput *and* the size
+//! table §3.4's argument rests on.
+
+use bytes::BytesMut;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sketchml_encoding::{bitmap, csr, delta_binary, huffman, rice, rle};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(20)
+}
+
+/// Sparse ascending keys with gradient-like gaps.
+fn keys(n: usize, avg_gap: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut cur = 0u64;
+    (0..n)
+        .map(|_| {
+            cur += rng.gen_range(1..avg_gap * 2);
+            cur
+        })
+        .collect()
+}
+
+fn bench_key_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_encode_100k");
+    let ks = keys(100_000, 40);
+    let dim = ks.last().unwrap() + 1;
+
+    group.bench_function("delta_binary", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(300_000);
+            black_box(delta_binary::encode_keys(&ks, &mut buf).unwrap())
+        })
+    });
+    group.bench_function("bitmap", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity((dim / 8) as usize + 16);
+            black_box(bitmap::encode_bitmap(&ks, dim, &mut buf).unwrap())
+        })
+    });
+    group.bench_function("rice", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(200_000);
+            black_box(rice::encode_rice_keys(&ks, &mut buf).unwrap())
+        })
+    });
+    group.bench_function("rle", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(1_000_000);
+            black_box(rle::encode_rle(&ks, &mut buf))
+        })
+    });
+    group.bench_function("raw_u32", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(400_000);
+            for &k in &ks {
+                buf.extend_from_slice(&(k as u32).to_le_bytes());
+            }
+            black_box(buf.len())
+        })
+    });
+    group.finish();
+
+    // Decode throughput for the production codec.
+    let mut enc = BytesMut::new();
+    delta_binary::encode_keys(&ks, &mut enc).unwrap();
+    let enc = enc.freeze();
+    let mut group = c.benchmark_group("key_decode_100k");
+    group.bench_function("delta_binary", |b| {
+        b.iter(|| {
+            let mut slice = enc.clone();
+            black_box(delta_binary::decode_keys(&mut slice).unwrap().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_size_comparison(c: &mut Criterion) {
+    // Reports the §3.4/§A.3 size table once (to stderr), then times the
+    // size-accounting path so the group is a real benchmark.
+    let ks = keys(100_000, 40);
+    let dim = ks.last().unwrap() + 1;
+    let delta = delta_binary::encoded_len(&ks).unwrap();
+    let bm = bitmap::bitmap_len(dim);
+    let mut buf = BytesMut::new();
+    let rle_len = rle::encode_rle(&ks, &mut buf);
+    let raw_bytes: Vec<u8> = ks.iter().flat_map(|&k| (k as u32).to_le_bytes()).collect();
+    let huff = huffman::encoded_len(&raw_bytes);
+    let csr_len = csr::CsrMatrix::from_rows(&[ks.iter().map(|&k| (k, 1.0)).collect()])
+        .unwrap()
+        .encoded_len();
+    let rice_len = {
+        let mut buf = BytesMut::new();
+        rice::encode_rice_keys(&ks, &mut buf).unwrap()
+    };
+    eprintln!(
+        "\n[key sizes, 100k keys] delta-binary={delta} rice={rice_len} bitmap={bm} \
+         rle={rle_len} huffman(raw)={huff} csr={csr_len} raw_u32={}",
+        4 * ks.len()
+    );
+    c.bench_function("key_size_accounting", |b| {
+        b.iter(|| black_box(delta_binary::encoded_len(&ks).unwrap()))
+    });
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let data: Vec<u8> = b"aaaaaaaabbbbccdde"
+        .iter()
+        .cycle()
+        .take(100_000)
+        .copied()
+        .collect();
+    let mut group = c.benchmark_group("huffman_100k");
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::new();
+            black_box(huffman::encode_huffman(&data, &mut buf))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_key_codecs, bench_size_comparison, bench_huffman
+}
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Criterion micro-benches for the sketch substrates: quantile sketch
+//! insert/query (GK vs mergeable) and MinMaxSketch vs Count-Min
+//! insert/query throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sketchml_sketches::quantile::{GkSummary, MergingQuantileSketch, QuantileSketch, TDigest};
+use sketchml_sketches::{CountMinSketch, MinMaxSketch};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(20)
+}
+
+fn values(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..n)
+        .map(|_| {
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            sign * rng.gen::<f64>().powi(6) * 0.35
+        })
+        .collect()
+}
+
+fn bench_quantile_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantile_insert");
+    for n in [10_000usize, 100_000] {
+        let data = values(n);
+        group.bench_with_input(BenchmarkId::new("gk", n), &data, |b, data| {
+            b.iter(|| {
+                let mut s = GkSummary::new(0.01).unwrap();
+                s.extend_from_slice(data);
+                black_box(s.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("merging", n), &data, |b, data| {
+            b.iter(|| {
+                let mut s = MergingQuantileSketch::new(128).unwrap();
+                s.extend_from_slice(data);
+                black_box(s.retained())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tdigest", n), &data, |b, data| {
+            b.iter(|| {
+                let mut s = TDigest::new(100.0).unwrap();
+                s.extend_from_slice(data);
+                black_box(s.count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantile_splits(c: &mut Criterion) {
+    let data = values(100_000);
+    let mut gk = GkSummary::new(0.01).unwrap();
+    gk.extend_from_slice(&data);
+    let mut mg = MergingQuantileSketch::new(128).unwrap();
+    mg.extend_from_slice(&data);
+    let mut td = TDigest::new(100.0).unwrap();
+    td.extend_from_slice(&data);
+    let mut group = c.benchmark_group("quantile_splits_q256");
+    group.bench_function("gk", |b| b.iter(|| black_box(gk.splits(256).unwrap())));
+    group.bench_function("merging", |b| b.iter(|| black_box(mg.splits(256).unwrap())));
+    group.bench_function("tdigest", |b| b.iter(|| black_box(td.splits(256).unwrap())));
+    group.finish();
+}
+
+fn bench_frequency_sketches(c: &mut Criterion) {
+    let n = 50_000u64;
+    let items: Vec<(u64, u16)> = {
+        let mut rng = StdRng::seed_from_u64(2);
+        (0..n).map(|k| (k, rng.gen_range(0..256u16))).collect()
+    };
+    let mut group = c.benchmark_group("frequency_sketch");
+    group.bench_function("minmax_insert_50k", |b| {
+        b.iter(|| {
+            let mut mm = MinMaxSketch::new(2, (n / 5) as usize, 3).unwrap();
+            for &(k, v) in &items {
+                mm.insert(k, v);
+            }
+            black_box(mm.inserted())
+        })
+    });
+    group.bench_function("countmin_insert_50k", |b| {
+        b.iter(|| {
+            let mut cm = CountMinSketch::new(2, (n / 5) as usize, 3).unwrap();
+            for &(k, _) in &items {
+                cm.insert(k);
+            }
+            black_box(cm.total())
+        })
+    });
+    let mut mm = MinMaxSketch::new(2, (n / 5) as usize, 3).unwrap();
+    for &(k, v) in &items {
+        mm.insert(k, v);
+    }
+    group.bench_function("minmax_query_50k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(k, _) in &items {
+                acc += mm.query(k).unwrap_or(0) as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_quantile_insert, bench_quantile_splits, bench_frequency_sketches
+}
+criterion_main!(benches);

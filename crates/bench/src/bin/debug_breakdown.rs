@@ -1,0 +1,50 @@
+//! Developer diagnostic: per-epoch compute/comm/codec breakdown by worker
+//! count and method, for tuning the cost model to the paper's regimes.
+//! Not part of the experiment suite.
+
+use sketchml_bench::harness::competitor_compressors;
+use sketchml_bench::scaled;
+use sketchml_cluster::{train_distributed, ClusterConfig, TrainSpec};
+use sketchml_data::SparseDatasetSpec;
+use sketchml_ml::GlmLoss;
+
+fn main() {
+    let which = std::env::var("SKETCHML_DATASET").unwrap_or_else(|_| "kdd12".into());
+    let spec = scaled(match which.as_str() {
+        "ctr" => SparseDatasetSpec::ctr_like(),
+        "kdd10" => SparseDatasetSpec::kdd10_like(),
+        _ => SparseDatasetSpec::kdd12_like(),
+    });
+    let (train, test) = spec.generate_split();
+    let tspec = TrainSpec::paper(GlmLoss::Logistic, 0.05, 1);
+    println!(
+        "{:>10} {:>4} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "method", "W", "total", "compute", "comm", "codec", "up_bytes", "down_bytes"
+    );
+    for workers in [5usize, 10, 50] {
+        let cluster = ClusterConfig::cluster2(workers);
+        for method in competitor_compressors() {
+            let r = train_distributed(
+                &train,
+                &test,
+                spec.features as usize,
+                &tspec,
+                &cluster,
+                method.compressor.as_ref(),
+            )
+            .unwrap();
+            let e = &r.epochs[0];
+            println!(
+                "{:>10} {:>4} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>10}",
+                method.label,
+                workers,
+                e.sim_seconds,
+                e.compute_seconds,
+                e.comm_seconds,
+                e.codec_seconds,
+                e.uplink_bytes,
+                e.downlink_bytes
+            );
+        }
+    }
+}

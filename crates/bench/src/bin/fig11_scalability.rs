@@ -1,0 +1,87 @@
+//! Figure 11 — scalability: run time per epoch with 5 / 10 / 50 workers on
+//! KDD12-like for the three models.
+//!
+//! Paper shape: all methods speed up from 5 → 10 workers; from 10 → 50,
+//! **Adam deteriorates** ("the increase of communication cost overwhelms
+//! the benefit of computation cost") while SketchML and ZipML keep
+//! improving (1.6-2.3x).
+
+use serde::Serialize;
+use sketchml_bench::harness::competitor_compressors;
+use sketchml_bench::output::{fmt_secs, print_table, write_json, ExperimentOutput};
+use sketchml_bench::scaled;
+use sketchml_cluster::{train_distributed, ClusterConfig, TrainSpec};
+use sketchml_data::SparseDatasetSpec;
+use sketchml_ml::GlmLoss;
+
+#[derive(Serialize)]
+struct Cell {
+    model: String,
+    method: String,
+    workers: usize,
+    seconds_per_epoch: f64,
+}
+
+fn main() {
+    let spec = scaled(SparseDatasetSpec::kdd12_like());
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for loss in GlmLoss::all() {
+        let data_spec = if loss == GlmLoss::Squared {
+            spec.clone().as_regression()
+        } else {
+            spec.clone()
+        };
+        let (train, test) = data_spec.generate_split();
+        let tspec = TrainSpec::paper(loss, 0.05, 2);
+        for method in competitor_compressors() {
+            let mut per_w = Vec::new();
+            for workers in [5usize, 10, 50] {
+                let cluster = ClusterConfig::cluster2(workers);
+                let report = train_distributed(
+                    &train,
+                    &test,
+                    spec.features as usize,
+                    &tspec,
+                    &cluster,
+                    method.compressor.as_ref(),
+                )
+                .expect("training run");
+                let secs = report.avg_epoch_seconds();
+                per_w.push(secs);
+                json.push(Cell {
+                    model: loss.name().into(),
+                    method: method.label.into(),
+                    workers,
+                    seconds_per_epoch: secs,
+                });
+            }
+            rows.push(vec![
+                loss.name().to_string(),
+                method.label.to_string(),
+                fmt_secs(per_w[0]),
+                fmt_secs(per_w[1]),
+                fmt_secs(per_w[2]),
+                if per_w[2] > per_w[1] {
+                    "deteriorates".into()
+                } else {
+                    "improves".into()
+                },
+            ]);
+        }
+    }
+    print_table(
+        "Figure 11: Scalability (kdd12-like, workers 5/10/50)",
+        &["Model", "Method", "W=5", "W=10", "W=50", "10→50"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: everyone improves 5→10; at 50 workers Adam \
+         deteriorates while SketchML and ZipML keep improving."
+    );
+    write_json(&ExperimentOutput {
+        id: "fig11".into(),
+        paper_ref: "Figure 11(a-c)".into(),
+        results: json,
+    });
+}

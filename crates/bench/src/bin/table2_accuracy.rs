@@ -1,0 +1,95 @@
+//! Table 2 — model accuracy: minimal loss / time to convergence on
+//! KDD12-like for SketchML, Adam and ZipML.
+//!
+//! Paper: all three methods converge to almost the same loss (LR 0.6885 /
+//! 0.6885 / 0.6887; SVM 0.9784 / 0.9785 / 0.9788; Linear 0.2111 / 0.2109 /
+//! 0.2111) but SketchML converges ~2-5x sooner (8.1h vs 23h vs 11h for LR).
+//! The §4.4 criterion: loss varies < 1% across five epochs.
+
+use serde::Serialize;
+use sketchml_bench::harness::competitor_compressors;
+use sketchml_bench::output::{fmt_secs, print_table, write_json, ExperimentOutput};
+use sketchml_bench::scaled;
+use sketchml_cluster::{train_distributed, ClusterConfig, TrainSpec};
+use sketchml_data::SparseDatasetSpec;
+use sketchml_ml::GlmLoss;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    method: String,
+    min_loss: f64,
+    converged_epoch: Option<usize>,
+    converged_seconds: Option<f64>,
+}
+
+fn main() {
+    let epochs: usize = std::env::var("SKETCHML_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let spec = scaled(SparseDatasetSpec::kdd12_like());
+    let cluster = ClusterConfig::cluster2(10);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for loss in GlmLoss::all() {
+        let data_spec = if loss == GlmLoss::Squared {
+            spec.clone().as_regression()
+        } else {
+            spec.clone()
+        };
+        let (train, test) = data_spec.generate_split();
+        let mut tspec = TrainSpec::paper(loss, 0.02, epochs);
+        tspec.stop_on_convergence = true;
+        for method in competitor_compressors() {
+            let report = train_distributed(
+                &train,
+                &test,
+                spec.features as usize,
+                &tspec,
+                &cluster,
+                method.compressor.as_ref(),
+            )
+            .expect("training run");
+            let secs = report.converged_sim_seconds();
+            rows.push(vec![
+                loss.name().to_string(),
+                method.label.to_string(),
+                format!("{:.4}", report.best_test_loss()),
+                report
+                    .converged_epoch
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| format!(">{epochs}")),
+                secs.map(fmt_secs).unwrap_or_else(|| "-".into()),
+            ]);
+            json.push(Row {
+                model: loss.name().into(),
+                method: method.label.into(),
+                min_loss: report.best_test_loss(),
+                converged_epoch: report.converged_epoch,
+                converged_seconds: secs,
+            });
+        }
+    }
+    print_table(
+        "Table 2: Model Accuracy — min loss / converged time (kdd12-like)",
+        &[
+            "Model",
+            "Method",
+            "Min loss",
+            "Conv. epoch",
+            "Conv. time (s)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: all methods reach nearly identical loss; SketchML \
+         reaches it in much less (simulated) time."
+    );
+    write_json(&ExperimentOutput {
+        id: "table2".into(),
+        paper_ref: "Table 2".into(),
+        results: json,
+    });
+}

@@ -1,0 +1,16 @@
+//! Experiment harnesses reproducing every table and figure of the SketchML
+//! paper's evaluation (§4 and Appendix B).
+//!
+//! One binary per experiment lives in `src/bin/` (see DESIGN.md §3 for the
+//! experiment index); this library holds the shared plumbing: compressor
+//! registry, dataset scaling, paper-shaped table printing, and JSON result
+//! dumps under `target/experiments/`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod harness;
+pub mod output;
+
+pub use harness::{all_compressors, competitor_compressors, scaled, Method};
+pub use output::{print_table, write_json, ExperimentOutput};

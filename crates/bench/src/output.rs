@@ -1,0 +1,120 @@
+//! Paper-shaped console tables and machine-readable JSON dumps.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// A completed experiment, ready to print and persist.
+#[derive(Debug, Serialize)]
+pub struct ExperimentOutput<T: Serialize> {
+    /// Experiment id ("fig8a", "table2", …).
+    pub id: String,
+    /// The paper table/figure this reproduces.
+    pub paper_ref: String,
+    /// Result payload.
+    pub results: T,
+}
+
+/// Prints a fixed-width table with a header row.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Writes an experiment's JSON dump under `target/experiments/<id>.json`.
+/// Prints the path on success; failures are reported but non-fatal (the
+/// console table is the primary output).
+pub fn write_json<T: Serialize>(output: &ExperimentOutput<T>) {
+    let dir = PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .join("experiments");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{}.json", output.id));
+    match serde_json::to_string_pretty(output) {
+        Ok(json) => match fs::write(&path, json) {
+            Ok(()) => println!("\n[results written to {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("warning: cannot serialize results: {e}"),
+    }
+}
+
+/// Formats seconds with adaptive precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{:.2}ms", s * 1e3)
+    }
+}
+
+/// Formats bytes as MB with two decimals.
+pub fn fmt_mb(bytes: f64) -> String {
+    format!("{:.2}", bytes / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            "test",
+            &["a", "b"],
+            &[
+                vec!["1".into(), "22".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        print_table("empty", &["x"], &[]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(250.0), "250");
+        assert_eq!(fmt_secs(2.5), "2.50");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_mb(35_580_000.0), "35.58");
+    }
+
+    #[test]
+    fn json_write_smoke() {
+        let out = ExperimentOutput {
+            id: "unittest".into(),
+            paper_ref: "none".into(),
+            results: vec![1, 2, 3],
+        };
+        write_json(&out); // should not panic regardless of fs state
+    }
+}

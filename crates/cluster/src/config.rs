@@ -1,0 +1,89 @@
+//! Simulated-cluster configuration (paper §4.1 "Clusters" and "Protocol").
+
+use crate::network::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one simulated training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of workers (executors) `W`.
+    pub workers: usize,
+    /// Cost model (network + compute).
+    pub cost: CostModel,
+    /// Mini-batch size as a fraction of the training set (§4.1: 10%).
+    pub batch_ratio: f64,
+    /// Whether the driver compresses the broadcast update with the same
+    /// compressor (the paper's driver broadcasts the model delta; both
+    /// directions shrink under compression).
+    pub compress_downlink: bool,
+}
+
+impl ClusterConfig {
+    /// §4.2's setting: Cluster-1 with ten executors.
+    pub fn cluster1(workers: usize) -> Self {
+        ClusterConfig {
+            workers: workers.max(1),
+            cost: CostModel::cluster1(),
+            batch_ratio: 0.1,
+            compress_downlink: true,
+        }
+    }
+
+    /// §4.3's setting: Cluster-2 (production, congested).
+    pub fn cluster2(workers: usize) -> Self {
+        ClusterConfig {
+            workers: workers.max(1),
+            cost: CostModel::cluster2(),
+            batch_ratio: 0.1,
+            compress_downlink: true,
+        }
+    }
+
+    /// Single-node execution (Figure 12's SkLearn stand-in): one worker,
+    /// zero network cost.
+    pub fn single_node() -> Self {
+        let mut cost = CostModel::cluster1();
+        cost.network.bandwidth = f64::INFINITY;
+        cost.network.latency = 0.0;
+        ClusterConfig {
+            workers: 1,
+            cost,
+            batch_ratio: 0.1,
+            compress_downlink: false,
+        }
+    }
+
+    /// Overrides the batch ratio (Figure 8(d) sweeps 0.1 → 0.01).
+    pub fn with_batch_ratio(mut self, ratio: f64) -> Self {
+        self.batch_ratio = ratio;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let c1 = ClusterConfig::cluster1(10);
+        assert_eq!(c1.workers, 10);
+        assert_eq!(c1.batch_ratio, 0.1);
+        let c2 = ClusterConfig::cluster2(50);
+        assert_eq!(c2.workers, 50);
+        let single = ClusterConfig::single_node();
+        assert_eq!(single.workers, 1);
+        assert_eq!(single.cost.network.transfer_time(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn zero_workers_clamped() {
+        assert_eq!(ClusterConfig::cluster1(0).workers, 1);
+    }
+
+    #[test]
+    fn batch_ratio_override() {
+        let c = ClusterConfig::cluster1(10).with_batch_ratio(0.01);
+        assert_eq!(c.batch_ratio, 0.01);
+    }
+}

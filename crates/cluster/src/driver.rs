@@ -1,0 +1,174 @@
+//! Driver-side logic: decompress worker messages, aggregate gradients,
+//! update the model, and prepare the (optionally compressed) broadcast
+//! (paper §4.1: "The driver aggregates gradients from the executors,
+//! updates the trained model, and broadcasts the updated model").
+
+use crate::network::CostModel;
+use crate::worker::WorkerMessage;
+use sketchml_core::{CompressError, GradientCompressor, SparseGradient};
+use std::time::Instant;
+
+/// Result of one driver aggregation round.
+#[derive(Debug, Clone)]
+pub struct AggregationResult {
+    /// Mean gradient across workers, ready for the optimizer.
+    pub gradient: SparseGradient,
+    /// Mean per-instance loss over the whole batch.
+    pub batch_loss: f64,
+    /// Bytes of the downlink (broadcast) message.
+    pub downlink_bytes: usize,
+    /// Simulated codec seconds at the driver (decode + re-encode).
+    pub sim_codec: f64,
+    /// Measured wall seconds in codecs at the driver.
+    pub measured_codec: f64,
+}
+
+/// Decodes every worker message, averages the gradients, and sizes the
+/// broadcast.
+///
+/// The aggregate is the instance-weighted mean of the workers' (already
+/// per-instance-averaged) gradients, matching a global batch average.
+///
+/// # Errors
+/// Propagates decode failures ([`CompressError`]).
+pub fn aggregate(
+    messages: &[WorkerMessage],
+    dim: u64,
+    compressor: &dyn GradientCompressor,
+    cost: &CostModel,
+    compress_downlink: bool,
+) -> Result<AggregationResult, CompressError> {
+    let t0 = Instant::now();
+    let total_instances: usize = messages.iter().map(|m| m.instances).sum();
+    let mut parts: Vec<SparseGradient> = Vec::with_capacity(messages.len());
+    let mut pairs = 0usize;
+    for m in messages {
+        let mut g = compressor.decompress(&m.payload)?;
+        pairs += g.nnz();
+        // Weight by the worker's share of the batch.
+        if total_instances > 0 {
+            g.scale(m.instances as f64 / total_instances as f64);
+        }
+        parts.push(g);
+    }
+    let gradient = if parts.is_empty() {
+        SparseGradient::empty(dim)
+    } else {
+        SparseGradient::aggregate(&parts)?
+    };
+
+    // Downlink: the driver ships the aggregated update to every worker.
+    let downlink_bytes = if compress_downlink {
+        let msg = compressor.compress(&gradient)?;
+        pairs += gradient.nnz();
+        msg.len()
+    } else {
+        // Uncompressed update: 4-byte key + 8-byte value.
+        12 * gradient.nnz()
+    };
+    let measured_codec = t0.elapsed().as_secs_f64();
+
+    let loss_sum: f64 = messages.iter().map(|m| m.loss_sum).sum();
+    let batch_loss = if total_instances == 0 {
+        0.0
+    } else {
+        loss_sum / total_instances as f64
+    };
+
+    Ok(AggregationResult {
+        gradient,
+        batch_loss,
+        downlink_bytes,
+        sim_codec: cost.codec_time(pairs),
+        measured_codec,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::process_glm_batch;
+    use sketchml_core::RawCompressor;
+    use sketchml_ml::{GlmLoss, GlmModel, Instance, SparseVector};
+
+    fn data() -> Vec<Instance> {
+        (0..30)
+            .map(|i| {
+                Instance::new(
+                    SparseVector::new(vec![i as u32 % 10], vec![1.0]).unwrap(),
+                    if i % 2 == 0 { 1.0 } else { -1.0 },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_equals_global_batch_gradient() {
+        let all = data();
+        let model = GlmModel::new(10, GlmLoss::Logistic, 0.0).unwrap();
+        let cost = CostModel::cluster1();
+        let c = RawCompressor::default();
+
+        // Global (single-worker) reference.
+        let reference = model.batch_gradient(&all);
+
+        // Three workers on equal slices.
+        let msgs: Vec<_> = all
+            .chunks(10)
+            .map(|slice| process_glm_batch(&model, slice, &c, &cost).unwrap())
+            .collect();
+        let agg = aggregate(&msgs, 10, &c, &cost, false).unwrap();
+
+        assert_eq!(agg.gradient.keys(), &reference.keys[..]);
+        for (got, want) in agg.gradient.values().iter().zip(&reference.values) {
+            assert!(
+                (got - want).abs() < 1e-12,
+                "aggregated {got} vs reference {want}"
+            );
+        }
+        assert!((agg.batch_loss - reference.mean_loss()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downlink_compression_reduces_bytes() {
+        let all = data();
+        let model = GlmModel::new(10, GlmLoss::Logistic, 0.0).unwrap();
+        let cost = CostModel::cluster1();
+        let c = RawCompressor::default();
+        let msgs: Vec<_> = all
+            .chunks(15)
+            .map(|slice| process_glm_batch(&model, slice, &c, &cost).unwrap())
+            .collect();
+        let raw = aggregate(&msgs, 10, &c, &cost, false).unwrap();
+        assert_eq!(raw.downlink_bytes, 12 * raw.gradient.nnz());
+    }
+
+    #[test]
+    fn empty_messages() {
+        let cost = CostModel::cluster1();
+        let c = RawCompressor::default();
+        let agg = aggregate(&[], 10, &c, &cost, false).unwrap();
+        assert!(agg.gradient.is_empty());
+        assert_eq!(agg.batch_loss, 0.0);
+    }
+
+    #[test]
+    fn compressed_downlink_is_smaller_for_sketchml() {
+        use sketchml_core::SketchMlCompressor;
+        let all = data();
+        let model = GlmModel::new(10, GlmLoss::Logistic, 0.0).unwrap();
+        let cost = CostModel::cluster1();
+        let c = SketchMlCompressor::default();
+        let msgs: Vec<_> = all
+            .chunks(15)
+            .map(|slice| process_glm_batch(&model, slice, &c, &cost).unwrap())
+            .collect();
+        let plain = aggregate(&msgs, 10, &c, &cost, false).unwrap();
+        let compressed = aggregate(&msgs, 10, &c, &cost, true).unwrap();
+        // Tiny gradients may not compress below raw, but the path must
+        // produce a valid size and identical aggregated math.
+        assert!(compressed.downlink_bytes > 0);
+        assert_eq!(plain.gradient.keys(), compressed.gradient.keys());
+        assert!((plain.batch_loss - compressed.batch_loss).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! The parametric cost model converting work and bytes into simulated time.
+//!
+//! Substitution note (DESIGN.md): we have no 10/300-node cluster, so the
+//! bytes→seconds conversion is a declared model instead of a measurement.
+//! The *bytes* fed into it are real serialized messages.
+
+use serde::{Deserialize, Serialize};
+
+/// Network parameters of a simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Sustained point-to-point bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Fixed per-message latency in seconds (framing + RPC overhead).
+    pub latency: f64,
+    /// Effective bandwidth divisor for shared/congested fabrics (§4.3.1:
+    /// "the network is more congested [on Cluster-2] since Cluster-2 serves
+    /// many applications simultaneously").
+    pub congestion: f64,
+}
+
+impl NetworkModel {
+    /// Cluster-1 (§4.1): ten lab nodes, 1 Gbps Ethernet, quiet network.
+    ///
+    /// Scaling note: our datasets (and therefore messages) are ~10³× smaller
+    /// than the paper's, so the bandwidth is scaled down by the same factor
+    /// — otherwise per-message latency would dominate and erase the
+    /// bandwidth-bound regime every §4 experiment lives in. The *ratio*
+    /// between compute, latency and transfer matches the paper's cluster.
+    pub fn cluster1() -> Self {
+        NetworkModel {
+            bandwidth: 4e6, // 1 Gbps, scaled ~30x with the datasets
+            latency: 20e-6,
+            congestion: 1.0,
+        }
+    }
+
+    /// Cluster-2 (§4.1): 300-node production cluster, 10 Gbps but heavily
+    /// shared — the paper observes it behaves *slower* than Cluster-1
+    /// ("the network is more congested … since Cluster-2 serves many
+    /// applications simultaneously").
+    pub fn cluster2() -> Self {
+        NetworkModel {
+            bandwidth: 40e6, // 10 Gbps, same ~30x scale as cluster1
+            latency: 20e-6,
+            congestion: 16.0, // shared with "many applications"
+        }
+    }
+
+    /// Simulated seconds to move `bytes` across one link.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / (self.bandwidth / self.congestion.max(1.0))
+    }
+
+    /// Simulated seconds to broadcast `bytes` to `workers` receivers.
+    ///
+    /// Spark distributes broadcast variables peer-to-peer (torrent
+    /// broadcast): blocks pipeline through the swarm, so the payload cost is
+    /// a small constant multiple of one transfer regardless of fan-out; only
+    /// the coordination latency grows with ⌈log2(W + 1)⌉ rounds.
+    pub fn broadcast_time(&self, bytes: usize, workers: usize) -> f64 {
+        let rounds = ((workers + 1) as f64).log2().ceil().max(1.0);
+        self.latency * rounds + 2.0 * bytes as f64 / (self.bandwidth / self.congestion.max(1.0))
+    }
+}
+
+/// Full cost model: network plus per-operation compute costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Network parameters.
+    pub network: NetworkModel,
+    /// Simulated seconds per feature operation during gradient computation
+    /// (a feature op ≈ one multiply-add over a nonzero). The default is
+    /// tuned so the comm/compute balance matches the paper's Cluster-1
+    /// regime (communication dominates uncompressed training ~5×).
+    pub sec_per_feature_op: f64,
+    /// Simulated seconds per key-value pair spent in the codec
+    /// (compression + decompression), emulating §4.2's ~25% CPU overhead.
+    pub sec_per_codec_pair: f64,
+}
+
+impl CostModel {
+    /// Cost model for the paper's Cluster-1.
+    pub fn cluster1() -> Self {
+        CostModel {
+            network: NetworkModel::cluster1(),
+            sec_per_feature_op: 5e-6,
+            sec_per_codec_pair: 1e-7,
+        }
+    }
+
+    /// Cost model for the paper's Cluster-2.
+    pub fn cluster2() -> Self {
+        CostModel {
+            network: NetworkModel::cluster2(),
+            sec_per_feature_op: 6e-6, // slower effective per-op rate under sharing
+            sec_per_codec_pair: 5e-8,
+        }
+    }
+
+    /// Simulated compute seconds for `feature_ops` multiply-adds.
+    pub fn compute_time(&self, feature_ops: u64) -> f64 {
+        feature_ops as f64 * self.sec_per_feature_op
+    }
+
+    /// Simulated codec seconds for handling `pairs` key-value pairs.
+    pub fn codec_time(&self, pairs: usize) -> f64 {
+        pairs as f64 * self.sec_per_codec_pair
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let net = NetworkModel::cluster1();
+        let small = net.transfer_time(1_000);
+        let large = net.transfer_time(1_000_000);
+        assert!(large > small);
+        // 4 MB at the scaled 1 Gbps ≈ 1 s.
+        let t = net.transfer_time(4_000_000);
+        assert!((t - 1.0).abs() < 0.01, "4MB should take ~1s, got {t}");
+    }
+
+    #[test]
+    fn latency_floors_small_messages() {
+        let net = NetworkModel::cluster1();
+        assert!(net.transfer_time(0) >= net.latency);
+        assert!(net.transfer_time(1) >= net.latency);
+    }
+
+    #[test]
+    fn congestion_slows_cluster2_below_nominal() {
+        let c2 = NetworkModel::cluster2();
+        // Nominal 10x faster than cluster-1, but congestion eats it: the
+        // paper observes cluster-2 *slower* in practice.
+        let c1 = NetworkModel::cluster1();
+        let bytes = 10_000_000;
+        assert!(
+            c2.transfer_time(bytes) > c1.transfer_time(bytes) * 0.5,
+            "congested 10G should not be dramatically faster than quiet 1G"
+        );
+    }
+
+    #[test]
+    fn compute_and_codec_times() {
+        let m = CostModel::cluster1();
+        assert_eq!(m.compute_time(0), 0.0);
+        assert!(m.compute_time(1_000_000) > 0.0);
+        assert!(m.codec_time(10_000) < m.compute_time(10_000) * 2.0);
+    }
+}

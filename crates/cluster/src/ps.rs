@@ -1,0 +1,440 @@
+//! Parameter-server topology (the paper's industrial context: SketchML
+//! ships inside Tencent's Angel parameter server [22, 24]; the §4
+//! prototype uses Spark's driver aggregation instead).
+//!
+//! The model is **range-sharded** across `S` servers; each worker pushes
+//! its gradient *split by shard* (one compressed message per server) and
+//! the servers apply the optimizer to their shard independently. Compared
+//! with driver aggregation:
+//!
+//! - there is no single-NIC bottleneck — uplink lands on `S` servers in
+//!   parallel, so the slowest *server* gates each round;
+//! - there is no broadcast — workers pull only the shards they need (we
+//!   model a full pull, the worst case);
+//! - each message is ~`1/S` of a worker's gradient, which stresses exactly
+//!   the fixed-overhead regime SketchML's adaptive bucket cap addresses.
+//!
+//! The `ext_parameter_server` experiment compares the two topologies under
+//! identical compressors and cost models.
+
+use crate::config::ClusterConfig;
+use crate::worker::partition;
+use serde::{Deserialize, Serialize};
+use sketchml_core::{CompressError, GradientCompressor, SparseGradient};
+use sketchml_data::Batcher;
+use sketchml_ml::metrics::{ConvergenceDetector, LossPoint};
+use sketchml_ml::{GlmModel, Instance, Optimizer};
+
+use crate::trainer::{EpochStats, TrainReport, TrainSpec};
+
+/// How model dimensions map onto servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardStrategy {
+    /// Contiguous key ranges. Simple, but power-law feature popularity
+    /// concentrates the hot head keys on shard 0 — the classic hot-shard
+    /// problem (measurable via [`ShardMap::split`] imbalance).
+    Range,
+    /// Hash-based placement (the balance fix every production parameter
+    /// server applies to skewed feature spaces). Keys on a shard are no
+    /// longer contiguous, so per-shard delta gaps grow ~S× — delta-binary
+    /// absorbs this with at most one extra byte flag step.
+    Hash,
+}
+
+/// Sharding of a `dim`-dimensional model across `servers` shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMap {
+    dim: u64,
+    servers: usize,
+    strategy: ShardStrategy,
+}
+
+impl ShardMap {
+    /// Creates a hash-sharded map (the default strategy); `servers` is
+    /// clamped to at least 1.
+    pub fn new(dim: u64, servers: usize) -> Self {
+        Self::with_strategy(dim, servers, ShardStrategy::Hash)
+    }
+
+    /// Creates a map with an explicit strategy.
+    pub fn with_strategy(dim: u64, servers: usize, strategy: ShardStrategy) -> Self {
+        ShardMap {
+            dim,
+            servers: servers.max(1),
+            strategy,
+        }
+    }
+
+    /// Number of servers `S`.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Shard owning dimension `key`.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        debug_assert!(key < self.dim);
+        match self.strategy {
+            ShardStrategy::Range => {
+                let width = self.dim.div_ceil(self.servers as u64).max(1);
+                ((key / width) as usize).min(self.servers - 1)
+            }
+            ShardStrategy::Hash => {
+                (sketchml_sketches::hash::mix64(key) % self.servers as u64) as usize
+            }
+        }
+    }
+
+    /// Splits a gradient into per-shard gradients (keys stay global).
+    pub fn split(&self, grad: &SparseGradient) -> Vec<SparseGradient> {
+        let mut keys: Vec<Vec<u64>> = vec![Vec::new(); self.servers];
+        let mut values: Vec<Vec<f64>> = vec![Vec::new(); self.servers];
+        for (k, v) in grad.iter() {
+            let s = self.shard_of(k);
+            keys[s].push(k);
+            values[s].push(v);
+        }
+        keys.into_iter()
+            .zip(values)
+            .map(|(k, v)| {
+                SparseGradient::new(grad.dim(), k, v)
+                    .expect("shard split preserves ordering and bounds")
+            })
+            .collect()
+    }
+}
+
+/// Runs the distributed GLM training loop over a parameter-server topology.
+///
+/// Identical math to [`crate::trainer::train_distributed`] (same batches,
+/// same optimizer applied to the same aggregated gradient), different
+/// communication pattern and therefore different simulated time.
+///
+/// # Errors
+/// Propagates compressor failures.
+pub fn train_parameter_server(
+    train: &[Instance],
+    test: &[Instance],
+    dim: usize,
+    spec: &TrainSpec,
+    cluster: &ClusterConfig,
+    servers: usize,
+    compressor: &dyn GradientCompressor,
+) -> Result<TrainReport, CompressError> {
+    assert!(!train.is_empty(), "training set must be non-empty");
+    let shards = ShardMap::new(dim as u64, servers);
+    let mut model = GlmModel::new(dim, spec.loss, spec.l2)
+        .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
+    let mut opt: Box<dyn Optimizer> = spec
+        .optimizer
+        .build(dim)
+        .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
+    let mut batcher = Batcher::new(train.len(), cluster.batch_ratio, spec.seed);
+    let mut detector = ConvergenceDetector::default();
+
+    let mut epochs = Vec::with_capacity(spec.max_epochs);
+    let mut curve = Vec::new();
+    let mut converged_epoch = None;
+    let mut clock = 0.0f64;
+
+    for epoch in 1..=spec.max_epochs {
+        let mut es = EpochStats {
+            epoch,
+            ..EpochStats::zeroed()
+        };
+        let batches = batcher.epoch();
+        let mut loss_accum = 0.0;
+        for batch in &batches {
+            let parts = partition(batch, cluster.workers);
+            // Worker compute (real, parallel).
+            let results: Vec<(SparseGradient, f64, usize)> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = parts
+                    .iter()
+                    .map(|part| {
+                        let model = &model;
+                        s.spawn(move |_| {
+                            let slice: Vec<Instance> =
+                                part.iter().map(|&i| train[i].clone()).collect();
+                            let g = model.batch_gradient(&slice);
+                            let sparse = SparseGradient::new(model.dim() as u64, g.keys, g.values)
+                                .expect("batch gradient is well-formed");
+                            (sparse, g.loss_sum, slice.len())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+
+            let total_instances: usize = results.iter().map(|r| r.2).sum();
+            // Compute gates on the slowest worker.
+            let feature_ops = parts
+                .iter()
+                .map(|part| {
+                    part.iter()
+                        .map(|&i| train[i].features.nnz() as u64)
+                        .sum::<u64>()
+                })
+                .max()
+                .unwrap_or(0);
+            es.compute_seconds += cluster.cost.compute_time(feature_ops);
+
+            // Push: each worker sends one compressed message per shard; the
+            // S servers ingest in parallel, each serially over its W senders.
+            let mut per_server_time = vec![0.0f64; shards.servers()];
+            let mut shard_parts: Vec<Vec<SparseGradient>> = vec![Vec::new(); shards.servers()];
+            let mut pairs_this_batch = 0u64;
+            for (grad, _, n) in &results {
+                let split = shards.split(grad);
+                for (s, shard_grad) in split.into_iter().enumerate() {
+                    if shard_grad.is_empty() {
+                        continue;
+                    }
+                    let msg = compressor.compress(&shard_grad)?;
+                    per_server_time[s] += cluster.cost.network.transfer_time(msg.len());
+                    es.uplink_bytes += msg.len() as u64;
+                    es.pairs += msg.report.pairs as u64;
+                    es.raw_bytes += 12 * msg.report.pairs as u64;
+                    pairs_this_batch += msg.report.pairs as u64;
+                    let mut g = compressor.decompress(&msg.payload)?;
+                    if total_instances > 0 {
+                        g.scale(*n as f64 / total_instances as f64);
+                    }
+                    shard_parts[s].push(g);
+                }
+            }
+            es.comm_seconds += per_server_time.iter().copied().fold(0.0, f64::max);
+            es.codec_seconds += cluster.cost.codec_time(pairs_this_batch as usize * 2);
+
+            // Servers aggregate + update their shard; we apply through the
+            // single optimizer for mathematical identity with the driver
+            // topology (range-sharded state would behave identically).
+            let mut all_parts: Vec<SparseGradient> = Vec::new();
+            for parts in shard_parts {
+                all_parts.extend(parts);
+            }
+            let aggregated = if all_parts.is_empty() {
+                SparseGradient::empty(dim as u64)
+            } else {
+                SparseGradient::aggregate(&all_parts)?
+            };
+            let batch_loss_sum: f64 = results.iter().map(|(_, l, _)| *l).sum();
+            loss_accum += if total_instances == 0 {
+                0.0
+            } else {
+                batch_loss_sum / total_instances as f64
+            };
+            model.apply_gradient(opt.as_mut(), aggregated.keys(), aggregated.values());
+
+            // Pull: each worker fetches the updated shards (compressed); the
+            // S servers serve their slice to W workers in parallel.
+            let mut pull_time = vec![0.0f64; shards.servers()];
+            for (s, shard_grad) in shards.split(&aggregated).iter().enumerate() {
+                if shard_grad.is_empty() {
+                    continue;
+                }
+                let msg = compressor.compress(shard_grad)?;
+                // Each of W workers pulls this shard, serialized per server.
+                pull_time[s] +=
+                    cluster.workers as f64 * cluster.cost.network.transfer_time(msg.len());
+                es.downlink_bytes += (msg.len() * cluster.workers) as u64;
+            }
+            es.comm_seconds += pull_time.iter().copied().fold(0.0, f64::max);
+        }
+        es.sim_seconds = es.compute_seconds + es.comm_seconds + es.codec_seconds;
+        es.train_loss = loss_accum / batches.len() as f64;
+        es.test_loss = model.mean_loss(test);
+        clock += es.sim_seconds;
+        curve.push(LossPoint {
+            seconds: clock,
+            epoch,
+            loss: es.test_loss,
+        });
+        let converged = detector.push(es.test_loss);
+        epochs.push(es);
+        if converged && converged_epoch.is_none() {
+            converged_epoch = Some(epoch);
+            if spec.stop_on_convergence {
+                break;
+            }
+        }
+    }
+    let accuracy = model.accuracy(test);
+    Ok(TrainReport {
+        method: format!("{} (PS x{})", compressor.name(), shards.servers()),
+        model: spec.loss.name().to_string(),
+        workers: cluster.workers,
+        epochs,
+        curve,
+        converged_epoch,
+        accuracy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchml_core::{RawCompressor, SketchMlCompressor};
+    use sketchml_data::SparseDatasetSpec;
+    use sketchml_ml::GlmLoss;
+
+    #[test]
+    fn range_shard_map_partitions_key_space() {
+        let m = ShardMap::with_strategy(100, 4, ShardStrategy::Range);
+        assert_eq!(m.shard_of(0), 0);
+        assert_eq!(m.shard_of(24), 0);
+        assert_eq!(m.shard_of(25), 1);
+        assert_eq!(m.shard_of(99), 3);
+        // Degenerate: more servers than keys.
+        let tiny = ShardMap::new(3, 8);
+        for k in 0..3u64 {
+            assert!(tiny.shard_of(k) < 8);
+        }
+    }
+
+    #[test]
+    fn split_preserves_gradient_under_both_strategies() {
+        let g = SparseGradient::new(100, vec![1, 24, 25, 70, 99], vec![1.0, 2.0, 3.0, 4.0, 5.0])
+            .unwrap();
+        for strategy in [ShardStrategy::Range, ShardStrategy::Hash] {
+            let m = ShardMap::with_strategy(100, 4, strategy);
+            let split = m.split(&g);
+            assert_eq!(split.len(), 4);
+            let non_empty: Vec<&SparseGradient> = split.iter().filter(|s| !s.is_empty()).collect();
+            assert!(!non_empty.is_empty());
+            let merged = SparseGradient::aggregate(&split).unwrap();
+            assert_eq!(merged, g, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn hash_sharding_balances_zipf_keys() {
+        // Power-law keys: a dense head (0..100) plus a sparse tail — the
+        // head all lands on shard 0 under range sharding.
+        let keyset: Vec<u64> = (0..100u64)
+            .chain((0..100u64).map(|i| 100 + i * 39))
+            .collect();
+        let values = vec![1.0; keyset.len()];
+        let g = SparseGradient::new(4096, keyset, values).unwrap();
+        let imbalance = |strategy: ShardStrategy| {
+            let m = ShardMap::with_strategy(4096, 8, strategy);
+            let sizes: Vec<usize> = m.split(&g).iter().map(|s| s.nnz()).collect();
+            let max = *sizes.iter().max().unwrap() as f64;
+            let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+            max / mean
+        };
+        let (hash, range) = (
+            imbalance(ShardStrategy::Hash),
+            imbalance(ShardStrategy::Range),
+        );
+        assert!(
+            hash < range,
+            "hash sharding should balance the skewed head: hash {hash} vs range {range}"
+        );
+        assert!(hash < 2.0, "hash imbalance {hash} too high");
+    }
+
+    fn dataset() -> (Vec<Instance>, Vec<Instance>, usize) {
+        let spec = SparseDatasetSpec {
+            name: "ps".into(),
+            instances: 1_200,
+            features: 30_000,
+            avg_nnz: 20,
+            skew: 1.1,
+            label_noise: 0.02,
+            task: sketchml_data::Task::Classification,
+            seed: 555,
+        };
+        let (tr, te) = spec.generate_split();
+        (tr, te, 30_000)
+    }
+
+    #[test]
+    fn ps_training_matches_driver_training_math() {
+        // Same batches + same optimizer → identical loss trajectory; only
+        // the simulated times differ.
+        let (train, test, dim) = dataset();
+        let spec = TrainSpec::paper(GlmLoss::Logistic, 0.05, 3);
+        let cluster = ClusterConfig::cluster1(4);
+        let ps = train_parameter_server(
+            &train,
+            &test,
+            dim,
+            &spec,
+            &cluster,
+            4,
+            &RawCompressor::default(),
+        )
+        .unwrap();
+        let driver = crate::trainer::train_distributed(
+            &train,
+            &test,
+            dim,
+            &spec,
+            &cluster,
+            &RawCompressor::default(),
+        )
+        .unwrap();
+        for (a, b) in ps.epochs.iter().zip(&driver.epochs) {
+            assert!(
+                (a.test_loss - b.test_loss).abs() < 1e-9,
+                "epoch {}: PS {} vs driver {}",
+                a.epoch,
+                a.test_loss,
+                b.test_loss
+            );
+        }
+    }
+
+    #[test]
+    fn ps_parallel_ingest_beats_driver_for_raw() {
+        // With servers ingesting in parallel, the uncompressed baseline's
+        // comm time drops versus the single driver NIC.
+        let (train, test, dim) = dataset();
+        let spec = TrainSpec::paper(GlmLoss::Logistic, 0.05, 2);
+        let cluster = ClusterConfig::cluster1(8);
+        let ps = train_parameter_server(
+            &train,
+            &test,
+            dim,
+            &spec,
+            &cluster,
+            8,
+            &RawCompressor::default(),
+        )
+        .unwrap();
+        let driver = crate::trainer::train_distributed(
+            &train,
+            &test,
+            dim,
+            &spec,
+            &cluster,
+            &RawCompressor::default(),
+        )
+        .unwrap();
+        let ps_comm: f64 = ps.epochs.iter().map(|e| e.comm_seconds).sum();
+        let driver_comm: f64 = driver.epochs.iter().map(|e| e.comm_seconds).sum();
+        assert!(
+            ps_comm < driver_comm,
+            "PS comm {ps_comm} should beat driver comm {driver_comm}"
+        );
+    }
+
+    #[test]
+    fn sketchml_still_wins_under_ps() {
+        let (train, test, dim) = dataset();
+        let spec = TrainSpec::paper(GlmLoss::Logistic, 0.05, 2);
+        let cluster = ClusterConfig::cluster1(4);
+        let t = |c: &dyn GradientCompressor| {
+            train_parameter_server(&train, &test, dim, &spec, &cluster, 4, c)
+                .unwrap()
+                .avg_epoch_seconds()
+        };
+        let sk = t(&SketchMlCompressor::default());
+        let raw = t(&RawCompressor::default());
+        assert!(sk < raw, "SketchML {sk} should beat raw {raw} under PS too");
+    }
+}

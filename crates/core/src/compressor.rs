@@ -1,0 +1,108 @@
+//! The compressor abstraction every method in the paper's evaluation
+//! implements: Adam (raw), Adam+Key, Adam+Key+Quan, full SketchML, ZipML and
+//! threshold truncation (Figures 8–11, Tables 2 & 4).
+
+use crate::error::CompressError;
+use crate::gradient::SparseGradient;
+use bytes::Bytes;
+use sketchml_encoding::stats::SizeReport;
+
+/// A compressed gradient message plus its size accounting.
+#[derive(Debug, Clone)]
+pub struct CompressedGradient {
+    /// Self-describing wire bytes.
+    pub payload: Bytes,
+    /// Byte breakdown used by the Figure 8(b)/(d) experiments.
+    pub report: SizeReport,
+}
+
+impl CompressedGradient {
+    /// Total wire size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+/// A gradient compression method.
+///
+/// `decompress(compress(g))` must return a gradient over the same dimension;
+/// lossy methods may perturb values (and truncation may drop pairs), but —
+/// per §3.4 — any key that survives must be decoded *exactly*.
+pub trait GradientCompressor: Send + Sync {
+    /// Short name used in experiment tables (e.g. `"SketchML"`, `"ZipML"`).
+    fn name(&self) -> &'static str;
+
+    /// Encodes a gradient into a self-describing message.
+    ///
+    /// # Errors
+    /// Implementations reject structurally invalid gradients and
+    /// out-of-range configurations with [`CompressError`].
+    fn compress(&self, grad: &SparseGradient) -> Result<CompressedGradient, CompressError>;
+
+    /// Decodes a message produced by this compressor's `compress`.
+    ///
+    /// # Errors
+    /// Returns [`CompressError::Corrupt`] (never panics) on truncated or
+    /// malformed payloads.
+    fn decompress(&self, payload: &[u8]) -> Result<SparseGradient, CompressError>;
+}
+
+/// Round-trips a gradient and reports the element-wise value error — the
+/// harness used by the Appendix A.1 validation and several tests.
+///
+/// # Errors
+/// Propagates compressor failures.
+pub fn roundtrip_error(
+    compressor: &dyn GradientCompressor,
+    grad: &SparseGradient,
+) -> Result<RoundtripStats, CompressError> {
+    let msg = compressor.compress(grad)?;
+    let decoded = compressor.decompress(&msg.payload)?;
+    let orig = grad.to_dense();
+    let got = decoded.to_dense();
+    let mut sq_err = 0.0;
+    let mut max_err: f64 = 0.0;
+    let mut sign_flips = 0usize;
+    for (o, g) in orig.iter().zip(&got) {
+        let e = o - g;
+        sq_err += e * e;
+        max_err = max_err.max(e.abs());
+        if *o != 0.0 && *g != 0.0 && o.signum() != g.signum() {
+            sign_flips += 1;
+        }
+    }
+    Ok(RoundtripStats {
+        compressed_bytes: msg.len(),
+        report: msg.report,
+        squared_error: sq_err,
+        max_abs_error: max_err,
+        sign_flips,
+        pairs_in: grad.nnz(),
+        pairs_out: decoded.nnz(),
+    })
+}
+
+/// Output of [`roundtrip_error`].
+#[derive(Debug, Clone, Copy)]
+pub struct RoundtripStats {
+    /// Wire size of the compressed message.
+    pub compressed_bytes: usize,
+    /// Byte breakdown.
+    pub report: SizeReport,
+    /// `‖g − ĝ‖²` — the Appendix A.1 variance quantity.
+    pub squared_error: f64,
+    /// Largest absolute per-element error.
+    pub max_abs_error: f64,
+    /// Count of decoded values whose sign flipped (must be 0 for SketchML
+    /// after the §3.3 Solution 1 fix).
+    pub sign_flips: usize,
+    /// Input pair count.
+    pub pairs_in: usize,
+    /// Output pair count (smaller only for truncation).
+    pub pairs_out: usize,
+}

@@ -1,0 +1,81 @@
+//! Error type of the compression framework.
+
+use sketchml_encoding::EncodingError;
+use sketchml_sketches::SketchError;
+use std::fmt;
+
+/// Errors produced while compressing or decompressing gradients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressError {
+    /// The input gradient violated a structural precondition.
+    InvalidGradient(String),
+    /// A compressor parameter is out of range.
+    InvalidConfig(String),
+    /// An underlying sketch failed.
+    Sketch(SketchError),
+    /// An underlying codec failed.
+    Encoding(EncodingError),
+    /// A compressed message was structurally invalid.
+    Corrupt(String),
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::InvalidGradient(msg) => write!(f, "invalid gradient: {msg}"),
+            CompressError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            CompressError::Sketch(e) => write!(f, "sketch error: {e}"),
+            CompressError::Encoding(e) => write!(f, "encoding error: {e}"),
+            CompressError::Corrupt(msg) => write!(f, "corrupt message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompressError::Sketch(e) => Some(e),
+            CompressError::Encoding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SketchError> for CompressError {
+    fn from(e: SketchError) -> Self {
+        CompressError::Sketch(e)
+    }
+}
+
+impl From<EncodingError> for CompressError {
+    fn from(e: EncodingError) -> Self {
+        CompressError::Encoding(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CompressError = SketchError::Empty.into();
+        assert!(matches!(e, CompressError::Sketch(_)));
+        assert!(e.to_string().contains("sketch error"));
+        let e: CompressError = EncodingError::UnexpectedEof { context: "x" }.into();
+        assert!(matches!(e, CompressError::Encoding(_)));
+        assert!(CompressError::Corrupt("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: CompressError = SketchError::Empty.into();
+        assert!(e.source().is_some());
+        assert!(CompressError::InvalidGradient("x".into())
+            .source()
+            .is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Error feedback (residual compensation) — an **extension beyond the
+//! paper** from the gradient-compression literature (Seide et al.'s 1-bit
+//! SGD introduced it; later formalized as EF-SGD).
+//!
+//! A lossy compressor drops part of every gradient. Error feedback keeps
+//! the dropped part as a *residual* and adds it back to the next round's
+//! gradient before compressing:
+//!
+//! ```text
+//! g'_t = g_t + r_{t-1}
+//! m_t  = compress(g'_t)
+//! r_t  = g'_t − decompress(m_t)
+//! ```
+//!
+//! No information is permanently lost — it is only delayed — which repairs
+//! the convergence of aggressive compressors like threshold truncation.
+//!
+//! This implementation is the **sparse ("lazy") variant**: the residual of a
+//! dimension is folded back only when that dimension appears in a later
+//! gradient. Folding *all* residual keys into every message (dense EF) would
+//! destroy the gradient's sparsity — inflating the very messages SketchML
+//! shrinks — and would also distort the value distribution the quantile
+//! buckets adapt to. The `ext_error_feedback` experiment measures the
+//! effect on truncation and on SketchML.
+
+use crate::compressor::{CompressedGradient, GradientCompressor};
+use crate::error::CompressError;
+use crate::gradient::SparseGradient;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Wraps any compressor with per-instance residual compensation.
+///
+/// The residual state lives inside the wrapper, so use one wrapper per
+/// worker (exactly like the optimizer state).
+#[derive(Debug)]
+pub struct ErrorFeedback<C> {
+    inner: C,
+    residual: Mutex<HashMap<u64, f64>>,
+}
+
+impl<C: GradientCompressor> ErrorFeedback<C> {
+    /// Wraps `inner` with an empty residual.
+    pub fn new(inner: C) -> Self {
+        ErrorFeedback {
+            inner,
+            residual: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Sum of absolute residual mass currently carried forward.
+    pub fn residual_l1(&self) -> f64 {
+        self.residual
+            .lock()
+            .expect("residual lock")
+            .values()
+            .map(|v| v.abs())
+            .sum()
+    }
+
+    /// Access to the wrapped compressor.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: GradientCompressor> GradientCompressor for ErrorFeedback<C> {
+    fn name(&self) -> &'static str {
+        "ErrorFeedback"
+    }
+
+    fn compress(&self, grad: &SparseGradient) -> Result<CompressedGradient, CompressError> {
+        let mut residual = self.residual.lock().expect("residual lock");
+        // Sparse EF: g'_k = g_k + r_k only for the keys present in g.
+        let mut keys = Vec::with_capacity(grad.nnz());
+        let mut values = Vec::with_capacity(grad.nnz());
+        for (k, v) in grad.iter() {
+            let compensated = v + residual.remove(&k).unwrap_or(0.0);
+            if compensated != 0.0 && compensated.is_finite() {
+                keys.push(k);
+                values.push(compensated);
+            }
+        }
+        let compensated = SparseGradient::new(grad.dim(), keys, values)?;
+
+        let msg = self.inner.compress(&compensated)?;
+        let decoded = self.inner.decompress(&msg.payload)?;
+
+        // r_k = g'_k − decode(m)_k for transmitted keys; keys the inner
+        // compressor dropped entirely (truncation) keep their whole value.
+        let mut sent: HashMap<u64, f64> = decoded.iter().collect();
+        for (k, v) in compensated.iter() {
+            let err = v - sent.remove(&k).unwrap_or(0.0);
+            if err.abs() > 1e-15 {
+                residual.insert(k, err);
+            }
+        }
+        Ok(msg)
+    }
+
+    fn decompress(&self, payload: &[u8]) -> Result<SparseGradient, CompressError> {
+        self.inner.decompress(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::TruncationCompressor;
+    use crate::sketchml::SketchMlCompressor;
+
+    fn constant_gradient() -> SparseGradient {
+        let keys: Vec<u64> = (0..100u64).map(|i| i * 7).collect();
+        let values: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.1 } else { -0.05 })
+            .collect();
+        SparseGradient::new(1_000, keys, values).unwrap()
+    }
+
+    #[test]
+    fn residual_preserves_dropped_mass() {
+        // Truncation keeps only 10% per round; with error feedback the
+        // cumulative decoded signal still approaches the cumulative input.
+        let ef = ErrorFeedback::new(TruncationCompressor { keep_ratio: 0.1 });
+        let grad = constant_gradient();
+        let rounds = 60;
+        let mut cumulative = vec![0.0f64; grad.dim() as usize];
+        for _ in 0..rounds {
+            let msg = ef.compress(&grad).unwrap();
+            let decoded = ef.decompress(&msg.payload).unwrap();
+            for (k, v) in decoded.iter() {
+                cumulative[k as usize] += v;
+            }
+        }
+        let target: Vec<f64> = {
+            let mut t = vec![0.0; grad.dim() as usize];
+            for (k, v) in grad.iter() {
+                t[k as usize] = v * rounds as f64;
+            }
+            t
+        };
+        let err: f64 = cumulative
+            .iter()
+            .zip(&target)
+            .map(|(c, t)| (c - t).abs())
+            .sum();
+        let total: f64 = target.iter().map(|t| t.abs()).sum();
+        assert!(
+            err / total < 0.25,
+            "error feedback should recover dropped mass: rel err {}",
+            err / total
+        );
+        // Without feedback, plain 10% truncation loses 90% of the mass.
+        let plain = TruncationCompressor { keep_ratio: 0.1 };
+        let decoded = plain
+            .decompress(&plain.compress(&grad).unwrap().payload)
+            .unwrap();
+        assert!(decoded.nnz() <= grad.nnz() / 5);
+    }
+
+    #[test]
+    fn residual_shrinks_for_accurate_compressors() {
+        let ef = ErrorFeedback::new(SketchMlCompressor::default());
+        let grad = constant_gradient();
+        for _ in 0..5 {
+            ef.compress(&grad).unwrap();
+        }
+        // SketchML's decay leaves some residual, but it must stay bounded
+        // (the compensation is re-sent, not accumulated forever).
+        let r1 = ef.residual_l1();
+        for _ in 0..20 {
+            ef.compress(&grad).unwrap();
+        }
+        let r2 = ef.residual_l1();
+        assert!(
+            r2 < r1 * 3.0 + 1.0,
+            "residual must not diverge: {r1} -> {r2}"
+        );
+    }
+
+    #[test]
+    fn decompress_passthrough() {
+        let ef = ErrorFeedback::new(SketchMlCompressor::default());
+        let grad = constant_gradient();
+        let msg = ef.compress(&grad).unwrap();
+        let a = ef.decompress(&msg.payload).unwrap();
+        let b = SketchMlCompressor::default()
+            .decompress(&msg.payload)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ef.inner().name(), "SketchML");
+    }
+}

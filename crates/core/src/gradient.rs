@@ -1,0 +1,258 @@
+//! Sparse gradient representation (paper §2.2 data model).
+//!
+//! A gradient `g ∈ R^D` produced from sparse training data is itself sparse;
+//! SketchML stores the nonzero elements as key-value pairs `{(k_j, v_j)}`
+//! with keys in ascending order — the property the delta-binary key codec
+//! exploits (§3.4).
+
+use crate::error::CompressError;
+use serde::{Deserialize, Serialize};
+
+/// A sparse gradient vector: ascending keys (model dimensions) and their
+/// nonzero values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseGradient {
+    dim: u64,
+    keys: Vec<u64>,
+    values: Vec<f64>,
+}
+
+impl SparseGradient {
+    /// Builds a gradient from parallel key/value arrays.
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidGradient`] if lengths differ, keys are not
+    /// strictly ascending, any key `>= dim`, or any value is non-finite.
+    pub fn new(dim: u64, keys: Vec<u64>, values: Vec<f64>) -> Result<Self, CompressError> {
+        if keys.len() != values.len() {
+            return Err(CompressError::InvalidGradient(format!(
+                "{} keys but {} values",
+                keys.len(),
+                values.len()
+            )));
+        }
+        let mut prev: Option<u64> = None;
+        for (i, &k) in keys.iter().enumerate() {
+            if k >= dim {
+                return Err(CompressError::InvalidGradient(format!(
+                    "key {k} at position {i} out of range for dimension {dim}"
+                )));
+            }
+            if let Some(p) = prev {
+                if k <= p {
+                    return Err(CompressError::InvalidGradient(format!(
+                        "keys must be strictly ascending (position {i})"
+                    )));
+                }
+            }
+            prev = Some(k);
+        }
+        if let Some((i, v)) = values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(CompressError::InvalidGradient(format!(
+                "non-finite value {v} at position {i}"
+            )));
+        }
+        Ok(SparseGradient { dim, keys, values })
+    }
+
+    /// Builds a gradient from a dense vector, keeping entries with
+    /// `|v| > threshold` (use `0.0` to keep every nonzero).
+    pub fn from_dense(dense: &[f64], threshold: f64) -> Self {
+        let mut keys = Vec::new();
+        let mut values = Vec::new();
+        for (k, &v) in dense.iter().enumerate() {
+            if v.abs() > threshold && v != 0.0 {
+                keys.push(k as u64);
+                values.push(v);
+            }
+        }
+        SparseGradient {
+            dim: dense.len() as u64,
+            keys,
+            values,
+        }
+    }
+
+    /// Builds an empty gradient over `dim` dimensions.
+    pub fn empty(dim: u64) -> Self {
+        SparseGradient {
+            dim,
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Model dimensionality `D`.
+    pub fn dim(&self) -> u64 {
+        self.dim
+    }
+
+    /// Number of nonzero entries `d`.
+    pub fn nnz(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the gradient has no nonzero entries.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Ascending keys of the nonzero entries.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Values aligned with [`Self::keys`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Gradient sparsity `d / D` (the Figure 8(d) metric).
+    pub fn sparsity(&self) -> f64 {
+        if self.dim == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.dim as f64
+        }
+    }
+
+    /// Iterator over `(key, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.keys.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Euclidean norm of the values.
+    pub fn l2_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Materializes the dense vector (test/diagnostic helper).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim as usize];
+        for (k, v) in self.iter() {
+            out[k as usize] = v;
+        }
+        out
+    }
+
+    /// Merges `others` into an element-wise **sum** (driver-side gradient
+    /// aggregation over workers, §2.2: "we need to aggregate gradients
+    /// proposed by W workers").
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidGradient`] if dimensions differ.
+    pub fn aggregate(parts: &[SparseGradient]) -> Result<SparseGradient, CompressError> {
+        let Some(first) = parts.first() else {
+            return Err(CompressError::InvalidGradient(
+                "cannot aggregate zero gradients".into(),
+            ));
+        };
+        let dim = first.dim;
+        if let Some(bad) = parts.iter().find(|g| g.dim != dim) {
+            return Err(CompressError::InvalidGradient(format!(
+                "dimension mismatch: {} vs {dim}",
+                bad.dim
+            )));
+        }
+        // k-way merge via a flat collect + sort: simple and fast enough for
+        // the worker counts the simulator uses.
+        let mut pairs: Vec<(u64, f64)> = parts.iter().flat_map(|g| g.iter()).collect();
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        let mut keys = Vec::with_capacity(pairs.len());
+        let mut values = Vec::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            if keys.last() == Some(&k) {
+                *values.last_mut().expect("values parallel to keys") += v;
+            } else {
+                keys.push(k);
+                values.push(v);
+            }
+        }
+        // Summing can cancel to exactly zero; keep representation canonical.
+        let mut fk = Vec::with_capacity(keys.len());
+        let mut fv = Vec::with_capacity(values.len());
+        for (k, v) in keys.into_iter().zip(values) {
+            if v != 0.0 {
+                fk.push(k);
+                fv.push(v);
+            }
+        }
+        Ok(SparseGradient {
+            dim,
+            keys: fk,
+            values: fv,
+        })
+    }
+
+    /// Scales all values by `factor` (e.g. `1/W` for averaging).
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.values {
+            *v *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates() {
+        assert!(SparseGradient::new(10, vec![1, 2], vec![1.0, 2.0]).is_ok());
+        assert!(SparseGradient::new(10, vec![1], vec![1.0, 2.0]).is_err());
+        assert!(SparseGradient::new(10, vec![2, 1], vec![1.0, 2.0]).is_err());
+        assert!(SparseGradient::new(10, vec![1, 1], vec![1.0, 2.0]).is_err());
+        assert!(SparseGradient::new(2, vec![2], vec![1.0]).is_err());
+        assert!(SparseGradient::new(10, vec![1], vec![f64::NAN]).is_err());
+        assert!(SparseGradient::new(10, vec![1], vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn from_dense_filters() {
+        let g = SparseGradient::from_dense(&[0.0, 0.5, -0.001, 0.0, 2.0], 0.01);
+        assert_eq!(g.keys(), &[1, 4]);
+        assert_eq!(g.values(), &[0.5, 2.0]);
+        assert_eq!(g.dim(), 5);
+        let all = SparseGradient::from_dense(&[0.0, 0.5, -0.001], 0.0);
+        assert_eq!(all.nnz(), 2);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let dense = vec![0.0, 1.5, 0.0, -2.5, 0.0];
+        let g = SparseGradient::from_dense(&dense, 0.0);
+        assert_eq!(g.to_dense(), dense);
+    }
+
+    #[test]
+    fn sparsity_and_norm() {
+        let g = SparseGradient::new(100, vec![0, 1], vec![3.0, 4.0]).unwrap();
+        assert!((g.sparsity() - 0.02).abs() < 1e-12);
+        assert!((g.l2_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(SparseGradient::empty(0).sparsity(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_merges_and_sums() {
+        let a = SparseGradient::new(10, vec![1, 3, 5], vec![1.0, 1.0, 1.0]).unwrap();
+        let b = SparseGradient::new(10, vec![3, 5, 7], vec![2.0, -1.0, 4.0]).unwrap();
+        let sum = SparseGradient::aggregate(&[a, b]).unwrap();
+        assert_eq!(sum.keys(), &[1, 3, 7]); // key 5 cancels to zero
+        assert_eq!(sum.values(), &[1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn aggregate_rejects_mismatch_and_empty() {
+        let a = SparseGradient::empty(10);
+        let b = SparseGradient::empty(20);
+        assert!(SparseGradient::aggregate(&[a, b]).is_err());
+        assert!(SparseGradient::aggregate(&[]).is_err());
+    }
+
+    #[test]
+    fn scale_applies() {
+        let mut g = SparseGradient::new(4, vec![0, 2], vec![2.0, -4.0]).unwrap();
+        g.scale(0.5);
+        assert_eq!(g.values(), &[1.0, -2.0]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Plain-text gradient IO for the command-line tools.
+//!
+//! Format — one header line, then one `key value` pair per line, ascending:
+//!
+//! ```text
+//! dim 1000000
+//! 702 -0.01
+//! 735 0.21
+//! # comments and blank lines are ignored
+//! ```
+
+use crate::error::CompressError;
+use crate::gradient::SparseGradient;
+use std::io::{BufRead, Write};
+
+/// Reads a gradient from the text format.
+///
+/// # Errors
+/// [`CompressError::InvalidGradient`] with the offending line number.
+pub fn read_gradient(reader: impl BufRead) -> Result<SparseGradient, CompressError> {
+    let mut dim: Option<u64> = None;
+    let mut pairs: Vec<(u64, f64)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| CompressError::InvalidGradient(format!("I/O error: {e}")))?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut tokens = body.split_whitespace();
+        let first = tokens.next().expect("non-empty body");
+        if first == "dim" {
+            let d = tokens
+                .next()
+                .ok_or_else(|| {
+                    CompressError::InvalidGradient(format!(
+                        "line {}: `dim` needs a value",
+                        lineno + 1
+                    ))
+                })?
+                .parse()
+                .map_err(|e| {
+                    CompressError::InvalidGradient(format!("line {}: bad dim: {e}", lineno + 1))
+                })?;
+            dim = Some(d);
+            continue;
+        }
+        let key: u64 = first.parse().map_err(|e| {
+            CompressError::InvalidGradient(format!("line {}: bad key `{first}`: {e}", lineno + 1))
+        })?;
+        let value: f64 = tokens
+            .next()
+            .ok_or_else(|| {
+                CompressError::InvalidGradient(format!(
+                    "line {}: missing value for key {key}",
+                    lineno + 1
+                ))
+            })?
+            .parse()
+            .map_err(|e| {
+                CompressError::InvalidGradient(format!("line {}: bad value: {e}", lineno + 1))
+            })?;
+        pairs.push((key, value));
+    }
+    let dim =
+        dim.ok_or_else(|| CompressError::InvalidGradient("missing `dim <D>` header line".into()))?;
+    pairs.sort_unstable_by_key(|&(k, _)| k);
+    SparseGradient::new(
+        dim,
+        pairs.iter().map(|&(k, _)| k).collect(),
+        pairs.iter().map(|&(_, v)| v).collect(),
+    )
+}
+
+/// Writes a gradient in the text format.
+///
+/// # Errors
+/// [`CompressError::InvalidGradient`] wrapping I/O failures.
+pub fn write_gradient(grad: &SparseGradient, mut writer: impl Write) -> Result<(), CompressError> {
+    let io_err = |e: std::io::Error| CompressError::InvalidGradient(format!("I/O error: {e}"));
+    writeln!(writer, "dim {}", grad.dim()).map_err(io_err)?;
+    for (k, v) in grad.iter() {
+        writeln!(writer, "{k} {v}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let g = SparseGradient::new(1000, vec![7, 42, 999], vec![0.5, -1.25, 3.0]).unwrap();
+        let mut buf = Vec::new();
+        write_gradient(&g, &mut buf).unwrap();
+        let back = read_gradient(Cursor::new(buf)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn parses_comments_and_unsorted_pairs() {
+        let text = "# header comment\ndim 100\n50 1.5 # inline\n\n10 -2.0\n";
+        let g = read_gradient(Cursor::new(text)).unwrap();
+        assert_eq!(g.keys(), &[10, 50]);
+        assert_eq!(g.values(), &[-2.0, 1.5]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_gradient(Cursor::new("10 1.0")).is_err(), "missing dim");
+        assert!(read_gradient(Cursor::new("dim\n")).is_err());
+        assert!(read_gradient(Cursor::new("dim x\n")).is_err());
+        assert!(read_gradient(Cursor::new("dim 10\nabc 1.0")).is_err());
+        assert!(read_gradient(Cursor::new("dim 10\n5")).is_err());
+        assert!(read_gradient(Cursor::new("dim 10\n5 zz")).is_err());
+        assert!(
+            read_gradient(Cursor::new("dim 10\n50 1.0")).is_err(),
+            "key > dim"
+        );
+        assert!(
+            read_gradient(Cursor::new("dim 10\n5 1.0\n5 2.0")).is_err(),
+            "dup key"
+        );
+    }
+}

@@ -1,0 +1,477 @@
+//! Quantile-bucket quantification (paper §3.2, Figure 3).
+//!
+//! Uniform quantification "equally divides the range of gradient values"
+//! and therefore snaps the near-zero mass of a skewed gradient (Figure 4)
+//! to zero. Quantile-bucket quantification instead **equally divides the
+//! values by count**: a quantile sketch supplies `q + 1` equi-depth split
+//! points, every value is bucket-sorted between two splits, each bucket is
+//! represented by the mean of its two splits, and values are shipped as
+//! small bucket *indexes*.
+//!
+//! This module implements the quantization math and the `Adam+Key+Quan`
+//! ablation compressor of Figure 8 (delta-binary keys + bit-packed exact
+//! bucket indexes, no MinMaxSketch).
+
+use crate::compressor::{CompressedGradient, GradientCompressor};
+use crate::error::CompressError;
+use crate::gradient::SparseGradient;
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+use sketchml_encoding::stats::SizeReport;
+use sketchml_encoding::{bitpack, delta_binary, varint};
+use sketchml_sketches::quantile::{GkSummary, MergingQuantileSketch, QuantileSketch, TDigest};
+
+/// Result of quantile-bucket quantification over one value array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Quantization {
+    /// `q + 1` monotone split points (§3.2 Step 1).
+    pub splits: Vec<f64>,
+    /// `q` bucket means, `means[i] = (splits[i] + splits[i+1]) / 2`
+    /// (§3.2 Step 2).
+    pub means: Vec<f64>,
+    /// Per-input bucket index in `[0, q)`, ascending-value order
+    /// (§3.2 Step 3).
+    pub indexes: Vec<u16>,
+}
+
+impl Quantization {
+    /// Number of buckets `q`.
+    pub fn q(&self) -> u16 {
+        self.means.len() as u16
+    }
+
+    /// Decodes index `i` back to its bucket mean (§3.1 Decode step 4).
+    pub fn decode(&self, index: u16) -> Option<f64> {
+        self.means.get(index as usize).copied()
+    }
+}
+
+/// Which quantile sketch drives the split computation (§3.2 Step 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QuantileBackend {
+    /// Mergeable compactor sketch (the DataSketches stand-in; default).
+    #[default]
+    Merging,
+    /// Greenwald–Khanna summary (deterministic εn rank error).
+    Gk,
+    /// t-digest (tail-accurate centroids).
+    TDigest,
+}
+
+/// Assigns `value` to a bucket given `q + 1` splits: bucket `i` covers
+/// `[splits[i], splits[i+1])`, the last bucket closed above.
+#[inline]
+pub fn bucket_of(splits: &[f64], value: f64) -> u16 {
+    debug_assert!(splits.len() >= 2);
+    let q = splits.len() - 1;
+    // Interior splits are splits[1..q]; count how many are <= value.
+    let idx = splits[1..q].partition_point(|&s| s <= value);
+    idx as u16
+}
+
+/// Runs quantile-bucket quantification over `values` with (at most) `q`
+/// buckets using a quantile sketch of `sketch_capacity` (§3.2 Steps 1–3).
+///
+/// The effective bucket count is capped at `max(8, n / cap_divisor)` (and
+/// never above `n`): the paper's `q = 256` assumes gradients with millions
+/// of pairs, where the `8q`-byte means table is negligible (§3.5, "q << d
+/// in most cases"). A scaled-down gradient keeps the same *relative*
+/// overhead by scaling `q` down with it; accuracy is unaffected in practice
+/// because a gradient with few values needs few equi-depth buckets to
+/// describe. `cap_divisor = 32` reproduces the paper's overhead regime;
+/// smaller divisors trade bytes for finer buckets (the Figure 13
+/// sensitivity axis).
+///
+/// # Errors
+/// [`CompressError::InvalidConfig`] if `q == 0` or `cap_divisor == 0`;
+/// [`CompressError::InvalidGradient`] if `values` is empty.
+pub fn quantize(
+    values: &[f64],
+    q: u16,
+    sketch_capacity: usize,
+    cap_divisor: usize,
+) -> Result<Quantization, CompressError> {
+    quantize_with(
+        values,
+        q,
+        sketch_capacity,
+        cap_divisor,
+        QuantileBackend::Merging,
+    )
+}
+
+/// [`quantize`] with an explicit quantile-sketch backend.
+///
+/// # Errors
+/// Same contract as [`quantize`].
+pub fn quantize_with(
+    values: &[f64],
+    q: u16,
+    sketch_capacity: usize,
+    cap_divisor: usize,
+    backend: QuantileBackend,
+) -> Result<Quantization, CompressError> {
+    if q == 0 {
+        return Err(CompressError::InvalidConfig("q must be positive".into()));
+    }
+    if cap_divisor == 0 {
+        return Err(CompressError::InvalidConfig(
+            "cap_divisor must be positive".into(),
+        ));
+    }
+    if values.is_empty() {
+        return Err(CompressError::InvalidGradient(
+            "cannot quantize an empty value array".into(),
+        ));
+    }
+    let q_eff = (q as usize)
+        .min((values.len() / cap_divisor).max(8))
+        .min(values.len()) as u16;
+    let splits = match backend {
+        QuantileBackend::Merging => {
+            let mut sketch = MergingQuantileSketch::new(sketch_capacity.max(2))?;
+            sketch.extend_from_slice(values);
+            sketch.splits(q_eff as usize)?
+        }
+        QuantileBackend::Gk => {
+            let mut sketch = GkSummary::for_buckets(q_eff as usize)?;
+            sketch.extend_from_slice(values);
+            sketch.splits(q_eff as usize)?
+        }
+        QuantileBackend::TDigest => {
+            let mut sketch = TDigest::new((sketch_capacity.max(16)) as f64)?;
+            sketch.extend_from_slice(values);
+            sketch.splits(q_eff as usize)?
+        }
+    };
+    let means: Vec<f64> = splits.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+    let indexes: Vec<u16> = values.iter().map(|&v| bucket_of(&splits, v)).collect();
+    Ok(Quantization {
+        splits,
+        means,
+        indexes,
+    })
+}
+
+/// Appendix A.1 variance bound: `E‖g − ĝ‖² <= d/(4q) · (φ²min + φ²max)`.
+pub fn variance_bound(d: usize, q: u16, phi_min: f64, phi_max: f64) -> f64 {
+    d as f64 / (4.0 * q as f64) * (phi_min * phi_min + phi_max * phi_max)
+}
+
+/// Empirical quantification variance `Σ (v_i − mean(bucket(v_i)))²`.
+pub fn empirical_variance(values: &[f64], quant: &Quantization) -> f64 {
+    values
+        .iter()
+        .zip(&quant.indexes)
+        .map(|(&v, &b)| {
+            let m = quant.means[b as usize];
+            (v - m) * (v - m)
+        })
+        .sum()
+}
+
+/// The `Adam+Key+Quan` ablation compressor (Figure 8): delta-binary keys +
+/// quantile-bucket quantification with **exact** bit-packed indexes (the
+/// MinMaxSketch stage is bypassed).
+///
+/// Unlike the full pipeline, this variant quantifies positive and negative
+/// values together, exactly as Figure 3 depicts — which is what exposes the
+/// "reversed gradient, Case 1" hazard that §3.3's Solution 1 later fixes.
+#[derive(Debug, Clone)]
+pub struct QuantCompressor {
+    /// Maximum bucket count `q` (default 256).
+    pub buckets: u16,
+    /// Quantile sketch capacity `m` (default 128).
+    pub sketch_capacity: usize,
+}
+
+impl Default for QuantCompressor {
+    fn default() -> Self {
+        QuantCompressor {
+            buckets: 256,
+            sketch_capacity: 128,
+        }
+    }
+}
+
+const QUANT_MAGIC: u8 = 0xA5;
+
+impl GradientCompressor for QuantCompressor {
+    fn name(&self) -> &'static str {
+        "Adam+Key+Quan"
+    }
+
+    fn compress(&self, grad: &SparseGradient) -> Result<CompressedGradient, CompressError> {
+        if self.buckets == 0 {
+            return Err(CompressError::InvalidConfig(
+                "buckets must be positive".into(),
+            ));
+        }
+        let mut buf = BytesMut::new();
+        buf.put_u8(QUANT_MAGIC);
+        varint::write_u64(&mut buf, grad.dim());
+        varint::write_u64(&mut buf, grad.nnz() as u64);
+        let mut report = SizeReport {
+            pairs: grad.nnz(),
+            ..SizeReport::default()
+        };
+        if grad.is_empty() {
+            report.header_bytes = buf.len();
+            return Ok(CompressedGradient {
+                payload: buf.freeze(),
+                report,
+            });
+        }
+        let header_so_far = buf.len();
+        let key_bytes = delta_binary::encode_keys(grad.keys(), &mut buf)?;
+
+        let quant = quantize(grad.values(), self.buckets, self.sketch_capacity, 32)?;
+        let q = quant.q();
+        let before_values = buf.len();
+        varint::write_u64(&mut buf, q as u64);
+        for &m in &quant.means {
+            buf.put_f64_le(m);
+        }
+        let bits = bitpack::bits_for(q.saturating_sub(1));
+        buf.put_u8(bits as u8);
+        bitpack::pack_u16(&quant.indexes, bits, &mut buf)?;
+
+        report.key_bytes = key_bytes;
+        report.value_bytes = buf.len() - before_values;
+        report.header_bytes = header_so_far;
+        Ok(CompressedGradient {
+            payload: buf.freeze(),
+            report,
+        })
+    }
+
+    fn decompress(&self, payload: &[u8]) -> Result<SparseGradient, CompressError> {
+        let mut buf = payload;
+        if !buf.has_remaining() || buf.get_u8() != QUANT_MAGIC {
+            return Err(CompressError::Corrupt("bad Adam+Key+Quan magic".into()));
+        }
+        let dim = varint::read_u64(&mut buf)?;
+        let nnz = varint::read_u64(&mut buf)? as usize;
+        if nnz == 0 {
+            return Ok(SparseGradient::empty(dim));
+        }
+        let keys = delta_binary::decode_keys(&mut buf)?;
+        if keys.len() != nnz {
+            return Err(CompressError::Corrupt(format!(
+                "declared {nnz} pairs but decoded {} keys",
+                keys.len()
+            )));
+        }
+        let q = varint::read_u64(&mut buf)? as usize;
+        if q == 0 || buf.remaining() < q * 8 + 1 {
+            return Err(CompressError::Corrupt("truncated bucket means".into()));
+        }
+        let means: Vec<f64> = (0..q).map(|_| buf.get_f64_le()).collect();
+        let bits = buf.get_u8() as u32;
+        let indexes = bitpack::unpack_u16(&mut buf, nnz, bits)?;
+        let values: Vec<f64> = indexes
+            .iter()
+            .map(|&i| {
+                means.get(i as usize).copied().ok_or_else(|| {
+                    CompressError::Corrupt(format!("bucket index {i} out of range {q}"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        SparseGradient::new(dim, keys, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn skewed_values(n: usize, seed: u64) -> Vec<f64> {
+        // Figure 4-like distribution: dense near zero, thin tails.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                sign * rng.gen::<f64>().powi(6) * 0.35
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bucket_of_respects_split_boundaries() {
+        let splits = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(bucket_of(&splits, -0.5), 0);
+        assert_eq!(bucket_of(&splits, 0.0), 0);
+        assert_eq!(bucket_of(&splits, 0.99), 0);
+        assert_eq!(bucket_of(&splits, 1.0), 1);
+        assert_eq!(bucket_of(&splits, 2.5), 2);
+        assert_eq!(bucket_of(&splits, 3.0), 2);
+        assert_eq!(bucket_of(&splits, 99.0), 2);
+    }
+
+    #[test]
+    fn quantize_produces_consistent_shapes() {
+        let values = skewed_values(5_000, 61);
+        let q = quantize(&values, 64, 128, 32).unwrap();
+        assert_eq!(q.q(), 64);
+        assert_eq!(q.splits.len(), 65);
+        assert_eq!(q.means.len(), 64);
+        assert_eq!(q.indexes.len(), values.len());
+        for w in q.splits.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for (i, &m) in q.means.iter().enumerate() {
+            assert!(m >= q.splits[i] && m <= q.splits[i + 1]);
+        }
+    }
+
+    #[test]
+    fn quantize_caps_buckets_at_value_count() {
+        let q = quantize(&[1.0, 2.0, 3.0], 256, 128, 32).unwrap();
+        assert_eq!(q.q(), 3);
+        assert_eq!(quantize(&[5.0], 256, 128, 32).unwrap().q(), 1);
+    }
+
+    #[test]
+    fn quantize_rejects_bad_inputs() {
+        assert!(quantize(&[], 8, 128, 32).is_err());
+        assert!(quantize(&[1.0], 0, 128, 32).is_err());
+        assert!(quantize(&[1.0], 8, 128, 0).is_err());
+    }
+
+    #[test]
+    fn buckets_are_equi_depth_on_skewed_data() {
+        // The whole point vs uniform quantification: each bucket holds
+        // roughly n/q values even when the distribution is skewed.
+        let values = skewed_values(20_000, 62);
+        let q = quantize(&values, 16, 256, 32).unwrap();
+        let mut counts = [0usize; 16];
+        for &i in &q.indexes {
+            counts[i as usize] += 1;
+        }
+        let expect = values.len() / 16;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect as f64).abs() < expect as f64 * 0.5,
+                "bucket {b}: {c} vs ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn variance_within_appendix_a1_bound() {
+        let values = skewed_values(10_000, 63);
+        for q in [16u16, 64, 256] {
+            let quant = quantize(&values, q, 256, 32).unwrap();
+            let observed = empirical_variance(&values, &quant);
+            let phi_min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let phi_max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let bound = variance_bound(values.len(), quant.q(), phi_min, phi_max);
+            assert!(
+                observed <= bound,
+                "q={q}: observed variance {observed} exceeds A.1 bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_buckets_reduce_variance() {
+        let values = skewed_values(10_000, 64);
+        let v16 = empirical_variance(&values, &quantize(&values, 16, 256, 32).unwrap());
+        let v256 = empirical_variance(&values, &quantize(&values, 256, 256, 32).unwrap());
+        assert!(v256 < v16, "q=256 variance {v256} !< q=16 variance {v16}");
+    }
+
+    #[test]
+    fn quant_compressor_roundtrip_preserves_keys_exactly() {
+        let mut rng = StdRng::seed_from_u64(65);
+        let dim = 100_000u64;
+        let mut keys: Vec<u64> = (0..2_000u64).map(|_| rng.gen_range(0..dim)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let values = skewed_values(keys.len(), 66);
+        let grad = SparseGradient::new(dim, keys.clone(), values).unwrap();
+
+        let c = QuantCompressor::default();
+        let msg = c.compress(&grad).unwrap();
+        let decoded = c.decompress(&msg.payload).unwrap();
+        assert_eq!(decoded.keys(), grad.keys(), "keys must be lossless");
+        assert_eq!(decoded.dim(), dim);
+        // Values land on bucket means: bounded error.
+        for ((_, v), (_, d)) in grad.iter().zip(decoded.iter()) {
+            assert!((v - d).abs() < 0.35, "error too large: {v} vs {d}");
+        }
+    }
+
+    #[test]
+    fn quant_compressor_compresses_well() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 13).collect();
+        let values = skewed_values(keys.len(), 67);
+        let grad = SparseGradient::new(200_000, keys, values).unwrap();
+        let msg = QuantCompressor::default().compress(&grad).unwrap();
+        // 12 bytes/pair raw → expect > 4x compression.
+        assert!(
+            msg.report.compression_rate() > 4.0,
+            "rate {}",
+            msg.report.compression_rate()
+        );
+    }
+
+    #[test]
+    fn quant_compressor_empty_gradient() {
+        let g = SparseGradient::empty(1000);
+        let c = QuantCompressor::default();
+        let msg = c.compress(&g).unwrap();
+        let decoded = c.decompress(&msg.payload).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(decoded.dim(), 1000);
+    }
+
+    #[test]
+    fn quant_compressor_rejects_garbage() {
+        let c = QuantCompressor::default();
+        assert!(c.decompress(&[]).is_err());
+        assert!(c.decompress(&[0xFF, 1, 2, 3]).is_err());
+        // Truncations of a valid message must error, never panic.
+        let grad = SparseGradient::new(100, vec![1, 5, 9], vec![0.1, -0.2, 0.3]).unwrap();
+        let msg = c.compress(&grad).unwrap();
+        for cut in 0..msg.payload.len() {
+            let _ = c.decompress(&msg.payload[..cut]);
+        }
+    }
+
+    #[test]
+    fn quantization_decode_maps_indexes_to_means() {
+        let values = skewed_values(1_000, 99);
+        let q = quantize(&values, 16, 128, 32).unwrap();
+        for (i, &m) in q.means.iter().enumerate() {
+            assert_eq!(q.decode(i as u16), Some(m));
+        }
+        assert_eq!(q.decode(q.q()), None);
+    }
+
+    #[test]
+    fn backends_agree_on_equi_depth_shape() {
+        use super::QuantileBackend;
+        let values = skewed_values(20_000, 101);
+        for backend in [
+            QuantileBackend::Merging,
+            QuantileBackend::Gk,
+            QuantileBackend::TDigest,
+        ] {
+            let quant = quantize_with(&values, 16, 256, 32, backend).unwrap();
+            let mut counts = vec![0usize; quant.q() as usize];
+            for &i in &quant.indexes {
+                counts[i as usize] += 1;
+            }
+            let expect = values.len() / quant.q() as usize;
+            for (b, &c) in counts.iter().enumerate() {
+                assert!(
+                    (c as f64 - expect as f64).abs() < expect as f64 * 0.6,
+                    "{backend:?} bucket {b}: {c} vs ~{expect}"
+                );
+            }
+        }
+    }
+}

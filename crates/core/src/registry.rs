@@ -1,0 +1,88 @@
+//! Name-based compressor construction, for CLIs and config files.
+
+use crate::baselines::{KeyCompressor, RawCompressor, TruncationCompressor, ValueWidth};
+use crate::compressor::GradientCompressor;
+use crate::error::CompressError;
+use crate::quantify::QuantCompressor;
+use crate::sketchml::{MeanPrecision, SketchMlCompressor, SketchMlConfig};
+use crate::zipml::{Rounding, ZipMlCompressor};
+
+/// Names accepted by [`by_name`], in canonical form.
+pub const KNOWN_COMPRESSORS: &[&str] = &[
+    "sketchml",
+    "sketchml-f32",
+    "adam",
+    "adam-float",
+    "adam+key",
+    "adam+key+quan",
+    "zipml",
+    "zipml-8bit",
+    "zipml-16bit",
+    "zipml-stochastic",
+    "truncation",
+];
+
+/// Builds a compressor from its canonical (case-insensitive) name.
+///
+/// # Errors
+/// [`CompressError::InvalidConfig`] listing the known names on a miss.
+pub fn by_name(name: &str) -> Result<Box<dyn GradientCompressor>, CompressError> {
+    let c: Box<dyn GradientCompressor> = match name.to_ascii_lowercase().as_str() {
+        "sketchml" => Box::new(SketchMlCompressor::default()),
+        "sketchml-f32" => Box::new(SketchMlCompressor::new(SketchMlConfig {
+            mean_precision: MeanPrecision::F32,
+            ..SketchMlConfig::default()
+        })?),
+        "adam" | "adam-double" | "raw" => Box::new(RawCompressor::default()),
+        "adam-float" => Box::new(RawCompressor {
+            width: ValueWidth::F32,
+        }),
+        "adam+key" | "key" => Box::new(KeyCompressor),
+        "adam+key+quan" | "quan" => Box::new(QuantCompressor::default()),
+        "zipml" | "zipml-16bit" => Box::new(ZipMlCompressor::paper_default()),
+        "zipml-8bit" => Box::new(ZipMlCompressor::new(8, Rounding::Deterministic)?),
+        "zipml-stochastic" => Box::new(ZipMlCompressor::new(16, Rounding::Stochastic)?),
+        "truncation" | "1bit" => Box::new(TruncationCompressor::default()),
+        other => {
+            return Err(CompressError::InvalidConfig(format!(
+                "unknown compressor `{other}`; known: {}",
+                KNOWN_COMPRESSORS.join(", ")
+            )))
+        }
+    };
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient::SparseGradient;
+
+    #[test]
+    fn all_known_names_build_and_roundtrip() {
+        let grad = SparseGradient::new(1000, vec![1, 5, 900], vec![0.5, -0.25, 0.125]).unwrap();
+        for &name in KNOWN_COMPRESSORS {
+            let c = by_name(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let msg = c.compress(&grad).expect(name);
+            let decoded = c.decompress(&msg.payload).expect(name);
+            assert_eq!(decoded.dim(), grad.dim(), "{name}");
+        }
+    }
+
+    #[test]
+    fn aliases_and_case_insensitivity() {
+        assert_eq!(by_name("SketchML").unwrap().name(), "SketchML");
+        assert_eq!(by_name("RAW").unwrap().name(), "Adam");
+        assert_eq!(by_name("quan").unwrap().name(), "Adam+Key+Quan");
+    }
+
+    #[test]
+    fn unknown_name_lists_options() {
+        let Err(err) = by_name("gzip") else {
+            panic!("gzip should be unknown");
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("gzip"));
+        assert!(msg.contains("sketchml"));
+    }
+}

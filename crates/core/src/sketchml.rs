@@ -1,0 +1,467 @@
+//! The full SketchML compressor (paper §3, Figure 2).
+//!
+//! Encode phase, exactly as §3.1 lists it — with the §3.3 refinements:
+//!
+//! 1. Values are split by sign and each side is summarized by its own
+//!    quantile sketch (§3.3 Solution 1: "Separation of Positive/Negative
+//!    Gradients"), producing equi-depth buckets whose splits never straddle
+//!    zero.
+//! 2. Bucket indexes are *normalized by magnitude*: index 0 is the bucket
+//!    closest to zero on either side. The MinMaxSketch's insert-min rule
+//!    then decays gradient **magnitude**, which implements "choose the
+//!    bucket index closest to the minimum bucket" and eliminates both
+//!    reversed-gradient cases of Figure 6.
+//! 3. Indexes are inserted into a **grouped** MinMaxSketch (§3.3 Solution 2,
+//!    `r` groups) keyed by the gradient keys.
+//! 4. Keys are partitioned into `(sign, group)` sections and each section is
+//!    delta-binary encoded (§3.4; Appendix A.3's `d/r` keys-per-group and
+//!    `rD/d` expected-gap analysis describes precisely this sectioning). The
+//!    section a key sits in tells the decoder which group's sketch to query.
+//!
+//! Decode phase (§3.1): restore keys per section, query the section's
+//! MinMaxSketch for the (underestimated) bucket index, and map it to the
+//! bucket mean.
+
+use crate::compressor::{CompressedGradient, GradientCompressor};
+use crate::error::CompressError;
+use crate::gradient::SparseGradient;
+use crate::quantify::{quantize_with, QuantileBackend};
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+use sketchml_encoding::stats::SizeReport;
+use sketchml_encoding::{bitpack, delta_binary, varint};
+use sketchml_sketches::minmax::{group_seed, GroupedMinMaxSketch, MinMaxSketch, EMPTY_CELL};
+
+/// Precision of the bucket-means table on the wire (§3.5 charges `8q`
+/// bytes for f64 means; f32 halves that at ~1e-7 relative value error —
+/// the §B.4 "weight types" trade applied to SketchML's own metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MeanPrecision {
+    /// 8-byte means (the paper's accounting; default).
+    #[default]
+    F64,
+    /// 4-byte means.
+    F32,
+}
+
+/// Hyper-parameters of the SketchML pipeline (defaults follow §4.1/§B.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SketchMlConfig {
+    /// Quantile sketch size `m` (default 128 — §4.1 "The size of quantile
+    /// sketch is 128 by default").
+    pub quantile_sketch_capacity: usize,
+    /// Buckets per sign; both sides together give the paper's `q = 256`
+    /// ("we find that q = 256 is often enough", §3.2).
+    pub buckets_per_sign: u16,
+    /// MinMaxSketch rows `s` (default 2 — §4.1 sizes the sketch `2 × d/5`;
+    /// §B.2 shows rows = 4 converges *slower* due to extra bytes).
+    pub rows: usize,
+    /// Total MinMaxSketch columns as a fraction of `d` (default 1/5 — the
+    /// §4.1 "column of MinMaxSketch (default d/5)").
+    pub col_ratio: f64,
+    /// Lower bound on columns per group so tiny gradients stay decodable.
+    pub min_cols_per_group: usize,
+    /// Bucket groups `r` **per sign**. The default of 4 gives 8 key
+    /// sections overall (4 groups × 2 signs), matching the paper's `r = 8`
+    /// on `q = 256` total buckets exactly: the decoded-index error bound is
+    /// `q_sign / groups = 128 / 4 = 32 = q / r`, and the Appendix A.3 key
+    /// sectioning has the same `d / 8` keys (gap `8D/d`) per section.
+    pub groups: usize,
+    /// Quantile sketch backend for split computation (§3.2 Step 1).
+    pub quantile_backend: QuantileBackend,
+    /// Wire precision of the bucket means.
+    pub mean_precision: MeanPrecision,
+    /// Divisor of the adaptive bucket cap `q_eff <= max(8, d_side /
+    /// bucket_cap_divisor)` (default 32 — keeps the `8q` means table at the
+    /// same relative overhead as the paper's full-scale gradients).
+    pub bucket_cap_divisor: usize,
+    /// Hash seed; recorded in the message so decoding is self-contained.
+    pub seed: u64,
+}
+
+impl Default for SketchMlConfig {
+    fn default() -> Self {
+        SketchMlConfig {
+            quantile_sketch_capacity: 128,
+            buckets_per_sign: 128,
+            rows: 2,
+            col_ratio: 0.2,
+            min_cols_per_group: 4,
+            groups: 4,
+            quantile_backend: QuantileBackend::Merging,
+            mean_precision: MeanPrecision::F64,
+            bucket_cap_divisor: 32,
+            seed: 0x5EED_0001,
+        }
+    }
+}
+
+impl SketchMlConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidConfig`] with the offending parameter.
+    pub fn validate(&self) -> Result<(), CompressError> {
+        if self.quantile_sketch_capacity < 2 {
+            return Err(CompressError::InvalidConfig(
+                "quantile_sketch_capacity must be >= 2".into(),
+            ));
+        }
+        if self.buckets_per_sign == 0 || self.buckets_per_sign == EMPTY_CELL {
+            return Err(CompressError::InvalidConfig(format!(
+                "buckets_per_sign must be in 1..{EMPTY_CELL}"
+            )));
+        }
+        if self.rows == 0 {
+            return Err(CompressError::InvalidConfig("rows must be positive".into()));
+        }
+        if self.col_ratio <= 0.0 || !self.col_ratio.is_finite() {
+            return Err(CompressError::InvalidConfig(
+                "col_ratio must be positive".into(),
+            ));
+        }
+        if self.min_cols_per_group == 0 {
+            return Err(CompressError::InvalidConfig(
+                "min_cols_per_group must be positive".into(),
+            ));
+        }
+        if self.groups == 0 {
+            return Err(CompressError::InvalidConfig(
+                "groups must be positive".into(),
+            ));
+        }
+        if self.bucket_cap_divisor == 0 {
+            return Err(CompressError::InvalidConfig(
+                "bucket_cap_divisor must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The full SketchML pipeline: quantile-bucket quantification +
+/// grouped/sign-separated MinMaxSketch + sectioned delta-binary keys.
+#[derive(Debug, Clone, Default)]
+pub struct SketchMlCompressor {
+    /// Pipeline hyper-parameters.
+    pub config: SketchMlConfig,
+}
+
+impl SketchMlCompressor {
+    /// Creates a compressor after validating `config`.
+    ///
+    /// # Errors
+    /// See [`SketchMlConfig::validate`].
+    pub fn new(config: SketchMlConfig) -> Result<Self, CompressError> {
+        config.validate()?;
+        Ok(SketchMlCompressor { config })
+    }
+}
+
+const MAGIC: u8 = 0xA7;
+const VERSION: u8 = 1;
+/// Salt separating the negative side's hash seed from the positive side's.
+const NEG_SALT: u64 = 0x4E45_4741_5449_5645; // "NEGATIVE"
+
+/// One sign's worth of pairs, quantized and normalized.
+struct Side {
+    /// `(key, normalized_index)` in ascending key order.
+    pairs: Vec<(u64, u16)>,
+    /// Bucket means in normalized order (index 0 closest to zero).
+    means: Vec<f64>,
+}
+
+impl SketchMlCompressor {
+    /// Quantizes one side's values and normalizes indexes by magnitude.
+    fn build_side(
+        &self,
+        keys: &[u64],
+        values: &[f64],
+        negative: bool,
+    ) -> Result<Side, CompressError> {
+        let quant = quantize_with(
+            values,
+            self.config.buckets_per_sign,
+            self.config.quantile_sketch_capacity,
+            self.config.bucket_cap_divisor,
+            self.config.quantile_backend,
+        )?;
+        let q = quant.q();
+        let normalize = |idx: u16| if negative { q - 1 - idx } else { idx };
+        let pairs: Vec<(u64, u16)> = keys
+            .iter()
+            .zip(&quant.indexes)
+            .map(|(&k, &b)| (k, normalize(b)))
+            .collect();
+        let means: Vec<f64> = if negative {
+            quant.means.iter().rev().copied().collect()
+        } else {
+            quant.means
+        };
+        Ok(Side { pairs, means })
+    }
+
+    /// Serializes one side into `buf`, returning `(key_bytes, value_bytes)`.
+    fn encode_side(
+        &self,
+        side: Option<&Side>,
+        side_seed: u64,
+        buf: &mut BytesMut,
+    ) -> Result<(usize, usize), CompressError> {
+        let Some(side) = side else {
+            varint::write_u64(buf, 0);
+            return Ok((0, 0));
+        };
+        let n = side.pairs.len();
+        varint::write_u64(buf, n as u64);
+        if n == 0 {
+            return Ok((0, 0));
+        }
+        let q = side.means.len() as u16;
+        let r_eff = self.config.groups.min(q as usize);
+        let total_cols = ((n as f64 * self.config.col_ratio) / r_eff as f64).ceil() as usize;
+        let cols = total_cols.max(self.config.min_cols_per_group);
+
+        let mut sketch = GroupedMinMaxSketch::new(q, r_eff, self.config.rows, cols, side_seed)?;
+        let mut group_keys: Vec<Vec<u64>> = vec![Vec::new(); r_eff];
+        for &(k, idx) in &side.pairs {
+            let g = sketch.insert(k, idx);
+            group_keys[g].push(k);
+        }
+
+        let mut value_bytes = 0usize;
+        varint::write_u64(buf, q as u64);
+        match self.config.mean_precision {
+            MeanPrecision::F64 => {
+                buf.put_u8(8);
+                for &m in &side.means {
+                    buf.put_f64_le(m);
+                }
+                value_bytes += 8 * side.means.len();
+            }
+            MeanPrecision::F32 => {
+                buf.put_u8(4);
+                for &m in &side.means {
+                    buf.put_f32_le(m as f32);
+                }
+                value_bytes += 4 * side.means.len();
+            }
+        }
+        varint::write_u64(buf, r_eff as u64);
+        varint::write_u64(buf, cols as u64);
+        let bits = bitpack::bits_for(q.saturating_sub(1));
+        buf.put_u8(bits as u8);
+
+        let mut key_bytes = 0usize;
+        for (g, keys) in group_keys.iter().enumerate() {
+            varint::write_u64(buf, keys.len() as u64);
+            if keys.is_empty() {
+                continue;
+            }
+            key_bytes += delta_binary::encode_keys(keys, buf)?;
+            let table = sketch.group(g).expect("group in range");
+            // EMPTY cells are never consulted for keys of this section
+            // (their own insert wrote all their cells), so they can ship
+            // as 0 to stay within `bits`.
+            let cells: Vec<u16> = table
+                .cells()
+                .iter()
+                .map(|&c| if c == EMPTY_CELL { 0 } else { c })
+                .collect();
+            value_bytes += bitpack::pack_u16(&cells, bits, buf)?;
+        }
+        Ok((key_bytes, value_bytes))
+    }
+
+    /// Decodes one side into `(key, value)` pairs.
+    fn decode_side(
+        &self,
+        buf: &mut &[u8],
+        side_seed: u64,
+        rows: usize,
+        out: &mut Vec<(u64, f64)>,
+    ) -> Result<(), CompressError> {
+        let n = varint::read_u64(buf)? as usize;
+        if n == 0 {
+            return Ok(());
+        }
+        let q = varint::read_u64(buf)? as usize;
+        if q == 0 || q >= EMPTY_CELL as usize {
+            return Err(CompressError::Corrupt(format!(
+                "bucket count {q} out of range"
+            )));
+        }
+        if !buf.has_remaining() {
+            return Err(CompressError::Corrupt("missing mean precision".into()));
+        }
+        let mean_width = buf.get_u8() as usize;
+        if mean_width != 4 && mean_width != 8 {
+            return Err(CompressError::Corrupt(format!(
+                "bad mean precision {mean_width}"
+            )));
+        }
+        if buf.remaining() < q * mean_width {
+            return Err(CompressError::Corrupt("truncated bucket means".into()));
+        }
+        let means: Vec<f64> = (0..q)
+            .map(|_| {
+                if mean_width == 8 {
+                    buf.get_f64_le()
+                } else {
+                    buf.get_f32_le() as f64
+                }
+            })
+            .collect();
+        let r_eff = varint::read_u64(buf)? as usize;
+        let cols = varint::read_u64(buf)? as usize;
+        if r_eff == 0 || cols == 0 {
+            return Err(CompressError::Corrupt("zero sketch shape".into()));
+        }
+        if !buf.has_remaining() {
+            return Err(CompressError::Corrupt("missing bit width".into()));
+        }
+        let bits = buf.get_u8() as u32;
+        if bits == 0 || bits > 16 {
+            return Err(CompressError::Corrupt(format!("bad bit width {bits}")));
+        }
+
+        let mut decoded = 0usize;
+        for g in 0..r_eff {
+            let n_g = varint::read_u64(buf)? as usize;
+            if n_g == 0 {
+                continue;
+            }
+            let keys = delta_binary::decode_keys(buf)?;
+            if keys.len() != n_g {
+                return Err(CompressError::Corrupt(format!(
+                    "group {g}: declared {n_g} keys, decoded {}",
+                    keys.len()
+                )));
+            }
+            let cells = bitpack::unpack_u16(buf, rows * cols, bits)?;
+            let table = MinMaxSketch::from_cells(rows, cols, group_seed(side_seed, g), cells)?;
+            for k in keys {
+                let idx = table.query(k).ok_or_else(|| {
+                    CompressError::Corrupt("sketch cell empty for a section key".into())
+                })?;
+                let v = *means.get(idx as usize).ok_or_else(|| {
+                    CompressError::Corrupt(format!("index {idx} out of {q} buckets"))
+                })?;
+                out.push((k, v));
+                decoded += 1;
+            }
+        }
+        if decoded != n {
+            return Err(CompressError::Corrupt(format!(
+                "side declared {n} pairs, decoded {decoded}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl GradientCompressor for SketchMlCompressor {
+    fn name(&self) -> &'static str {
+        "SketchML"
+    }
+
+    fn compress(&self, grad: &SparseGradient) -> Result<CompressedGradient, CompressError> {
+        self.config.validate()?;
+        let mut buf = BytesMut::new();
+        buf.put_u8(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u64_le(self.config.seed);
+        varint::write_u64(&mut buf, grad.dim());
+        varint::write_u64(&mut buf, grad.nnz() as u64);
+        varint::write_u64(&mut buf, self.config.rows as u64);
+
+        let mut report = SizeReport {
+            pairs: grad.nnz(),
+            ..SizeReport::default()
+        };
+        if grad.is_empty() {
+            varint::write_u64(&mut buf, 0); // pos side
+            varint::write_u64(&mut buf, 0); // neg side
+            report.header_bytes = buf.len();
+            return Ok(CompressedGradient {
+                payload: buf.freeze(),
+                report,
+            });
+        }
+
+        // §3.3 Solution 1: independent quantile sketches per sign.
+        let mut pos_keys = Vec::new();
+        let mut pos_vals = Vec::new();
+        let mut neg_keys = Vec::new();
+        let mut neg_vals = Vec::new();
+        for (k, v) in grad.iter() {
+            if v < 0.0 {
+                neg_keys.push(k);
+                neg_vals.push(v);
+            } else {
+                pos_keys.push(k);
+                pos_vals.push(v);
+            }
+        }
+        let pos = if pos_keys.is_empty() {
+            None
+        } else {
+            Some(self.build_side(&pos_keys, &pos_vals, false)?)
+        };
+        let neg = if neg_keys.is_empty() {
+            None
+        } else {
+            Some(self.build_side(&neg_keys, &neg_vals, true)?)
+        };
+
+        let (kb_pos, vb_pos) = self.encode_side(pos.as_ref(), self.config.seed, &mut buf)?;
+        let (kb_neg, vb_neg) =
+            self.encode_side(neg.as_ref(), self.config.seed ^ NEG_SALT, &mut buf)?;
+
+        report.key_bytes = kb_pos + kb_neg;
+        report.value_bytes = vb_pos + vb_neg;
+        report.header_bytes = buf.len() - report.key_bytes - report.value_bytes;
+        Ok(CompressedGradient {
+            payload: buf.freeze(),
+            report,
+        })
+    }
+
+    fn decompress(&self, payload: &[u8]) -> Result<SparseGradient, CompressError> {
+        let mut buf = payload;
+        if buf.remaining() < 10 {
+            return Err(CompressError::Corrupt("message shorter than header".into()));
+        }
+        if buf.get_u8() != MAGIC {
+            return Err(CompressError::Corrupt("bad SketchML magic".into()));
+        }
+        if buf.get_u8() != VERSION {
+            return Err(CompressError::Corrupt(
+                "unsupported SketchML version".into(),
+            ));
+        }
+        let seed = buf.get_u64_le();
+        let dim = varint::read_u64(&mut buf)?;
+        let nnz = varint::read_u64(&mut buf)? as usize;
+        let rows = varint::read_u64(&mut buf)? as usize;
+        if rows == 0 || rows > 64 {
+            return Err(CompressError::Corrupt(format!(
+                "row count {rows} out of range"
+            )));
+        }
+
+        let mut pairs: Vec<(u64, f64)> = Vec::with_capacity(nnz);
+        self.decode_side(&mut buf, seed, rows, &mut pairs)?;
+        self.decode_side(&mut buf, seed ^ NEG_SALT, rows, &mut pairs)?;
+        if pairs.len() != nnz {
+            return Err(CompressError::Corrupt(format!(
+                "declared {nnz} pairs, decoded {}",
+                pairs.len()
+            )));
+        }
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+        let values: Vec<f64> = pairs.iter().map(|&(_, v)| v).collect();
+        SparseGradient::new(dim, keys, values)
+    }
+}

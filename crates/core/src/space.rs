@@ -1,0 +1,83 @@
+//! Space-cost model (paper §3.5) and its validation against real messages.
+//!
+//! §3.5 derives the total SketchML message size
+//!
+//! ```text
+//! d · (⌈(1/8)·log2(rD/d)⌉ + 1/4)  +  8q  +  s·t·⌈(1/8)·log2 q⌉
+//! ```
+//!
+//! against the uncompressed `12d`. The closed forms live in
+//! [`sketchml_sketches::theory`]; this module binds them to a
+//! [`SketchMlConfig`] and actual gradients so tests
+//! and the `appendix_a_bounds` harness can compare model vs. measurement.
+
+use crate::sketchml::SketchMlConfig;
+pub use sketchml_sketches::theory::{raw_space_cost, sketchml_space_cost};
+
+/// Predicted message size in bytes for a gradient with `nnz` nonzeros of a
+/// `dim`-dimensional model under `config` (§3.5 formula).
+pub fn predicted_message_bytes(config: &SketchMlConfig, nnz: usize, dim: u64) -> f64 {
+    let q_total = 2 * config.buckets_per_sign as usize; // both signs
+    let t_total = ((nnz as f64) * config.col_ratio).ceil() as usize;
+    // Keys are sectioned per (sign, group): 2 × groups sections (A.3's r).
+    sketchml_space_cost(
+        nnz as u64,
+        dim,
+        q_total.min(nnz.max(1)),
+        config.rows,
+        t_total.max(config.min_cols_per_group * config.groups),
+        2 * config.groups,
+    )
+}
+
+/// Predicted compression rate vs. the raw `12d` representation.
+pub fn predicted_compression_rate(config: &SketchMlConfig, nnz: usize, dim: u64) -> f64 {
+    let predicted = predicted_message_bytes(config, nnz, dim);
+    if predicted <= 0.0 {
+        return 1.0;
+    }
+    raw_space_cost(nnz as u64) / predicted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::GradientCompressor;
+    use crate::gradient::SparseGradient;
+    use crate::sketchml::SketchMlCompressor;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn model_tracks_measurement_within_2x() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let dim = 1_000_000u64;
+        let mut keys: Vec<u64> = (0..40_000).map(|_| rng.gen_range(0..dim)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let values: Vec<f64> = keys
+            .iter()
+            .map(|_| {
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                sign * rng.gen::<f64>().powi(4) * 0.3
+            })
+            .collect();
+        let nnz = keys.len();
+        let grad = SparseGradient::new(dim, keys, values).unwrap();
+        let c = SketchMlCompressor::default();
+        let measured = c.compress(&grad).unwrap().len() as f64;
+        let predicted = predicted_message_bytes(&c.config, nnz, dim);
+        let ratio = measured / predicted;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "measured {measured} vs predicted {predicted} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn predicted_rate_is_high_for_sparse_high_dim() {
+        let config = SketchMlConfig::default();
+        let rate = predicted_compression_rate(&config, 100_000, 50_000_000);
+        assert!(rate > 3.0, "predicted rate {rate}");
+    }
+}

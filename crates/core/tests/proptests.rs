@@ -1,0 +1,145 @@
+//! Property-based tests of the compressor invariants (paper §3.3/§3.4):
+//! for *arbitrary* sparse gradients, keys decode exactly, signs never flip,
+//! and the decode never panics on corrupted bytes.
+
+use proptest::collection::btree_map;
+use proptest::prelude::*;
+use sketchml_core::{
+    GradientCompressor, KeyCompressor, QuantCompressor, RawCompressor, SketchMlCompressor,
+    SketchMlConfig, SparseGradient, TruncationCompressor, ZipMlCompressor,
+};
+
+/// Arbitrary sparse gradients: up to 300 pairs over a 100k-dim model with
+/// values in a gradient-like range, never exactly zero.
+fn arb_gradient() -> impl Strategy<Value = SparseGradient> {
+    btree_map(0u64..100_000, -2.0f64..2.0, 1..300).prop_map(|m| {
+        let keys: Vec<u64> = m.keys().copied().collect();
+        let values: Vec<f64> = m
+            .values()
+            .map(|&v| if v == 0.0 { 1e-9 } else { v })
+            .collect();
+        SparseGradient::new(100_000, keys, values).expect("btree map keys are ascending")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline §3.4 property: SketchML keys decode exactly, always.
+    #[test]
+    fn sketchml_keys_always_lossless(grad in arb_gradient(), seed in any::<u64>()) {
+        let cfg = SketchMlConfig { seed, ..SketchMlConfig::default() };
+        let c = SketchMlCompressor::new(cfg).unwrap();
+        let decoded = c.decompress(&c.compress(&grad).unwrap().payload).unwrap();
+        prop_assert_eq!(decoded.keys(), grad.keys());
+        prop_assert_eq!(decoded.dim(), grad.dim());
+    }
+
+    /// §3.3 Solution 1: decoded values never reverse sign, and magnitudes
+    /// never exceed the side's maximum (underestimate-only decay).
+    #[test]
+    fn sketchml_never_reverses_or_amplifies(grad in arb_gradient(), seed in any::<u64>()) {
+        let cfg = SketchMlConfig { seed, ..SketchMlConfig::default() };
+        let c = SketchMlCompressor::new(cfg).unwrap();
+        let decoded = c.decompress(&c.compress(&grad).unwrap().payload).unwrap();
+        let max_mag = grad.values().iter().fold(0f64, |a, v| a.max(v.abs()));
+        for ((_, o), (_, d)) in grad.iter().zip(decoded.iter()) {
+            prop_assert!(o.signum() == d.signum() || d == 0.0,
+                "sign flip {o} -> {d}");
+            prop_assert!(d.abs() <= max_mag + 1e-12,
+                "amplified {o} -> {d} (max {max_mag})");
+        }
+    }
+
+    /// Shrinking the sketch must degrade *accuracy*, never *correctness*:
+    /// even a 1-column-per-group sketch decodes valid in-range values.
+    #[test]
+    fn sketchml_extreme_shapes_stay_valid(
+        grad in arb_gradient(),
+        rows in 1usize..4,
+        groups in 1usize..12,
+    ) {
+        let cfg = SketchMlConfig {
+            rows,
+            groups,
+            col_ratio: 1e-6, // force min_cols_per_group
+            min_cols_per_group: 1,
+            ..SketchMlConfig::default()
+        };
+        let c = SketchMlCompressor::new(cfg).unwrap();
+        let decoded = c.decompress(&c.compress(&grad).unwrap().payload).unwrap();
+        prop_assert_eq!(decoded.keys(), grad.keys());
+        let max_mag = grad.values().iter().fold(0f64, |a, v| a.max(v.abs()));
+        for (_, d) in decoded.iter() {
+            prop_assert!(d.abs() <= max_mag + 1e-12);
+        }
+    }
+
+    /// Every lossless compressor is exactly lossless (modulo f32 width).
+    #[test]
+    fn lossless_baselines_roundtrip(grad in arb_gradient()) {
+        let raw = RawCompressor::default();
+        let d = raw.decompress(&raw.compress(&grad).unwrap().payload).unwrap();
+        prop_assert_eq!(&d, &grad);
+        let key = KeyCompressor;
+        let d = key.decompress(&key.compress(&grad).unwrap().payload).unwrap();
+        prop_assert_eq!(&d, &grad);
+    }
+
+    /// ZipML error is bounded by one level width; keys exact.
+    #[test]
+    fn zipml_error_within_level(grad in arb_gradient()) {
+        let c = ZipMlCompressor::paper_default();
+        let d = c.decompress(&c.compress(&grad).unwrap().payload).unwrap();
+        prop_assert_eq!(d.keys(), grad.keys());
+        let min = grad.values().iter().copied().fold(f64::INFINITY, f64::min);
+        let max = grad.values().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let width = (max - min).max(f64::MIN_POSITIVE) / 65_535.0;
+        for ((_, o), (_, v)) in grad.iter().zip(d.iter()) {
+            prop_assert!((o - v).abs() <= width + 1e-12);
+        }
+    }
+
+    /// Truncation keeps a subset of the original pairs with exact keys.
+    #[test]
+    fn truncation_keeps_subset(grad in arb_gradient(), ratio in 0.01f64..1.0) {
+        let c = TruncationCompressor { keep_ratio: ratio };
+        let d = c.decompress(&c.compress(&grad).unwrap().payload).unwrap();
+        prop_assert!(d.nnz() <= grad.nnz());
+        let orig: std::collections::HashMap<u64, f64> = grad.iter().collect();
+        for (k, v) in d.iter() {
+            let o = orig.get(&k);
+            prop_assert!(o.is_some(), "key {k} not in original");
+            prop_assert!((o.unwrap() - v).abs() < 1e-6);
+        }
+    }
+
+    /// Quant compressor: keys exact, values within their bucket's span.
+    #[test]
+    fn quant_compressor_error_within_value_range(grad in arb_gradient()) {
+        let c = QuantCompressor::default();
+        let d = c.decompress(&c.compress(&grad).unwrap().payload).unwrap();
+        prop_assert_eq!(d.keys(), grad.keys());
+        let min = grad.values().iter().copied().fold(f64::INFINITY, f64::min);
+        let max = grad.values().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for (_, v) in d.iter() {
+            prop_assert!(v >= min - 1e-12 && v <= max + 1e-12);
+        }
+    }
+
+    /// No compressor panics on arbitrary garbage input.
+    #[test]
+    fn decoders_never_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let compressors: Vec<Box<dyn GradientCompressor>> = vec![
+            Box::new(SketchMlCompressor::default()),
+            Box::new(QuantCompressor::default()),
+            Box::new(KeyCompressor),
+            Box::new(RawCompressor::default()),
+            Box::new(ZipMlCompressor::paper_default()),
+            Box::new(TruncationCompressor::default()),
+        ];
+        for c in &compressors {
+            let _ = c.decompress(&data);
+        }
+    }
+}

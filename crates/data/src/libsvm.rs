@@ -1,0 +1,120 @@
+//! libsvm text-format IO.
+//!
+//! KDD10/KDD12 (paper Table 1) are distributed in libsvm format:
+//! `label index:value index:value …` per line, 1-based indices. This module
+//! parses and writes that format so real datasets drop in for the synthetic
+//! presets when available.
+
+use sketchml_ml::{Instance, MlError, SparseVector};
+use std::io::{BufRead, Write};
+
+/// Parses libsvm lines from a reader. Indices are converted to 0-based.
+/// Blank lines and `#` comments are skipped.
+///
+/// # Errors
+/// [`MlError::InvalidInput`] describing the offending line and token.
+pub fn read_libsvm(reader: impl BufRead) -> Result<Vec<Instance>, MlError> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| MlError::InvalidInput(format!("I/O error: {e}")))?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut tokens = body.split_whitespace();
+        let label: f64 = tokens
+            .next()
+            .expect("non-empty body has a first token")
+            .parse()
+            .map_err(|e| MlError::InvalidInput(format!("line {}: bad label: {e}", lineno + 1)))?;
+        let mut pairs: Vec<(u32, f64)> = Vec::new();
+        for tok in tokens {
+            let (idx, val) = tok.split_once(':').ok_or_else(|| {
+                MlError::InvalidInput(format!(
+                    "line {}: expected index:value, got `{tok}`",
+                    lineno + 1
+                ))
+            })?;
+            let idx: u32 = idx.parse().map_err(|e| {
+                MlError::InvalidInput(format!("line {}: bad index `{idx}`: {e}", lineno + 1))
+            })?;
+            if idx == 0 {
+                return Err(MlError::InvalidInput(format!(
+                    "line {}: libsvm indices are 1-based, got 0",
+                    lineno + 1
+                )));
+            }
+            let val: f64 = val.parse().map_err(|e| {
+                MlError::InvalidInput(format!("line {}: bad value `{val}`: {e}", lineno + 1))
+            })?;
+            pairs.push((idx - 1, val));
+        }
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.dedup_by_key(|&mut (i, _)| i);
+        let features = SparseVector::from_pairs(&pairs)?;
+        out.push(Instance::new(features, label));
+    }
+    Ok(out)
+}
+
+/// Writes instances in libsvm format (1-based indices).
+///
+/// # Errors
+/// [`MlError::InvalidInput`] wrapping I/O failures.
+pub fn write_libsvm(instances: &[Instance], mut writer: impl Write) -> Result<(), MlError> {
+    for inst in instances {
+        write!(writer, "{}", inst.label)
+            .map_err(|e| MlError::InvalidInput(format!("I/O error: {e}")))?;
+        for (i, v) in inst.features.iter() {
+            write!(writer, " {}:{}", i + 1, v)
+                .map_err(|e| MlError::InvalidInput(format!("I/O error: {e}")))?;
+        }
+        writeln!(writer).map_err(|e| MlError::InvalidInput(format!("I/O error: {e}")))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_basic_lines() {
+        let text = "1 3:0.5 10:1.0\n-1 1:2\n\n# comment\n0.5 2:1 # trailing\n";
+        let data = read_libsvm(Cursor::new(text)).unwrap();
+        assert_eq!(data.len(), 3);
+        assert_eq!(data[0].label, 1.0);
+        assert_eq!(data[0].features.indices(), &[2, 9]);
+        assert_eq!(data[1].features.indices(), &[0]);
+        assert_eq!(data[2].label, 0.5);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_libsvm(Cursor::new("abc 1:2")).is_err());
+        assert!(read_libsvm(Cursor::new("1 xx")).is_err());
+        assert!(read_libsvm(Cursor::new("1 a:2")).is_err());
+        assert!(read_libsvm(Cursor::new("1 3:b")).is_err());
+        assert!(
+            read_libsvm(Cursor::new("1 0:2")).is_err(),
+            "0 index is invalid"
+        );
+    }
+
+    #[test]
+    fn unsorted_indices_are_fixed() {
+        let data = read_libsvm(Cursor::new("1 10:1 3:2 10:9")).unwrap();
+        assert_eq!(data[0].features.indices(), &[2, 9]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "1 1:0.5 7:-2\n-1 3:1\n";
+        let data = read_libsvm(Cursor::new(text)).unwrap();
+        let mut buf = Vec::new();
+        write_libsvm(&data, &mut buf).unwrap();
+        let again = read_libsvm(Cursor::new(buf)).unwrap();
+        assert_eq!(data, again);
+    }
+}

@@ -1,0 +1,136 @@
+//! Bitmap key encoding — the Appendix A.3 alternative.
+//!
+//! A bitmap stores one bit per model dimension: bit `k` set means dimension
+//! `k` has a nonzero gradient. Its cost is a flat `⌈D/8⌉` bytes regardless
+//! of how many keys there are, so it wins only when gradients are dense
+//! (`d/D > ~1/10`); Appendix A.3 concludes delta-binary is the better
+//! choice for SketchML's sparse regime — the `encoding` bench and the
+//! `keys_crossover` test quantify exactly where the crossover sits.
+
+use crate::error::EncodingError;
+use crate::varint;
+use bytes::{Buf, BufMut};
+
+/// Encodes ascending keys `< dim` as a `⌈dim/8⌉`-byte bitmap. Returns bytes
+/// written.
+///
+/// # Errors
+/// [`EncodingError::InvalidInput`] if any key is `>= dim` or keys repeat.
+pub fn encode_bitmap(
+    keys: &[u64],
+    dim: u64,
+    out: &mut impl BufMut,
+) -> Result<usize, EncodingError> {
+    let nbytes = (dim as usize).div_ceil(8);
+    let mut bits = vec![0u8; nbytes];
+    for &k in keys {
+        if k >= dim {
+            return Err(EncodingError::InvalidInput(format!(
+                "key {k} out of range for dimension {dim}"
+            )));
+        }
+        let byte = (k / 8) as usize;
+        let mask = 1u8 << (k % 8);
+        if bits[byte] & mask != 0 {
+            return Err(EncodingError::InvalidInput(format!("duplicate key {k}")));
+        }
+        bits[byte] |= mask;
+    }
+    let mut written = varint::encoded_len(dim);
+    varint::write_u64(out, dim);
+    out.put_slice(&bits);
+    written += nbytes;
+    Ok(written)
+}
+
+/// Decodes a bitmap written by [`encode_bitmap`] back into ascending keys.
+///
+/// # Errors
+/// [`EncodingError::UnexpectedEof`] on truncated input.
+pub fn decode_bitmap(buf: &mut impl Buf) -> Result<Vec<u64>, EncodingError> {
+    let dim = varint::read_u64(buf)?;
+    let nbytes = (dim as usize).div_ceil(8);
+    if buf.remaining() < nbytes {
+        return Err(EncodingError::UnexpectedEof {
+            context: "bitmap bits",
+        });
+    }
+    let mut bits = vec![0u8; nbytes];
+    buf.copy_to_slice(&mut bits);
+    let mut keys = Vec::new();
+    for (byte_idx, &b) in bits.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        for bit in 0..8 {
+            if b & (1 << bit) != 0 {
+                let k = byte_idx as u64 * 8 + bit as u64;
+                if k < dim {
+                    keys.push(k);
+                }
+            }
+        }
+    }
+    Ok(keys)
+}
+
+/// Size in bytes of a bitmap over `dim` dimensions (excluding the header).
+pub fn bitmap_len(dim: u64) -> usize {
+    (dim as usize).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta_binary;
+    use bytes::BytesMut;
+
+    fn roundtrip(keys: &[u64], dim: u64) -> Vec<u64> {
+        let mut buf = BytesMut::new();
+        encode_bitmap(keys, dim, &mut buf).unwrap();
+        decode_bitmap(&mut buf.freeze()).unwrap()
+    }
+
+    #[test]
+    fn roundtrips() {
+        let keys = [0u64, 1, 7, 8, 63, 64, 999];
+        assert_eq!(roundtrip(&keys, 1000), keys);
+        assert_eq!(roundtrip(&[], 100), Vec::<u64>::new());
+        assert_eq!(roundtrip(&[0], 1), vec![0]);
+    }
+
+    #[test]
+    fn out_of_range_and_duplicates_rejected() {
+        let mut buf = BytesMut::new();
+        assert!(encode_bitmap(&[10], 10, &mut buf).is_err());
+        assert!(encode_bitmap(&[3, 3], 10, &mut buf).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = BytesMut::new();
+        encode_bitmap(&[5, 20], 64, &mut buf).unwrap();
+        let full = buf.freeze();
+        let mut cut = full.slice(..full.len() - 2);
+        assert!(decode_bitmap(&mut cut).is_err());
+    }
+
+    #[test]
+    fn keys_crossover_vs_delta_binary() {
+        // Appendix A.3: bitmap costs ⌈D/8⌉ no matter what; delta-binary
+        // costs ~1.25 bytes/key. Sparse → delta wins; dense → bitmap wins.
+        let dim = 80_000u64;
+        let sparse: Vec<u64> = (0..1_000u64).map(|i| i * 80).collect();
+        let dense: Vec<u64> = (0..40_000u64).map(|i| i * 2).collect();
+
+        let bitmap_cost = bitmap_len(dim);
+        let delta_sparse = delta_binary::encoded_len(&sparse).unwrap();
+        let delta_dense = delta_binary::encoded_len(&dense).unwrap();
+
+        assert!(
+            delta_sparse < bitmap_cost,
+            "{delta_sparse} !< {bitmap_cost}"
+        );
+        assert!(delta_dense > bitmap_cost, "{delta_dense} !> {bitmap_cost}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Fixed-width bit packing.
+//!
+//! §3.2 Step 4 binary-encodes bucket indexes: "If q = 256, one byte is
+//! enough". For non-power-of-256 bucket counts we pack each index into
+//! exactly `⌈log2 q⌉` bits, which is what the `Adam+Key+Quan` ablation
+//! variant (Figure 8) ships on the wire, and what a MinMaxSketch's cell
+//! table uses when serialized.
+
+use crate::error::EncodingError;
+use bytes::{Buf, BufMut};
+
+/// Minimum number of bits required to represent values in `[0, max_value]`.
+pub fn bits_for(max_value: u16) -> u32 {
+    (16 - max_value.leading_zeros()).max(1)
+}
+
+/// Packs `values` at `bits` bits each (LSB-first) and appends to `out`.
+/// Returns the number of bytes written.
+///
+/// # Errors
+/// [`EncodingError::InvalidInput`] if `bits` is 0 or > 16, or any value
+/// does not fit in `bits` bits.
+pub fn pack_u16(values: &[u16], bits: u32, out: &mut impl BufMut) -> Result<usize, EncodingError> {
+    if bits == 0 || bits > 16 {
+        return Err(EncodingError::InvalidInput(format!(
+            "bit width must be in 1..=16, got {bits}"
+        )));
+    }
+    let limit = if bits == 16 {
+        u16::MAX
+    } else {
+        (1u16 << bits) - 1
+    };
+    let total_bits = values.len() * bits as usize;
+    let total_bytes = total_bits.div_ceil(8);
+    let mut bytes = vec![0u8; total_bytes];
+    let mut bit_pos = 0usize;
+    for (i, &v) in values.iter().enumerate() {
+        if v > limit {
+            return Err(EncodingError::InvalidInput(format!(
+                "value {v} at position {i} exceeds {bits}-bit limit {limit}"
+            )));
+        }
+        let mut v = v as u32;
+        let mut remaining = bits;
+        while remaining > 0 {
+            let byte = bit_pos / 8;
+            let offset = (bit_pos % 8) as u32;
+            let take = remaining.min(8 - offset);
+            bytes[byte] |= ((v & ((1 << take) - 1)) as u8) << offset;
+            v >>= take;
+            bit_pos += take as usize;
+            remaining -= take;
+        }
+    }
+    out.put_slice(&bytes);
+    Ok(total_bytes)
+}
+
+/// Unpacks `count` values of `bits` bits each from `buf`.
+///
+/// # Errors
+/// [`EncodingError::UnexpectedEof`] on truncated input,
+/// [`EncodingError::InvalidInput`] on a bad bit width.
+pub fn unpack_u16(buf: &mut impl Buf, count: usize, bits: u32) -> Result<Vec<u16>, EncodingError> {
+    if bits == 0 || bits > 16 {
+        return Err(EncodingError::InvalidInput(format!(
+            "bit width must be in 1..=16, got {bits}"
+        )));
+    }
+    let total_bytes = (count * bits as usize).div_ceil(8);
+    if buf.remaining() < total_bytes {
+        return Err(EncodingError::UnexpectedEof {
+            context: "bit-packed values",
+        });
+    }
+    let mut bytes = vec![0u8; total_bytes];
+    buf.copy_to_slice(&mut bytes);
+    let mut out = Vec::with_capacity(count);
+    let mut bit_pos = 0usize;
+    for _ in 0..count {
+        let mut v: u32 = 0;
+        let mut got = 0u32;
+        while got < bits {
+            let byte = bit_pos / 8;
+            let offset = (bit_pos % 8) as u32;
+            let take = (bits - got).min(8 - offset);
+            let chunk = ((bytes[byte] >> offset) & ((1u16 << take) - 1) as u8) as u32;
+            v |= chunk << got;
+            got += take;
+            bit_pos += take as usize;
+        }
+        out.push(v as u16);
+    }
+    Ok(out)
+}
+
+/// Bytes [`pack_u16`] will emit for `count` values at `bits` bits.
+pub fn packed_len(count: usize, bits: u32) -> usize {
+    (count * bits as usize).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn roundtrip(values: &[u16], bits: u32) {
+        let mut buf = BytesMut::new();
+        let written = pack_u16(values, bits, &mut buf).unwrap();
+        assert_eq!(written, buf.len());
+        assert_eq!(written, packed_len(values.len(), bits));
+        let mut bytes = buf.freeze();
+        let decoded = unpack_u16(&mut bytes, values.len(), bits).unwrap();
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn roundtrips_every_width() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for bits in 1..=16u32 {
+            let limit = if bits == 16 {
+                u16::MAX
+            } else {
+                (1u16 << bits) - 1
+            };
+            let values: Vec<u16> = (0..321).map(|_| rng.gen_range(0..=limit)).collect();
+            roundtrip(&values, bits);
+        }
+    }
+
+    #[test]
+    fn eight_bit_indexes_cost_one_byte() {
+        // §3.2 Step 4: q = 256 → one byte per index.
+        let values: Vec<u16> = (0..1000).map(|i| (i % 256) as u16).collect();
+        assert_eq!(packed_len(values.len(), 8), 1000);
+        roundtrip(&values, 8);
+    }
+
+    #[test]
+    fn empty_input() {
+        roundtrip(&[], 7);
+    }
+
+    #[test]
+    fn value_overflow_rejected() {
+        let mut buf = BytesMut::new();
+        assert!(pack_u16(&[8], 3, &mut buf).is_err());
+        assert!(pack_u16(&[7], 3, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn bad_widths_rejected() {
+        let mut buf = BytesMut::new();
+        assert!(pack_u16(&[1], 0, &mut buf).is_err());
+        assert!(pack_u16(&[1], 17, &mut buf).is_err());
+        let mut data: &[u8] = &[0u8; 8];
+        assert!(unpack_u16(&mut data, 1, 0).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = BytesMut::new();
+        pack_u16(&[1, 2, 3, 4, 5], 9, &mut buf).unwrap();
+        let full = buf.freeze();
+        let mut cut = full.slice(..full.len() - 1);
+        assert!(unpack_u16(&mut cut, 5, 9).is_err());
+    }
+
+    #[test]
+    fn bits_for_covers_ranges() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u16::MAX), 16);
+    }
+
+    #[test]
+    fn packing_is_dense() {
+        // 1000 values at 3 bits = 3000 bits = 375 bytes exactly.
+        assert_eq!(packed_len(1000, 3), 375);
+    }
+}

@@ -1,0 +1,318 @@
+//! Dynamic delta-binary encoding of gradient keys (paper §3.4, Figure 7).
+//!
+//! The codec exploits three properties of sparse-gradient keys: they are
+//! non-repetitive, ascending, and — although a key itself can be huge for a
+//! high-dimensional model — the *difference* between neighbouring keys is
+//! small.
+//!
+//! **Step 1 (delta encoding)**: replace each key with its increment over the
+//! previous key (the first key keeps its absolute value).
+//!
+//! **Step 2 (binary encoding)**: a threshold module maps each delta to the
+//! least number of bytes that holds it — 1 byte for `[0, 255]`, 2 for
+//! `[256, 65535]`, 3 for `[65536, 16777215]`, 4 for `[16777216, 2^32 - 1]` —
+//! and records the choice in a 2-bit *byte flag* (`00` = 1 byte, `01` = 2,
+//! `10` = 3, `11` = 4). Flags are packed four per byte ahead of the
+//! payload, costing 1/4 byte per key (Appendix A.3's "two flag bits").
+//!
+//! Wire layout produced by [`encode_keys`]:
+//!
+//! ```text
+//! varint n | ⌈n/4⌉ flag bytes | Σ payload bytes (little-endian, 1–4 each)
+//! ```
+
+use crate::error::EncodingError;
+use crate::varint;
+use bytes::{Buf, BufMut};
+
+/// Number of payload bytes selected by the threshold module for `delta`
+/// (§3.4 Step 2). Always in `1..=4`.
+#[inline]
+pub fn bytes_needed(delta: u32) -> usize {
+    match delta {
+        0..=0xFF => 1,
+        0x100..=0xFFFF => 2,
+        0x1_0000..=0xFF_FFFF => 3,
+        _ => 4,
+    }
+}
+
+/// Computes the delta keys of a strictly ascending key array (§3.4 Step 1).
+///
+/// The first entry is the first key itself; entry `i > 0` is
+/// `keys[i] - keys[i-1]`.
+///
+/// # Errors
+/// [`EncodingError::InvalidInput`] if keys are not strictly ascending or a
+/// delta (or the first key) exceeds `u32::MAX`, the 4-byte maximum of the
+/// byte-flag scheme.
+pub fn delta_transform(keys: &[u64]) -> Result<Vec<u32>, EncodingError> {
+    let mut out = Vec::with_capacity(keys.len());
+    let mut prev: Option<u64> = None;
+    for (i, &k) in keys.iter().enumerate() {
+        let delta = match prev {
+            None => k,
+            Some(p) if k > p => k - p,
+            Some(p) => {
+                return Err(EncodingError::InvalidInput(format!(
+                    "keys must be strictly ascending: keys[{i}] = {k} <= keys[{}] = {p}",
+                    i - 1
+                )))
+            }
+        };
+        let delta = u32::try_from(delta).map_err(|_| {
+            EncodingError::InvalidInput(format!(
+                "delta {delta} at position {i} exceeds the 4-byte maximum"
+            ))
+        })?;
+        out.push(delta);
+        prev = Some(k);
+    }
+    Ok(out)
+}
+
+/// Inverse of [`delta_transform`].
+pub fn delta_restore(deltas: &[u32]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(deltas.len());
+    let mut acc: u64 = 0;
+    for &d in deltas {
+        acc += u64::from(d);
+        out.push(acc);
+    }
+    out
+}
+
+/// Encodes a strictly ascending key array into `out` using delta-binary
+/// encoding. Returns the number of bytes written.
+///
+/// # Errors
+/// See [`delta_transform`].
+pub fn encode_keys(keys: &[u64], out: &mut impl BufMut) -> Result<usize, EncodingError> {
+    let deltas = delta_transform(keys)?;
+    let n = deltas.len();
+    let mut written = varint::encoded_len(n as u64);
+    varint::write_u64(out, n as u64);
+
+    // Byte flags, packed four per byte, LSB-first within each byte.
+    let mut flag_bytes = vec![0u8; n.div_ceil(4)];
+    for (i, &d) in deltas.iter().enumerate() {
+        let flag = (bytes_needed(d) - 1) as u8; // 00..11
+        flag_bytes[i / 4] |= flag << ((i % 4) * 2);
+    }
+    out.put_slice(&flag_bytes);
+    written += flag_bytes.len();
+
+    for &d in &deltas {
+        let nb = bytes_needed(d);
+        out.put_slice(&d.to_le_bytes()[..nb]);
+        written += nb;
+    }
+    Ok(written)
+}
+
+/// Decodes a key array previously written by [`encode_keys`].
+///
+/// # Errors
+/// [`EncodingError::UnexpectedEof`] on truncated input.
+pub fn decode_keys(buf: &mut impl Buf) -> Result<Vec<u64>, EncodingError> {
+    let n = varint::read_u64(buf)? as usize;
+    let flag_len = n.div_ceil(4);
+    if buf.remaining() < flag_len {
+        return Err(EncodingError::UnexpectedEof {
+            context: "byte flags",
+        });
+    }
+    let mut flag_bytes = vec![0u8; flag_len];
+    buf.copy_to_slice(&mut flag_bytes);
+
+    let mut deltas = Vec::with_capacity(n);
+    for i in 0..n {
+        let flag = (flag_bytes[i / 4] >> ((i % 4) * 2)) & 0b11;
+        let nb = flag as usize + 1;
+        if buf.remaining() < nb {
+            return Err(EncodingError::UnexpectedEof {
+                context: "delta payload",
+            });
+        }
+        let mut le = [0u8; 4];
+        buf.copy_to_slice(&mut le[..nb]);
+        deltas.push(u32::from_le_bytes(le));
+    }
+    Ok(delta_restore(&deltas))
+}
+
+/// Exact encoded size in bytes of `keys` without materializing the buffer.
+///
+/// # Errors
+/// See [`delta_transform`].
+pub fn encoded_len(keys: &[u64]) -> Result<usize, EncodingError> {
+    let deltas = delta_transform(keys)?;
+    let n = deltas.len();
+    Ok(varint::encoded_len(n as u64)
+        + n.div_ceil(4)
+        + deltas.iter().map(|&d| bytes_needed(d)).sum::<usize>())
+}
+
+/// Average bytes consumed per key — the statistic Figure 8(d) tracks
+/// ("Bytes Per Key", ~1.25–1.27 in the paper). Excludes the count varint.
+///
+/// # Errors
+/// See [`delta_transform`].
+pub fn bytes_per_key(keys: &[u64]) -> Result<f64, EncodingError> {
+    if keys.is_empty() {
+        return Ok(0.0);
+    }
+    let deltas = delta_transform(keys)?;
+    let payload: usize = deltas.iter().map(|&d| bytes_needed(d)).sum();
+    let flags = keys.len().div_ceil(4);
+    Ok((payload + flags) as f64 / keys.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn roundtrip(keys: &[u64]) -> Vec<u64> {
+        let mut buf = BytesMut::new();
+        let written = encode_keys(keys, &mut buf).unwrap();
+        assert_eq!(written, buf.len());
+        assert_eq!(written, encoded_len(keys).unwrap());
+        let mut bytes = buf.freeze();
+        let decoded = decode_keys(&mut bytes).unwrap();
+        assert_eq!(
+            bytes.remaining(),
+            0,
+            "decoder must consume exactly its bytes"
+        );
+        decoded
+    }
+
+    #[test]
+    fn paper_figure7_example() {
+        // Figure 7's running example of §3.4.
+        let keys = [702u64, 735, 1244, 2516, 3536, 3786, 4187, 4195];
+        let deltas = delta_transform(&keys).unwrap();
+        assert_eq!(deltas, vec![702, 33, 509, 1272, 1020, 250, 401, 8]);
+        // Byte widths: 702→2, 33→1, 509→2, 1272→2, 1020→2, 250→1, 401→2, 8→1.
+        let widths: Vec<usize> = deltas.iter().map(|&d| bytes_needed(d)).collect();
+        assert_eq!(widths, vec![2, 1, 2, 2, 2, 1, 2, 1]);
+        assert_eq!(roundtrip(&keys), keys);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(roundtrip(&[]), Vec::<u64>::new());
+        assert_eq!(roundtrip(&[0]), vec![0]);
+        assert_eq!(roundtrip(&[4_000_000_000]), vec![4_000_000_000]);
+    }
+
+    #[test]
+    fn threshold_boundaries() {
+        assert_eq!(bytes_needed(0), 1);
+        assert_eq!(bytes_needed(255), 1);
+        assert_eq!(bytes_needed(256), 2);
+        assert_eq!(bytes_needed(65_535), 2);
+        assert_eq!(bytes_needed(65_536), 3);
+        assert_eq!(bytes_needed(16_777_215), 3);
+        assert_eq!(bytes_needed(16_777_216), 4);
+        assert_eq!(bytes_needed(u32::MAX), 4);
+    }
+
+    #[test]
+    fn keys_crossing_all_width_classes() {
+        let keys = [
+            10u64,
+            10 + 255,
+            10 + 255 + 65_535,
+            10 + 255 + 65_535 + 16_777_215,
+            10 + 255 + 65_535 + 16_777_215 + u32::MAX as u64,
+        ];
+        assert_eq!(roundtrip(&keys), keys);
+    }
+
+    #[test]
+    fn random_ascending_keys_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..2000);
+            let mut keys: Vec<u64> = Vec::with_capacity(n);
+            let mut cur = 0u64;
+            for _ in 0..n {
+                cur += rng.gen_range(1..100_000u64);
+                keys.push(cur);
+            }
+            assert_eq!(roundtrip(&keys), keys);
+        }
+    }
+
+    #[test]
+    fn non_ascending_rejected() {
+        assert!(encode_keys(&[5, 5], &mut BytesMut::new()).is_err());
+        assert!(encode_keys(&[5, 3], &mut BytesMut::new()).is_err());
+    }
+
+    #[test]
+    fn oversized_delta_rejected() {
+        let keys = [0u64, u32::MAX as u64 + 1];
+        assert!(matches!(
+            encode_keys(&keys, &mut BytesMut::new()),
+            Err(EncodingError::InvalidInput(_))
+        ));
+        // First key too large is also a delta.
+        assert!(encode_keys(&[u32::MAX as u64 + 1], &mut BytesMut::new()).is_err());
+    }
+
+    #[test]
+    fn truncated_buffers_error_not_panic() {
+        let keys: Vec<u64> = (0..100).map(|i| i * 7 + 3).collect();
+        let mut buf = BytesMut::new();
+        encode_keys(&keys, &mut buf).unwrap();
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(..cut);
+            let _ = decode_keys(&mut partial); // must not panic
+        }
+        let mut ok = full.clone();
+        assert_eq!(decode_keys(&mut ok).unwrap(), keys);
+    }
+
+    #[test]
+    fn dense_keys_cost_about_125_bytes_each() {
+        // Deltas of 1..=255 take 1 payload byte + 1/4 flag byte each —
+        // the ~1.25 bytes/key regime of Figure 8(d).
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 30).collect();
+        let bpk = bytes_per_key(&keys).unwrap();
+        assert!((1.2..=1.3).contains(&bpk), "bytes/key = {bpk}");
+    }
+
+    #[test]
+    fn sparser_keys_cost_more() {
+        let dense: Vec<u64> = (0..5_000u64).map(|i| i * 100).collect();
+        let sparse: Vec<u64> = (0..5_000u64).map(|i| i * 100_000).collect();
+        assert!(bytes_per_key(&sparse).unwrap() > bytes_per_key(&dense).unwrap());
+        assert_eq!(bytes_per_key(&[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn beats_raw_four_byte_keys() {
+        // §3.4: "3.2× smaller for a four-byte integer".
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut cur = 0u64;
+        let keys: Vec<u64> = (0..20_000)
+            .map(|_| {
+                cur += rng.gen_range(1..60u64);
+                cur
+            })
+            .collect();
+        let encoded = encoded_len(&keys).unwrap() as f64;
+        let raw = 4.0 * keys.len() as f64;
+        assert!(
+            raw / encoded > 2.5,
+            "compression rate {} too low",
+            raw / encoded
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type shared by the codecs.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodingError {
+    /// Input violated a codec precondition (e.g. keys not strictly
+    /// ascending, or a delta too large for the 4-byte maximum).
+    InvalidInput(String),
+    /// The byte stream ended before the decoder finished.
+    UnexpectedEof {
+        /// What the decoder was reading when the stream ran out.
+        context: &'static str,
+    },
+    /// The byte stream was structurally invalid.
+    Corrupt(String),
+}
+
+impl fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            EncodingError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of stream while reading {context}")
+            }
+            EncodingError::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(EncodingError::InvalidInput("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(EncodingError::UnexpectedEof { context: "flags" }
+            .to_string()
+            .contains("flags"));
+        assert!(EncodingError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Canonical Huffman coding over bytes — the classic lossless baseline.
+//!
+//! §1.1 lists Huffman coding among the "lossless methods for repetitive
+//! integer data \[that\] cannot be used for non-repetitive gradient keys and
+//! floating-point gradient values". We implement it anyway so the claim can
+//! be measured: the `encoding` bench runs Huffman over serialized key
+//! streams and gradient values and reports the (lack of) gain.
+//!
+//! Wire layout: `varint n | 256 code lengths (u8) | packed bitstream`.
+//! Codes are canonical, so lengths alone reconstruct the codebook.
+
+use crate::error::EncodingError;
+use crate::varint;
+use bytes::{Buf, BufMut};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Maximum admissible code length (a byte alphabet cannot exceed 255).
+const MAX_CODE_LEN: u8 = 255;
+
+/// Computes Huffman code lengths for the 256-symbol byte alphabet from
+/// frequencies. Symbols with zero frequency get length 0 (unused).
+fn code_lengths(freq: &[u64; 256]) -> [u8; 256] {
+    let mut lengths = [0u8; 256];
+    let used: Vec<usize> = (0..256).filter(|&s| freq[s] > 0).collect();
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    // Node arena: leaves first, then internal nodes as (left, right).
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut parents: Vec<Option<usize>> = vec![None; used.len()];
+    for (i, &s) in used.iter().enumerate() {
+        heap.push(Reverse((freq[s], i)));
+    }
+    let mut next_id = used.len();
+    while heap.len() > 1 {
+        let Reverse((fa, a)) = heap.pop().expect("len > 1");
+        let Reverse((fb, b)) = heap.pop().expect("len > 1");
+        parents.push(None);
+        if a >= parents.len() || b >= parents.len() {
+            unreachable!("node ids are dense");
+        }
+        parents[a] = Some(next_id);
+        parents[b] = Some(next_id);
+        heap.push(Reverse((fa + fb, next_id)));
+        next_id += 1;
+    }
+    for (i, &s) in used.iter().enumerate() {
+        let mut depth = 0u8;
+        let mut node = i;
+        while let Some(p) = parents[node] {
+            depth = depth.saturating_add(1);
+            node = p;
+        }
+        lengths[s] = depth.max(1);
+    }
+    lengths
+}
+
+/// Assigns canonical codes from lengths: symbols sorted by (length, value).
+fn canonical_codes(lengths: &[u8; 256]) -> [(u32, u8); 256] {
+    let mut codes = [(0u32, 0u8); 256];
+    let mut symbols: Vec<usize> = (0..256).filter(|&s| lengths[s] > 0).collect();
+    symbols.sort_by_key(|&s| (lengths[s], s));
+    let mut code: u32 = 0;
+    let mut prev_len: u8 = 0;
+    for &s in &symbols {
+        let len = lengths[s];
+        code <<= len - prev_len;
+        codes[s] = (code, len);
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// Encodes `data` with a Huffman code built from its own byte frequencies.
+/// Returns bytes written (header included).
+pub fn encode_huffman(data: &[u8], out: &mut impl BufMut) -> usize {
+    let mut freq = [0u64; 256];
+    for &b in data {
+        freq[b as usize] += 1;
+    }
+    let lengths = code_lengths(&freq);
+    let codes = canonical_codes(&lengths);
+
+    let mut written = varint::encoded_len(data.len() as u64);
+    varint::write_u64(out, data.len() as u64);
+    out.put_slice(&lengths);
+    written += 256;
+
+    let mut acc: u64 = 0;
+    let mut nbits: u32 = 0;
+    let mut body = Vec::with_capacity(data.len());
+    for &b in data {
+        let (code, len) = codes[b as usize];
+        // Append MSB-first: shift accumulated bits left.
+        acc = (acc << len) | code as u64;
+        nbits += len as u32;
+        while nbits >= 8 {
+            nbits -= 8;
+            body.push((acc >> nbits) as u8);
+        }
+    }
+    if nbits > 0 {
+        body.push((acc << (8 - nbits)) as u8);
+    }
+    out.put_slice(&body);
+    written + body.len()
+}
+
+/// Decodes a stream written by [`encode_huffman`].
+///
+/// # Errors
+/// [`EncodingError::UnexpectedEof`] on truncation, [`EncodingError::Corrupt`]
+/// on an invalid codebook or bitstream.
+pub fn decode_huffman(buf: &mut impl Buf) -> Result<Vec<u8>, EncodingError> {
+    let n = varint::read_u64(buf)? as usize;
+    if buf.remaining() < 256 {
+        return Err(EncodingError::UnexpectedEof {
+            context: "huffman code lengths",
+        });
+    }
+    let mut lengths = [0u8; 256];
+    buf.copy_to_slice(&mut lengths);
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Canonical decoding tables: symbols ordered by (length, value).
+    let mut symbols: Vec<usize> = (0..256).filter(|&s| lengths[s] > 0).collect();
+    if symbols.is_empty() {
+        return Err(EncodingError::Corrupt("no symbols in codebook".into()));
+    }
+    symbols.sort_by_key(|&s| (lengths[s], s));
+    let codes = canonical_codes(&lengths);
+
+    let body: Vec<u8> = {
+        let mut v = vec![0u8; buf.remaining()];
+        buf.copy_to_slice(&mut v);
+        v
+    };
+
+    let mut out = Vec::with_capacity(n);
+    let mut code: u32 = 0;
+    let mut len: u8 = 0;
+    let mut bit_iter = body
+        .iter()
+        .flat_map(|&byte| (0..8).rev().map(move |i| (byte >> i) & 1));
+    'outer: while out.len() < n {
+        loop {
+            let Some(bit) = bit_iter.next() else {
+                return Err(EncodingError::UnexpectedEof {
+                    context: "huffman bitstream",
+                });
+            };
+            code = (code << 1) | bit as u32;
+            len += 1;
+            // Linear probe over the canonical table; adequate for the
+            // baseline role this codec plays.
+            for &s in &symbols {
+                if codes[s].1 == len && codes[s].0 == code {
+                    out.push(s as u8);
+                    code = 0;
+                    len = 0;
+                    continue 'outer;
+                }
+            }
+            if len == MAX_CODE_LEN {
+                return Err(EncodingError::Corrupt("no code matches bitstream".into()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Size [`encode_huffman`] would produce for `data`.
+pub fn encoded_len(data: &[u8]) -> usize {
+    let mut freq = [0u64; 256];
+    for &b in data {
+        freq[b as usize] += 1;
+    }
+    let lengths = code_lengths(&freq);
+    let bits: u64 = data.iter().map(|&b| lengths[b as usize] as u64).sum();
+    varint::encoded_len(data.len() as u64) + 256 + (bits as usize).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        let written = encode_huffman(data, &mut buf);
+        assert_eq!(written, buf.len());
+        assert_eq!(written, encoded_len(data));
+        decode_huffman(&mut buf.freeze()).unwrap()
+    }
+
+    #[test]
+    fn roundtrips_basic() {
+        assert_eq!(roundtrip(b""), b"");
+        assert_eq!(roundtrip(b"a"), b"a");
+        assert_eq!(roundtrip(b"aaaa"), b"aaaa");
+        assert_eq!(roundtrip(b"abracadabra"), b"abracadabra");
+    }
+
+    #[test]
+    fn roundtrips_random() {
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..5000);
+            let data: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
+            assert_eq!(roundtrip(&data), data);
+        }
+    }
+
+    #[test]
+    fn compresses_skewed_text() {
+        let data: Vec<u8> = b"aaaaaaaaaaaaaaaabbbbbbbbccccdde"
+            .iter()
+            .cycle()
+            .take(10_000)
+            .copied()
+            .collect();
+        let len = encoded_len(&data);
+        assert!(
+            len < data.len() / 2,
+            "skewed text should compress 2x+, got {len} of {}",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn useless_for_key_streams() {
+        // §1.1's claim: serialize ascending 4-byte keys and try Huffman.
+        // The high bytes compress a little but nowhere near delta-binary.
+        let keys: Vec<u64> = (0..5_000u64).map(|i| i * 37 + 1_000_000).collect();
+        let raw: Vec<u8> = keys
+            .iter()
+            .flat_map(|&k| (k as u32).to_le_bytes())
+            .collect();
+        let huff = encoded_len(&raw);
+        let delta = crate::delta_binary::encoded_len(&keys).unwrap();
+        assert!(
+            delta * 2 < huff,
+            "delta-binary ({delta}) should beat Huffman-on-raw-keys ({huff}) by 2x+"
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = BytesMut::new();
+        encode_huffman(b"hello huffman world", &mut buf);
+        let full = buf.freeze();
+        for cut in [5, 100, full.len() - 1] {
+            if cut < full.len() {
+                let mut partial = full.slice(..cut);
+                assert!(decode_huffman(&mut partial).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn code_lengths_satisfy_kraft() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| (rng.gen::<f64>().powi(3) * 255.0) as u8)
+            .collect();
+        let mut freq = [0u64; 256];
+        for &b in &data {
+            freq[b as usize] += 1;
+        }
+        let lengths = code_lengths(&freq);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "Kraft inequality violated: {kraft}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Lossless codecs for the SketchML gradient-compression framework
+//! (Jiang et al., SIGMOD 2018, §3.4 and Appendix A.3).
+//!
+//! Gradient **keys** (model dimensions) cannot tolerate precision loss —
+//! decoding a wrong key updates a wrong model dimension — so SketchML
+//! compresses them losslessly with **delta-binary encoding**: ascending keys
+//! are replaced by their increments ("delta keys"), and each increment is
+//! stored in the least number of bytes that holds it (1–4), selected by a
+//! 2-bit *byte flag* packed four-per-byte.
+//!
+//! This crate implements that codec ([`delta_binary`]) plus every baseline
+//! the paper discusses or that its analysis compares against:
+//!
+//! - [`bitmap`] — the `⌈rD/8⌉`-byte bitmap alternative analyzed (and
+//!   rejected) in Appendix A.3;
+//! - [`rice`] — Golomb–Rice coding, the strongest classic lossless baseline
+//!   on geometric key gaps (§1.1 cites Rice among the lossless methods);
+//! - [`rle`] — run-length encoding, "typically used to compress a data
+//!   sequence in which a same data value might occur consecutively …
+//!   useless for non-repetitive gradient keys" (§3.4);
+//! - [`huffman`] — canonical Huffman coding over bytes, the other classic
+//!   lossless method §1.1/§3.4 rules out;
+//! - [`csr`] — Compressed Sparse Row storage, the sparse-matrix baseline of
+//!   §1.1;
+//! - [`bitpack`] — fixed-width bit packing used for the binary-encoded
+//!   bucket indexes of §3.2 Step 4;
+//! - [`varint`] — LEB128 variable-length integers used by the wire format
+//!   for counts and headers.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bitmap;
+pub mod bitpack;
+pub mod csr;
+pub mod delta_binary;
+pub mod error;
+pub mod huffman;
+pub mod rice;
+pub mod rle;
+pub mod stats;
+pub mod varint;
+
+pub use delta_binary::{decode_keys, encode_keys};
+pub use error::EncodingError;

@@ -1,0 +1,300 @@
+//! Rice (Golomb–Rice) coding — the remaining §1.1 lossless baseline.
+//!
+//! Rice coding with parameter `k` writes a value `v` as `⌊v / 2^k⌋` unary
+//! bits followed by the low `k` bits verbatim. It is near-optimal for
+//! geometrically distributed integers, which delta keys approximately are —
+//! making it the strongest of the classic lossless baselines on key streams
+//! and a useful upper-bound comparison for the paper's byte-aligned
+//! delta-binary scheme (which trades a little density for byte-aligned
+//! decoding speed).
+//!
+//! Wire layout: `varint n | u8 k | bitstream`.
+
+use crate::delta_binary::{delta_restore, delta_transform};
+use crate::error::EncodingError;
+use crate::varint;
+use bytes::{Buf, BufMut};
+
+/// Chooses the Rice parameter `k` minimizing the encoded size for `values`
+/// (standard mean-based heuristic, then refined by exact cost).
+pub fn optimal_k(values: &[u32]) -> u8 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+    let guess = if mean <= 1.0 {
+        0
+    } else {
+        mean.log2().floor() as i64
+    };
+    let mut best_k = 0u8;
+    let mut best_bits = u64::MAX;
+    for k in (guess - 2).max(0)..=(guess + 2).min(31) {
+        let k = k as u8;
+        let bits: u64 = values.iter().map(|&v| (v as u64 >> k) + 1 + k as u64).sum();
+        if bits < best_bits {
+            best_bits = bits;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+/// Bit-level writer over a byte vector.
+struct BitWriter {
+    bytes: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            bytes: Vec::new(),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Appends the low `n` bits of `v` (`n < 58`), MSB-first.
+    fn push(&mut self, v: u64, n: u32) {
+        debug_assert!(n < 58, "push width too large for the accumulator");
+        if n == 0 {
+            return;
+        }
+        self.acc = (self.acc << n) | (v & ((1u64 << n) - 1));
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.bytes.push((self.acc >> self.nbits) as u8);
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.bytes.push((self.acc << (8 - self.nbits)) as u8);
+        }
+        self.bytes
+    }
+}
+
+/// Bit-level reader over a byte slice.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BitReader {
+            bytes,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn read_bit(&mut self) -> Result<u64, EncodingError> {
+        if self.nbits == 0 {
+            if self.pos >= self.bytes.len() {
+                return Err(EncodingError::UnexpectedEof {
+                    context: "rice bitstream",
+                });
+            }
+            self.acc = self.bytes[self.pos] as u64;
+            self.pos += 1;
+            self.nbits = 8;
+        }
+        self.nbits -= 1;
+        Ok((self.acc >> self.nbits) & 1)
+    }
+
+    fn read_bits(&mut self, n: u32) -> Result<u64, EncodingError> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()?;
+        }
+        Ok(v)
+    }
+}
+
+/// Rice-encodes `values` with an automatically chosen parameter.
+/// Returns bytes written.
+pub fn encode_rice(values: &[u32], out: &mut impl BufMut) -> usize {
+    let k = optimal_k(values);
+    let mut written = varint::encoded_len(values.len() as u64);
+    varint::write_u64(out, values.len() as u64);
+    out.put_u8(k);
+    written += 1;
+    let mut bits = BitWriter::new();
+    for &v in values {
+        let q = (v as u64) >> k;
+        // Unary quotient: q ones then a zero. Emit in chunks to respect the
+        // accumulator width.
+        let mut rem = q;
+        while rem >= 32 {
+            bits.push(u64::MAX, 32);
+            rem -= 32;
+        }
+        bits.push(((1u64 << rem) - 1) << 1, rem as u32 + 1);
+        if k > 0 {
+            bits.push(v as u64, k as u32);
+        }
+    }
+    let body = bits.finish();
+    out.put_slice(&body);
+    written + body.len()
+}
+
+/// Decodes a stream written by [`encode_rice`].
+///
+/// # Errors
+/// [`EncodingError::UnexpectedEof`] on truncation, [`EncodingError::Corrupt`]
+/// on an implausible unary run.
+pub fn decode_rice(buf: &mut impl Buf) -> Result<Vec<u32>, EncodingError> {
+    let n = varint::read_u64(buf)? as usize;
+    if !buf.has_remaining() {
+        return Err(EncodingError::UnexpectedEof {
+            context: "rice parameter",
+        });
+    }
+    let k = buf.get_u8();
+    if k > 31 {
+        return Err(EncodingError::Corrupt(format!("rice parameter {k} > 31")));
+    }
+    let body: Vec<u8> = {
+        let mut v = vec![0u8; buf.remaining()];
+        buf.copy_to_slice(&mut v);
+        v
+    };
+    let mut bits = BitReader::new(&body);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut q: u64 = 0;
+        while bits.read_bit()? == 1 {
+            q += 1;
+            if q > u32::MAX as u64 {
+                return Err(EncodingError::Corrupt("unary run overflows u32".into()));
+            }
+        }
+        let low = if k > 0 { bits.read_bits(k as u32)? } else { 0 };
+        let v = (q << k) | low;
+        let v = u32::try_from(v)
+            .map_err(|_| EncodingError::Corrupt("rice value overflows u32".into()))?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Rice-encodes a strictly ascending key array by delta-transforming first
+/// (the apples-to-apples comparison against `delta_binary`).
+///
+/// # Errors
+/// See [`delta_transform`].
+pub fn encode_rice_keys(keys: &[u64], out: &mut impl BufMut) -> Result<usize, EncodingError> {
+    let deltas = delta_transform(keys)?;
+    Ok(encode_rice(&deltas, out))
+}
+
+/// Decodes keys written by [`encode_rice_keys`].
+///
+/// # Errors
+/// See [`decode_rice`].
+pub fn decode_rice_keys(buf: &mut impl Buf) -> Result<Vec<u64>, EncodingError> {
+    let deltas = decode_rice(buf)?;
+    Ok(delta_restore(&deltas))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn roundtrip(values: &[u32]) -> Vec<u32> {
+        let mut buf = BytesMut::new();
+        let written = encode_rice(values, &mut buf);
+        assert_eq!(written, buf.len());
+        decode_rice(&mut buf.freeze()).unwrap()
+    }
+
+    #[test]
+    fn roundtrips_basic() {
+        assert_eq!(roundtrip(&[]), Vec::<u32>::new());
+        assert_eq!(roundtrip(&[0]), vec![0]);
+        assert_eq!(
+            roundtrip(&[0, 1, 2, 3, 255, 256, 65_536]),
+            vec![0, 1, 2, 3, 255, 256, 65_536]
+        );
+        assert_eq!(roundtrip(&[u32::MAX]), vec![u32::MAX]);
+    }
+
+    #[test]
+    fn roundtrips_random_geometric() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..20 {
+            let values: Vec<u32> = (0..rng.gen_range(1..2000))
+                .map(|_| {
+                    // Geometric-ish deltas like real key gaps.
+                    let u: f64 = rng.gen::<f64>().max(1e-12);
+                    (-u.ln() * 40.0) as u32
+                })
+                .collect();
+            assert_eq!(roundtrip(&values), values);
+        }
+    }
+
+    #[test]
+    fn optimal_k_tracks_scale() {
+        assert!(optimal_k(&[0, 1, 0, 1]) <= 1);
+        assert!(optimal_k(&[1000; 100]) >= 8);
+        assert_eq!(optimal_k(&[]), 0);
+    }
+
+    #[test]
+    fn key_roundtrip_and_density() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut cur = 0u64;
+        let keys: Vec<u64> = (0..10_000)
+            .map(|_| {
+                cur += rng.gen_range(1..80);
+                cur
+            })
+            .collect();
+        let mut buf = BytesMut::new();
+        let rice_len = encode_rice_keys(&keys, &mut buf).unwrap();
+        assert_eq!(decode_rice_keys(&mut buf.freeze()).unwrap(), keys);
+
+        // Rice is denser than byte-aligned delta-binary on geometric gaps…
+        let db_len = crate::delta_binary::encoded_len(&keys).unwrap();
+        assert!(
+            rice_len < db_len,
+            "rice {rice_len} should be denser than delta-binary {db_len}"
+        );
+        // …but both are way below raw 4-byte keys.
+        assert!(rice_len < 4 * keys.len() / 2);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = BytesMut::new();
+        encode_rice(&[5, 9, 200, 3], &mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(..cut);
+            let _ = decode_rice(&mut partial); // must not panic
+        }
+    }
+
+    #[test]
+    fn corrupt_parameter_rejected() {
+        let mut buf = BytesMut::new();
+        varint::write_u64(&mut buf, 1);
+        buf.put_u8(77); // k > 31
+        buf.put_u8(0);
+        assert!(decode_rice(&mut buf.freeze()).is_err());
+    }
+}

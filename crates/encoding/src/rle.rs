@@ -1,0 +1,139 @@
+//! Run-length encoding (RLE) baseline.
+//!
+//! §3.4: "RLE and Huffman Coding are typically used to compress a data
+//! sequence in which a same data value might occur consecutively … they are
+//! useless for non-repetitive gradient keys." This module exists so that
+//! claim is *measured*, not assumed: the `encoding` bench and the
+//! `rle_useless_for_distinct_keys` test run RLE over real key streams.
+//!
+//! Encoding: a stream of `(varint run_length, varint value)` pairs.
+
+use crate::error::EncodingError;
+use crate::varint;
+use bytes::{Buf, BufMut};
+
+/// Encodes `values` as (run, value) pairs. Returns bytes written.
+pub fn encode_rle(values: &[u64], out: &mut impl BufMut) -> usize {
+    let mut written = varint::encoded_len(values.len() as u64);
+    varint::write_u64(out, values.len() as u64);
+    let mut i = 0;
+    while i < values.len() {
+        let v = values[i];
+        let mut run = 1u64;
+        while i + (run as usize) < values.len() && values[i + run as usize] == v {
+            run += 1;
+        }
+        varint::write_u64(out, run);
+        varint::write_u64(out, v);
+        written += varint::encoded_len(run) + varint::encoded_len(v);
+        i += run as usize;
+    }
+    written
+}
+
+/// Decodes a stream written by [`encode_rle`].
+///
+/// # Errors
+/// [`EncodingError::UnexpectedEof`] on truncation, [`EncodingError::Corrupt`]
+/// if run lengths disagree with the declared element count.
+pub fn decode_rle(buf: &mut impl Buf) -> Result<Vec<u64>, EncodingError> {
+    let n = varint::read_u64(buf)? as usize;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let run = varint::read_u64(buf)?;
+        let v = varint::read_u64(buf)?;
+        if run == 0 || out.len() + run as usize > n {
+            return Err(EncodingError::Corrupt(format!(
+                "run of {run} overflows declared count {n}"
+            )));
+        }
+        out.extend(std::iter::repeat_n(v, run as usize));
+    }
+    Ok(out)
+}
+
+/// Exact size [`encode_rle`] would produce without writing.
+pub fn encoded_len(values: &[u64]) -> usize {
+    let mut len = varint::encoded_len(values.len() as u64);
+    let mut i = 0;
+    while i < values.len() {
+        let v = values[i];
+        let mut run = 1u64;
+        while i + (run as usize) < values.len() && values[i + run as usize] == v {
+            run += 1;
+        }
+        len += varint::encoded_len(run) + varint::encoded_len(v);
+        i += run as usize;
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn roundtrip(values: &[u64]) -> Vec<u64> {
+        let mut buf = BytesMut::new();
+        let written = encode_rle(values, &mut buf);
+        assert_eq!(written, buf.len());
+        assert_eq!(written, encoded_len(values));
+        decode_rle(&mut buf.freeze()).unwrap()
+    }
+
+    #[test]
+    fn roundtrips() {
+        assert_eq!(roundtrip(&[]), Vec::<u64>::new());
+        assert_eq!(roundtrip(&[7]), vec![7]);
+        let runs = [1u64, 1, 1, 5, 5, 2, 2, 2, 2, 9];
+        assert_eq!(roundtrip(&runs), runs);
+    }
+
+    #[test]
+    fn compresses_repetitive_data() {
+        let values = vec![42u64; 10_000];
+        let len = encoded_len(&values);
+        assert!(
+            len < 16,
+            "10k identical values should collapse, got {len} bytes"
+        );
+    }
+
+    #[test]
+    fn rle_useless_for_distinct_keys() {
+        // §3.4's claim: for strictly ascending (never-repeating) keys, RLE
+        // stores every key plus a run length — *worse* than raw.
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 31 + 1000).collect();
+        let len = encoded_len(&keys);
+        assert!(
+            len >= keys.len() * 2,
+            "RLE must pay >= 2 bytes/key on distinct keys, got {len}"
+        );
+        let delta = crate::delta_binary::encoded_len(&keys).unwrap();
+        assert!(
+            delta * 2 < len,
+            "delta-binary ({delta}) should beat RLE ({len}) by 2x+"
+        );
+    }
+
+    #[test]
+    fn corrupt_run_rejected() {
+        let mut buf = BytesMut::new();
+        varint::write_u64(&mut buf, 3); // declare 3 elements
+        varint::write_u64(&mut buf, 5); // run of 5 overflows
+        varint::write_u64(&mut buf, 1);
+        assert!(matches!(
+            decode_rle(&mut buf.freeze()),
+            Err(EncodingError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = BytesMut::new();
+        encode_rle(&[1, 2, 3], &mut buf);
+        let full = buf.freeze();
+        let mut cut = full.slice(..full.len() - 1);
+        assert!(decode_rle(&mut cut).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Size accounting helpers shared by the experiment harnesses.
+
+use serde::{Deserialize, Serialize};
+
+/// Size breakdown of one encoded message, used for Figure 8(b)
+/// ("Message Size and Compression Rate") and Figure 8(d) ("Bytes Per Key").
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SizeReport {
+    /// Bytes spent on keys (flags + payload).
+    pub key_bytes: usize,
+    /// Bytes spent on values (bucket means + sketch tables, or raw floats).
+    pub value_bytes: usize,
+    /// Bytes spent on headers/counts.
+    pub header_bytes: usize,
+    /// Number of key-value pairs in the message.
+    pub pairs: usize,
+}
+
+impl SizeReport {
+    /// Total message size in bytes.
+    pub fn total(&self) -> usize {
+        self.key_bytes + self.value_bytes + self.header_bytes
+    }
+
+    /// Average bytes per key, the Figure 8(d) metric.
+    pub fn bytes_per_key(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.key_bytes as f64 / self.pairs as f64
+        }
+    }
+
+    /// Compression rate against the uncompressed `(4-byte key, 8-byte
+    /// value)` representation — the `12d` reference of §3.5.
+    pub fn compression_rate(&self) -> f64 {
+        if self.total() == 0 {
+            return 1.0;
+        }
+        (12 * self.pairs) as f64 / self.total() as f64
+    }
+
+    /// Accumulates another report (e.g. across epochs or workers).
+    pub fn accumulate(&mut self, other: &SizeReport) {
+        self.key_bytes += other.key_bytes;
+        self.value_bytes += other.value_bytes;
+        self.header_bytes += other.header_bytes;
+        self.pairs += other.pairs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rates() {
+        let r = SizeReport {
+            key_bytes: 125,
+            value_bytes: 300,
+            header_bytes: 25,
+            pairs: 100,
+        };
+        assert_eq!(r.total(), 450);
+        assert!((r.bytes_per_key() - 1.25).abs() < 1e-12);
+        assert!((r.compression_rate() - 1200.0 / 450.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SizeReport::default();
+        assert_eq!(r.total(), 0);
+        assert_eq!(r.bytes_per_key(), 0.0);
+        assert_eq!(r.compression_rate(), 1.0);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = SizeReport {
+            key_bytes: 10,
+            value_bytes: 20,
+            header_bytes: 5,
+            pairs: 3,
+        };
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.total(), 70);
+        assert_eq!(a.pairs, 6);
+    }
+}

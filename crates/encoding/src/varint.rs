@@ -1,0 +1,121 @@
+//! LEB128 variable-length unsigned integers.
+//!
+//! The SketchML wire format uses varints for counts and header fields so
+//! that small messages (tiny groups, few buckets) don't pay fixed 4/8-byte
+//! overheads. Seven payload bits per byte, little-endian groups, high bit
+//! set on continuation bytes.
+
+use crate::error::EncodingError;
+use bytes::{Buf, BufMut};
+
+/// Maximum encoded length of a `u64` varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` to `out` as a LEB128 varint.
+pub fn write_u64(out: &mut impl BufMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.put_u8(byte);
+            return;
+        }
+        out.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from `buf`.
+///
+/// # Errors
+/// [`EncodingError::UnexpectedEof`] if the buffer runs out mid-varint and
+/// [`EncodingError::Corrupt`] if the encoding exceeds 10 bytes.
+pub fn read_u64(buf: &mut impl Buf) -> Result<u64, EncodingError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for _ in 0..MAX_VARINT_LEN {
+        if !buf.has_remaining() {
+            return Err(EncodingError::UnexpectedEof { context: "varint" });
+        }
+        let byte = buf.get_u8();
+        let payload = (byte & 0x7F) as u64;
+        value |= payload
+            .checked_shl(shift)
+            .ok_or_else(|| EncodingError::Corrupt("varint shift overflow".into()))?;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(EncodingError::Corrupt("varint longer than 10 bytes".into()))
+}
+
+/// Number of bytes [`write_u64`] would emit for `value`.
+pub fn encoded_len(value: u64) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    (64 - value.leading_zeros() as usize).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn roundtrip(v: u64) -> u64 {
+        let mut buf = BytesMut::new();
+        write_u64(&mut buf, v);
+        assert_eq!(buf.len(), encoded_len(v));
+        let mut slice = buf.freeze();
+        read_u64(&mut slice).unwrap()
+    }
+
+    #[test]
+    fn roundtrips_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        let mut buf = BytesMut::new();
+        write_u64(&mut buf, 300);
+        assert_eq!(&buf[..], &[0xAC, 0x02]);
+    }
+
+    #[test]
+    fn eof_is_detected() {
+        let mut buf: &[u8] = &[0x80, 0x80]; // two continuation bytes, no end
+        assert_eq!(
+            read_u64(&mut buf),
+            Err(EncodingError::UnexpectedEof { context: "varint" })
+        );
+        let mut empty: &[u8] = &[];
+        assert!(read_u64(&mut empty).is_err());
+    }
+
+    #[test]
+    fn overlong_is_corrupt() {
+        let mut buf: &[u8] = &[0x80; 11];
+        assert!(matches!(read_u64(&mut buf), Err(EncodingError::Corrupt(_))));
+    }
+
+    #[test]
+    fn encoded_len_matches_spec() {
+        assert_eq!(encoded_len(0), 1);
+        assert_eq!(encoded_len(127), 1);
+        assert_eq!(encoded_len(128), 2);
+        assert_eq!(encoded_len(u64::MAX), 10);
+    }
+}

@@ -1,0 +1,142 @@
+//! Model + optimizer checkpointing.
+//!
+//! Long Adam-SGD runs (the paper's Table 2 jobs take up to 23 hours) need
+//! restartable state: the weight vector alone is not enough because Adam's
+//! moments and step counter shape every subsequent update. A checkpoint
+//! captures both and round-trips through JSON.
+
+use crate::error::MlError;
+use crate::model::GlmModel;
+use crate::optimizer::Adam;
+use serde::{Deserialize, Serialize};
+use std::io::{BufReader, BufWriter, Read, Write};
+
+/// A restartable training state: model + Adam state + epoch cursor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The GLM being trained.
+    pub model: GlmModel,
+    /// The Adam optimizer with its moments and step counter.
+    pub optimizer: Adam,
+    /// Epochs completed so far.
+    pub epochs_done: usize,
+}
+
+impl Checkpoint {
+    /// Current format version.
+    pub const VERSION: u32 = 1;
+
+    /// Bundles the pieces into a checkpoint.
+    pub fn new(model: GlmModel, optimizer: Adam, epochs_done: usize) -> Self {
+        Checkpoint {
+            version: Self::VERSION,
+            model,
+            optimizer,
+            epochs_done,
+        }
+    }
+
+    /// Serializes to a writer as JSON.
+    ///
+    /// # Errors
+    /// [`MlError::InvalidInput`] wrapping serialization/IO failures.
+    pub fn save(&self, writer: impl Write) -> Result<(), MlError> {
+        let mut w = BufWriter::new(writer);
+        serde_json::to_writer(&mut w, self)
+            .map_err(|e| MlError::InvalidInput(format!("checkpoint serialize: {e}")))?;
+        w.flush()
+            .map_err(|e| MlError::InvalidInput(format!("checkpoint flush: {e}")))
+    }
+
+    /// Deserializes from a reader.
+    ///
+    /// # Errors
+    /// [`MlError::InvalidInput`] on malformed JSON or a future version.
+    pub fn load(reader: impl Read) -> Result<Self, MlError> {
+        let ck: Checkpoint = serde_json::from_reader(BufReader::new(reader))
+            .map_err(|e| MlError::InvalidInput(format!("checkpoint parse: {e}")))?;
+        if ck.version > Self::VERSION {
+            return Err(MlError::InvalidInput(format!(
+                "checkpoint version {} is newer than supported {}",
+                ck.version,
+                Self::VERSION
+            )));
+        }
+        if ck.model.weights.is_empty() {
+            return Err(MlError::InvalidInput(
+                "checkpoint has an empty model".into(),
+            ));
+        }
+        Ok(ck)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::GlmLoss;
+    use crate::optimizer::AdamConfig;
+    use crate::vector::{Instance, SparseVector};
+
+    fn toy() -> Vec<Instance> {
+        (0..100)
+            .map(|i| {
+                let x = (i as f64 / 50.0) - 1.0;
+                Instance::new(
+                    SparseVector::new(vec![0], vec![x]).unwrap(),
+                    if x > 0.1 { 1.0 } else { -1.0 },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resume_is_bitwise_identical_to_uninterrupted_run() {
+        let data = toy();
+        let total = 40;
+        let split = 17;
+
+        // Uninterrupted run.
+        let mut m1 = GlmModel::new(1, GlmLoss::Logistic, 0.01).unwrap();
+        let mut o1 = Adam::new(1, AdamConfig::with_lr(0.05)).unwrap();
+        for _ in 0..total {
+            let g = m1.batch_gradient(&data);
+            m1.apply_gradient(&mut o1, &g.keys, &g.values);
+        }
+
+        // Interrupted at `split`, checkpointed, resumed.
+        let mut m2 = GlmModel::new(1, GlmLoss::Logistic, 0.01).unwrap();
+        let mut o2 = Adam::new(1, AdamConfig::with_lr(0.05)).unwrap();
+        for _ in 0..split {
+            let g = m2.batch_gradient(&data);
+            m2.apply_gradient(&mut o2, &g.keys, &g.values);
+        }
+        let mut buf = Vec::new();
+        Checkpoint::new(m2, o2, split).save(&mut buf).unwrap();
+        let ck = Checkpoint::load(buf.as_slice()).unwrap();
+        assert_eq!(ck.epochs_done, split);
+        let (mut m2, mut o2) = (ck.model, ck.optimizer);
+        for _ in split..total {
+            let g = m2.batch_gradient(&data);
+            m2.apply_gradient(&mut o2, &g.keys, &g.values);
+        }
+
+        assert_eq!(m1.weights, m2.weights, "resume must be exact");
+        assert_eq!(o1.steps(), o2.steps());
+    }
+
+    #[test]
+    fn rejects_future_versions_and_garbage() {
+        let model = GlmModel::new(2, GlmLoss::Squared, 0.0).unwrap();
+        let opt = Adam::new(2, AdamConfig::default()).unwrap();
+        let mut ck = Checkpoint::new(model, opt, 0);
+        ck.version = 999;
+        let mut buf = Vec::new();
+        ck.save(&mut buf).unwrap();
+        assert!(Checkpoint::load(buf.as_slice()).is_err());
+        assert!(Checkpoint::load(&b"not json"[..]).is_err());
+        assert!(Checkpoint::load(&b"{}"[..]).is_err());
+    }
+}

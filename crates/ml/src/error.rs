@@ -1,0 +1,38 @@
+//! Error type of the ML substrate.
+
+use std::fmt;
+
+/// Errors produced by models, optimizers and vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// Structural problem with an input (shape mismatch, unsorted indices…).
+    InvalidInput(String),
+    /// Parameter out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            MlError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MlError::InvalidInput("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(MlError::InvalidConfig("lr".into())
+            .to_string()
+            .contains("lr"));
+    }
+}

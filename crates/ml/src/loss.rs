@@ -1,0 +1,172 @@
+//! The three ℓ2-regularized GLM losses of the evaluation (paper §4.1):
+//!
+//! ```text
+//! LR:     f = Σ log(1 + e^{-y_i θᵀx_i}) + λ/2 ‖θ‖²
+//! SVM:    f = Σ max(0, 1 - y_i θᵀx_i)  + λ/2 ‖θ‖²
+//! Linear: f = Σ (y_i - θᵀx_i)²         + λ/2 ‖θ‖²
+//! ```
+//!
+//! Each loss exposes its per-instance value and the derivative with respect
+//! to the score `s = θᵀx`, from which the sparse gradient follows as
+//! `∂f/∂θ_k = (∂l/∂s) · x_k`.
+
+use serde::{Deserialize, Serialize};
+
+/// Loss family of a generalized linear model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GlmLoss {
+    /// Logistic regression (labels ±1).
+    Logistic,
+    /// Support vector machine with hinge loss (labels ±1).
+    Hinge,
+    /// Linear regression with squared error (real labels).
+    Squared,
+}
+
+impl GlmLoss {
+    /// Short display name matching the paper's tables ("LR", "SVM",
+    /// "Linear").
+    pub fn name(self) -> &'static str {
+        match self {
+            GlmLoss::Logistic => "LR",
+            GlmLoss::Hinge => "SVM",
+            GlmLoss::Squared => "Linear",
+        }
+    }
+
+    /// Per-instance loss given the score `s = θᵀx` and label `y`.
+    #[inline]
+    pub fn loss(self, score: f64, label: f64) -> f64 {
+        match self {
+            GlmLoss::Logistic => {
+                // Numerically stable log(1 + e^{-ys}).
+                let m = -label * score;
+                if m > 30.0 {
+                    m
+                } else {
+                    m.exp().ln_1p()
+                }
+            }
+            GlmLoss::Hinge => (1.0 - label * score).max(0.0),
+            GlmLoss::Squared => {
+                let e = label - score;
+                e * e
+            }
+        }
+    }
+
+    /// Derivative of the per-instance loss with respect to the score.
+    #[inline]
+    pub fn dloss(self, score: f64, label: f64) -> f64 {
+        match self {
+            GlmLoss::Logistic => {
+                // -y σ(-ys) with a stable sigmoid.
+                let m = -label * score;
+                let sig = if m >= 0.0 {
+                    1.0 / (1.0 + (-m).exp())
+                } else {
+                    let e = m.exp();
+                    e / (1.0 + e)
+                };
+                -label * sig
+            }
+            GlmLoss::Hinge => {
+                if label * score < 1.0 {
+                    -label
+                } else {
+                    0.0
+                }
+            }
+            GlmLoss::Squared => -2.0 * (label - score),
+        }
+    }
+
+    /// Whether this loss solves a ±1 classification task.
+    pub fn is_classification(self) -> bool {
+        matches!(self, GlmLoss::Logistic | GlmLoss::Hinge)
+    }
+
+    /// The three losses in the order the paper's tables list them.
+    pub fn all() -> [GlmLoss; 3] {
+        [GlmLoss::Logistic, GlmLoss::Hinge, GlmLoss::Squared]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numeric derivative check.
+    fn check_gradient(loss: GlmLoss, score: f64, label: f64) {
+        let h = 1e-6;
+        let numeric = (loss.loss(score + h, label) - loss.loss(score - h, label)) / (2.0 * h);
+        let analytic = loss.dloss(score, label);
+        assert!(
+            (numeric - analytic).abs() < 1e-5,
+            "{:?} s={score} y={label}: numeric {numeric} vs analytic {analytic}",
+            loss
+        );
+    }
+
+    #[test]
+    fn logistic_matches_numeric_gradient() {
+        for s in [-3.0, -0.5, 0.0, 0.5, 3.0] {
+            for y in [-1.0, 1.0] {
+                check_gradient(GlmLoss::Logistic, s, y);
+            }
+        }
+    }
+
+    #[test]
+    fn squared_matches_numeric_gradient() {
+        for s in [-2.0, 0.0, 1.5] {
+            for y in [-1.0, 0.3, 2.0] {
+                check_gradient(GlmLoss::Squared, s, y);
+            }
+        }
+    }
+
+    #[test]
+    fn hinge_matches_numeric_gradient_off_kink() {
+        for (s, y) in [
+            (0.5, 1.0),
+            (-0.5, 1.0),
+            (2.0, 1.0),
+            (0.5, -1.0),
+            (-2.0, -1.0),
+        ] {
+            if (y * s - 1.0f64).abs() > 1e-3 {
+                check_gradient(GlmLoss::Hinge, s, y);
+            }
+        }
+    }
+
+    #[test]
+    fn logistic_is_stable_at_extremes() {
+        let l = GlmLoss::Logistic;
+        assert!(l.loss(1e4, -1.0).is_finite());
+        assert!(l.loss(-1e4, 1.0).is_finite());
+        assert!(l.dloss(1e4, -1.0).is_finite());
+        assert!((l.dloss(1e4, 1.0)).abs() < 1e-10, "saturated gradient ~ 0");
+        assert!((l.loss(0.0, 1.0) - (2f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hinge_zero_beyond_margin() {
+        let l = GlmLoss::Hinge;
+        assert_eq!(l.loss(2.0, 1.0), 0.0);
+        assert_eq!(l.dloss(2.0, 1.0), 0.0);
+        assert_eq!(l.loss(0.0, 1.0), 1.0);
+        assert_eq!(l.dloss(0.0, 1.0), -1.0);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(GlmLoss::Logistic.name(), "LR");
+        assert_eq!(GlmLoss::Hinge.name(), "SVM");
+        assert_eq!(GlmLoss::Squared.name(), "Linear");
+        assert_eq!(GlmLoss::all().len(), 3);
+        assert!(GlmLoss::Logistic.is_classification());
+        assert!(!GlmLoss::Squared.is_classification());
+    }
+}

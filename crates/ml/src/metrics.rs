@@ -1,0 +1,203 @@
+//! Evaluation metrics shared by the experiment harnesses (§4.1 "Metrics":
+//! "we follow prior art and measure the average run time per epoch and the
+//! loss function with respect to the run time").
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a loss-versus-time convergence curve (Figures 10 & 14).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossPoint {
+    /// Simulated seconds since training started.
+    pub seconds: f64,
+    /// Epoch index (1-based).
+    pub epoch: usize,
+    /// Test loss at this point.
+    pub loss: f64,
+}
+
+/// Convergence detector implementing §4.4's rule: "An algorithm is
+/// considered as converged if the variation of loss is less than 1% within
+/// five epochs."
+#[derive(Debug, Clone)]
+pub struct ConvergenceDetector {
+    window: usize,
+    tolerance: f64,
+    history: Vec<f64>,
+}
+
+impl Default for ConvergenceDetector {
+    fn default() -> Self {
+        ConvergenceDetector::new(5, 0.01)
+    }
+}
+
+impl ConvergenceDetector {
+    /// Detector declaring convergence when loss varies less than
+    /// `tolerance` (relative) across `window` consecutive epochs.
+    pub fn new(window: usize, tolerance: f64) -> Self {
+        ConvergenceDetector {
+            window: window.max(2),
+            tolerance,
+            history: Vec::new(),
+        }
+    }
+
+    /// Records an epoch's loss; returns `true` once converged.
+    pub fn push(&mut self, loss: f64) -> bool {
+        self.history.push(loss);
+        self.converged()
+    }
+
+    /// Whether the §4.4 criterion currently holds.
+    pub fn converged(&self) -> bool {
+        if self.history.len() < self.window {
+            return false;
+        }
+        let tail = &self.history[self.history.len() - self.window..];
+        let max = tail.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = tail.iter().copied().fold(f64::INFINITY, f64::min);
+        let mid = (max.abs() + min.abs()) / 2.0;
+        if mid == 0.0 {
+            return true;
+        }
+        (max - min) / mid < self.tolerance
+    }
+
+    /// Best (minimum) loss observed so far.
+    pub fn best(&self) -> Option<f64> {
+        self.history.iter().copied().min_by(f64::total_cmp)
+    }
+
+    /// Number of epochs recorded.
+    pub fn epochs(&self) -> usize {
+        self.history.len()
+    }
+}
+
+/// Root-mean-square error between predictions and targets.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn rmse(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len());
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / predictions.len() as f64;
+    mse.sqrt()
+}
+
+/// Area under the ROC curve for binary ±1 labels, computed by the
+/// rank-statistic formula (the CTR-prediction metric of the paper's §4.1
+/// third dataset). Returns `None` when one class is absent.
+pub fn auc(scores: &[f64], labels: &[f64]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len());
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut rank_sum_pos = 0.0f64;
+    let (mut pos, mut neg) = (0u64, 0u64);
+    let mut i = 0usize;
+    while i < order.len() {
+        // Average ranks across ties.
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] > 0.0 {
+                pos += 1;
+                rank_sum_pos += avg_rank;
+            } else {
+                neg += 1;
+            }
+        }
+        i = j + 1;
+    }
+    if pos == 0 || neg == 0 {
+        return None;
+    }
+    let auc = (rank_sum_pos - pos as f64 * (pos as f64 + 1.0) / 2.0) / (pos as f64 * neg as f64);
+    Some(auc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convergence_after_flat_window() {
+        let mut det = ConvergenceDetector::default();
+        for loss in [1.0, 0.8, 0.6, 0.5, 0.45] {
+            assert!(!det.push(loss));
+        }
+        // Five nearly-identical epochs → converged.
+        for loss in [0.444, 0.4435, 0.4441, 0.4438] {
+            det.push(loss);
+        }
+        assert!(det.push(0.4436));
+        assert_eq!(det.best(), Some(0.4435));
+    }
+
+    #[test]
+    fn no_convergence_while_improving() {
+        let mut det = ConvergenceDetector::default();
+        for i in 0..20 {
+            let loss = 1.0 / (i + 1) as f64;
+            assert!(!det.push(loss), "epoch {i} should not be converged");
+        }
+    }
+
+    #[test]
+    fn short_history_not_converged() {
+        let mut det = ConvergenceDetector::new(5, 0.01);
+        det.push(0.5);
+        det.push(0.5);
+        assert!(!det.converged());
+        assert_eq!(det.epochs(), 2);
+    }
+
+    #[test]
+    fn rmse_basics() {
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rmse_length_mismatch_panics() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        // Perfectly separated scores.
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [-1.0, -1.0, 1.0, 1.0];
+        assert_eq!(auc(&scores, &labels), Some(1.0));
+        // Perfectly inverted.
+        let labels_inv = [1.0, 1.0, -1.0, -1.0];
+        assert_eq!(auc(&scores, &labels_inv), Some(0.0));
+        // All ties -> 0.5.
+        let flat = [0.5, 0.5, 0.5, 0.5];
+        assert_eq!(auc(&flat, &labels), Some(0.5));
+        // Single class -> None.
+        assert_eq!(auc(&scores, &[1.0, 1.0, 1.0, 1.0]), None);
+    }
+
+    #[test]
+    fn auc_handles_partial_overlap() {
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [-1.0, 1.0, -1.0, 1.0];
+        // Pairs: (0.4>0.1)=1, (0.4>0.35)=1, (0.8>0.1)=1, (0.8>0.35)=1 → 4/4.
+        assert_eq!(auc(&scores, &labels), Some(1.0));
+        let labels2 = [1.0, -1.0, 1.0, -1.0];
+        assert_eq!(auc(&scores, &labels2), Some(0.0));
+    }
+}

@@ -1,0 +1,338 @@
+//! Generalized linear model training (paper §2.2's data model, §4.1's three
+//! statistical models).
+//!
+//! A mini-batch gradient is computed as
+//!
+//! ```text
+//! g = (1/B) Σ_{i∈batch} (∂l/∂s)(θᵀx_i, y_i) · x_i  +  λ · θ|_touched
+//! ```
+//!
+//! The ℓ2 term is applied only on dimensions the batch touches — the
+//! standard sparse treatment; a dense regularization gradient would destroy
+//! the sparsity that SketchML's key compression exploits.
+
+use crate::error::MlError;
+use crate::loss::GlmLoss;
+use crate::optimizer::Optimizer;
+use crate::vector::Instance;
+use serde::{Deserialize, Serialize};
+
+/// A mini-batch gradient in sparse key-value form, ready for compression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchGradient {
+    /// Ascending model dimensions with nonzero gradient.
+    pub keys: Vec<u64>,
+    /// Gradient values aligned with `keys`.
+    pub values: Vec<f64>,
+    /// Sum of per-instance losses over the batch (excluding regularization).
+    pub loss_sum: f64,
+    /// Number of instances in the batch.
+    pub instances: usize,
+}
+
+impl BatchGradient {
+    /// Number of nonzero gradient entries `d`.
+    pub fn nnz(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Mean per-instance loss of the batch.
+    pub fn mean_loss(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.loss_sum / self.instances as f64
+        }
+    }
+}
+
+/// Reusable accumulation buffers so per-batch work does not reallocate the
+/// full model dimension (the perf-book "workhorse collection" pattern).
+#[derive(Debug, Default)]
+pub struct GradScratch {
+    dense: Vec<f64>,
+    touched: Vec<u32>,
+}
+
+impl GradScratch {
+    /// Creates scratch buffers for a `dim`-dimensional model.
+    pub fn new(dim: usize) -> Self {
+        GradScratch {
+            dense: vec![0.0; dim],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// An ℓ2-regularized generalized linear model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlmModel {
+    /// Dense weight vector θ.
+    pub weights: Vec<f64>,
+    /// Loss family.
+    pub loss: GlmLoss,
+    /// Regularization coefficient λ (§4.1 sets 0.01).
+    pub l2: f64,
+}
+
+impl GlmModel {
+    /// Creates a zero-initialized model.
+    ///
+    /// # Errors
+    /// [`MlError::InvalidConfig`] if `dim == 0` or `l2 < 0`.
+    pub fn new(dim: usize, loss: GlmLoss, l2: f64) -> Result<Self, MlError> {
+        if dim == 0 {
+            return Err(MlError::InvalidConfig(
+                "model dimension must be positive".into(),
+            ));
+        }
+        if l2 < 0.0 {
+            return Err(MlError::InvalidConfig("l2 must be non-negative".into()));
+        }
+        Ok(GlmModel {
+            weights: vec![0.0; dim],
+            loss,
+            l2,
+        })
+    }
+
+    /// Model dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Raw score `θᵀx`.
+    pub fn score(&self, instance: &Instance) -> f64 {
+        instance.features.dot(&self.weights)
+    }
+
+    /// Computes the mini-batch gradient using caller-provided scratch.
+    ///
+    /// # Panics
+    /// Debug-asserts that `scratch` was sized for this model.
+    pub fn batch_gradient_with_scratch(
+        &self,
+        batch: &[Instance],
+        scratch: &mut GradScratch,
+    ) -> BatchGradient {
+        debug_assert_eq!(scratch.dense.len(), self.weights.len());
+        // Reset only previously-touched entries (lazy zeroing).
+        for &t in &scratch.touched {
+            scratch.dense[t as usize] = 0.0;
+        }
+        scratch.touched.clear();
+
+        let mut loss_sum = 0.0;
+        for inst in batch {
+            let s = self.score(inst);
+            loss_sum += self.loss.loss(s, inst.label);
+            let d = self.loss.dloss(s, inst.label);
+            if d == 0.0 {
+                continue;
+            }
+            for (i, x) in inst.features.iter() {
+                let cell = &mut scratch.dense[i as usize];
+                if *cell == 0.0 {
+                    scratch.touched.push(i);
+                }
+                *cell += d * x;
+            }
+        }
+
+        scratch.touched.sort_unstable();
+        scratch.touched.dedup();
+        let inv_b = if batch.is_empty() {
+            0.0
+        } else {
+            1.0 / batch.len() as f64
+        };
+        let mut keys = Vec::with_capacity(scratch.touched.len());
+        let mut values = Vec::with_capacity(scratch.touched.len());
+        for &t in &scratch.touched {
+            let mut g = scratch.dense[t as usize] * inv_b;
+            // Sparse ℓ2: only touched dimensions are regularized.
+            g += self.l2 * self.weights[t as usize];
+            if g != 0.0 && g.is_finite() {
+                keys.push(t as u64);
+                values.push(g);
+            }
+        }
+        BatchGradient {
+            keys,
+            values,
+            loss_sum,
+            instances: batch.len(),
+        }
+    }
+
+    /// Convenience wrapper allocating fresh scratch.
+    pub fn batch_gradient(&self, batch: &[Instance]) -> BatchGradient {
+        let mut scratch = GradScratch::new(self.dim());
+        self.batch_gradient_with_scratch(batch, &mut scratch)
+    }
+
+    /// Applies a (possibly decompressed) gradient through an optimizer.
+    pub fn apply_gradient(&mut self, opt: &mut dyn Optimizer, keys: &[u64], values: &[f64]) {
+        opt.step(&mut self.weights, keys, values);
+    }
+
+    /// Mean per-instance loss over `data` (the paper's test-loss metric,
+    /// regularization excluded).
+    pub fn mean_loss(&self, data: &[Instance]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = data
+            .iter()
+            .map(|inst| self.loss.loss(self.score(inst), inst.label))
+            .sum();
+        sum / data.len() as f64
+    }
+
+    /// Classification accuracy (±1 labels); `None` for regression losses.
+    pub fn accuracy(&self, data: &[Instance]) -> Option<f64> {
+        if !self.loss.is_classification() || data.is_empty() {
+            return None;
+        }
+        let correct = data
+            .iter()
+            .filter(|inst| (self.score(inst) >= 0.0) == (inst.label >= 0.0))
+            .count();
+        Some(correct as f64 / data.len() as f64)
+    }
+
+    /// Full objective including the ℓ2 term: mean loss + λ/2·‖θ‖².
+    pub fn objective(&self, data: &[Instance]) -> f64 {
+        let reg: f64 = self.weights.iter().map(|w| w * w).sum::<f64>() * self.l2 / 2.0;
+        self.mean_loss(data) + reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{Adam, AdamConfig};
+    use crate::vector::SparseVector;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn instance(pairs: &[(u32, f64)], label: f64) -> Instance {
+        Instance::new(SparseVector::from_pairs(pairs).unwrap(), label)
+    }
+
+    /// A linearly separable 2-D toy problem.
+    fn toy_classification(n: usize, seed: u64) -> Vec<Instance> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x0 = rng.gen_range(-1.0..1.0);
+                let x1 = rng.gen_range(-1.0..1.0);
+                let label = if x0 + 0.5 * x1 > 0.0 { 1.0 } else { -1.0 };
+                instance(&[(0, x0), (1, x1)], label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gradient_matches_numeric_for_all_losses() {
+        let data = vec![
+            instance(&[(0, 1.0), (2, -0.5)], 1.0),
+            instance(&[(1, 2.0)], -1.0),
+            instance(&[(0, 0.3), (1, 0.7), (2, 0.2)], 1.0),
+        ];
+        for loss in GlmLoss::all() {
+            let mut model = GlmModel::new(3, loss, 0.01).unwrap();
+            model.weights = vec![0.2, -0.3, 0.15];
+            let grad = model.batch_gradient(&data);
+            // Numeric gradient of the *sampled* objective.
+            let h = 1e-6;
+            for (&k, &g) in grad.keys.iter().zip(&grad.values) {
+                let k = k as usize;
+                let mut up = model.clone();
+                up.weights[k] += h;
+                let mut dn = model.clone();
+                dn.weights[k] -= h;
+                let f = |m: &GlmModel| {
+                    m.mean_loss(&data) + m.l2 / 2.0 * m.weights.iter().map(|w| w * w).sum::<f64>()
+                };
+                let numeric = (f(&up) - f(&dn)) / (2.0 * h);
+                assert!(
+                    (numeric - g).abs() < 1e-4,
+                    "{:?} dim {k}: numeric {numeric} vs analytic {g}",
+                    loss
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_is_sparse() {
+        let data = vec![instance(&[(5, 1.0)], 1.0)];
+        let model = GlmModel::new(100, GlmLoss::Logistic, 0.0).unwrap();
+        let grad = model.batch_gradient(&data);
+        assert_eq!(grad.keys, vec![5]);
+        assert_eq!(grad.instances, 1);
+    }
+
+    #[test]
+    fn scratch_reuse_is_consistent() {
+        let data = toy_classification(50, 1);
+        let model = GlmModel::new(2, GlmLoss::Logistic, 0.01).unwrap();
+        let mut scratch = GradScratch::new(2);
+        let a = model.batch_gradient_with_scratch(&data, &mut scratch);
+        let b = model.batch_gradient_with_scratch(&data, &mut scratch);
+        assert_eq!(a, b, "scratch reuse must not change results");
+        assert_eq!(a, model.batch_gradient(&data));
+    }
+
+    #[test]
+    fn training_reduces_loss_all_models() {
+        for loss in GlmLoss::all() {
+            let data = toy_classification(400, 2);
+            let mut model = GlmModel::new(2, loss, 0.001).unwrap();
+            let mut opt = Adam::new(2, AdamConfig::with_lr(0.05)).unwrap();
+            let initial = model.mean_loss(&data);
+            let mut scratch = GradScratch::new(2);
+            for _ in 0..200 {
+                let g = model.batch_gradient_with_scratch(&data, &mut scratch);
+                model.apply_gradient(&mut opt, &g.keys, &g.values);
+            }
+            let final_loss = model.mean_loss(&data);
+            assert!(
+                final_loss < initial * 0.8,
+                "{:?}: loss {initial} -> {final_loss}",
+                loss
+            );
+        }
+    }
+
+    #[test]
+    fn classifier_reaches_high_accuracy() {
+        let data = toy_classification(500, 3);
+        let mut model = GlmModel::new(2, GlmLoss::Logistic, 0.0).unwrap();
+        let mut opt = Adam::new(2, AdamConfig::with_lr(0.05)).unwrap();
+        for _ in 0..300 {
+            let g = model.batch_gradient(&data);
+            model.apply_gradient(&mut opt, &g.keys, &g.values);
+        }
+        let acc = model.accuracy(&data).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
+        // Regression has no accuracy.
+        let reg = GlmModel::new(2, GlmLoss::Squared, 0.0).unwrap();
+        assert!(reg.accuracy(&data).is_none());
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_gradient() {
+        let model = GlmModel::new(4, GlmLoss::Logistic, 0.01).unwrap();
+        let g = model.batch_gradient(&[]);
+        assert_eq!(g.nnz(), 0);
+        assert_eq!(g.mean_loss(), 0.0);
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(GlmModel::new(0, GlmLoss::Logistic, 0.0).is_err());
+        assert!(GlmModel::new(4, GlmLoss::Logistic, -0.1).is_err());
+    }
+}

@@ -1,0 +1,271 @@
+//! The Count-Min frequency sketch (paper §2.4, Figure 1).
+//!
+//! Count-Min is the classical *additive* frequency sketch: a 2-D array of
+//! `s` rows × `t` bins; inserting item `x` increments `D[i, h_i(x)]` in every
+//! row, and a query returns the **minimum** of the `s` candidate bins. Hash
+//! collisions can only inflate a bin, so the estimate never *under*states the
+//! true frequency — the minimum picks the least-inflated candidate.
+//!
+//! SketchML keeps this structure as the motivating baseline: §3.3 explains
+//! why the additive rule is unusable for bucket indexes ("hash bins ever
+//! collided are magnified in an unpredictable manner"), which is exactly the
+//! behaviour the `overestimates_only` test below pins down and that the
+//! `ablations` bench contrasts against [`crate::minmax::MinMaxSketch`].
+
+use crate::error::SketchError;
+use crate::hash::HashFamily;
+use serde::{Deserialize, Serialize};
+
+/// Additive frequency sketch with min-query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    hash: HashFamily,
+    /// Row-major `rows × cols` counters.
+    table: Vec<u64>,
+    total: u64,
+    conservative: bool,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `rows` hash tables of `cols` bins each.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidParameter`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize, seed: u64) -> Result<Self, SketchError> {
+        if rows == 0 {
+            return Err(SketchError::invalid("rows", "must be positive"));
+        }
+        if cols == 0 {
+            return Err(SketchError::invalid("cols", "must be positive"));
+        }
+        Ok(CountMinSketch {
+            hash: HashFamily::new(rows, cols, seed),
+            table: vec![0; rows * cols],
+            total: 0,
+            conservative: false,
+        })
+    }
+
+    /// Creates a sketch sized for error `ε` with failure probability `δ`:
+    /// `cols = ⌈e/ε⌉`, `rows = ⌈ln(1/δ)⌉` (the classic dimensioning used in
+    /// the Appendix A.2 analysis).
+    pub fn with_error(epsilon: f64, delta: f64, seed: u64) -> Result<Self, SketchError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SketchError::invalid("epsilon", "must be in (0, 1)"));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SketchError::invalid("delta", "must be in (0, 1)"));
+        }
+        let cols = (std::f64::consts::E / epsilon).ceil() as usize;
+        let rows = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(rows, cols, seed)
+    }
+
+    /// Enables the *conservative update* variant: on insert, only bins whose
+    /// value equals the current minimum estimate are incremented. Reduces
+    /// overestimation at no accuracy cost for point queries.
+    pub fn set_conservative(&mut self, on: bool) {
+        self.conservative = on;
+    }
+
+    /// Number of hash rows `s`.
+    pub fn rows(&self) -> usize {
+        self.hash.rows()
+    }
+
+    /// Number of bins per row `t`.
+    pub fn cols(&self) -> usize {
+        self.hash.cols()
+    }
+
+    /// Total count of all insertions (`N` in Appendix A.2).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        row * self.hash.cols() + col
+    }
+
+    /// Inserts `key` with multiplicity `count`.
+    pub fn insert_count(&mut self, key: u64, count: u64) {
+        self.total += count;
+        if self.conservative {
+            let est = self.query(key);
+            let target = est + count;
+            for row in 0..self.hash.rows() {
+                let i = self.idx(row, self.hash.bin(row, key));
+                if self.table[i] < target {
+                    self.table[i] = target;
+                }
+            }
+        } else {
+            for row in 0..self.hash.rows() {
+                let i = self.idx(row, self.hash.bin(row, key));
+                self.table[i] += count;
+            }
+        }
+    }
+
+    /// Inserts a single occurrence of `key` (Figure 1's `Insert(x)`).
+    pub fn insert(&mut self, key: u64) {
+        self.insert_count(key, 1);
+    }
+
+    /// Estimated frequency of `key` (Figure 1's `Query(x)`): the minimum of
+    /// the `s` candidate bins. Never less than the true frequency.
+    pub fn query(&self, key: u64) -> u64 {
+        (0..self.hash.rows())
+            .map(|row| self.table[self.idx(row, self.hash.bin(row, key))])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Merges another sketch with identical shape and seed by adding tables.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidParameter`] when shapes differ.
+    pub fn merge(&mut self, other: &CountMinSketch) -> Result<(), SketchError> {
+        if self.hash != other.hash {
+            return Err(SketchError::invalid(
+                "other",
+                "can only merge Count-Min sketches with identical shape and seed",
+            ));
+        }
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += *b;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_when_no_collisions() {
+        let mut cm = CountMinSketch::new(4, 1 << 16, 1).unwrap();
+        for key in 0..100u64 {
+            for _ in 0..=key {
+                cm.insert(key);
+            }
+        }
+        for key in 0..100u64 {
+            assert_eq!(cm.query(key), key + 1);
+        }
+    }
+
+    #[test]
+    fn overestimates_only() {
+        // Pack many keys into a tiny sketch: every estimate must still be
+        // >= the true frequency (the §3.3 motivation for MinMaxSketch).
+        let mut cm = CountMinSketch::new(2, 32, 2).unwrap();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5_000 {
+            let key = rng.gen_range(0..500u64);
+            cm.insert(key);
+            *truth.entry(key).or_default() += 1;
+        }
+        for (&key, &f) in &truth {
+            assert!(
+                cm.query(key) >= f,
+                "key {key}: est {} < true {f}",
+                cm.query(key)
+            );
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_with_high_probability() {
+        // Classic guarantee: est <= true + eps * N with prob 1 - delta.
+        let (eps, delta) = (0.01, 0.01);
+        let mut cm = CountMinSketch::with_error(eps, delta, 3).unwrap();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100_000 {
+            // Zipf-ish workload.
+            let key = (rng.gen::<f64>().powi(3) * 10_000.0) as u64;
+            cm.insert(key);
+            *truth.entry(key).or_default() += 1;
+        }
+        let n = cm.total() as f64;
+        let violations = truth
+            .iter()
+            .filter(|(&k, &f)| cm.query(k) as f64 > f as f64 + eps * n)
+            .count();
+        assert!(
+            (violations as f64) < delta * truth.len() as f64 + 5.0,
+            "{violations} of {} keys violated the bound",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn conservative_update_is_tighter() {
+        let build = |conservative: bool| {
+            let mut cm = CountMinSketch::new(2, 64, 4).unwrap();
+            cm.set_conservative(conservative);
+            let mut rng = StdRng::seed_from_u64(9);
+            let keys: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..1000)).collect();
+            for &k in &keys {
+                cm.insert(k);
+            }
+            let total_est: u64 = (0..1000u64).map(|k| cm.query(k)).sum();
+            total_est
+        };
+        let plain = build(false);
+        let cons = build(true);
+        assert!(
+            cons <= plain,
+            "conservative {cons} should not exceed plain {plain}"
+        );
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = CountMinSketch::new(3, 128, 5).unwrap();
+        let mut b = CountMinSketch::new(3, 128, 5).unwrap();
+        for k in 0..50u64 {
+            a.insert(k);
+            b.insert_count(k, 2);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), 150);
+        for k in 0..50u64 {
+            assert!(a.query(k) >= 3);
+        }
+    }
+
+    #[test]
+    fn merge_shape_mismatch_rejected() {
+        let mut a = CountMinSketch::new(3, 128, 5).unwrap();
+        let b = CountMinSketch::new(3, 64, 5).unwrap();
+        assert!(a.merge(&b).is_err());
+        let c = CountMinSketch::new(3, 128, 6).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(CountMinSketch::new(0, 10, 0).is_err());
+        assert!(CountMinSketch::new(10, 0, 0).is_err());
+        assert!(CountMinSketch::with_error(0.0, 0.5, 0).is_err());
+        assert!(CountMinSketch::with_error(0.5, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn unseen_key_estimate_is_bounded_by_total() {
+        let mut cm = CountMinSketch::new(4, 1024, 10).unwrap();
+        for k in 0..100u64 {
+            cm.insert(k);
+        }
+        assert!(cm.query(999_999) <= cm.total());
+    }
+}

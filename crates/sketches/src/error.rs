@@ -1,0 +1,68 @@
+//! Error type shared by the sketch implementations.
+
+use std::fmt;
+
+/// Errors produced when constructing or (de)serializing sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// A size/shape parameter was zero or otherwise out of its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A query was issued against an empty sketch.
+    Empty,
+    /// A serialized byte buffer did not have the expected layout.
+    Corrupt(String),
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SketchError::Empty => write!(f, "operation requires a non-empty sketch"),
+            SketchError::Corrupt(msg) => write!(f, "corrupt sketch buffer: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+impl SketchError {
+    /// Convenience constructor for [`SketchError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        SketchError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SketchError::invalid("rows", "must be positive");
+        assert!(e.to_string().contains("rows"));
+        assert!(e.to_string().contains("must be positive"));
+        assert_eq!(
+            SketchError::Empty.to_string(),
+            "operation requires a non-empty sketch"
+        );
+        assert!(SketchError::Corrupt("truncated".into())
+            .to_string()
+            .contains("truncated"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SketchError>();
+    }
+}

@@ -1,0 +1,172 @@
+//! Seeded hash functions for the frequency-style sketches.
+//!
+//! Both [`crate::countmin::CountMinSketch`] and [`crate::minmax::MinMaxSketch`]
+//! need a family of independent hash functions, one per row (paper §2.4:
+//! "associated with each row is a separate hash function `h_i(-)`"). We use a
+//! strong 64-bit finalizer (the SplitMix64 mixer) keyed with a per-row seed;
+//! its avalanche behaviour gives output bits that are empirically
+//! indistinguishable from pairwise independent, which is the assumption made
+//! by the Appendix A.2 analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// A family of `rows` seeded 64-bit hash functions mapping keys into
+/// `[0, cols)` bins.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashFamily {
+    seeds: Vec<u64>,
+    cols: usize,
+}
+
+/// SplitMix64 finalizer: a bijective mixer with full avalanche.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl HashFamily {
+    /// Creates `rows` hash functions over `cols` bins, derived
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `cols == 0`; sketches validate their shape
+    /// before constructing the family.
+    pub fn new(rows: usize, cols: usize, seed: u64) -> Self {
+        assert!(rows > 0, "hash family needs at least one row");
+        assert!(cols > 0, "hash family needs at least one column");
+        // Derive well-separated per-row seeds by iterating the mixer.
+        let mut s = mix64(seed ^ 0xA076_1D64_78BD_642F);
+        let seeds = (0..rows)
+            .map(|_| {
+                s = mix64(s);
+                s
+            })
+            .collect();
+        HashFamily { seeds, cols }
+    }
+
+    /// Number of hash functions (sketch rows).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Number of bins each function maps into (sketch columns).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Bin chosen by row `row` for `key`.
+    #[inline]
+    pub fn bin(&self, row: usize, key: u64) -> usize {
+        debug_assert!(row < self.seeds.len());
+        // Multiply-then-take-high via widening keeps the modulo bias
+        // negligible for any practical `cols`.
+        let h = mix64(key ^ self.seeds[row]);
+        ((h as u128 * self.cols as u128) >> 64) as usize
+    }
+
+    /// Iterator over the bin chosen by every row for `key`.
+    #[inline]
+    pub fn bins<'a>(&'a self, key: u64) -> impl Iterator<Item = usize> + 'a {
+        (0..self.rows()).map(move |row| self.bin(row, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = HashFamily::new(3, 100, 42);
+        let b = HashFamily::new(3, 100, 42);
+        for key in 0..1000u64 {
+            for row in 0..3 {
+                assert_eq!(a.bin(row, key), b.bin(row, key));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = HashFamily::new(1, 1 << 20, 1);
+        let b = HashFamily::new(1, 1 << 20, 2);
+        let same = (0..1000u64).filter(|&k| a.bin(0, k) == b.bin(0, k)).count();
+        assert!(
+            same < 10,
+            "seeds should decorrelate bins, got {same} collisions"
+        );
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let f = HashFamily::new(2, 1 << 20, 7);
+        let same = (0..1000u64).filter(|&k| f.bin(0, k) == f.bin(1, k)).count();
+        assert!(
+            same < 10,
+            "rows should be independent, got {same} agreements"
+        );
+    }
+
+    #[test]
+    fn bins_stay_in_range() {
+        for cols in [1usize, 2, 3, 17, 1000] {
+            let f = HashFamily::new(4, cols, 99);
+            for key in 0..500u64 {
+                for row in 0..4 {
+                    assert!(f.bin(row, key) < cols);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let cols = 64;
+        let n = 64_000u64;
+        let f = HashFamily::new(1, cols, 1234);
+        let mut counts = vec![0usize; cols];
+        for key in 0..n {
+            counts[f.bin(0, key)] += 1;
+        }
+        let expected = (n as usize) / cols;
+        for (bin, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected as f64).abs() < expected as f64 * 0.25,
+                "bin {bin} count {c} deviates from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn mix64_is_injective_on_sample() {
+        let outs: HashSet<u64> = (0..100_000u64).map(mix64).collect();
+        assert_eq!(outs.len(), 100_000);
+    }
+
+    #[test]
+    fn bins_iterator_matches_bin() {
+        let f = HashFamily::new(5, 37, 5);
+        let collected: Vec<usize> = f.bins(12345).collect();
+        let direct: Vec<usize> = (0..5).map(|r| f.bin(r, 12345)).collect();
+        assert_eq!(collected, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_panics() {
+        let _ = HashFamily::new(0, 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_cols_panics() {
+        let _ = HashFamily::new(1, 0, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Probabilistic data structures ("sketches") used by the SketchML gradient
+//! compression framework (Jiang et al., SIGMOD 2018).
+//!
+//! This crate implements, from scratch:
+//!
+//! - [`quantile::GkSummary`] — the Greenwald–Khanna ε-approximate quantile
+//!   summary (paper §2.3), with the classic `merge` and `prune`/compress
+//!   operations.
+//! - [`quantile::MergingQuantileSketch`] — a mergeable, compactor-based
+//!   quantile sketch in the spirit of Yahoo DataSketches (the sketch the
+//!   paper's prototype uses in §3.2 Step 1).
+//! - [`countmin::CountMinSketch`] — the classic additive frequency sketch
+//!   (paper §2.4, Figure 1), kept both as the motivating baseline that
+//!   *cannot* be used for bucket indexes (§3.3 "Motivation") and for tests
+//!   contrasting its overestimation against MinMaxSketch's underestimation.
+//! - [`minmax::MinMaxSketch`] — the paper's novel sketch (§3.3): `s` hash
+//!   rows × `t` bins storing bucket indexes, with a **min** rule on insert
+//!   and a **max** rule on query so that hash collisions can only *decay*
+//!   the stored index, never amplify it.
+//! - [`minmax::GroupedMinMaxSketch`] — the §3.3 "Solution 2" refinement:
+//!   the `q` buckets are split into `r` groups with an independent
+//!   MinMaxSketch per group, bounding the decoded index error by `q/r`.
+//! - [`theory`] — closed-form bounds from Appendix A.2 (correctness rate,
+//!   over-estimation probability) used by the validation tests and the
+//!   `appendix_a_bounds` experiment harness.
+//!
+//! All structures are deterministic given a seed, so experiments are
+//! reproducible.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod countmin;
+pub mod error;
+pub mod hash;
+pub mod minmax;
+pub mod quantile;
+pub mod theory;
+
+pub use countmin::CountMinSketch;
+pub use error::SketchError;
+pub use hash::HashFamily;
+pub use minmax::{GroupedMinMaxSketch, MinMaxSketch};
+pub use quantile::{GkSummary, MergingQuantileSketch, QuantileSketch, TDigest};

@@ -1,0 +1,464 @@
+//! MinMaxSketch (paper §3.3) — the novel sketch SketchML introduces to
+//! compress bucket indexes.
+//!
+//! Structure: `s` hash rows × `t` bins, like Count-Min, but the cells store
+//! **bucket indexes**, not counters, and the collision rules differ:
+//!
+//! - **Insert (Min)**: for each row `i`, `H[i, h_i(k)] = min(H[i, h_i(k)], b)`.
+//!   A collision can therefore only *lower* a cell, never raise it.
+//! - **Query (Max)**: return `max_i H[i, h_i(k)]` — since every cell touched
+//!   by key `k` holds a value `<= b(k)`, the maximum is the candidate closest
+//!   to (and never above) the true index.
+//!
+//! The result is an **underestimate-only** error: decoded gradients are
+//! decayed, never amplified, which keeps SGD on a correct (if slightly
+//! slower) convergence trajectory — the property Appendix A.2 analyzes and
+//! the `never_overestimates` test pins down.
+//!
+//! The module also provides [`GroupedMinMaxSketch`] (§3.3 "Solution 2"): the
+//! `q` bucket indexes are partitioned into `r` contiguous groups, each with
+//! its own MinMaxSketch, so a collision can only confuse indexes within the
+//! same group and the maximum index error drops from `q` to `q/r`.
+//!
+//! Index normalization convention used across the workspace: *callers hand
+//! this module indexes ordered by gradient magnitude* (index 0 = bucket
+//! closest to zero). Insert-min therefore decays magnitude for positive and
+//! negative gradients alike, which is exactly §3.3's "choose the bucket index
+//! closest to the minimum bucket" rule after positive/negative separation.
+
+use crate::error::SketchError;
+use crate::hash::HashFamily;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel marking a never-written cell. Stored cells must be `< EMPTY`.
+pub const EMPTY_CELL: u16 = u16::MAX;
+
+/// The min-insert / max-query sketch of §3.3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinMaxSketch {
+    hash: HashFamily,
+    /// Row-major `rows × cols` cells; `EMPTY_CELL` means untouched.
+    cells: Vec<u16>,
+    inserted: u64,
+}
+
+impl MinMaxSketch {
+    /// Creates a sketch with `rows` hash tables (`s`) of `cols` bins (`t`).
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidParameter`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize, seed: u64) -> Result<Self, SketchError> {
+        if rows == 0 {
+            return Err(SketchError::invalid("rows", "must be positive"));
+        }
+        if cols == 0 {
+            return Err(SketchError::invalid("cols", "must be positive"));
+        }
+        Ok(MinMaxSketch {
+            hash: HashFamily::new(rows, cols, seed),
+            cells: vec![EMPTY_CELL; rows * cols],
+            inserted: 0,
+        })
+    }
+
+    /// Number of hash rows `s`.
+    pub fn rows(&self) -> usize {
+        self.hash.rows()
+    }
+
+    /// Number of bins per row `t`.
+    pub fn cols(&self) -> usize {
+        self.hash.cols()
+    }
+
+    /// Number of `insert` calls so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        row * self.hash.cols() + col
+    }
+
+    /// Inserts `(key, index)`: every touched cell keeps the **minimum** of
+    /// its current value and `index` (§3.3 Insert Phase step 3).
+    ///
+    /// # Panics
+    /// Debug-asserts `index != EMPTY_CELL` (reserved sentinel).
+    pub fn insert(&mut self, key: u64, index: u16) {
+        debug_assert!(
+            index != EMPTY_CELL,
+            "index {index} collides with the empty sentinel"
+        );
+        self.inserted += 1;
+        for row in 0..self.hash.rows() {
+            let i = self.idx(row, self.hash.bin(row, key));
+            if self.cells[i] > index {
+                self.cells[i] = index;
+            }
+        }
+    }
+
+    /// Queries the index for `key`: the **maximum** of the `s` candidate
+    /// cells (§3.3 Query Phase step 2).
+    ///
+    /// Returns `None` if any candidate cell was never written — which proves
+    /// `key` was never inserted (its own insert would have written all `s`
+    /// cells). For any key that *was* inserted the result is `Some(b')` with
+    /// `b' <= b(key)` (underestimate-only).
+    pub fn query(&self, key: u64) -> Option<u16> {
+        let mut best: u16 = 0;
+        for row in 0..self.hash.rows() {
+            let v = self.cells[self.idx(row, self.hash.bin(row, key))];
+            if v == EMPTY_CELL {
+                return None;
+            }
+            best = best.max(v);
+        }
+        Some(best)
+    }
+
+    /// Raw cell table (row-major), for serialization by the wire format.
+    pub fn cells(&self) -> &[u16] {
+        &self.cells
+    }
+
+    /// Rebuilds a sketch from its raw parts (deserialization path).
+    ///
+    /// # Errors
+    /// Returns [`SketchError::Corrupt`] if `cells.len() != rows * cols`.
+    pub fn from_cells(
+        rows: usize,
+        cols: usize,
+        seed: u64,
+        cells: Vec<u16>,
+    ) -> Result<Self, SketchError> {
+        if rows == 0 || cols == 0 {
+            return Err(SketchError::invalid("rows/cols", "must be positive"));
+        }
+        if cells.len() != rows * cols {
+            return Err(SketchError::Corrupt(format!(
+                "cell buffer holds {} entries, expected {rows}x{cols}",
+                cells.len()
+            )));
+        }
+        Ok(MinMaxSketch {
+            hash: HashFamily::new(rows, cols, seed),
+            cells,
+            inserted: 0,
+        })
+    }
+}
+
+/// Derives the hash seed of group `g` from a base seed. Exposed so a decoder
+/// can rebuild an individual group's [`MinMaxSketch`] from serialized cells
+/// with hash functions identical to the encoder's.
+#[inline]
+pub fn group_seed(base: u64, g: usize) -> u64 {
+    base.wrapping_add(g as u64 * 0x9E37)
+}
+
+/// Grouped MinMaxSketch (§3.3 "Solution 2"): one sketch per contiguous range
+/// of `q / r` bucket indexes, bounding decoded index error by the group width.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupedMinMaxSketch {
+    /// Total index range: valid indexes are `[0, q)`.
+    q: u16,
+    /// Width of each group in index space.
+    group_width: u16,
+    groups: Vec<MinMaxSketch>,
+}
+
+impl GroupedMinMaxSketch {
+    /// Creates `r` groups covering indexes `[0, q)`, each an `rows × cols`
+    /// MinMaxSketch. Seeds are derived per group so their hash functions are
+    /// independent.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidParameter`] on zero shapes or `r > q`.
+    pub fn new(q: u16, r: usize, rows: usize, cols: usize, seed: u64) -> Result<Self, SketchError> {
+        if q == 0 {
+            return Err(SketchError::invalid("q", "must be positive"));
+        }
+        if r == 0 {
+            return Err(SketchError::invalid("r", "must be positive"));
+        }
+        if r > q as usize {
+            return Err(SketchError::invalid(
+                "r",
+                format!("cannot have more groups ({r}) than buckets ({q})"),
+            ));
+        }
+        let group_width = (q as usize).div_ceil(r) as u16;
+        let groups = (0..r)
+            .map(|g| MinMaxSketch::new(rows, cols, group_seed(seed, g)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(GroupedMinMaxSketch {
+            q,
+            group_width,
+            groups,
+        })
+    }
+
+    /// Number of groups `r`.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total index range `q`.
+    pub fn q(&self) -> u16 {
+        self.q
+    }
+
+    /// Index width of each group (`⌈q / r⌉`).
+    pub fn group_width(&self) -> u16 {
+        self.group_width
+    }
+
+    /// Group that bucket index `index` belongs to.
+    #[inline]
+    pub fn group_of(&self, index: u16) -> usize {
+        debug_assert!(index < self.q, "index {index} out of range [0, {})", self.q);
+        (index / self.group_width) as usize
+    }
+
+    /// Inserts `(key, index)` into the owning group's sketch and returns the
+    /// group id (the encoder records it: keys are sectioned per group on the
+    /// wire, which is how the decoder knows which sketch to query).
+    pub fn insert(&mut self, key: u64, index: u16) -> usize {
+        let g = self.group_of(index);
+        self.groups[g].insert(key, index);
+        g
+    }
+
+    /// Queries the index for `key` within group `g`.
+    ///
+    /// The result, when present, always lies in the group's index range, so
+    /// the decode error is bounded by [`Self::group_width`].
+    pub fn query(&self, g: usize, key: u64) -> Option<u16> {
+        self.groups.get(g)?.query(key)
+    }
+
+    /// Immutable access to one group's sketch (serialization path).
+    pub fn group(&self, g: usize) -> Option<&MinMaxSketch> {
+        self.groups.get(g)
+    }
+
+    /// Rebuilds from per-group sketches (deserialization path).
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidParameter`] on empty input or `q == 0`.
+    pub fn from_groups(q: u16, groups: Vec<MinMaxSketch>) -> Result<Self, SketchError> {
+        if q == 0 {
+            return Err(SketchError::invalid("q", "must be positive"));
+        }
+        if groups.is_empty() {
+            return Err(SketchError::invalid("groups", "need at least one group"));
+        }
+        let group_width = (q as usize).div_ceil(groups.len()) as u16;
+        Ok(GroupedMinMaxSketch {
+            q,
+            group_width,
+            groups,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_without_collisions() {
+        let mut mm = MinMaxSketch::new(3, 1 << 16, 1).unwrap();
+        for key in 0..200u64 {
+            mm.insert(key, (key % 256) as u16);
+        }
+        for key in 0..200u64 {
+            assert_eq!(mm.query(key), Some((key % 256) as u16));
+        }
+    }
+
+    #[test]
+    fn never_overestimates() {
+        // Cram 5000 keys into a 2x64 sketch; every queried index must be
+        // <= the inserted index (the §3.3 underestimate-only guarantee).
+        let mut mm = MinMaxSketch::new(2, 64, 2).unwrap();
+        let mut truth: HashMap<u64, u16> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        for key in 0..5_000u64 {
+            let idx = rng.gen_range(0..256u16);
+            mm.insert(key, idx);
+            truth.insert(key, idx);
+        }
+        for (&key, &idx) in &truth {
+            let got = mm.query(key).expect("inserted key must be present");
+            assert!(got <= idx, "key {key}: got {got} > inserted {idx}");
+        }
+    }
+
+    #[test]
+    fn uninserted_key_with_empty_cell_is_detected() {
+        let mut mm = MinMaxSketch::new(4, 1 << 14, 3).unwrap();
+        mm.insert(1, 5);
+        // With 16384 bins and one insert, some probe of a fresh key will
+        // almost surely hit an untouched cell.
+        let misses = (1000..2000u64).filter(|&k| mm.query(k).is_none()).count();
+        assert!(misses > 990, "only {misses} of 1000 foreign keys detected");
+    }
+
+    #[test]
+    fn empty_sketch_answers_none() {
+        let mm = MinMaxSketch::new(2, 16, 4).unwrap();
+        assert_eq!(mm.query(42), None);
+        assert_eq!(mm.inserted(), 0);
+    }
+
+    #[test]
+    fn reinsert_keeps_minimum() {
+        let mut mm = MinMaxSketch::new(2, 16, 5).unwrap();
+        mm.insert(7, 10);
+        mm.insert(7, 3);
+        mm.insert(7, 200); // must not raise the stored value
+        assert_eq!(mm.query(7), Some(3));
+    }
+
+    #[test]
+    fn accuracy_improves_with_more_cols() {
+        let run = |cols: usize| -> f64 {
+            let mut mm = MinMaxSketch::new(2, cols, 6).unwrap();
+            let mut rng = StdRng::seed_from_u64(22);
+            let items: Vec<(u64, u16)> =
+                (0..2_000).map(|k| (k, rng.gen_range(0..256u16))).collect();
+            for &(k, b) in &items {
+                mm.insert(k, b);
+            }
+            let err: f64 = items
+                .iter()
+                .map(|&(k, b)| (b - mm.query(k).unwrap()) as f64)
+                .sum();
+            err / items.len() as f64
+        };
+        let small = run(256);
+        let large = run(4096);
+        assert!(
+            large < small,
+            "mean index error should shrink with columns: {large} !< {small}"
+        );
+    }
+
+    #[test]
+    fn serialization_roundtrip_via_cells() {
+        let mut mm = MinMaxSketch::new(2, 128, 7).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let items: Vec<(u64, u16)> = (0..500).map(|k| (k, rng.gen_range(0..64u16))).collect();
+        for &(k, b) in &items {
+            mm.insert(k, b);
+        }
+        let rebuilt = MinMaxSketch::from_cells(2, 128, 7, mm.cells().to_vec()).unwrap();
+        for &(k, _) in &items {
+            assert_eq!(mm.query(k), rebuilt.query(k));
+        }
+    }
+
+    #[test]
+    fn from_cells_validates_length() {
+        assert!(MinMaxSketch::from_cells(2, 128, 0, vec![0; 7]).is_err());
+        assert!(MinMaxSketch::from_cells(0, 128, 0, vec![]).is_err());
+    }
+
+    #[test]
+    fn grouped_bounds_error_by_group_width() {
+        let q = 256u16;
+        let r = 8;
+        let mut g = GroupedMinMaxSketch::new(q, r, 2, 32, 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(24);
+        let items: Vec<(u64, u16)> = (0..4_000).map(|k| (k, rng.gen_range(0..q))).collect();
+        let mut groups = Vec::with_capacity(items.len());
+        for &(k, b) in &items {
+            groups.push(g.insert(k, b));
+        }
+        let width = g.group_width() as i32;
+        for (&(k, b), &gi) in items.iter().zip(&groups) {
+            let got = g.query(gi, k).expect("inserted key present") as i32;
+            let b = b as i32;
+            assert!(got <= b, "overestimate: {got} > {b}");
+            assert!(
+                b - got < width,
+                "error {} exceeds group width {width}",
+                b - got
+            );
+        }
+    }
+
+    #[test]
+    fn grouping_reduces_error_vs_single_sketch() {
+        let q = 256u16;
+        let total_cols = 64; // deliberately undersized to force collisions
+        let mut rng = StdRng::seed_from_u64(25);
+        let items: Vec<(u64, u16)> = (0..4_000).map(|k| (k, rng.gen_range(0..q))).collect();
+
+        let mut single = GroupedMinMaxSketch::new(q, 1, 2, total_cols, 9).unwrap();
+        let mut grouped = GroupedMinMaxSketch::new(q, 8, 2, total_cols / 8, 9).unwrap();
+        let mut sg = Vec::new();
+        let mut gg = Vec::new();
+        for &(k, b) in &items {
+            sg.push(single.insert(k, b));
+            gg.push(grouped.insert(k, b));
+        }
+        let mean_err = |s: &GroupedMinMaxSketch, gs: &[usize]| -> f64 {
+            items
+                .iter()
+                .zip(gs)
+                .map(|(&(k, b), &gi)| (b - s.query(gi, k).unwrap()) as f64)
+                .sum::<f64>()
+                / items.len() as f64
+        };
+        let e1 = mean_err(&single, &sg);
+        let e8 = mean_err(&grouped, &gg);
+        assert!(
+            e8 < e1,
+            "grouping should reduce mean index error: grouped {e8} !< single {e1}"
+        );
+    }
+
+    #[test]
+    fn group_of_partitions_index_space() {
+        let g = GroupedMinMaxSketch::new(256, 8, 2, 16, 10).unwrap();
+        assert_eq!(g.group_width(), 32);
+        assert_eq!(g.group_of(0), 0);
+        assert_eq!(g.group_of(31), 0);
+        assert_eq!(g.group_of(32), 1);
+        assert_eq!(g.group_of(255), 7);
+    }
+
+    #[test]
+    fn grouped_invalid_params() {
+        assert!(GroupedMinMaxSketch::new(0, 1, 2, 16, 0).is_err());
+        assert!(GroupedMinMaxSketch::new(16, 0, 2, 16, 0).is_err());
+        assert!(GroupedMinMaxSketch::new(4, 8, 2, 16, 0).is_err());
+        assert!(GroupedMinMaxSketch::from_groups(0, vec![]).is_err());
+        assert!(GroupedMinMaxSketch::from_groups(8, vec![]).is_err());
+    }
+
+    #[test]
+    fn grouped_roundtrip_via_parts() {
+        let mut g = GroupedMinMaxSketch::new(64, 4, 2, 32, 11).unwrap();
+        let items: Vec<(u64, u16)> = (0..100).map(|k| (k, (k % 64) as u16)).collect();
+        let mut gids = Vec::new();
+        for &(k, b) in &items {
+            gids.push(g.insert(k, b));
+        }
+        let groups: Vec<MinMaxSketch> = (0..g.num_groups())
+            .map(|i| g.group(i).unwrap().clone())
+            .collect();
+        let rebuilt = GroupedMinMaxSketch::from_groups(64, groups).unwrap();
+        for (&(k, _), &gi) in items.iter().zip(&gids) {
+            assert_eq!(g.query(gi, k), rebuilt.query(gi, k));
+        }
+    }
+}

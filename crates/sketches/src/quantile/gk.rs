@@ -1,0 +1,521 @@
+//! The Greenwald–Khanna ε-approximate quantile summary (paper §2.3).
+//!
+//! The summary `S(n, k)` is an ordered sequence of tuples `(v, g, Δ)` where
+//! `v` is a stored item, `g` is the gap between this tuple's minimum possible
+//! rank and the previous tuple's, and `Δ` bounds the uncertainty:
+//! `rmin(v_i) = Σ_{j<=i} g_j` and `rmax(v_i) = rmin(v_i) + Δ_i`. The
+//! invariant `g_i + Δ_i <= ⌊2εn⌋ + 1` guarantees that any rank query can be
+//! answered within `εn`.
+//!
+//! This implementation follows the original paper's simple (band-free)
+//! compression rule: adjacent tuples are merged whenever doing so preserves
+//! the invariant. The space bound is slightly worse than with banding but
+//! the error guarantee is identical, which is what the SketchML pipeline and
+//! the Appendix A.1 variance analysis rely on.
+
+use crate::error::SketchError;
+use crate::quantile::QuantileSketch;
+use serde::{Deserialize, Serialize};
+
+/// One `(v, g, Δ)` entry of the summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Tuple {
+    value: f64,
+    gap: u64,
+    delta: u64,
+}
+
+/// Greenwald–Khanna quantile summary with deterministic `εn` rank error.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GkSummary {
+    epsilon: f64,
+    tuples: Vec<Tuple>,
+    count: u64,
+    /// Inserts since the last compression pass.
+    since_compress: u64,
+}
+
+impl GkSummary {
+    /// Creates a summary with rank error at most `epsilon * n`.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidParameter`] unless `0 < epsilon < 1`.
+    pub fn new(epsilon: f64) -> Result<Self, SketchError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SketchError::invalid(
+                "epsilon",
+                format!("must be in (0, 1), got {epsilon}"),
+            ));
+        }
+        Ok(GkSummary {
+            epsilon,
+            tuples: Vec::new(),
+            count: 0,
+            since_compress: 0,
+        })
+    }
+
+    /// Creates a summary sized for `q` equi-depth buckets: `ε = 1 / (4q)`,
+    /// so each bucket's population deviates from `n/q` by at most `n/(2q)`.
+    pub fn for_buckets(q: usize) -> Result<Self, SketchError> {
+        if q == 0 {
+            return Err(SketchError::invalid("q", "need at least one bucket"));
+        }
+        Self::new(1.0 / (4.0 * q as f64))
+    }
+
+    /// The configured rank-error fraction ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of tuples currently stored (the summary size `m` of §2.1).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the summary holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// `⌊2εn⌋`, the maximum allowed `g + Δ` minus one.
+    #[inline]
+    fn threshold(&self) -> u64 {
+        (2.0 * self.epsilon * self.count as f64).floor() as u64
+    }
+
+    /// Merges adjacent tuples while the invariant `g_i + g_{i+1} + Δ_{i+1}
+    /// <= 2εn` holds (the paper's `prune` of §2.3; classically "COMPRESS").
+    pub fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let threshold = self.threshold();
+        let mut out: Vec<Tuple> = Vec::with_capacity(self.tuples.len());
+        out.push(self.tuples[0]);
+        // Never merge into the final tuple's position from the left in a way
+        // that removes the maximum; iterate keeping tuple i only if it cannot
+        // be folded into its successor.
+        for i in 1..self.tuples.len() {
+            let cur = self.tuples[i];
+            // Try to fold the previously kept tuple into `cur`.
+            let prev = *out.last().expect("out is non-empty");
+            let is_prev_first = out.len() == 1;
+            if !is_prev_first && prev.gap + cur.gap + cur.delta <= threshold {
+                out.pop();
+                let merged = Tuple {
+                    value: cur.value,
+                    gap: prev.gap + cur.gap,
+                    delta: cur.delta,
+                };
+                out.push(merged);
+            } else {
+                out.push(cur);
+            }
+        }
+        self.tuples = out;
+        self.since_compress = 0;
+    }
+
+    /// Prunes the summary to at most `k + 1` tuples by sampling tuples at
+    /// evenly spaced ranks (paper §2.3: "the prune operation reduces the
+    /// number of summaries to avoid exceeding the maximal size"). The rank
+    /// error grows by at most `n / (2k)`.
+    pub fn prune_to(&mut self, k: usize) {
+        if k == 0 || self.tuples.len() <= k + 1 {
+            return;
+        }
+        let mut kept: Vec<Tuple> = Vec::with_capacity(k + 1);
+        let first = self.tuples[0];
+        kept.push(first);
+        // Cumulative rmin/rmax walk, keeping the tuple whose rmin first
+        // crosses each target rank i*n/k.
+        let n = self.count as f64;
+        let mut rmin: u64 = first.gap;
+        let mut kept_gap_sum: u64 = first.gap;
+        let mut target_idx = 1usize;
+        for t in &self.tuples[1..] {
+            rmin += t.gap;
+            let target = (target_idx as f64 * n / k as f64).ceil() as u64;
+            let is_last_tuple = (t.value, t.gap, t.delta)
+                == (
+                    self.tuples[self.tuples.len() - 1].value,
+                    self.tuples[self.tuples.len() - 1].gap,
+                    self.tuples[self.tuples.len() - 1].delta,
+                );
+            if rmin >= target || is_last_tuple {
+                // The kept tuple's gap absorbs everything skipped since the
+                // previously kept tuple so ranks stay consistent.
+                kept.push(Tuple {
+                    value: t.value,
+                    gap: rmin - kept_gap_sum,
+                    delta: t.delta,
+                });
+                kept_gap_sum = rmin;
+                while (target_idx as f64 * n / k as f64).ceil() as u64 <= rmin {
+                    target_idx += 1;
+                }
+            }
+        }
+        // Always retain the maximum.
+        let last = self.tuples[self.tuples.len() - 1];
+        if kept.last().map(|t| t.value) != Some(last.value) {
+            kept.push(Tuple {
+                value: last.value,
+                gap: self.count - kept_gap_sum,
+                delta: 0,
+            });
+        }
+        self.tuples = kept;
+    }
+
+    /// Merges another summary into this one (paper §2.3 "merge").
+    ///
+    /// The merged summary answers rank queries over the union with error at
+    /// most `max(ε₁, ε₂) + ...` per the Greenwald–Khanna combine rule: a
+    /// tuple drawn from one summary widens its `Δ` by the local uncertainty
+    /// of the other summary around its value.
+    pub fn merge(&mut self, other: &GkSummary) {
+        if other.tuples.is_empty() {
+            return;
+        }
+        if self.tuples.is_empty() {
+            self.tuples = other.tuples.clone();
+            self.count = other.count;
+            self.epsilon = self.epsilon.max(other.epsilon);
+            return;
+        }
+
+        let a = &self.tuples;
+        let b = &other.tuples;
+        let mut merged: Vec<Tuple> = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        // Uncertainty contributed by the *other* summary when a tuple from
+        // one side lands between two tuples of the other: the gap + delta of
+        // the next tuple on that side (0 past the end).
+        let spread = |tuples: &[Tuple], idx: usize| -> u64 {
+            if idx < tuples.len() {
+                tuples[idx].gap + tuples[idx].delta
+            } else {
+                0
+            }
+        };
+        while i < a.len() || j < b.len() {
+            let take_a = match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) => x.value <= y.value,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!("loop condition guarantees an element"),
+            };
+            if take_a {
+                let mut t = a[i];
+                t.delta += spread(b, j).saturating_sub(1);
+                merged.push(t);
+                i += 1;
+            } else {
+                let mut t = b[j];
+                t.delta += spread(a, i).saturating_sub(1);
+                merged.push(t);
+                j += 1;
+            }
+        }
+        self.tuples = merged;
+        self.count += other.count;
+        self.epsilon = self.epsilon.max(other.epsilon);
+        self.compress();
+    }
+}
+
+impl QuantileSketch for GkSummary {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(value.is_finite(), "GK summary requires finite values");
+        self.count += 1;
+        let threshold = self.threshold();
+        // Position of the first tuple with a strictly larger value.
+        let pos = self.tuples.partition_point(|t| t.value <= value);
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            0 // new minimum or maximum: rank known exactly at insertion time
+        } else {
+            threshold.saturating_sub(1)
+        };
+        self.tuples.insert(
+            pos,
+            Tuple {
+                value,
+                gap: 1,
+                delta,
+            },
+        );
+        self.since_compress += 1;
+        let period = (1.0 / (2.0 * self.epsilon)).floor() as u64;
+        if self.since_compress >= period.max(1) {
+            self.compress();
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn min(&self) -> Option<f64> {
+        self.tuples.first().map(|t| t.value)
+    }
+
+    fn max(&self) -> Option<f64> {
+        self.tuples.last().map(|t| t.value)
+    }
+
+    fn query(&self, phi: f64) -> Result<f64, SketchError> {
+        if self.tuples.is_empty() {
+            return Err(SketchError::Empty);
+        }
+        let phi = phi.clamp(0.0, 1.0);
+        if phi == 0.0 {
+            return Ok(self.tuples[0].value);
+        }
+        if phi == 1.0 {
+            return Ok(self.tuples[self.tuples.len() - 1].value);
+        }
+        let target = (phi * self.count as f64).ceil().max(1.0);
+        let allowed = self.epsilon * self.count as f64;
+        // Among tuples satisfying the classic feasibility condition
+        // (rmin >= target - εn and rmax <= target + εn, guaranteed to exist
+        // by the summary invariant), pick the one whose plausible-rank
+        // midpoint is nearest the target. This keeps the εn worst case while
+        // improving the average over the first-feasible rule.
+        let mut rmin: u64 = 0;
+        let mut best = self.tuples[0].value;
+        let mut best_dist = f64::INFINITY;
+        let mut found_feasible = false;
+        for t in &self.tuples {
+            rmin += t.gap;
+            let rmax = rmin + t.delta;
+            let feasible = rmin as f64 >= target - allowed && rmax as f64 <= target + allowed;
+            if found_feasible && !feasible {
+                continue;
+            }
+            let mid = (rmin + rmax) as f64 / 2.0;
+            let dist = (mid - target).abs();
+            if (feasible && !found_feasible) || dist < best_dist {
+                best_dist = dist;
+                best = t.value;
+                found_feasible |= feasible;
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::exact_rank;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn check_rank_error(data: &mut [f64], epsilon: f64) {
+        let mut gk = GkSummary::new(epsilon).unwrap();
+        for &v in data.iter() {
+            gk.insert(v);
+        }
+        data.sort_by(f64::total_cmp);
+        let n = data.len() as f64;
+        for phi_pct in [1u32, 5, 10, 25, 50, 75, 90, 95, 99] {
+            let phi = phi_pct as f64 / 100.0;
+            let est = gk.query(phi).unwrap();
+            let rank = exact_rank(data, est) as f64;
+            let err = (rank - phi * n).abs();
+            assert!(
+                err <= (epsilon * n).ceil() + 1.0,
+                "phi={phi}: rank err {err} > eps*n={}",
+                epsilon * n
+            );
+        }
+    }
+
+    #[test]
+    fn exact_on_small_inputs() {
+        let mut gk = GkSummary::new(0.01).unwrap();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            gk.insert(v);
+        }
+        assert_eq!(gk.query(0.0).unwrap(), 1.0);
+        assert_eq!(gk.query(1.0).unwrap(), 5.0);
+        let med = gk.query(0.5).unwrap();
+        assert!((2.0..=4.0).contains(&med), "median {med} out of tolerance");
+    }
+
+    #[test]
+    fn rank_error_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        check_rank_error(&mut data, 0.01);
+    }
+
+    #[test]
+    fn rank_error_skewed() {
+        // Gradient-like distribution: most mass near zero (paper Figure 4).
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut data: Vec<f64> = (0..20_000)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                u.powi(6) * 0.35 // heavy concentration near 0
+            })
+            .collect();
+        check_rank_error(&mut data, 0.01);
+    }
+
+    #[test]
+    fn rank_error_sorted_and_reversed_input() {
+        let mut asc: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        check_rank_error(&mut asc.clone(), 0.02);
+        asc.reverse();
+        check_rank_error(&mut asc, 0.02);
+    }
+
+    #[test]
+    fn space_stays_sublinear() {
+        let mut gk = GkSummary::new(0.01).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100_000 {
+            gk.insert(rng.gen::<f64>());
+        }
+        // GK guarantees O((1/eps) * log(eps n)); allow a loose multiple.
+        assert!(
+            gk.len() < 4_000,
+            "summary grew to {} tuples for 100k inserts at eps=0.01",
+            gk.len()
+        );
+    }
+
+    #[test]
+    fn merge_preserves_rank_error() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data_a: Vec<f64> = (0..8_000).map(|_| rng.gen::<f64>()).collect();
+        let data_b: Vec<f64> = (0..12_000).map(|_| rng.gen::<f64>() * 2.0).collect();
+        let mut a = GkSummary::new(0.01).unwrap();
+        let mut b = GkSummary::new(0.01).unwrap();
+        a.extend_from_slice(&data_a);
+        b.extend_from_slice(&data_b);
+        a.merge(&b);
+        assert_eq!(a.count(), 20_000);
+
+        let mut all = data_a;
+        all.extend_from_slice(&data_b);
+        all.sort_by(f64::total_cmp);
+        let n = all.len() as f64;
+        for phi in [0.1, 0.5, 0.9] {
+            let est = a.query(phi).unwrap();
+            let rank = exact_rank(&all, est) as f64;
+            // Merge is allowed to roughly double the error.
+            assert!(
+                (rank - phi * n).abs() <= 3.0 * 0.01 * n,
+                "phi={phi}: rank {rank} vs target {}",
+                phi * n
+            );
+        }
+    }
+
+    #[test]
+    fn merge_into_empty_and_from_empty() {
+        let mut a = GkSummary::new(0.05).unwrap();
+        let mut b = GkSummary::new(0.05).unwrap();
+        b.extend_from_slice(&[1.0, 2.0, 3.0]);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.query(1.0).unwrap(), 3.0);
+        let empty = GkSummary::new(0.05).unwrap();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn splits_are_monotone_and_equi_depth() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<f64> = (0..50_000).map(|_| rng.gen::<f64>()).collect();
+        let mut gk = GkSummary::for_buckets(16).unwrap();
+        gk.extend_from_slice(&data);
+        let splits = gk.splits(16).unwrap();
+        assert_eq!(splits.len(), 17);
+        for w in splits.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // Equi-depth: each bucket should hold roughly n/16 items.
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        for w in splits.windows(2) {
+            let cnt = sorted.iter().filter(|&&x| x >= w[0] && x < w[1]).count();
+            let expect = data.len() / 16;
+            assert!(
+                (cnt as i64 - expect as i64).unsigned_abs() < expect as u64 / 2 + 100,
+                "bucket [{}, {}) holds {cnt}, expected ~{expect}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        assert!(GkSummary::new(0.0).is_err());
+        assert!(GkSummary::new(1.0).is_err());
+        assert!(GkSummary::new(-0.1).is_err());
+        assert!(GkSummary::for_buckets(0).is_err());
+    }
+
+    #[test]
+    fn query_empty_errors() {
+        let gk = GkSummary::new(0.1).unwrap();
+        assert_eq!(gk.query(0.5), Err(SketchError::Empty));
+    }
+
+    #[test]
+    fn duplicate_values_are_handled() {
+        let mut gk = GkSummary::new(0.01).unwrap();
+        for _ in 0..1000 {
+            gk.insert(7.0);
+        }
+        for phi in [0.0, 0.3, 0.5, 1.0] {
+            assert_eq!(gk.query(phi).unwrap(), 7.0);
+        }
+    }
+
+    #[test]
+    fn prune_to_bounds_size_and_keeps_accuracy() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let data: Vec<f64> = (0..50_000).map(|_| rng.gen::<f64>()).collect();
+        let mut gk = GkSummary::new(0.002).unwrap();
+        gk.extend_from_slice(&data);
+        let before = gk.len();
+        gk.prune_to(64);
+        assert!(gk.len() <= 66, "pruned to {} tuples", gk.len());
+        assert!(gk.len() < before);
+        // Extremes survive.
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(gk.min().unwrap(), sorted[0]);
+        assert_eq!(gk.max().unwrap(), *sorted.last().unwrap());
+        // Rank error degrades gracefully to ~n/(2k).
+        for phi in [0.25, 0.5, 0.75] {
+            let est = gk.query(phi).unwrap();
+            let rank = exact_rank(&sorted, est) as f64;
+            let err = (rank - phi * data.len() as f64).abs();
+            assert!(
+                err <= data.len() as f64 / 64.0 + data.len() as f64 * 0.002 + 2.0,
+                "phi={phi}: rank error {err} after prune"
+            );
+        }
+    }
+
+    #[test]
+    fn prune_to_noop_on_small_summaries() {
+        let mut gk = GkSummary::new(0.1).unwrap();
+        gk.extend_from_slice(&[1.0, 2.0, 3.0]);
+        let before = gk.len();
+        gk.prune_to(64);
+        assert_eq!(gk.len(), before);
+        gk.prune_to(0);
+        assert_eq!(gk.len(), before);
+    }
+}

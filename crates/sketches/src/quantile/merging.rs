@@ -1,0 +1,374 @@
+//! A mergeable, compactor-based quantile sketch.
+//!
+//! This plays the role of Yahoo DataSketches in the paper's prototype (§3.2
+//! Step 1 (1): "Here we choose Yahoo DataSketches, a state-of-the-art
+//! quantile sketch"). The design follows the KLL/Manku-style compactor
+//! hierarchy: level `l` holds items of weight `2^l`; when a level buffer
+//! reaches capacity `k` it is sorted and *compacted* — every other item
+//! (random parity) survives and is promoted to level `l + 1`, halving the
+//! stored item count while preserving ranks in expectation.
+//!
+//! With capacity `k` per level the standard analysis gives rank error
+//! `O(log(n/k) / k)·n`; `k = 256` comfortably exceeds the paper's "99%
+//! correctness at m = 256" reference point for the sizes we process.
+
+use crate::error::SketchError;
+use crate::hash::mix64;
+use crate::quantile::QuantileSketch;
+use serde::{Deserialize, Serialize};
+
+/// Default per-level buffer capacity (the paper's default sketch size
+/// `m = 128`; see §4.1 "The size of quantile sketch is 128 by default").
+pub const DEFAULT_CAPACITY: usize = 128;
+
+/// Mergeable quantile sketch built from a hierarchy of compactor buffers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MergingQuantileSketch {
+    capacity: usize,
+    /// `levels[l]` holds items of weight `2^l`, unsorted.
+    levels: Vec<Vec<f64>>,
+    count: u64,
+    min: f64,
+    max: f64,
+    /// Deterministic parity source so runs are reproducible.
+    rng_state: u64,
+}
+
+impl MergingQuantileSketch {
+    /// Creates a sketch whose per-level buffers hold `capacity` items.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidParameter`] if `capacity < 2`.
+    pub fn new(capacity: usize) -> Result<Self, SketchError> {
+        if capacity < 2 {
+            return Err(SketchError::invalid(
+                "capacity",
+                format!("must be at least 2, got {capacity}"),
+            ));
+        }
+        Ok(MergingQuantileSketch {
+            capacity,
+            levels: vec![Vec::with_capacity(capacity)],
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            rng_state: 0x5EED_5EED_5EED_5EED,
+        })
+    }
+
+    /// Creates a sketch with the paper's default size (`m = 128`).
+    pub fn with_default_capacity() -> Self {
+        Self::new(DEFAULT_CAPACITY).expect("default capacity is valid")
+    }
+
+    /// Per-level buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently retained across all levels (space cost).
+    pub fn retained(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Deterministic pseudo-random bit for compaction parity.
+    fn next_bit(&mut self) -> bool {
+        self.rng_state = mix64(self.rng_state);
+        self.rng_state & 1 == 1
+    }
+
+    /// Compacts level `l` into level `l + 1`.
+    fn compact_level(&mut self, l: usize) {
+        if self.levels.len() <= l + 1 {
+            self.levels.push(Vec::with_capacity(self.capacity));
+        }
+        let mut buf = std::mem::take(&mut self.levels[l]);
+        buf.sort_by(f64::total_cmp);
+        let offset = usize::from(self.next_bit());
+        let survivors: Vec<f64> = buf.iter().skip(offset).step_by(2).copied().collect();
+        self.levels[l + 1].extend_from_slice(&survivors);
+        // `buf` is dropped; level l is now empty (its Vec was taken).
+        self.levels[l] = buf;
+        self.levels[l].clear();
+    }
+
+    /// Cascades compactions until every level is within capacity.
+    fn maybe_compact(&mut self) {
+        let mut l = 0;
+        while l < self.levels.len() {
+            if self.levels[l].len() >= self.capacity {
+                self.compact_level(l);
+            }
+            l += 1;
+        }
+    }
+
+    /// Merges another sketch into this one. Error grows to the max of the
+    /// two sketches' errors plus at most one extra compaction round.
+    pub fn merge(&mut self, other: &MergingQuantileSketch) {
+        for (l, buf) in other.levels.iter().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            while self.levels.len() <= l {
+                self.levels.push(Vec::with_capacity(self.capacity));
+            }
+            self.levels[l].extend_from_slice(buf);
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.maybe_compact();
+    }
+
+    /// All retained `(value, weight)` pairs, sorted by value.
+    fn weighted_items(&self) -> Vec<(f64, u64)> {
+        let mut items: Vec<(f64, u64)> = Vec::with_capacity(self.retained());
+        for (l, buf) in self.levels.iter().enumerate() {
+            let w = 1u64 << l;
+            items.extend(buf.iter().map(|&v| (v, w)));
+        }
+        items.sort_by(|a, b| a.0.total_cmp(&b.0));
+        items
+    }
+}
+
+impl QuantileSketch for MergingQuantileSketch {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(value.is_finite(), "quantile sketch requires finite values");
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.levels[0].push(value);
+        if self.levels[0].len() >= self.capacity {
+            self.maybe_compact();
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    fn query(&self, phi: f64) -> Result<f64, SketchError> {
+        if self.count == 0 {
+            return Err(SketchError::Empty);
+        }
+        let phi = phi.clamp(0.0, 1.0);
+        if phi == 0.0 {
+            return Ok(self.min);
+        }
+        if phi == 1.0 {
+            return Ok(self.max);
+        }
+        let items = self.weighted_items();
+        let total: u64 = items.iter().map(|&(_, w)| w).sum();
+        let target = (phi * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for &(v, w) in &items {
+            cum += w;
+            if cum >= target {
+                return Ok(v.clamp(self.min, self.max));
+            }
+        }
+        Ok(self.max)
+    }
+
+    /// Splits computed from a single materialization of the weighted items,
+    /// so the `q + 1` queries cost one sort instead of `q + 1`.
+    fn splits(&self, q: usize) -> Result<Vec<f64>, SketchError> {
+        if q == 0 {
+            return Err(SketchError::invalid("q", "need at least one bucket"));
+        }
+        if self.count == 0 {
+            return Err(SketchError::Empty);
+        }
+        let items = self.weighted_items();
+        let total: u64 = items.iter().map(|&(_, w)| w).sum();
+        let mut out = Vec::with_capacity(q + 1);
+        out.push(self.min);
+        let mut cum = 0u64;
+        let mut iter = items.iter();
+        let mut cur = iter.next();
+        for i in 1..q {
+            let target = ((i as f64 / q as f64) * total as f64).ceil().max(1.0) as u64;
+            while let Some(&(v, w)) = cur {
+                if cum + w >= target {
+                    out.push(v.clamp(self.min, self.max));
+                    break;
+                }
+                cum += w;
+                cur = iter.next();
+            }
+            if out.len() < i + 1 {
+                out.push(self.max);
+            }
+        }
+        out.push(self.max);
+        for i in 1..out.len() {
+            if out[i] < out[i - 1] {
+                out[i] = out[i - 1];
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Default for MergingQuantileSketch {
+    fn default() -> Self {
+        Self::with_default_capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::exact_rank;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn rank_error(data: &[f64], sketch: &MergingQuantileSketch, phi: f64) -> f64 {
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let est = sketch.query(phi).unwrap();
+        let rank = exact_rank(&sorted, est) as f64;
+        (rank - phi * data.len() as f64).abs() / data.len() as f64
+    }
+
+    #[test]
+    fn small_input_is_exact() {
+        let mut s = MergingQuantileSketch::new(64).unwrap();
+        for v in [3.0, 1.0, 2.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.query(0.0).unwrap(), 1.0);
+        assert_eq!(s.query(1.0).unwrap(), 3.0);
+        assert_eq!(s.query(0.5).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn rank_error_bounded_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data: Vec<f64> = (0..50_000).map(|_| rng.gen::<f64>()).collect();
+        let mut s = MergingQuantileSketch::new(256).unwrap();
+        s.extend_from_slice(&data);
+        for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let err = rank_error(&data, &s, phi);
+            assert!(err < 0.03, "phi={phi}: relative rank error {err}");
+        }
+    }
+
+    #[test]
+    fn rank_error_bounded_skewed() {
+        let mut rng = StdRng::seed_from_u64(12);
+        // Mimic Figure 4: values concentrated near zero, long negative tail.
+        let data: Vec<f64> = (0..50_000)
+            .map(|_| -(rng.gen::<f64>().powi(8) * 0.353) + 0.004 * rng.gen::<f64>())
+            .collect();
+        let mut s = MergingQuantileSketch::new(256).unwrap();
+        s.extend_from_slice(&data);
+        for phi in [0.05, 0.5, 0.95] {
+            let err = rank_error(&data, &s, phi);
+            assert!(err < 0.03, "phi={phi}: relative rank error {err}");
+        }
+    }
+
+    #[test]
+    fn retained_space_is_logarithmic() {
+        let mut s = MergingQuantileSketch::new(128).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..1_000_000 {
+            s.insert(rng.gen());
+        }
+        // ~capacity per level, ~log2(n/k) levels.
+        assert!(
+            s.retained() <= 128 * 24,
+            "retained {} items for 1M inserts",
+            s.retained()
+        );
+    }
+
+    #[test]
+    fn merge_matches_union_quantiles() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a_data: Vec<f64> = (0..30_000).map(|_| rng.gen::<f64>()).collect();
+        let b_data: Vec<f64> = (0..30_000).map(|_| 1.0 + rng.gen::<f64>()).collect();
+        let mut a = MergingQuantileSketch::new(256).unwrap();
+        let mut b = MergingQuantileSketch::new(256).unwrap();
+        a.extend_from_slice(&a_data);
+        b.extend_from_slice(&b_data);
+        a.merge(&b);
+        assert_eq!(a.count(), 60_000);
+        let mut all = a_data;
+        all.extend_from_slice(&b_data);
+        let err = rank_error(&all, &a, 0.5);
+        assert!(err < 0.04, "post-merge median error {err}");
+        // Union median sits at the boundary of the two populations.
+        let med = a.query(0.5).unwrap();
+        assert!((0.9..=1.1).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn splits_partition_equally() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let data: Vec<f64> = (0..40_000).map(|_| rng.gen::<f64>()).collect();
+        let mut s = MergingQuantileSketch::new(256).unwrap();
+        s.extend_from_slice(&data);
+        let q = 8;
+        let splits = s.splits(q).unwrap();
+        assert_eq!(splits.len(), q + 1);
+        assert_eq!(splits[0], s.min().unwrap());
+        assert_eq!(splits[q], s.max().unwrap());
+        for w in splits.windows(2) {
+            let cnt = data.iter().filter(|&&x| x >= w[0] && x < w[1]).count();
+            let expect = data.len() / q;
+            assert!(
+                (cnt as f64 - expect as f64).abs() < expect as f64 * 0.35,
+                "bucket [{}, {}): {cnt} vs {expect}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let mut s = MergingQuantileSketch::new(64).unwrap();
+            let mut rng = StdRng::seed_from_u64(16);
+            for _ in 0..10_000 {
+                s.insert(rng.gen());
+            }
+            s.query(0.5).unwrap()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn empty_and_invalid() {
+        let s = MergingQuantileSketch::new(64).unwrap();
+        assert_eq!(s.query(0.5), Err(SketchError::Empty));
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert!(MergingQuantileSketch::new(1).is_err());
+        assert!(s.splits(0).is_err());
+    }
+
+    #[test]
+    fn single_item() {
+        let mut s = MergingQuantileSketch::new(64).unwrap();
+        s.insert(42.0);
+        for phi in [0.0, 0.5, 1.0] {
+            assert_eq!(s.query(phi).unwrap(), 42.0);
+        }
+        let splits = s.splits(4).unwrap();
+        assert!(splits.iter().all(|&v| v == 42.0));
+    }
+}

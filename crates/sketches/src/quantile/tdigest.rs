@@ -1,0 +1,319 @@
+//! t-digest — a third quantile-sketch backend (Dunning & Ertl).
+//!
+//! Where GK keeps rank-error guarantees and the compactor sketch keeps
+//! mergeability, the t-digest concentrates its centroids near the
+//! distribution's tails via the scale function `k(q) = δ/2π · asin(2q − 1)`,
+//! giving very accurate extreme quantiles in tiny space — attractive for
+//! gradient compression precisely because Figure 4's mass sits in a narrow
+//! band whose *edges* determine the bucket splits.
+//!
+//! Provided as an alternative backend for
+//! [`quantize`](../../../sketchml_core/quantify/fn.quantize.html)-style
+//! equi-depth splits and benchmarked against the other two sketches.
+
+use crate::error::SketchError;
+use crate::quantile::QuantileSketch;
+use serde::{Deserialize, Serialize};
+
+/// A centroid: a weighted point mass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Centroid {
+    mean: f64,
+    weight: u64,
+}
+
+/// t-digest with the arcsine scale function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TDigest {
+    /// Compression parameter δ: more centroids → more accuracy.
+    delta: f64,
+    centroids: Vec<Centroid>,
+    buffer: Vec<f64>,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl TDigest {
+    /// Creates a digest with compression parameter `delta` (typical: 100).
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidParameter`] unless `delta >= 10`.
+    pub fn new(delta: f64) -> Result<Self, SketchError> {
+        if delta < 10.0 || !delta.is_finite() {
+            return Err(SketchError::invalid(
+                "delta",
+                format!("must be >= 10, got {delta}"),
+            ));
+        }
+        Ok(TDigest {
+            delta,
+            centroids: Vec::new(),
+            buffer: Vec::new(),
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        })
+    }
+
+    /// Number of centroids currently stored.
+    pub fn num_centroids(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Scale function `k(q)`.
+    #[inline]
+    fn k(&self, q: f64) -> f64 {
+        self.delta / (2.0 * std::f64::consts::PI) * (2.0 * q - 1.0).asin()
+    }
+
+    /// Merges the insert buffer into the centroid list (the t-digest
+    /// "merging digest" algorithm).
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut points: Vec<Centroid> = self
+            .buffer
+            .drain(..)
+            .map(|v| Centroid { mean: v, weight: 1 })
+            .collect();
+        points.extend_from_slice(&self.centroids);
+        points.sort_by(|a, b| a.mean.total_cmp(&b.mean));
+
+        let total: u64 = points.iter().map(|c| c.weight).sum();
+        let mut merged: Vec<Centroid> = Vec::with_capacity(self.centroids.len() + 16);
+        let mut acc = points[0];
+        let mut w_so_far: u64 = 0;
+        for &p in &points[1..] {
+            let q0 = w_so_far as f64 / total as f64;
+            let q1 = (w_so_far + acc.weight + p.weight) as f64 / total as f64;
+            // Merge while the combined centroid stays within one k-unit.
+            if self.k(q1.min(1.0)) - self.k(q0) <= 1.0 {
+                let w = acc.weight + p.weight;
+                acc.mean = (acc.mean * acc.weight as f64 + p.mean * p.weight as f64) / w as f64;
+                acc.weight = w;
+            } else {
+                w_so_far += acc.weight;
+                merged.push(acc);
+                acc = p;
+            }
+        }
+        merged.push(acc);
+        self.centroids = merged;
+    }
+
+    /// Merges another digest into this one.
+    pub fn merge(&mut self, other: &TDigest) {
+        let mut other = other.clone();
+        other.flush();
+        self.flush();
+        for c in &other.centroids {
+            // Re-insert as weighted buffer entries via repeated means would
+            // be O(n); instead splice centroid lists and re-merge.
+            self.centroids.push(*c);
+        }
+        self.centroids.sort_by(|a, b| a.mean.total_cmp(&b.mean));
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        // Re-run the merge pass over the combined list.
+        let combined = std::mem::take(&mut self.centroids);
+        self.buffer.clear();
+        self.centroids = combined;
+        self.re_merge();
+    }
+
+    /// Re-compresses the centroid list in place.
+    fn re_merge(&mut self) {
+        if self.centroids.len() < 2 {
+            return;
+        }
+        let points = std::mem::take(&mut self.centroids);
+        let total: u64 = points.iter().map(|c| c.weight).sum();
+        let mut merged: Vec<Centroid> = Vec::with_capacity(points.len());
+        let mut acc = points[0];
+        let mut w_so_far: u64 = 0;
+        for &p in &points[1..] {
+            let q0 = w_so_far as f64 / total as f64;
+            let q1 = (w_so_far + acc.weight + p.weight) as f64 / total as f64;
+            if self.k(q1.min(1.0)) - self.k(q0) <= 1.0 {
+                let w = acc.weight + p.weight;
+                acc.mean = (acc.mean * acc.weight as f64 + p.mean * p.weight as f64) / w as f64;
+                acc.weight = w;
+            } else {
+                w_so_far += acc.weight;
+                merged.push(acc);
+                acc = p;
+            }
+        }
+        merged.push(acc);
+        self.centroids = merged;
+    }
+}
+
+impl QuantileSketch for TDigest {
+    fn insert(&mut self, value: f64) {
+        debug_assert!(value.is_finite());
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buffer.push(value);
+        if self.buffer.len() >= (self.delta as usize) * 4 {
+            self.flush();
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    fn query(&self, phi: f64) -> Result<f64, SketchError> {
+        if self.count == 0 {
+            return Err(SketchError::Empty);
+        }
+        let phi = phi.clamp(0.0, 1.0);
+        if phi == 0.0 {
+            return Ok(self.min);
+        }
+        if phi == 1.0 {
+            return Ok(self.max);
+        }
+        // Work on a flushed clone so query can take &self.
+        let mut snapshot = self.clone();
+        snapshot.flush();
+        let total: u64 = snapshot.centroids.iter().map(|c| c.weight).sum();
+        let target = phi * total as f64;
+        let mut w_so_far = 0.0f64;
+        for c in &snapshot.centroids {
+            let w = c.weight as f64;
+            if w_so_far + w >= target {
+                return Ok(c.mean.clamp(snapshot.min, snapshot.max));
+            }
+            w_so_far += w;
+        }
+        Ok(snapshot.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn rank_err(data: &[f64], sketch: &TDigest, phi: f64) -> f64 {
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let est = sketch.query(phi).unwrap();
+        let rank = sorted.iter().filter(|&&x| x <= est).count() as f64;
+        (rank - phi * data.len() as f64).abs() / data.len() as f64
+    }
+
+    #[test]
+    fn accurate_on_uniform_data() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let data: Vec<f64> = (0..100_000).map(|_| rng.gen::<f64>()).collect();
+        let mut td = TDigest::new(100.0).unwrap();
+        td.extend_from_slice(&data);
+        for phi in [0.01, 0.1, 0.5, 0.9, 0.99] {
+            let err = rank_err(&data, &td, phi);
+            assert!(err < 0.02, "phi={phi}: rank error {err}");
+        }
+    }
+
+    #[test]
+    fn tails_are_extra_accurate() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let data: Vec<f64> = (0..100_000).map(|_| rng.gen::<f64>()).collect();
+        let mut td = TDigest::new(100.0).unwrap();
+        td.extend_from_slice(&data);
+        // Tail quantiles should be tighter than the median's error budget.
+        let tail = rank_err(&data, &td, 0.999);
+        assert!(tail < 0.005, "tail error {tail}");
+        assert_eq!(td.query(0.0).unwrap(), td.min().unwrap());
+        assert_eq!(td.query(1.0).unwrap(), td.max().unwrap());
+    }
+
+    #[test]
+    fn space_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let mut td = TDigest::new(100.0).unwrap();
+        for _ in 0..1_000_000 {
+            td.insert(rng.gen::<f64>());
+        }
+        let mut flushed = td.clone();
+        flushed.flush();
+        assert!(
+            flushed.num_centroids() < 300,
+            "centroid count {} should stay near delta",
+            flushed.num_centroids()
+        );
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let mut a = TDigest::new(100.0).unwrap();
+        let mut b = TDigest::new(100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(74);
+        let left: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        let right: Vec<f64> = (0..20_000).map(|_| 1.0 + rng.gen::<f64>()).collect();
+        a.extend_from_slice(&left);
+        b.extend_from_slice(&right);
+        a.merge(&b);
+        assert_eq!(a.count(), 40_000);
+        let med = a.query(0.5).unwrap();
+        assert!((0.9..=1.1).contains(&med), "union median {med}");
+        let mut all = left;
+        all.extend_from_slice(&right);
+        assert!(rank_err(&all, &a, 0.25) < 0.03);
+    }
+
+    #[test]
+    fn skewed_gradient_distribution() {
+        // Figure 4-like mass near zero: t-digest must resolve the tails.
+        let mut rng = StdRng::seed_from_u64(75);
+        let data: Vec<f64> = (0..50_000)
+            .map(|_| {
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                sign * rng.gen::<f64>().powi(6) * 0.35
+            })
+            .collect();
+        let mut td = TDigest::new(128.0).unwrap();
+        td.extend_from_slice(&data);
+        for phi in [0.05, 0.5, 0.95] {
+            let err = rank_err(&data, &td, phi);
+            assert!(err < 0.02, "phi={phi}: {err}");
+        }
+        let splits = td.splits(16).unwrap();
+        assert_eq!(splits.len(), 17);
+        for w in splits.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn invalid_and_empty() {
+        assert!(TDigest::new(5.0).is_err());
+        let td = TDigest::new(50.0).unwrap();
+        assert!(td.query(0.5).is_err());
+        assert_eq!(td.min(), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut td = TDigest::new(50.0).unwrap();
+        td.insert(7.5);
+        for phi in [0.0, 0.5, 1.0] {
+            assert_eq!(td.query(phi).unwrap(), 7.5);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! End-to-end distributed training: ℓ2-regularized logistic regression on a
+//! KDD12-like sparse dataset across ten simulated workers, comparing
+//! SketchML against uncompressed Adam — the paper's §4.3 workload in
+//! miniature.
+//!
+//! Run with: `cargo run --release --example distributed_logistic_regression`
+
+use sketchml::{
+    train_distributed, ClusterConfig, GlmLoss, GradientCompressor, RawCompressor,
+    SketchMlCompressor, SparseDatasetSpec, TrainSpec,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = SparseDatasetSpec::kdd12_like().scaled(0.5);
+    println!(
+        "dataset: {} — {} instances, {} features",
+        spec.name, spec.instances, spec.features
+    );
+    let (train, test) = spec.generate_split();
+    let cluster = ClusterConfig::cluster2(10);
+    let tspec = TrainSpec::paper(GlmLoss::Logistic, 0.02, 6);
+
+    for compressor in [
+        &SketchMlCompressor::default() as &dyn GradientCompressor,
+        &RawCompressor::default(),
+    ] {
+        let report = train_distributed(
+            &train,
+            &test,
+            spec.features as usize,
+            &tspec,
+            &cluster,
+            compressor,
+        )?;
+        println!(
+            "\n== {} ==  ({} workers, batch = {:.0}% of train)",
+            report.method,
+            report.workers,
+            cluster.batch_ratio * 100.0
+        );
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12}",
+            "epoch", "sim secs", "msg MB", "train loss", "test loss"
+        );
+        for e in &report.epochs {
+            println!(
+                "{:>6} {:>12.3} {:>12.3} {:>12.5} {:>12.5}",
+                e.epoch,
+                e.sim_seconds,
+                e.uplink_bytes as f64 / 1e6,
+                e.train_loss,
+                e.test_loss
+            );
+        }
+        println!(
+            "avg epoch: {:.3}s, compression rate {:.2}x, accuracy {:.1}%",
+            report.avg_epoch_seconds(),
+            report.compression_rate(),
+            report.accuracy.unwrap_or(0.0) * 100.0
+        );
+    }
+    println!(
+        "\nSketchML trains the same model in a fraction of the simulated \
+         time by shrinking every gradient message (§4.3)."
+    );
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! `sketchml-cli` — compress, decompress and inspect sparse gradients from
+//! the command line.
+//!
+//! ```text
+//! sketchml-cli methods
+//! sketchml-cli compress   <method> <input.grad> <output.bin>
+//! sketchml-cli decompress <method> <input.bin>  <output.grad>
+//! sketchml-cli roundtrip  <method> <input.grad>
+//! sketchml-cli demo
+//! ```
+//!
+//! Gradient text format: a `dim <D>` header line, then ascending
+//! `key value` lines (`#` comments allowed).
+
+use sketchml::core::gradient_io::{read_gradient, write_gradient};
+use sketchml::core::registry::{by_name, KNOWN_COMPRESSORS};
+use sketchml::core::roundtrip_error;
+use sketchml::SparseGradient;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sketchml-cli methods\n  sketchml-cli compress   <method> <in.grad> <out.bin>\n  \
+         sketchml-cli decompress <method> <in.bin> <out.grad>\n  \
+         sketchml-cli roundtrip  <method> <in.grad>\n  sketchml-cli demo"
+    );
+    ExitCode::from(2)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("methods") => {
+            for name in KNOWN_COMPRESSORS {
+                println!("{name}");
+            }
+        }
+        Some("compress") if args.len() == 4 => {
+            let compressor = by_name(&args[1])?;
+            let grad = read_gradient(BufReader::new(File::open(&args[2])?))?;
+            let msg = compressor.compress(&grad)?;
+            let mut out = BufWriter::new(File::create(&args[3])?);
+            out.write_all(&msg.payload)?;
+            out.flush()?;
+            println!(
+                "{}: {} pairs, {} -> {} bytes ({:.2}x)",
+                compressor.name(),
+                grad.nnz(),
+                12 * grad.nnz(),
+                msg.len(),
+                msg.report.compression_rate()
+            );
+        }
+        Some("decompress") if args.len() == 4 => {
+            let compressor = by_name(&args[1])?;
+            let mut payload = Vec::new();
+            File::open(&args[2])?.read_to_end(&mut payload)?;
+            let grad = compressor.decompress(&payload)?;
+            write_gradient(&grad, BufWriter::new(File::create(&args[3])?))?;
+            println!(
+                "{}: decoded {} pairs over {} dimensions",
+                compressor.name(),
+                grad.nnz(),
+                grad.dim()
+            );
+        }
+        Some("roundtrip") if args.len() == 3 => {
+            let compressor = by_name(&args[1])?;
+            let grad = read_gradient(BufReader::new(File::open(&args[2])?))?;
+            let stats = roundtrip_error(compressor.as_ref(), &grad)?;
+            println!(
+                "{}: {} -> {} bytes ({:.2}x), rel l2 err {:.5}, sign flips {}",
+                compressor.name(),
+                12 * stats.pairs_in,
+                stats.compressed_bytes,
+                stats.report.compression_rate(),
+                stats.squared_error.sqrt() / grad.l2_norm().max(f64::MIN_POSITIVE),
+                stats.sign_flips
+            );
+        }
+        Some("demo") => {
+            // The Figure 3 running example, end to end.
+            let grad = SparseGradient::new(
+                1_000_000,
+                vec![702, 735, 1244, 2516, 3536, 3786, 4187, 4195],
+                vec![-0.01, 0.21, 0.08, -0.05, -0.12, 0.29, 0.02, -0.27],
+            )?;
+            println!("input (Figure 3 of the paper):");
+            let mut text = Vec::new();
+            write_gradient(&grad, &mut text)?;
+            print!("{}", String::from_utf8_lossy(&text));
+            for name in ["sketchml", "zipml", "adam"] {
+                let c = by_name(name)?;
+                let stats = roundtrip_error(c.as_ref(), &grad)?;
+                println!(
+                    "{:<10} {:>4} bytes  rel_err {:.4}  sign_flips {}",
+                    c.name(),
+                    stats.compressed_bytes,
+                    stats.squared_error.sqrt() / grad.l2_norm(),
+                    stats.sign_flips
+                );
+            }
+        }
+        _ => {
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let known = matches!(
+        args.first().map(String::as_str),
+        Some("methods") | Some("compress") | Some("decompress") | Some("roundtrip") | Some("demo")
+    );
+    if !known {
+        return usage();
+    }
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

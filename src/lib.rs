@@ -1,0 +1,68 @@
+//! # sketchml
+//!
+//! A from-scratch Rust reproduction of **"SketchML: Accelerating Distributed
+//! Machine Learning with Data Sketches"** (Jiang, Fu, Yang, Cui — SIGMOD
+//! 2018): sketch-based compression for the sparse key-value gradients
+//! exchanged by distributed SGD, together with every substrate the paper's
+//! evaluation depends on.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`sketches`] — quantile sketches (Greenwald–Khanna, mergeable
+//!   compactor), Count-Min, and the paper's novel **MinMaxSketch**;
+//! - [`encoding`] — delta-binary key coding plus bitmap / RLE / Huffman /
+//!   CSR baselines;
+//! - [`core`] — the [`SketchMlCompressor`] pipeline and the Adam / ZipML /
+//!   truncation baselines behind the [`GradientCompressor`] trait;
+//! - [`ml`] — LR / SVM / Linear GLMs, Adam SGD, and an MLP;
+//! - [`data`] — synthetic KDD10/KDD12/CTR-like datasets and libsvm IO;
+//! - [`cluster`] — the driver/executor distributed-training simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sketchml::{GradientCompressor, SketchMlCompressor, SparseGradient};
+//!
+//! // A sparse gradient: ascending keys, skewed near-zero values (Fig. 3).
+//! let grad = SparseGradient::new(
+//!     1_000_000,
+//!     vec![702, 735, 1244, 2516, 3536, 3786, 4187, 4195],
+//!     vec![-0.01, 0.21, 0.08, -0.05, -0.12, 0.29, 0.02, -0.27],
+//! )?;
+//!
+//! let compressor = SketchMlCompressor::default();
+//! let message = compressor.compress(&grad)?;
+//! let decoded = compressor.decompress(&message.payload)?;
+//!
+//! assert_eq!(decoded.keys(), grad.keys()); // keys decode exactly (§3.4)
+//! for ((_, v), (_, d)) in grad.iter().zip(decoded.iter()) {
+//!     assert_eq!(v.signum(), d.signum()); // no reversed gradients (§3.3)
+//! }
+//! # Ok::<(), sketchml::CompressError>(())
+//! ```
+//!
+//! See `examples/` for end-to-end training runs and DESIGN.md for the full
+//! experiment index.
+
+#![warn(missing_docs)]
+
+pub use sketchml_cluster as cluster;
+pub use sketchml_core as core;
+pub use sketchml_data as data;
+pub use sketchml_encoding as encoding;
+pub use sketchml_ml as ml;
+pub use sketchml_sketches as sketches;
+
+pub use sketchml_cluster::{
+    train_distributed, train_parameter_server, train_ssp, ClusterConfig, ShardMap, SspConfig,
+    TrainReport, TrainSpec,
+};
+pub use sketchml_core::{
+    compressor_by_name, CompressError, CompressedGradient, ErrorFeedback, GradientCompressor,
+    KeyCompressor, QuantCompressor, RawCompressor, Rounding, SketchMlCompressor, SketchMlConfig,
+    SparseGradient, TruncationCompressor, ZipMlCompressor,
+};
+pub use sketchml_data::{MnistLikeSpec, SparseDatasetSpec};
+pub use sketchml_ml::{
+    AdaGrad, Adam, AdamConfig, GlmLoss, GlmModel, Instance, Momentum, OptimizerKind, SparseVector,
+};

@@ -1,0 +1,118 @@
+//! End-to-end tests of the `sketchml-cli` binary.
+
+use std::fs;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sketchml-cli"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sketchml-cli-tests");
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn methods_lists_known_compressors() {
+    let out = cli().arg("methods").output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sketchml"));
+    assert!(stdout.contains("zipml"));
+}
+
+#[test]
+fn compress_decompress_roundtrip_via_files() {
+    let input = tmp("roundtrip.grad");
+    let bin = tmp("roundtrip.bin");
+    let output = tmp("roundtrip_out.grad");
+    // A gradient large enough for real compression.
+    let mut text = String::from("dim 500000\n");
+    for i in 0..5_000u64 {
+        let v = if i % 2 == 0 {
+            0.001 * (i % 17) as f64 + 1e-6
+        } else {
+            -0.002 * (i % 13) as f64 - 1e-6
+        };
+        text.push_str(&format!("{} {v}\n", i * 97));
+    }
+    fs::write(&input, text).expect("write input");
+
+    let out = cli()
+        .args(["compress", "sketchml"])
+        .arg(&input)
+        .arg(&bin)
+        .output()
+        .expect("compress");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = cli()
+        .args(["decompress", "sketchml"])
+        .arg(&bin)
+        .arg(&output)
+        .output()
+        .expect("decompress");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Keys must round-trip exactly through the files.
+    let round = fs::read_to_string(&output).expect("read output");
+    let keys: Vec<&str> = round
+        .lines()
+        .skip(1)
+        .map(|l| l.split_whitespace().next().unwrap())
+        .collect();
+    assert_eq!(keys.len(), 5_000);
+    assert_eq!(keys[0], "0");
+    assert_eq!(keys[1], "97");
+    // Compressed file is smaller than the 12-byte/pair raw representation.
+    let compressed = fs::metadata(&bin).expect("bin metadata").len();
+    assert!(compressed < 12 * 5_000);
+}
+
+#[test]
+fn roundtrip_subcommand_reports_stats() {
+    let input = tmp("stats.grad");
+    fs::write(&input, "dim 100\n1 0.5\n50 -0.25\n99 0.125\n").expect("write");
+    let out = cli()
+        .args(["roundtrip", "adam"])
+        .arg(&input)
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sign flips 0"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_and_bad_method_fail_cleanly() {
+    let out = cli().arg("frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+
+    let input = tmp("bad_method.grad");
+    fs::write(&input, "dim 10\n1 0.5\n").expect("write");
+    let out = cli()
+        .args(["roundtrip", "gzip"])
+        .arg(&input)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown compressor"));
+}
+
+#[test]
+fn demo_prints_figure3_example() {
+    let out = cli().arg("demo").output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("702"), "Figure 3 keys present");
+    assert!(stdout.contains("SketchML"));
+}

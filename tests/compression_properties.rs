@@ -1,0 +1,89 @@
+//! Cross-crate property tests of the compression stack, driven through the
+//! facade crate: losslessness of keys, §3.3 safety, failure injection.
+
+use proptest::collection::btree_map;
+use proptest::prelude::*;
+use sketchml::{
+    GradientCompressor, QuantCompressor, RawCompressor, SketchMlCompressor, SparseGradient,
+    ZipMlCompressor,
+};
+
+fn arb_gradient() -> impl Strategy<Value = SparseGradient> {
+    btree_map(0u64..2_000_000, -1.0f64..1.0, 1..400).prop_map(|m| {
+        let keys: Vec<u64> = m.keys().copied().collect();
+        let values: Vec<f64> = m
+            .values()
+            .map(|&v| if v == 0.0 { 1e-9 } else { v })
+            .collect();
+        SparseGradient::new(2_000_000, keys, values).expect("ascending keys")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The paper's correctness contract, end to end through the facade.
+    #[test]
+    fn facade_sketchml_contract(grad in arb_gradient()) {
+        let c = SketchMlCompressor::default();
+        let msg = c.compress(&grad).expect("compress");
+        let out = c.decompress(&msg.payload).expect("decompress");
+        prop_assert_eq!(out.keys(), grad.keys());
+        prop_assert_eq!(out.dim(), grad.dim());
+        let max_mag = grad.values().iter().fold(0f64, |a, v| a.max(v.abs()));
+        for ((_, i), (_, o)) in grad.iter().zip(out.iter()) {
+            prop_assert!(i.signum() == o.signum() || o == 0.0);
+            prop_assert!(o.abs() <= max_mag + 1e-12);
+        }
+    }
+
+    /// Messages from one compressor are rejected (not mis-decoded) by the
+    /// others — the magic bytes keep wire formats apart.
+    #[test]
+    fn wire_formats_are_distinguishable(grad in arb_gradient()) {
+        let sk = SketchMlCompressor::default();
+        let quan = QuantCompressor::default();
+        let raw = RawCompressor::default();
+        let zip = ZipMlCompressor::paper_default();
+        let msg = sk.compress(&grad).expect("compress");
+        prop_assert!(quan.decompress(&msg.payload).is_err());
+        prop_assert!(raw.decompress(&msg.payload).is_err());
+        prop_assert!(zip.decompress(&msg.payload).is_err());
+    }
+
+    /// Bit-flip fault injection: a corrupted SketchML message must never
+    /// panic and must never decode to a *different key set silently* with a
+    /// valid structure claiming the same nnz... (decoding may fail, or
+    /// succeed with decayed values — but any success keeps keys within the
+    /// declared dimension and values finite).
+    #[test]
+    fn corrupted_messages_fail_safely(
+        grad in arb_gradient(),
+        flip_at in any::<prop::sample::Index>(),
+        flip_mask in 1u8..=255,
+    ) {
+        let c = SketchMlCompressor::default();
+        let msg = c.compress(&grad).expect("compress");
+        let mut bytes = msg.payload.to_vec();
+        let i = flip_at.index(bytes.len());
+        bytes[i] ^= flip_mask;
+        if let Ok(decoded) = c.decompress(&bytes) {
+            for (k, v) in decoded.iter() {
+                prop_assert!(k < decoded.dim());
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    /// Aggregating per-worker decompressed gradients equals decompressing
+    /// and aggregating — the driver path is linear.
+    #[test]
+    fn aggregation_is_linear(a in arb_gradient(), b in arb_gradient()) {
+        let raw = RawCompressor::default();
+        let da = raw.decompress(&raw.compress(&a).expect("a").payload).expect("da");
+        let db = raw.decompress(&raw.compress(&b).expect("b").payload).expect("db");
+        let sum = SparseGradient::aggregate(&[da, db]).expect("sum");
+        let direct = SparseGradient::aggregate(&[a, b]).expect("direct");
+        prop_assert_eq!(sum, direct);
+    }
+}

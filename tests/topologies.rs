@@ -1,0 +1,110 @@
+//! Cross-crate integration tests for the alternative training topologies:
+//! parameter server and stale-synchronous parallelism, driven through the
+//! facade crate.
+
+use sketchml::cluster::ssp::SspConfig;
+use sketchml::{
+    train_distributed, train_parameter_server, train_ssp, ClusterConfig, GlmLoss,
+    GradientCompressor, RawCompressor, SketchMlCompressor, SparseDatasetSpec, TrainSpec,
+};
+
+fn dataset() -> (Vec<sketchml::Instance>, Vec<sketchml::Instance>, usize) {
+    let spec = SparseDatasetSpec {
+        name: "topo".into(),
+        instances: 1_600,
+        features: 40_000,
+        avg_nnz: 22,
+        skew: 1.1,
+        label_noise: 0.02,
+        task: sketchml::data::Task::Classification,
+        seed: 321,
+    };
+    let (tr, te) = spec.generate_split();
+    (tr, te, 40_000)
+}
+
+#[test]
+fn three_topologies_reach_comparable_quality() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 6);
+    let cluster = ClusterConfig::cluster1(4);
+    let c = SketchMlCompressor::default();
+
+    let driver = train_distributed(&train, &test, dim, &spec, &cluster, &c).unwrap();
+    let ps = train_parameter_server(&train, &test, dim, &spec, &cluster, 4, &c).unwrap();
+    let ssp = train_ssp(
+        &train,
+        &test,
+        dim,
+        &spec,
+        &cluster,
+        &SspConfig::ssp(2, 0.5),
+        &c,
+    )
+    .unwrap();
+
+    let baseline = (2f64).ln(); // zero model's logistic loss
+    for (name, loss) in [
+        ("driver", driver.best_test_loss()),
+        ("ps", ps.best_test_loss()),
+        ("ssp", ssp.best_test_loss()),
+    ] {
+        assert!(
+            loss < baseline * 0.95,
+            "{name}: loss {loss} did not beat the zero model"
+        );
+    }
+    // Under a *lossless* compressor, driver and PS are mathematically
+    // identical runs (with SketchML they differ: PS quantizes per shard).
+    let raw = RawCompressor::default();
+    let d = train_distributed(&train, &test, dim, &spec, &cluster, &raw).unwrap();
+    let p = train_parameter_server(&train, &test, dim, &spec, &cluster, 4, &raw).unwrap();
+    assert!((d.best_test_loss() - p.best_test_loss()).abs() < 1e-9);
+}
+
+#[test]
+fn compression_wins_in_every_topology() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 2);
+    let cluster = ClusterConfig::cluster1(4);
+    let sk = SketchMlCompressor::default();
+    let raw = RawCompressor::default();
+
+    let t_driver = |c: &dyn GradientCompressor| {
+        train_distributed(&train, &test, dim, &spec, &cluster, c)
+            .unwrap()
+            .avg_epoch_seconds()
+    };
+    let t_ps = |c: &dyn GradientCompressor| {
+        train_parameter_server(&train, &test, dim, &spec, &cluster, 4, c)
+            .unwrap()
+            .avg_epoch_seconds()
+    };
+    let t_ssp = |c: &dyn GradientCompressor| {
+        train_ssp(
+            &train,
+            &test,
+            dim,
+            &spec,
+            &cluster,
+            &SspConfig::ssp(1, 0.5),
+            c,
+        )
+        .unwrap()
+        .total_sim_seconds()
+    };
+    assert!(t_driver(&sk) < t_driver(&raw), "driver");
+    assert!(t_ps(&sk) < t_ps(&raw), "parameter server");
+    assert!(t_ssp(&sk) < t_ssp(&raw), "ssp");
+}
+
+#[test]
+fn shard_map_facade_access() {
+    use sketchml::ShardMap;
+    let m = ShardMap::new(1000, 5);
+    let g = sketchml::SparseGradient::new(1000, vec![0, 500, 999], vec![1.0, 2.0, 3.0]).unwrap();
+    let split = m.split(&g);
+    assert_eq!(split.len(), 5);
+    let merged = sketchml::SparseGradient::aggregate(&split).unwrap();
+    assert_eq!(merged, g);
+}
