@@ -1,0 +1,162 @@
+//! Figure 8(c) extension — compression CPU overhead vs. worker threads.
+//!
+//! The paper measures the CPU overhead SketchML adds on one core; this
+//! experiment asks how far the parallel sharded engine
+//! ([`sketchml_core::ShardedCompressor`]) can push that cost down by
+//! encoding the key-range shards of each message concurrently.
+//!
+//! The sweep compresses one d=1M synthetic gradient with the same shard
+//! count at 1/2/4/8 threads, so every run produces **byte-identical
+//! payloads** (asserted) and byte-identical decodes (asserted) — threads buy
+//! wall-clock time only, never bytes. Expected shape: near-linear encode
+//! scaling to the physical core count, with ≥2× at 8 threads vs 1.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::Serialize;
+use sketchml_bench::output::{print_table, write_json, ExperimentOutput};
+use sketchml_core::{GradientCompressor, ShardedCompressor, SketchMlCompressor, SparseGradient};
+use std::time::Instant;
+
+const DIM: u64 = 1_000_000;
+const NNZ: usize = 200_000;
+const SHARDS: usize = 8;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 5;
+
+#[derive(Serialize)]
+struct Row {
+    threads: usize,
+    encode_ms: f64,
+    decode_ms: f64,
+    encode_mpairs_per_sec: f64,
+    encode_speedup: f64,
+    decode_speedup: f64,
+    payload_bytes: usize,
+}
+
+/// Dense-ish synthetic gradient over d=1M, Gaussian values.
+fn synthetic_gradient() -> SparseGradient {
+    let mut rng = StdRng::seed_from_u64(0xF18C);
+    let mut keys: Vec<u64> = Vec::with_capacity(NNZ);
+    let mut next = 0u64;
+    let stride = DIM / NNZ as u64;
+    for _ in 0..NNZ {
+        next += rng.gen_range(1..=2 * stride - 1);
+        keys.push(next.min(DIM - 1));
+    }
+    keys.dedup();
+    let values: Vec<f64> = keys
+        .iter()
+        .map(|_| rng.sample::<f64, _>(rand_distr::StandardNormal) * 0.1)
+        .collect();
+    SparseGradient::new(DIM, keys, values).expect("synthetic gradient is valid")
+}
+
+/// Best-of-`REPS` wall time for `f`, in seconds.
+fn best_secs(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let grad = synthetic_gradient();
+    let nnz = grad.nnz();
+    println!("gradient: d={DIM}, nnz={nnz}, shards={SHARDS}, reps={REPS}, cores={cores}");
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut reference: Option<(Vec<u8>, SparseGradient, f64, f64)> = None;
+
+    for &threads in &THREADS {
+        let engine = ShardedCompressor::new(SketchMlCompressor::default(), SHARDS)
+            .expect("shard count in range")
+            .with_threads(threads)
+            .expect("thread count in range");
+
+        let msg = engine.compress(&grad).expect("compress");
+        let decoded = engine.decompress(&msg.payload).expect("decompress");
+        let encode_secs = best_secs(|| {
+            engine.compress(&grad).expect("compress");
+        });
+        let decode_secs = best_secs(|| {
+            engine.decompress(&msg.payload).expect("decompress");
+        });
+
+        match &reference {
+            None => {
+                reference = Some((
+                    msg.payload.to_vec(),
+                    decoded.clone(),
+                    encode_secs,
+                    decode_secs,
+                ));
+            }
+            Some((ref_payload, ref_decoded, _, _)) => {
+                assert_eq!(
+                    ref_payload[..],
+                    msg.payload[..],
+                    "payload must be byte-identical across thread counts"
+                );
+                assert_eq!(
+                    (ref_decoded.keys(), ref_decoded.values()),
+                    (decoded.keys(), decoded.values()),
+                    "decode must be element-identical across thread counts"
+                );
+            }
+        }
+
+        let (_, _, encode_base, decode_base) = reference.as_ref().expect("reference set");
+        let row = Row {
+            threads,
+            encode_ms: encode_secs * 1e3,
+            decode_ms: decode_secs * 1e3,
+            encode_mpairs_per_sec: nnz as f64 / encode_secs / 1e6,
+            encode_speedup: encode_base / encode_secs,
+            decode_speedup: decode_base / decode_secs,
+            payload_bytes: msg.payload.len(),
+        };
+        rows.push(vec![
+            row.threads.to_string(),
+            format!("{:.2}", row.encode_ms),
+            format!("{:.2}", row.decode_ms),
+            format!("{:.2}", row.encode_mpairs_per_sec),
+            format!("{:.2}x", row.encode_speedup),
+            format!("{:.2}x", row.decode_speedup),
+            row.payload_bytes.to_string(),
+        ]);
+        json.push(row);
+    }
+
+    print_table(
+        "Figure 8(c) extension: SketchML encode/decode vs threads (d=1M)",
+        &[
+            "Threads",
+            "Encode ms",
+            "Decode ms",
+            "Mpairs/s",
+            "Enc speedup",
+            "Dec speedup",
+            "Bytes",
+        ],
+        &rows,
+    );
+    let at8 = json.last().expect("8-thread row").encode_speedup;
+    println!(
+        "\nPayloads byte-identical across all thread counts; encode speedup at \
+         {} threads: {at8:.2}x on {cores} core(s) (expect >= 2x on >= 8 cores; \
+         on fewer cores the engine degrades gracefully to serial speed).",
+        THREADS[THREADS.len() - 1]
+    );
+    write_json(&ExperimentOutput {
+        id: "fig8c_parallel".into(),
+        paper_ref: "Figure 8(c), thread-count extension".into(),
+        results: json,
+    });
+}

@@ -2,6 +2,7 @@
 
 use crate::network::CostModel;
 use serde::{Deserialize, Serialize};
+use sketchml_core::{CompressError, GradientCompressor, ShardedCompressor};
 
 /// Configuration of one simulated training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -16,6 +17,11 @@ pub struct ClusterConfig {
     /// compressor (the paper's driver broadcasts the model delta; both
     /// directions shrink under compression).
     pub compress_downlink: bool,
+    /// Threads used to compress/decompress each message via the parallel
+    /// sharded engine ([`ShardedCompressor`]). `1` (the default) keeps the
+    /// compressor's native single-threaded wire format; `> 1` splits every
+    /// message into that many key-range shards encoded concurrently.
+    pub compress_threads: usize,
 }
 
 impl ClusterConfig {
@@ -26,6 +32,7 @@ impl ClusterConfig {
             cost: CostModel::cluster1(),
             batch_ratio: 0.1,
             compress_downlink: true,
+            compress_threads: 1,
         }
     }
 
@@ -36,6 +43,7 @@ impl ClusterConfig {
             cost: CostModel::cluster2(),
             batch_ratio: 0.1,
             compress_downlink: true,
+            compress_threads: 1,
         }
     }
 
@@ -50,6 +58,7 @@ impl ClusterConfig {
             cost,
             batch_ratio: 0.1,
             compress_downlink: false,
+            compress_threads: 1,
         }
     }
 
@@ -57,6 +66,34 @@ impl ClusterConfig {
     pub fn with_batch_ratio(mut self, ratio: f64) -> Self {
         self.batch_ratio = ratio;
         self
+    }
+
+    /// Overrides the per-message compression thread count (the Figure 8(c)
+    /// thread-sweep extension).
+    pub fn with_compress_threads(mut self, threads: usize) -> Self {
+        self.compress_threads = threads.max(1);
+        self
+    }
+
+    /// Wraps `inner` in the parallel sharded engine when `compress_threads`
+    /// exceeds one; returns `None` when the native compressor should be used
+    /// directly. Call sites keep the returned value alive and borrow it as a
+    /// `&dyn GradientCompressor`.
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidConfig`] if `compress_threads` is out of the
+    /// sharded engine's range.
+    pub fn sharded_compressor<'a>(
+        &self,
+        inner: &'a dyn GradientCompressor,
+    ) -> Result<Option<ShardedCompressor<&'a dyn GradientCompressor>>, CompressError> {
+        if self.compress_threads <= 1 {
+            return Ok(None);
+        }
+        Ok(Some(
+            ShardedCompressor::new(inner, self.compress_threads)?
+                .with_threads(self.compress_threads)?,
+        ))
     }
 }
 
@@ -85,5 +122,25 @@ mod tests {
     fn batch_ratio_override() {
         let c = ClusterConfig::cluster1(10).with_batch_ratio(0.01);
         assert_eq!(c.batch_ratio, 0.01);
+    }
+
+    #[test]
+    fn compress_threads_selects_sharded_engine() {
+        use sketchml_core::RawCompressor;
+        let raw = RawCompressor::default();
+        let single = ClusterConfig::cluster1(4);
+        assert_eq!(single.compress_threads, 1);
+        assert!(single.sharded_compressor(&raw).unwrap().is_none());
+
+        let multi = ClusterConfig::cluster1(4).with_compress_threads(8);
+        let engine = multi.sharded_compressor(&raw).unwrap().unwrap();
+        assert_eq!(engine.shards(), 8);
+        assert_eq!(engine.threads(), 8);
+        assert_eq!(
+            ClusterConfig::cluster1(4)
+                .with_compress_threads(0)
+                .compress_threads,
+            1
+        );
     }
 }

@@ -89,6 +89,11 @@ pub fn train_mlp_distributed(
     compressor: &dyn GradientCompressor,
 ) -> Result<MlpTrainReport, CompressError> {
     assert!(!train.is_empty(), "training set must be non-empty");
+    let sharded = cluster.sharded_compressor(compressor)?;
+    let compressor: &dyn GradientCompressor = match &sharded {
+        Some(engine) => engine,
+        None => compressor,
+    };
     let mut mlp = Mlp::new(net).map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
     let params = mlp.num_params();
     let mut opt =

@@ -122,6 +122,11 @@ pub fn train_parameter_server(
     compressor: &dyn GradientCompressor,
 ) -> Result<TrainReport, CompressError> {
     assert!(!train.is_empty(), "training set must be non-empty");
+    let sharded = cluster.sharded_compressor(compressor)?;
+    let compressor: &dyn GradientCompressor = match &sharded {
+        Some(engine) => engine,
+        None => compressor,
+    };
     let shards = ShardMap::new(dim as u64, servers);
     let mut model = GlmModel::new(dim, spec.loss, spec.l2)
         .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;

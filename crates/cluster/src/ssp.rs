@@ -111,6 +111,11 @@ pub fn train_ssp(
     compressor: &dyn GradientCompressor,
 ) -> Result<SspReport, CompressError> {
     assert!(!train.is_empty(), "training set must be non-empty");
+    let sharded = cluster.sharded_compressor(compressor)?;
+    let compressor: &dyn GradientCompressor = match &sharded {
+        Some(engine) => engine,
+        None => compressor,
+    };
     let workers = cluster.workers.max(1);
     let mut model = GlmModel::new(dim, spec.loss, spec.l2)
         .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;

@@ -52,6 +52,30 @@ pub trait GradientCompressor: Send + Sync {
     fn decompress(&self, payload: &[u8]) -> Result<SparseGradient, CompressError>;
 }
 
+impl<T: GradientCompressor + ?Sized> GradientCompressor for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn compress(&self, grad: &SparseGradient) -> Result<CompressedGradient, CompressError> {
+        (**self).compress(grad)
+    }
+    fn decompress(&self, payload: &[u8]) -> Result<SparseGradient, CompressError> {
+        (**self).decompress(payload)
+    }
+}
+
+impl<T: GradientCompressor + ?Sized> GradientCompressor for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn compress(&self, grad: &SparseGradient) -> Result<CompressedGradient, CompressError> {
+        (**self).compress(grad)
+    }
+    fn decompress(&self, payload: &[u8]) -> Result<SparseGradient, CompressError> {
+        (**self).decompress(payload)
+    }
+}
+
 /// Round-trips a gradient and reports the element-wise value error — the
 /// harness used by the Appendix A.1 validation and several tests.
 ///

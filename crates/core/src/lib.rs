@@ -58,6 +58,7 @@ pub mod gradient;
 pub mod gradient_io;
 pub mod quantify;
 pub mod registry;
+pub mod sharded;
 pub mod sketchml;
 pub mod space;
 pub mod zipml;
@@ -69,5 +70,6 @@ pub use feedback::ErrorFeedback;
 pub use gradient::SparseGradient;
 pub use quantify::{QuantCompressor, QuantileBackend};
 pub use registry::by_name as compressor_by_name;
+pub use sharded::{split_gradient, ShardedCompressor};
 pub use sketchml::{MeanPrecision, SketchMlCompressor, SketchMlConfig};
 pub use zipml::{Rounding, ZipMlCompressor};

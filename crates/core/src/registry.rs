@@ -4,13 +4,17 @@ use crate::baselines::{KeyCompressor, RawCompressor, TruncationCompressor, Value
 use crate::compressor::GradientCompressor;
 use crate::error::CompressError;
 use crate::quantify::QuantCompressor;
+use crate::sharded::ShardedCompressor;
 use crate::sketchml::{MeanPrecision, SketchMlCompressor, SketchMlConfig};
 use crate::zipml::{Rounding, ZipMlCompressor};
 
-/// Names accepted by [`by_name`], in canonical form.
+/// Names accepted by [`by_name`], in canonical form. Any of them also
+/// accepts an `@N` suffix (e.g. `sketchml@8`) selecting the parallel sharded
+/// engine with `N` shards and `N` worker threads.
 pub const KNOWN_COMPRESSORS: &[&str] = &[
     "sketchml",
     "sketchml-f32",
+    "sketchml@4",
     "adam",
     "adam-float",
     "adam+key",
@@ -19,14 +23,29 @@ pub const KNOWN_COMPRESSORS: &[&str] = &[
     "zipml-8bit",
     "zipml-16bit",
     "zipml-stochastic",
+    "zipml@4",
     "truncation",
 ];
 
 /// Builds a compressor from its canonical (case-insensitive) name.
 ///
+/// A trailing `@N` wraps the named compressor in a [`ShardedCompressor`]
+/// with `N` shards and `N` threads: `by_name("sketchml@8")` compresses
+/// 8 key-range shards concurrently.
+///
 /// # Errors
-/// [`CompressError::InvalidConfig`] listing the known names on a miss.
+/// [`CompressError::InvalidConfig`] listing the known names on a miss, or if
+/// the `@N` suffix is not a positive integer.
 pub fn by_name(name: &str) -> Result<Box<dyn GradientCompressor>, CompressError> {
+    if let Some((base, shards)) = name.rsplit_once('@') {
+        let shards: usize = shards.parse().map_err(|_| {
+            CompressError::InvalidConfig(format!(
+                "`{name}`: shard suffix `@{shards}` must be a positive integer"
+            ))
+        })?;
+        let inner = by_name(base)?;
+        return Ok(Box::new(ShardedCompressor::new(inner, shards)?));
+    }
     let c: Box<dyn GradientCompressor> = match name.to_ascii_lowercase().as_str() {
         "sketchml" => Box::new(SketchMlCompressor::default()),
         "sketchml-f32" => Box::new(SketchMlCompressor::new(SketchMlConfig {
@@ -74,6 +93,31 @@ mod tests {
         assert_eq!(by_name("SketchML").unwrap().name(), "SketchML");
         assert_eq!(by_name("RAW").unwrap().name(), "Adam");
         assert_eq!(by_name("quan").unwrap().name(), "Adam+Key+Quan");
+    }
+
+    #[test]
+    fn sharded_suffix_builds_parallel_engine() {
+        let keys: Vec<u64> = (0..200).map(|i| i * 37).collect();
+        let values: Vec<f64> = (0..200).map(|i| (i as f64 - 100.0) * 0.001).collect();
+        let grad = SparseGradient::new(10_000, keys, values).unwrap();
+        let sharded = by_name("sketchml@8").unwrap();
+        assert_eq!(sharded.name(), "SketchML");
+        let msg = sharded.compress(&grad).unwrap();
+        let decoded = sharded.decompress(&msg.payload).unwrap();
+        assert_eq!(decoded.keys(), grad.keys());
+        // The sharded frame is its own wire format.
+        assert!(by_name("sketchml")
+            .unwrap()
+            .decompress(&msg.payload)
+            .is_err());
+    }
+
+    #[test]
+    fn bad_shard_suffixes_are_rejected() {
+        assert!(by_name("sketchml@0").is_err());
+        assert!(by_name("sketchml@x").is_err());
+        assert!(by_name("sketchml@").is_err());
+        assert!(by_name("nope@4").is_err());
     }
 
     #[test]

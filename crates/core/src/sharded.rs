@@ -1,0 +1,358 @@
+//! Parallel sharded compression engine.
+//!
+//! [`ShardedCompressor`] wraps any [`GradientCompressor`] and splits each
+//! gradient into `shards` contiguous key-range shards, balanced by pair
+//! count. Shards are compressed (and decompressed) independently — possibly
+//! concurrently on scoped threads — and framed into one self-describing
+//! payload by [`sketchml_encoding::framing`].
+//!
+//! # Determinism
+//!
+//! The shard split depends only on the gradient and the configured shard
+//! count; the frame concatenates shard payloads in key order. The worker
+//! thread count therefore affects **wall-clock time only**: the payload is
+//! byte-identical for any `threads`, and decompression yields
+//! element-identical gradients. This is what lets the Figure 8(c) extension
+//! sweep threads while asserting unchanged output.
+
+use crate::compressor::{CompressedGradient, GradientCompressor};
+use crate::error::CompressError;
+use crate::gradient::SparseGradient;
+use bytes::BytesMut;
+use sketchml_encoding::framing;
+use sketchml_encoding::stats::SizeReport;
+
+/// Wraps an inner compressor with key-range sharding + thread parallelism.
+///
+/// ```
+/// use sketchml_core::{GradientCompressor, ShardedCompressor, SketchMlCompressor, SparseGradient};
+///
+/// let sharded = ShardedCompressor::new(SketchMlCompressor::default(), 4)?.with_threads(2)?;
+/// let grad = SparseGradient::new(1000, vec![3, 500, 900], vec![0.5, -0.25, 0.125])?;
+/// let msg = sharded.compress(&grad)?;
+/// let decoded = sharded.decompress(&msg.payload)?;
+/// assert_eq!(decoded.keys(), grad.keys());
+/// # Ok::<(), sketchml_core::CompressError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedCompressor<C> {
+    inner: C,
+    shards: usize,
+    threads: usize,
+}
+
+impl<C: GradientCompressor> ShardedCompressor<C> {
+    /// Wraps `inner`, splitting every gradient into at most `shards`
+    /// contiguous key-range shards. Threads default to the shard count.
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidConfig`] if `shards` is zero or exceeds
+    /// [`framing::MAX_SHARDS`].
+    pub fn new(inner: C, shards: usize) -> Result<Self, CompressError> {
+        if shards == 0 || shards > framing::MAX_SHARDS {
+            return Err(CompressError::InvalidConfig(format!(
+                "shards must be in 1..={}, got {shards}",
+                framing::MAX_SHARDS
+            )));
+        }
+        Ok(ShardedCompressor {
+            inner,
+            shards,
+            threads: shards,
+        })
+    }
+
+    /// Sets the number of worker threads used per compress/decompress call.
+    /// Affects wall-clock time only, never bytes (see module docs).
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidConfig`] if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Result<Self, CompressError> {
+        if threads == 0 {
+            return Err(CompressError::InvalidConfig("threads must be >= 1".into()));
+        }
+        self.threads = threads;
+        Ok(self)
+    }
+
+    /// The wrapped compressor.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Configured shard count (actual shards per message are capped at nnz).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Compresses each shard serially, returning per-shard messages in key
+    /// order. This is the reference the equivalence property tests compare
+    /// the parallel path against.
+    ///
+    /// # Errors
+    /// Propagates the first inner-compressor failure.
+    pub fn compress_shards_serial(
+        &self,
+        grad: &SparseGradient,
+    ) -> Result<Vec<CompressedGradient>, CompressError> {
+        split_gradient(grad, self.shards)
+            .iter()
+            .map(|shard| self.inner.compress(shard))
+            .collect()
+    }
+}
+
+/// Splits `grad` into at most `shards` contiguous key-range shards balanced
+/// by pair count (the first `nnz % s` shards hold one extra pair). An empty
+/// gradient yields a single empty shard so the frame stays self-describing.
+pub fn split_gradient(grad: &SparseGradient, shards: usize) -> Vec<SparseGradient> {
+    let nnz = grad.nnz();
+    let s = shards.clamp(1, nnz.max(1));
+    if s == 1 {
+        return vec![grad.clone()];
+    }
+    let base = nnz / s;
+    let extra = nnz % s;
+    let mut out = Vec::with_capacity(s);
+    let mut start = 0usize;
+    for i in 0..s {
+        let len = base + usize::from(i < extra);
+        let end = start + len;
+        let shard = SparseGradient::new(
+            grad.dim(),
+            grad.keys()[start..end].to_vec(),
+            grad.values()[start..end].to_vec(),
+        )
+        .expect("contiguous slice of a valid gradient is valid");
+        out.push(shard);
+        start = end;
+    }
+    out
+}
+
+/// Runs `job` over `0..n` items, writing each result into its slot, using up
+/// to `threads` scoped workers over contiguous chunks. Slot order — and thus
+/// every downstream byte — is independent of `threads`.
+fn run_chunked<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(job(i));
+        }
+    } else {
+        let chunk = n.div_ceil(workers);
+        crossbeam::thread::scope(|s| {
+            for (c, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                let job = &job;
+                s.spawn(move |_| {
+                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                        *slot = Some(job(c * chunk + off));
+                    }
+                });
+            }
+        })
+        .expect("compression thread pool");
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled"))
+        .collect()
+}
+
+impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn compress(&self, grad: &SparseGradient) -> Result<CompressedGradient, CompressError> {
+        let parts = split_gradient(grad, self.shards);
+        let messages: Vec<CompressedGradient> = run_chunked(parts.len(), self.threads, |i| {
+            self.inner.compress(&parts[i])
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+
+        let lens: Vec<usize> = messages.iter().map(|m| m.payload.len()).collect();
+        let frame_header = framing::header_len(&lens);
+        let mut buf = BytesMut::with_capacity(frame_header + lens.iter().sum::<usize>());
+        framing::write_header(&mut buf, &lens);
+        let mut report = SizeReport {
+            header_bytes: frame_header,
+            ..SizeReport::default()
+        };
+        for m in &messages {
+            buf.extend_from_slice(&m.payload);
+            report.accumulate(&m.report);
+        }
+        Ok(CompressedGradient {
+            payload: buf.freeze(),
+            report,
+        })
+    }
+
+    fn decompress(&self, payload: &[u8]) -> Result<SparseGradient, CompressError> {
+        let mut buf = payload;
+        let lens = framing::read_header(&mut buf)
+            .map_err(|e| CompressError::Corrupt(format!("shard frame: {e}")))?;
+
+        let mut slices = Vec::with_capacity(lens.len());
+        let mut offset = 0usize;
+        for &len in &lens {
+            // read_header guarantees the sum fits in the buffer.
+            slices.push(&buf[offset..offset + len]);
+            offset += len;
+        }
+        if offset != buf.len() {
+            return Err(CompressError::Corrupt(format!(
+                "frame declares {offset} payload bytes but {} are present",
+                buf.len()
+            )));
+        }
+
+        let shards: Vec<SparseGradient> = run_chunked(slices.len(), self.threads, |i| {
+            self.inner.decompress(slices[i])
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .map_err(|e| match e {
+            CompressError::Corrupt(msg) => CompressError::Corrupt(msg),
+            other => CompressError::Corrupt(format!("shard decode: {other}")),
+        })?;
+
+        let dim = shards.first().map_or(0, SparseGradient::dim);
+        if shards.iter().any(|s| s.dim() != dim) {
+            return Err(CompressError::Corrupt(
+                "shards disagree on gradient dimension".into(),
+            ));
+        }
+        let mut keys = Vec::with_capacity(shards.iter().map(SparseGradient::nnz).sum());
+        let mut values = Vec::with_capacity(keys.capacity());
+        for shard in &shards {
+            keys.extend_from_slice(shard.keys());
+            values.extend_from_slice(shard.values());
+        }
+        SparseGradient::new(dim, keys, values)
+            .map_err(|e| CompressError::Corrupt(format!("merged shards invalid: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::RawCompressor;
+    use crate::sketchml::SketchMlCompressor;
+
+    fn grad(n: usize, dim: u64) -> SparseGradient {
+        let keys: Vec<u64> = (0..n as u64).map(|i| i * (dim / n as u64)).collect();
+        let values: Vec<f64> = (0..n).map(|i| 0.01 * (i as f64 + 1.0) - 0.3).collect();
+        SparseGradient::new(dim, keys, values).unwrap()
+    }
+
+    #[test]
+    fn split_is_balanced_and_ordered() {
+        let g = grad(103, 1_000_000);
+        let parts = split_gradient(&g, 8);
+        assert_eq!(parts.len(), 8);
+        let sizes: Vec<usize> = parts.iter().map(SparseGradient::nnz).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        let merged: Vec<u64> = parts.iter().flat_map(|p| p.keys().to_vec()).collect();
+        assert_eq!(merged, g.keys());
+    }
+
+    #[test]
+    fn split_caps_at_nnz() {
+        let g = grad(3, 1000);
+        assert_eq!(split_gradient(&g, 16).len(), 3);
+        let empty = SparseGradient::empty(1000);
+        assert_eq!(split_gradient(&empty, 16).len(), 1);
+    }
+
+    #[test]
+    fn payload_is_identical_across_thread_counts() {
+        let g = grad(512, 2_000_000);
+        let mut payloads = Vec::new();
+        for threads in [1, 2, 3, 8] {
+            let c = ShardedCompressor::new(RawCompressor::default(), 8)
+                .unwrap()
+                .with_threads(threads)
+                .unwrap();
+            payloads.push(c.compress(&g).unwrap().payload.to_vec());
+        }
+        assert!(payloads.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn roundtrip_lossless_inner_is_exact() {
+        let g = grad(257, 1_000_000);
+        let c = ShardedCompressor::new(RawCompressor::default(), 7).unwrap();
+        let msg = c.compress(&g).unwrap();
+        let d = c.decompress(&msg.payload).unwrap();
+        assert_eq!(d.keys(), g.keys());
+        assert_eq!(d.values(), g.values());
+        assert_eq!(d.dim(), g.dim());
+    }
+
+    #[test]
+    fn sketchml_shards_keep_keys_lossless() {
+        let g = grad(400, 5_000_000);
+        let c = ShardedCompressor::new(SketchMlCompressor::default(), 4).unwrap();
+        let msg = c.compress(&g).unwrap();
+        let d = c.decompress(&msg.payload).unwrap();
+        assert_eq!(d.keys(), g.keys());
+        assert_eq!(d.dim(), g.dim());
+    }
+
+    #[test]
+    fn report_merges_shard_reports_plus_frame() {
+        let g = grad(100, 1_000_000);
+        let c = ShardedCompressor::new(RawCompressor::default(), 4).unwrap();
+        let msg = c.compress(&g).unwrap();
+        let serial = c.compress_shards_serial(&g).unwrap();
+        let mut expected = SizeReport::default();
+        for m in &serial {
+            expected.accumulate(&m.report);
+        }
+        assert_eq!(msg.report.pairs, expected.pairs);
+        assert_eq!(msg.report.key_bytes, expected.key_bytes);
+        assert_eq!(msg.report.value_bytes, expected.value_bytes);
+        assert!(msg.report.header_bytes > expected.header_bytes);
+        assert_eq!(msg.report.total(), msg.payload.len());
+    }
+
+    #[test]
+    fn corrupt_frames_error_not_panic() {
+        let g = grad(64, 100_000);
+        let c = ShardedCompressor::new(RawCompressor::default(), 4).unwrap();
+        let msg = c.compress(&g).unwrap();
+        assert!(c.decompress(&[]).is_err());
+        for cut in 0..msg.payload.len().min(64) {
+            assert!(c.decompress(&msg.payload[..cut]).is_err());
+        }
+        let mut trailing = msg.payload.to_vec();
+        trailing.push(0);
+        assert!(matches!(
+            c.decompress(&trailing),
+            Err(CompressError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn config_bounds_enforced() {
+        assert!(ShardedCompressor::new(RawCompressor::default(), 0).is_err());
+        assert!(ShardedCompressor::new(RawCompressor::default(), 4)
+            .unwrap()
+            .with_threads(0)
+            .is_err());
+    }
+}

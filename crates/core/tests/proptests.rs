@@ -5,8 +5,9 @@
 use proptest::collection::btree_map;
 use proptest::prelude::*;
 use sketchml_core::{
-    GradientCompressor, KeyCompressor, QuantCompressor, RawCompressor, SketchMlCompressor,
-    SketchMlConfig, SparseGradient, TruncationCompressor, ZipMlCompressor,
+    roundtrip_error, GradientCompressor, KeyCompressor, QuantCompressor, RawCompressor,
+    ShardedCompressor, SketchMlCompressor, SketchMlConfig, SparseGradient, TruncationCompressor,
+    ZipMlCompressor,
 };
 
 /// Arbitrary sparse gradients: up to 300 pairs over a 100k-dim model with
@@ -125,6 +126,58 @@ proptest! {
         for (_, v) in d.iter() {
             prop_assert!(v >= min - 1e-12 && v <= max + 1e-12);
         }
+    }
+
+    /// The sharded engine is a pure transport: its decode equals decoding
+    /// each serially-compressed shard and stitching them back together, for
+    /// arbitrary gradients, shard counts, and thread counts.
+    #[test]
+    fn sharded_decode_equals_serial_per_shard(
+        grad in arb_gradient(),
+        seed in any::<u64>(),
+        shards in 1usize..9,
+        threads in 1usize..5,
+    ) {
+        let cfg = SketchMlConfig { seed, ..SketchMlConfig::default() };
+        let inner = SketchMlCompressor::new(cfg).unwrap();
+        let engine = ShardedCompressor::new(inner, shards)
+            .unwrap()
+            .with_threads(threads)
+            .unwrap();
+
+        // Reference: compress every shard serially, decode each, stitch.
+        let mut ref_keys = Vec::new();
+        let mut ref_values = Vec::new();
+        for msg in engine.compress_shards_serial(&grad).unwrap() {
+            let part = engine.inner().decompress(&msg.payload).unwrap();
+            prop_assert_eq!(part.dim(), grad.dim());
+            ref_keys.extend_from_slice(part.keys());
+            ref_values.extend_from_slice(part.values());
+        }
+
+        let decoded = engine.decompress(&engine.compress(&grad).unwrap().payload).unwrap();
+        prop_assert_eq!(decoded.keys(), &ref_keys[..]);
+        prop_assert_eq!(decoded.values(), &ref_values[..]);
+        prop_assert_eq!(decoded.keys(), grad.keys(), "keys stay lossless through shards");
+    }
+
+    /// Sharding preserves §3.3 Solution 1: no decoded value ever flips sign,
+    /// whatever the shard/thread configuration.
+    #[test]
+    fn sharded_sketchml_never_flips_signs(
+        grad in arb_gradient(),
+        seed in any::<u64>(),
+        shards in 1usize..9,
+        threads in 1usize..5,
+    ) {
+        let cfg = SketchMlConfig { seed, ..SketchMlConfig::default() };
+        let engine = ShardedCompressor::new(SketchMlCompressor::new(cfg).unwrap(), shards)
+            .unwrap()
+            .with_threads(threads)
+            .unwrap();
+        let stats = roundtrip_error(&engine, &grad).unwrap();
+        prop_assert_eq!(stats.sign_flips, 0usize, "sharded SketchML flipped a sign");
+        prop_assert_eq!(stats.pairs_out, grad.nnz());
     }
 
     /// No compressor panics on arbitrary garbage input.

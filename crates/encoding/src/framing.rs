@@ -1,0 +1,139 @@
+//! Multi-shard payload framing for the parallel compression engine.
+//!
+//! A sharded message concatenates the independently-encoded shard payloads
+//! behind a tiny self-describing header, all varint ([`crate::varint`]):
+//!
+//! ```text
+//! +----------------+------------------+-----+------------------+---------+-----+---------+
+//! | shard count S  | len(payload[0])  | ... | len(payload[S-1])| payload0| ... | payloadS|
+//! |   varint       |   varint         |     |   varint         |  bytes  |     |  bytes  |
+//! +----------------+------------------+-----+------------------+---------+-----+---------+
+//! ```
+//!
+//! The header depends only on the shard payloads — never on how many threads
+//! produced them — so a frame is byte-identical for any worker-thread count.
+
+use crate::error::EncodingError;
+use crate::varint;
+use bytes::BufMut;
+
+/// Upper bound on the shard count accepted by [`read_header`]; real configs
+/// use at most a few hundred shards, so anything larger is corruption.
+pub const MAX_SHARDS: usize = 65_536;
+
+/// Appends the frame header (shard count + per-shard lengths) to `out`.
+pub fn write_header(out: &mut impl BufMut, lens: &[usize]) {
+    varint::write_u64(out, lens.len() as u64);
+    for &len in lens {
+        varint::write_u64(out, len as u64);
+    }
+}
+
+/// Number of bytes [`write_header`] emits for these shard lengths.
+pub fn header_len(lens: &[usize]) -> usize {
+    varint::encoded_len(lens.len() as u64)
+        + lens
+            .iter()
+            .map(|&len| varint::encoded_len(len as u64))
+            .sum::<usize>()
+}
+
+/// Reads a frame header from the front of `buf`, advancing it past the
+/// header. Returns the per-shard payload lengths.
+///
+/// # Errors
+/// [`EncodingError::UnexpectedEof`] on a truncated header, and
+/// [`EncodingError::Corrupt`] if the shard count exceeds [`MAX_SHARDS`], a
+/// length does not fit in memory, or the declared payload bytes exceed what
+/// remains in the buffer.
+pub fn read_header(buf: &mut &[u8]) -> Result<Vec<usize>, EncodingError> {
+    let count = varint::read_u64(buf)?;
+    if count == 0 || count > MAX_SHARDS as u64 {
+        return Err(EncodingError::Corrupt(format!(
+            "shard count {count} outside 1..={MAX_SHARDS}"
+        )));
+    }
+    let count = count as usize;
+    let mut lens = Vec::with_capacity(count);
+    let mut total: u64 = 0;
+    for _ in 0..count {
+        let len = varint::read_u64(buf)?;
+        total = total
+            .checked_add(len)
+            .ok_or_else(|| EncodingError::Corrupt("shard lengths overflow".into()))?;
+        let len = usize::try_from(len)
+            .map_err(|_| EncodingError::Corrupt("shard length exceeds usize".into()))?;
+        lens.push(len);
+    }
+    if total > buf.len() as u64 {
+        return Err(EncodingError::Corrupt(format!(
+            "frame declares {total} payload bytes but only {} remain",
+            buf.len()
+        )));
+    }
+    Ok(lens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn header_roundtrips() {
+        let lens = vec![0usize, 1, 127, 128, 70_000];
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, &lens);
+        assert_eq!(buf.len(), header_len(&lens));
+        let payload_bytes = lens.iter().sum::<usize>();
+        buf.extend_from_slice(&vec![0u8; payload_bytes]);
+        let frozen = buf.freeze();
+        let mut slice = &frozen[..];
+        assert_eq!(read_header(&mut slice).unwrap(), lens);
+        assert_eq!(slice.len(), payload_bytes);
+    }
+
+    #[test]
+    fn truncated_header_is_eof() {
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, &[10, 20, 30]);
+        let frozen = buf.freeze();
+        for cut in 0..frozen.len() {
+            let mut slice = &frozen[..cut];
+            assert!(read_header(&mut slice).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn declared_bytes_must_fit() {
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, &[100]);
+        let frozen = buf.freeze();
+        let mut slice = &frozen[..]; // header only; 100 payload bytes missing
+        assert!(matches!(
+            read_header(&mut slice),
+            Err(EncodingError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_shard_counts_are_corrupt() {
+        let mut buf = BytesMut::new();
+        varint::write_u64(&mut buf, 0); // zero shards
+        let frozen = buf.freeze();
+        let mut slice = &frozen[..];
+        assert!(matches!(
+            read_header(&mut slice),
+            Err(EncodingError::Corrupt(_))
+        ));
+
+        let mut buf = BytesMut::new();
+        varint::write_u64(&mut buf, u64::MAX); // billions of shards
+        let frozen = buf.freeze();
+        let mut slice = &frozen[..];
+        assert!(matches!(
+            read_header(&mut slice),
+            Err(EncodingError::Corrupt(_))
+        ));
+    }
+}

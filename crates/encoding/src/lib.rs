@@ -35,6 +35,7 @@ pub mod bitpack;
 pub mod csr;
 pub mod delta_binary;
 pub mod error;
+pub mod framing;
 pub mod huffman;
 pub mod rice;
 pub mod rle;

@@ -55,7 +55,7 @@ proptest! {
     /// first step and never touches untouched dimensions.
     #[test]
     fn optimizers_step_against_gradient(
-        g in prop_oneof![( -10.0f64..-1e-6), (1e-6..10.0)],
+        g in prop_oneof![-10.0f64..-1e-6, 1e-6..10.0],
         dim in 2usize..16,
     ) {
         let builders: Vec<Box<dyn Fn() -> Box<dyn Optimizer>>> = vec![

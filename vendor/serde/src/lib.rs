@@ -1,0 +1,395 @@
+//! Minimal offline shim of `serde`.
+//!
+//! Instead of serde's visitor-based data model, this shim serializes through
+//! an owned [`Value`] tree. `#[derive(Serialize, Deserialize)]` is provided
+//! by the sibling `serde_derive` shim and generates `to_value`/`from_value`
+//! implementations. `serde_json` renders and parses the tree.
+//!
+//! The representation mirrors serde+serde_json's JSON conventions for the
+//! shapes this workspace uses: structs are objects, unit enum variants are
+//! strings, newtype variants are `{"Name": value}`, tuple variants are
+//! `{"Name": [..]}`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object as ordered key-value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object accessor.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor with integer widening.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer accessor.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed integer accessor.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(v) => i64::try_from(v).ok(),
+            Value::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a field in an object, for derive-generated code.
+///
+/// # Errors
+/// [`Error`] naming the missing field.
+pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> Result<&'a Value, Error> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error(format!("missing field `{name}`")))
+}
+
+/// A type that can serialize itself into a [`Value`].
+pub trait Serialize {
+    /// Converts to the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses from the value tree.
+    ///
+    /// # Errors
+    /// [`Error`] describing the structural mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Compatibility module mirroring `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// Owned deserialization marker (all shim types qualify).
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Compatibility module mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| Error(format!("expected unsigned integer, got {v:?}")))?;
+                <$t>::try_from(raw).map_err(|_| Error(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 { Value::I64(v) } else { Value::U64(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| Error(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(raw).map_err(|_| Error(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            // serde_json writes non-finite floats as null.
+            Value::Null => Ok(f64::NAN),
+            _ => v
+                .as_f64()
+                .ok_or_else(|| Error(format!("expected number, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()
+            .ok_or_else(|| Error(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_arr().ok_or_else(|| Error(format!("expected tuple array, got {v:?}")))?;
+                let expect = [$( $n , )+].len();
+                if arr.len() != expect {
+                    return Err(Error(format!("expected {expect}-tuple, got {} elements", arr.len())));
+                }
+                Ok(($($t::from_value(&arr[$n])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+);
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Keys render via their own serialization; string keys map to JSON
+        // object keys, everything else to an array of pairs.
+        if self.keys().all(|k| matches!(k.to_value(), Value::Str(_))) {
+            Value::Obj(
+                self.iter()
+                    .map(|(k, v)| {
+                        let Value::Str(key) = k.to_value() else {
+                            unreachable!()
+                        };
+                        (key, v.to_value())
+                    })
+                    .collect(),
+            )
+        } else {
+            Value::Arr(
+                self.iter()
+                    .map(|(k, v)| Value::Arr(vec![k.to_value(), v.to_value()]))
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2].to_value()).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(
+            Option::<u32>::from_value(&Value::Null).unwrap(),
+            None::<u32>
+        );
+        let t = (1u64, -2.5f64, "x".to_string());
+        assert_eq!(<(u64, f64, String)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        let e = u64::from_value(&Value::Str("no".into())).unwrap_err();
+        assert!(e.to_string().contains("unsigned"));
+        assert!(field(&[], "missing")
+            .unwrap_err()
+            .to_string()
+            .contains("missing"));
+    }
+}

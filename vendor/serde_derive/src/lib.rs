@@ -1,0 +1,436 @@
+//! Minimal offline shim of `serde_derive`: hand-rolled token parsing (no
+//! syn/quote available) generating `to_value`/`from_value` impls for the
+//! shim `serde`'s [`Value`] data model.
+//!
+//! Supports the item shapes this workspace derives on: structs with named
+//! fields, unit/newtype/tuple structs, and enums with unit, newtype, tuple,
+//! or struct variants. Generics are re-emitted verbatim (inline bounds
+//! only, no `where` clauses).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter list with bounds, e.g. `<T: Serialize>` (or empty).
+    generics_decl: String,
+    /// Bare parameter list, e.g. `<T>` (or empty).
+    generics_use: String,
+    kind: Kind,
+}
+
+fn ident_of(tok: &TokenTree) -> Option<String> {
+    match tok {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(tok: &TokenTree, c: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        if *i < toks.len() && is_punct(&toks[*i], '#') {
+            *i += 2; // '#' + bracketed group
+        } else if *i < toks.len() && ident_of(&toks[*i]).as_deref() == Some("pub") {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        } else {
+            return;
+        }
+    }
+}
+
+/// Skips tokens until a top-level comma (tracking `<`/`>` nesting), leaving
+/// the cursor just past the comma (or at end of input).
+fn skip_to_toplevel_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i64;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts top-level comma-separated segments inside a group's tokens.
+fn count_segments(toks: &[TokenTree]) -> usize {
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i64;
+    for (idx, t) in toks.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                // A trailing comma does not start a new segment.
+                ',' if angle == 0 && idx + 1 < toks.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_named_fields(toks: &[TokenTree]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("field name");
+        i += 1; // name
+        i += 1; // ':'
+        skip_to_toplevel_comma(toks, &mut i);
+        out.push(name);
+    }
+    out
+}
+
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> (String, String) {
+    // Cursor sits on '<'.
+    *i += 1;
+    let mut depth = 1i64;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        inner.push(toks[*i].clone());
+        *i += 1;
+    }
+    let decl: String = inner.iter().map(|t| format!("{t} ")).collect();
+    // Bare parameter names: first ident of each top-level segment.
+    let mut params = Vec::new();
+    let mut j = 0;
+    while j < inner.len() {
+        if let Some(id) = ident_of(&inner[j]) {
+            params.push(id);
+        }
+        skip_to_toplevel_comma(&inner, &mut j);
+    }
+    (format!("< {decl} >"), format!("< {} >", params.join(", ")))
+}
+
+fn parse_fields_group(tok: &TokenTree) -> (Fields, bool) {
+    match tok {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+            let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+            (Fields::Named(parse_named_fields(&toks)), true)
+        }
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+            let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+            (Fields::Tuple(count_segments(&toks)), true)
+        }
+        _ => (Fields::Unit, false),
+    }
+}
+
+fn parse_enum_variants(toks: &[TokenTree]) -> Vec<(String, Fields)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("variant name");
+        i += 1;
+        let fields = if i < toks.len() {
+            let (f, consumed) = parse_fields_group(&toks[i]);
+            if consumed {
+                i += 1;
+            }
+            f
+        } else {
+            Fields::Unit
+        };
+        // Skip a possible discriminant and the separating comma.
+        skip_to_toplevel_comma(toks, &mut i);
+        out.push((name, fields));
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_of(&toks[i]).expect("struct/enum keyword");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("type name");
+    i += 1;
+    let (generics_decl, generics_use) = if i < toks.len() && is_punct(&toks[i], '<') {
+        parse_generics(&toks, &mut i)
+    } else {
+        (String::new(), String::new())
+    };
+    let kind = match kw.as_str() {
+        "struct" => {
+            let fields = if i < toks.len() {
+                parse_fields_group(&toks[i]).0
+            } else {
+                Fields::Unit
+            };
+            Kind::Struct(fields)
+        }
+        "enum" => {
+            let TokenTree::Group(g) = &toks[i] else {
+                panic!("enum body expected");
+            };
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Kind::Enum(parse_enum_variants(&body))
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        generics_decl,
+        generics_use,
+        kind,
+    }
+}
+
+fn ser_fields_expr(fields: &Fields, access_prefix: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let pairs: String = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&{access_prefix}{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{pairs}])")
+        }
+        Fields::Tuple(1) => format!("::serde::Serialize::to_value(&{access_prefix}0)"),
+        Fields::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&{access_prefix}{k}),"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{items}])")
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let Item {
+        name,
+        generics_decl,
+        generics_use,
+        kind,
+    } = &item;
+    let body = match kind {
+        Kind::Struct(fields) => ser_fields_expr(fields, "self."),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!("::serde::Value::Arr(::std::vec![{items}])")
+                        };
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Obj(::std::vec![ \
+                             (::std::string::String::from(\"{v}\"), {inner}) ]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let binds = fnames.join(", ");
+                        let pairs: String = fnames
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Obj(::std::vec![ \
+                             (::std::string::String::from(\"{v}\"), \
+                              ::serde::Value::Obj(::std::vec![{pairs}])) ]),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl {generics_decl} ::serde::Serialize for {name} {generics_use} {{\n\
+            fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("derive(Serialize) generated valid Rust")
+}
+
+fn de_named_fields(name_path: &str, fnames: &[String], obj_expr: &str) -> String {
+    let fields: String = fnames
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::field({obj_expr}, \"{f}\")?)?,")
+        })
+        .collect();
+    format!("{name_path} {{ {fields} }}")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let Item {
+        name,
+        generics_decl,
+        generics_use,
+        kind,
+    } = &item;
+    let body = match kind {
+        Kind::Struct(Fields::Named(fnames)) => {
+            let ctor = de_named_fields(name, fnames, "__obj");
+            format!(
+                "let __obj = __v.as_obj().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: String = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?,"))
+                .collect();
+            format!(
+                "let __arr = __v.as_arr().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err( \
+                     ::serde::Error::custom(\"wrong arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(v, fields)| match fields {
+                    Fields::Tuple(1) => format!(
+                        "\"{v}\" => ::std::result::Result::Ok( \
+                             {name}::{v}(::serde::Deserialize::from_value(__val)?)),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let items: String = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?,"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{ \
+                                 let __arr = __val.as_arr().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected array for {name}::{v}\"))?; \
+                                 if __arr.len() != {n} {{ return ::std::result::Result::Err( \
+                                     ::serde::Error::custom(\"wrong arity for {name}::{v}\")); }} \
+                                 ::std::result::Result::Ok({name}::{v}({items})) }},"
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let ctor = de_named_fields(&format!("{name}::{v}"), fnames, "__obj");
+                        format!(
+                            "\"{v}\" => {{ \
+                                 let __obj = __val.as_obj().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected object for {name}::{v}\"))?; \
+                                 ::std::result::Result::Ok({ctor}) }},"
+                        )
+                    }
+                    Fields::Unit => unreachable!(),
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom( \
+                             ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Obj(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __val) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom( \
+                                 ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom( \
+                         ::std::format!(\"unexpected value for {name}: {{__other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl {generics_decl} ::serde::Deserialize for {name} {generics_use} {{\n\
+            fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                {body}\n\
+            }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("derive(Deserialize) generated valid Rust")
+}

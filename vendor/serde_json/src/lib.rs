@@ -1,0 +1,426 @@
+//! Minimal offline shim of `serde_json`: renders and parses the shim
+//! `serde`'s [`Value`] tree as JSON text.
+//!
+//! Floats are printed with Rust's shortest-roundtrip `{:?}` formatting, so
+//! finite `f64`s survive text round-trips bit-exactly (the behavior the
+//! upstream `float_roundtrip` feature guarantees). Non-finite floats render
+//! as `null`, matching upstream.
+
+use serde::{Deserialize, Serialize, Value};
+use std::io::{Read, Write};
+
+/// Serialization/parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    let (nl, pad, pad_in) = match indent {
+        Some(w) => ("\n", " ".repeat(w * level), " ".repeat(w * (level + 1))),
+        None => ("", String::new(), String::new()),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(out, item, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+/// Infallible for the shim data model; kept for API compatibility.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to 2-space-indented JSON.
+///
+/// # Errors
+/// Infallible for the shim data model; kept for API compatibility.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes a value as compact JSON into a writer.
+///
+/// # Errors
+/// Propagates IO failures.
+pub fn to_writer<W: Write, T: Serialize>(mut writer: W, value: &T) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::new(format!("write: {e}")))
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+/// [`Error`] describing the first syntax or shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        input: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+/// Parses a value from a reader.
+///
+/// # Errors
+/// Propagates IO and parse failures.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut s = String::new();
+    reader
+        .read_to_string(&mut s)
+        .map_err(|e| Error::new(format!("read: {e}")))?;
+    from_str(&s)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len()
+            && matches!(self.input[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_lit("null", Value::Null),
+            Some(b't') => self.parse_lit("true", Value::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.input[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.input.len() {
+                                return Err(Error::new("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.input[self.pos..self.pos + 4])
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this shim's
+                            // writer; map lone surrogates to the replacement
+                            // character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the byte position.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.input[start..])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    let ch = s.chars().next().ok_or_else(|| Error::new("empty char"))?;
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    if matches!(c, b'.' | b'e' | b'E') {
+                        is_float = true;
+                    }
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at {}", self.pos))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_text_roundtrips() {
+        let v = Value::Obj(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::F64(1.5)),
+            ("c".into(), Value::Arr(vec![Value::Bool(true), Value::Null])),
+            ("d".into(), Value::Str("x\"y\\z\n".into())),
+            ("neg".into(), Value::I64(-3)),
+        ]);
+        // Value itself implements Serialize/Deserialize through identity.
+        impl Serialize for WrappedValue {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        impl Deserialize for WrappedValue {
+            fn from_value(v: &Value) -> Result<Self, serde::Error> {
+                Ok(WrappedValue(v.clone()))
+            }
+        }
+        struct WrappedValue(Value);
+        let compact = to_string(&WrappedValue(v.clone())).unwrap();
+        let back: WrappedValue = from_str(&compact).unwrap();
+        assert_eq!(back.0, v);
+        let pretty = to_string_pretty(&WrappedValue(v.clone())).unwrap();
+        let back: WrappedValue = from_str(&pretty).unwrap();
+        assert_eq!(back.0, v);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for f in [1.0f64, -0.0, 0.1, 1e300, -2.5e-10, f64::MIN_POSITIVE] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} -> {s}");
+        }
+        // Integral floats keep their float-ness in the text form.
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(from_str::<f64>("not json").is_err());
+        assert!(from_str::<f64>("1.5 extra").is_err());
+        assert!(from_str::<Vec<u64>>("[1,").is_err());
+        assert!(from_str::<bool>("{\"a\":}").is_err());
+    }
+}
