@@ -1,0 +1,252 @@
+//! Hot-path perf trajectory: allocating vs scratch compression engines.
+//!
+//! Sweeps gradient size d ∈ {10k, 100k, 1M} × {serial, sharded@4} ×
+//! {alloc, scratch}, timing SketchML encode per call under a counting
+//! global allocator, and writes `BENCH_hotpath.json` so future PRs have a
+//! baseline to regress against (DESIGN.md §2.2). The run aborts if the
+//! scratch path ever produces different bytes than the allocating path, or
+//! if the serial scratch path allocates in steady state.
+//!
+//! `--quick` skips the 1M point and shrinks iteration counts (CI smoke).
+
+use bytes::BytesMut;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::Serialize;
+use sketchml_bench::output::print_table;
+use sketchml_core::{
+    CompressScratch, GradientCompressor, ShardedCompressor, SketchMlCompressor, SparseGradient,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation (alloc + realloc) made by the process so
+/// the bench can assert the scratch path is allocation-free after warmup.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[derive(Serialize)]
+struct Row {
+    d: usize,
+    mode: &'static str,
+    path: &'static str,
+    median_ns_per_op: u64,
+    mbps: f64,
+    allocs_per_op: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    quick: bool,
+    iterations: Vec<usize>,
+    rows: Vec<Row>,
+    /// Encode speedup of the scratch path over the allocating path at the
+    /// largest serial point (the ISSUE's ≥1.3× acceptance gate); absent in
+    /// `--quick` runs.
+    d1m_serial_speedup: Option<f64>,
+}
+
+/// The same heavy-tailed gradient distribution the Criterion compressor
+/// benches use: ~80-apart keys, sixth-power magnitudes, mixed signs.
+fn gradient(nnz: usize, seed: u64) -> SparseGradient {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cur = 0u64;
+    let keys: Vec<u64> = (0..nnz)
+        .map(|_| {
+            cur += rng.gen_range(1..80);
+            cur
+        })
+        .collect();
+    let dim = cur + 1;
+    let values: Vec<f64> = (0..nnz)
+        .map(|_| {
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            sign * rng.gen::<f64>().powi(6) * 0.35 + 1e-12
+        })
+        .collect();
+    SparseGradient::new(dim, keys, values).expect("valid gradient")
+}
+
+/// Times `op` per call after `warmup` untimed calls; returns
+/// (median ns/op, allocs/op) over the measured window.
+fn measure(iters: usize, warmup: usize, mut op: impl FnMut()) -> (u64, u64) {
+    for _ in 0..warmup {
+        op();
+    }
+    let mut ns: Vec<u64> = Vec::with_capacity(iters);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..iters {
+        let t = Instant::now();
+        op();
+        ns.push(t.elapsed().as_nanos() as u64);
+    }
+    let allocs = (ALLOCS.load(Ordering::Relaxed) - before) / iters as u64;
+    ns.sort_unstable();
+    (ns[iters / 2], allocs)
+}
+
+fn mbps(d: usize, median_ns: u64) -> f64 {
+    // Uncompressed message size: 4-byte key + 8-byte value per pair, the
+    // same accounting the cluster simulator uses for raw downlinks.
+    (12 * d) as f64 / (median_ns as f64 / 1e9) / 1e6
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+
+    let serial = SketchMlCompressor::default();
+    let sharded = ShardedCompressor::new(SketchMlCompressor::default(), 4)
+        .expect("4 shards valid")
+        .with_threads(4)
+        .expect("4 threads valid");
+    let engines: [(&'static str, &dyn GradientCompressor); 2] =
+        [("serial", &serial), ("sharded4", &sharded)];
+
+    let mut rows = Vec::new();
+    let mut iterations = Vec::new();
+    let mut scratch = CompressScratch::new();
+    let mut out = BytesMut::new();
+    for &d in sizes {
+        let grad = gradient(d, 11);
+        let iters = if d <= 10_000 {
+            if quick {
+                30
+            } else {
+                60
+            }
+        } else if d <= 100_000 {
+            if quick {
+                10
+            } else {
+                30
+            }
+        } else {
+            12
+        };
+        iterations.push(iters);
+        for (mode, engine) in engines {
+            // The allocating path is the byte oracle for the scratch path.
+            let reference = engine.compress(&grad).expect("compress").payload;
+            engine
+                .compress_into(&grad, &mut scratch, &mut out)
+                .expect("compress_into");
+            assert_eq!(
+                &out[..],
+                &reference[..],
+                "scratch path diverged from allocating path (d={d}, {mode})"
+            );
+
+            let (alloc_ns, alloc_allocs) = measure(iters, 2, || {
+                std::hint::black_box(engine.compress(&grad).expect("compress").len());
+            });
+            let (scratch_ns, scratch_allocs) = measure(iters, 3, || {
+                engine
+                    .compress_into(&grad, &mut scratch, &mut out)
+                    .expect("compress_into");
+                std::hint::black_box(out.len());
+            });
+            assert!(
+                mode != "serial" || scratch_allocs == 0,
+                "serial scratch path must be allocation-free in steady state, \
+                 saw {scratch_allocs} allocs/op at d={d}"
+            );
+            rows.push(Row {
+                d,
+                mode,
+                path: "alloc",
+                median_ns_per_op: alloc_ns,
+                mbps: mbps(d, alloc_ns),
+                allocs_per_op: alloc_allocs,
+            });
+            rows.push(Row {
+                d,
+                mode,
+                path: "scratch",
+                median_ns_per_op: scratch_ns,
+                mbps: mbps(d, scratch_ns),
+                allocs_per_op: scratch_allocs,
+            });
+        }
+    }
+
+    let speedup = |d: usize, mode: &str| {
+        let pick = |path: &str| {
+            rows.iter()
+                .find(|r| r.d == d && r.mode == mode && r.path == path)
+                .map(|r| r.median_ns_per_op as f64)
+        };
+        Some(pick("alloc")? / pick("scratch")?)
+    };
+    let d1m_serial_speedup = if quick {
+        None
+    } else {
+        speedup(1_000_000, "serial")
+    };
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.d.to_string(),
+                r.mode.to_string(),
+                r.path.to_string(),
+                format!("{}", r.median_ns_per_op),
+                format!("{:.1}", r.mbps),
+                r.allocs_per_op.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Hot-path encode: alloc vs scratch (SketchML)",
+        &["d", "mode", "path", "ns/op", "MB/s", "allocs/op"],
+        &table,
+    );
+    for &d in sizes {
+        for (mode, _) in engines {
+            if let Some(s) = speedup(d, mode) {
+                println!("d={d:>9} {mode:<8} scratch speedup: {s:.2}x");
+            }
+        }
+    }
+
+    let report = Report {
+        bench: "hotpath",
+        quick,
+        iterations,
+        rows,
+        d1m_serial_speedup,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    let path = "BENCH_hotpath.json";
+    std::fs::write(path, json + "\n").expect("write BENCH_hotpath.json");
+    println!("\n[results written to {path}]");
+}

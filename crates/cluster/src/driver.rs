@@ -5,8 +5,26 @@
 
 use crate::network::CostModel;
 use crate::worker::WorkerMessage;
-use sketchml_core::{CompressError, GradientCompressor, SparseGradient};
+use bytes::BytesMut;
+use sketchml_core::{CompressError, CompressScratch, GradientCompressor, SparseGradient};
 use std::time::Instant;
+
+/// Pooled driver-side decompression/aggregation state, reused across
+/// aggregation rounds: per-worker decode targets, codec scratch, and the
+/// downlink encode buffer.
+#[derive(Debug, Default)]
+pub struct DriverScratch {
+    scratch: CompressScratch,
+    parts: Vec<SparseGradient>,
+    out: BytesMut,
+}
+
+impl DriverScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Result of one driver aggregation round.
 #[derive(Debug, Clone)]
@@ -37,31 +55,33 @@ pub fn aggregate(
     compressor: &dyn GradientCompressor,
     cost: &CostModel,
     compress_downlink: bool,
+    ds: &mut DriverScratch,
 ) -> Result<AggregationResult, CompressError> {
     let t0 = Instant::now();
     let total_instances: usize = messages.iter().map(|m| m.instances).sum();
-    let mut parts: Vec<SparseGradient> = Vec::with_capacity(messages.len());
+    while ds.parts.len() < messages.len() {
+        ds.parts.push(SparseGradient::empty(0));
+    }
     let mut pairs = 0usize;
-    for m in messages {
-        let mut g = compressor.decompress(&m.payload)?;
-        pairs += g.nnz();
+    for (m, part) in messages.iter().zip(ds.parts.iter_mut()) {
+        compressor.decompress_into(&m.payload, &mut ds.scratch, part)?;
+        pairs += part.nnz();
         // Weight by the worker's share of the batch.
         if total_instances > 0 {
-            g.scale(m.instances as f64 / total_instances as f64);
+            part.scale(m.instances as f64 / total_instances as f64);
         }
-        parts.push(g);
     }
-    let gradient = if parts.is_empty() {
+    let gradient = if messages.is_empty() {
         SparseGradient::empty(dim)
     } else {
-        SparseGradient::aggregate(&parts)?
+        SparseGradient::aggregate(&ds.parts[..messages.len()])?
     };
 
     // Downlink: the driver ships the aggregated update to every worker.
     let downlink_bytes = if compress_downlink {
-        let msg = compressor.compress(&gradient)?;
+        compressor.compress_into(&gradient, &mut ds.scratch, &mut ds.out)?;
         pairs += gradient.nnz();
-        msg.len()
+        ds.out.len()
     } else {
         // Uncompressed update: 4-byte key + 8-byte value.
         12 * gradient.nnz()
@@ -87,7 +107,7 @@ pub fn aggregate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::worker::process_glm_batch;
+    use crate::worker::{process_glm_batch, WorkerScratch};
     use sketchml_core::RawCompressor;
     use sketchml_ml::{GlmLoss, GlmModel, Instance, SparseVector};
 
@@ -113,11 +133,13 @@ mod tests {
         let reference = model.batch_gradient(&all);
 
         // Three workers on equal slices.
+        let mut ws = WorkerScratch::new();
+        let mut ds = DriverScratch::new();
         let msgs: Vec<_> = all
             .chunks(10)
-            .map(|slice| process_glm_batch(&model, slice, &c, &cost).unwrap())
+            .map(|slice| process_glm_batch(&model, slice, &c, &cost, &mut ws).unwrap())
             .collect();
-        let agg = aggregate(&msgs, 10, &c, &cost, false).unwrap();
+        let agg = aggregate(&msgs, 10, &c, &cost, false, &mut ds).unwrap();
 
         assert_eq!(agg.gradient.keys(), &reference.keys[..]);
         for (got, want) in agg.gradient.values().iter().zip(&reference.values) {
@@ -135,11 +157,13 @@ mod tests {
         let model = GlmModel::new(10, GlmLoss::Logistic, 0.0).unwrap();
         let cost = CostModel::cluster1();
         let c = RawCompressor::default();
+        let mut ws = WorkerScratch::new();
+        let mut ds = DriverScratch::new();
         let msgs: Vec<_> = all
             .chunks(15)
-            .map(|slice| process_glm_batch(&model, slice, &c, &cost).unwrap())
+            .map(|slice| process_glm_batch(&model, slice, &c, &cost, &mut ws).unwrap())
             .collect();
-        let raw = aggregate(&msgs, 10, &c, &cost, false).unwrap();
+        let raw = aggregate(&msgs, 10, &c, &cost, false, &mut ds).unwrap();
         assert_eq!(raw.downlink_bytes, 12 * raw.gradient.nnz());
     }
 
@@ -147,7 +171,7 @@ mod tests {
     fn empty_messages() {
         let cost = CostModel::cluster1();
         let c = RawCompressor::default();
-        let agg = aggregate(&[], 10, &c, &cost, false).unwrap();
+        let agg = aggregate(&[], 10, &c, &cost, false, &mut DriverScratch::new()).unwrap();
         assert!(agg.gradient.is_empty());
         assert_eq!(agg.batch_loss, 0.0);
     }
@@ -159,12 +183,14 @@ mod tests {
         let model = GlmModel::new(10, GlmLoss::Logistic, 0.0).unwrap();
         let cost = CostModel::cluster1();
         let c = SketchMlCompressor::default();
+        let mut ws = WorkerScratch::new();
+        let mut ds = DriverScratch::new();
         let msgs: Vec<_> = all
             .chunks(15)
-            .map(|slice| process_glm_batch(&model, slice, &c, &cost).unwrap())
+            .map(|slice| process_glm_batch(&model, slice, &c, &cost, &mut ws).unwrap())
             .collect();
-        let plain = aggregate(&msgs, 10, &c, &cost, false).unwrap();
-        let compressed = aggregate(&msgs, 10, &c, &cost, true).unwrap();
+        let plain = aggregate(&msgs, 10, &c, &cost, false, &mut ds).unwrap();
+        let compressed = aggregate(&msgs, 10, &c, &cost, true, &mut ds).unwrap();
         // Tiny gradients may not compress below raw, but the path must
         // produce a valid size and identical aggregated math.
         assert!(compressed.downlink_bytes > 0);

@@ -7,8 +7,9 @@
 //! harness measures.
 
 use crate::config::ClusterConfig;
+use bytes::BytesMut;
 use serde::{Deserialize, Serialize};
-use sketchml_core::{CompressError, GradientCompressor, SparseGradient};
+use sketchml_core::{CompressError, CompressScratch, GradientCompressor, SparseGradient};
 use sketchml_ml::metrics::LossPoint;
 use sketchml_ml::mlp::MlpInstance;
 use sketchml_ml::{Adam, AdamConfig, Mlp, MlpConfig};
@@ -114,6 +115,10 @@ pub fn train_mlp_distributed(
     let mut epochs = Vec::with_capacity(spec.epochs);
     let mut curve = Vec::new();
     let mut clock = 0.0;
+    // Pooled codec state, reused across every batch (driver loop is serial).
+    let mut scratch = CompressScratch::new();
+    let mut wire = BytesMut::new();
+    let mut dec_parts: Vec<SparseGradient> = Vec::new();
     for epoch in 1..=spec.epochs {
         // Fisher-Yates with the LCG.
         for i in (1..order.len()).rev() {
@@ -145,30 +150,32 @@ pub fn train_mlp_distributed(
             })
             .expect("crossbeam scope");
 
-            // Compress each worker's (dense) gradient — real bytes.
+            // Compress each worker's (dense) gradient — real bytes, pooled
+            // buffers.
             let total_inst: usize = results.iter().map(|r| r.2).sum();
-            let mut parts = Vec::with_capacity(results.len());
+            while dec_parts.len() < results.len() {
+                dec_parts.push(SparseGradient::empty(0));
+            }
             let mut compute_ops = 0u64;
             let t0 = Instant::now();
-            for (grad, _, n, _) in &results {
+            for ((grad, _, n, _), part) in results.iter().zip(dec_parts.iter_mut()) {
                 compute_ops = compute_ops.max(*n as u64 * params as u64);
-                let msg = compressor.compress(grad)?;
-                uplink_bytes += msg.len() as u64;
-                sim += cluster.cost.network.transfer_time(msg.len());
-                let mut g = compressor.decompress(&msg.payload)?;
+                compressor.compress_into(grad, &mut scratch, &mut wire)?;
+                uplink_bytes += wire.len() as u64;
+                sim += cluster.cost.network.transfer_time(wire.len());
+                compressor.decompress_into(&wire, &mut scratch, part)?;
                 if total_inst > 0 {
-                    g.scale(*n as f64 / total_inst as f64);
+                    part.scale(*n as f64 / total_inst as f64);
                 }
-                parts.push(g);
             }
             let _codec_wall = t0.elapsed();
-            let agg = SparseGradient::aggregate(&parts)?;
+            let agg = SparseGradient::aggregate(&dec_parts[..results.len()])?;
             // Downlink: torrent-style broadcast of the aggregated update.
-            let down = compressor.compress(&agg)?;
+            compressor.compress_into(&agg, &mut scratch, &mut wire)?;
             sim += cluster
                 .cost
                 .network
-                .broadcast_time(down.len(), cluster.workers);
+                .broadcast_time(wire.len(), cluster.workers);
             sim += cluster.cost.compute_time(compute_ops);
             sim += cluster.cost.codec_time(agg.nnz() * 2);
 

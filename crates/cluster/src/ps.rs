@@ -19,8 +19,9 @@
 
 use crate::config::ClusterConfig;
 use crate::worker::partition;
+use bytes::BytesMut;
 use serde::{Deserialize, Serialize};
-use sketchml_core::{CompressError, GradientCompressor, SparseGradient};
+use sketchml_core::{CompressError, CompressScratch, GradientCompressor, SparseGradient};
 use sketchml_data::Batcher;
 use sketchml_ml::metrics::{ConvergenceDetector, LossPoint};
 use sketchml_ml::{GlmModel, Instance, Optimizer};
@@ -141,6 +142,10 @@ pub fn train_parameter_server(
     let mut curve = Vec::new();
     let mut converged_epoch = None;
     let mut clock = 0.0f64;
+    // Pooled codec state, reused across every push/pull of every batch (the
+    // push/pull loops below run serially at the simulated servers).
+    let mut scratch = CompressScratch::new();
+    let mut wire = BytesMut::new();
 
     for epoch in 1..=spec.max_epochs {
         let mut es = EpochStats {
@@ -198,13 +203,14 @@ pub fn train_parameter_server(
                     if shard_grad.is_empty() {
                         continue;
                     }
-                    let msg = compressor.compress(&shard_grad)?;
-                    per_server_time[s] += cluster.cost.network.transfer_time(msg.len());
-                    es.uplink_bytes += msg.len() as u64;
-                    es.pairs += msg.report.pairs as u64;
-                    es.raw_bytes += 12 * msg.report.pairs as u64;
-                    pairs_this_batch += msg.report.pairs as u64;
-                    let mut g = compressor.decompress(&msg.payload)?;
+                    let report = compressor.compress_into(&shard_grad, &mut scratch, &mut wire)?;
+                    per_server_time[s] += cluster.cost.network.transfer_time(wire.len());
+                    es.uplink_bytes += wire.len() as u64;
+                    es.pairs += report.pairs as u64;
+                    es.raw_bytes += 12 * report.pairs as u64;
+                    pairs_this_batch += report.pairs as u64;
+                    let mut g = SparseGradient::empty(0);
+                    compressor.decompress_into(&wire, &mut scratch, &mut g)?;
                     if total_instances > 0 {
                         g.scale(*n as f64 / total_instances as f64);
                     }
@@ -241,11 +247,11 @@ pub fn train_parameter_server(
                 if shard_grad.is_empty() {
                     continue;
                 }
-                let msg = compressor.compress(shard_grad)?;
+                compressor.compress_into(shard_grad, &mut scratch, &mut wire)?;
                 // Each of W workers pulls this shard, serialized per server.
                 pull_time[s] +=
-                    cluster.workers as f64 * cluster.cost.network.transfer_time(msg.len());
-                es.downlink_bytes += (msg.len() * cluster.workers) as u64;
+                    cluster.workers as f64 * cluster.cost.network.transfer_time(wire.len());
+                es.downlink_bytes += (wire.len() * cluster.workers) as u64;
             }
             es.comm_seconds += pull_time.iter().copied().fold(0.0, f64::max);
         }

@@ -15,8 +15,9 @@
 //! in event order.
 
 use crate::config::ClusterConfig;
+use bytes::BytesMut;
 use serde::{Deserialize, Serialize};
-use sketchml_core::{CompressError, GradientCompressor, SparseGradient};
+use sketchml_core::{CompressError, CompressScratch, GradientCompressor, SparseGradient};
 use sketchml_ml::metrics::LossPoint;
 use sketchml_ml::{GlmModel, Instance, Optimizer};
 
@@ -146,6 +147,10 @@ pub fn train_ssp(
 
     let mut epochs = Vec::new();
     let mut curve = Vec::new();
+    // Pooled codec state, reused across every (serially simulated) push.
+    let mut scratch = CompressScratch::new();
+    let mut wire = BytesMut::new();
+    let mut decoded = SparseGradient::empty(0);
     let mut uplink_bytes = 0u64;
     let mut instances_done = 0u64;
     let mut next_epoch_mark = train.len() as u64;
@@ -182,16 +187,16 @@ pub fn train_ssp(
         let g = model.batch_gradient(&batch);
         let feature_ops: u64 = batch.iter().map(|i| i.features.nnz() as u64).sum();
         let sparse = SparseGradient::new(dim as u64, g.keys, g.values)?;
-        let msg = compressor.compress(&sparse)?;
-        uplink_bytes += msg.len() as u64;
-        let mut decoded = compressor.decompress(&msg.payload)?;
+        compressor.compress_into(&sparse, &mut scratch, &mut wire)?;
+        uplink_bytes += wire.len() as u64;
+        compressor.decompress_into(&wire, &mut scratch, &mut decoded)?;
         decoded.scale(1.0 / workers as f64); // same scaling as sync averaging
         model.apply_gradient(opt.as_mut(), decoded.keys(), decoded.values());
 
         // Advance this worker's clock: pull + compute + push.
         let compute = cluster.cost.compute_time(feature_ops) * speed(w);
-        let push = cluster.cost.network.transfer_time(msg.len());
-        let pull = cluster.cost.network.transfer_time(msg.len()); // model delta ≈ gradient size
+        let push = cluster.cost.network.transfer_time(wire.len());
+        let pull = cluster.cost.network.transfer_time(wire.len()); // model delta ≈ gradient size
         let codec = cluster.cost.codec_time(sparse.nnz() * 2);
         clocks[w] += compute + push + pull + codec;
 

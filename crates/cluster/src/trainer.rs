@@ -4,8 +4,8 @@
 //! Tables 2/4.
 
 use crate::config::ClusterConfig;
-use crate::driver::aggregate;
-use crate::worker::{partition, process_glm_batch, WorkerMessage};
+use crate::driver::{aggregate, DriverScratch};
+use crate::worker::{partition, process_glm_batch, WorkerMessage, WorkerScratch};
 use serde::{Deserialize, Serialize};
 use sketchml_core::{CompressError, GradientCompressor};
 use sketchml_data::Batcher;
@@ -209,6 +209,13 @@ pub fn train_distributed(
     let mut curve = Vec::new();
     let mut converged_epoch = None;
     let mut clock = 0.0f64;
+    // Pooled codec state, persistent across every batch of every epoch: one
+    // scratch per worker slot (threads borrow disjoint slots) plus the
+    // driver's aggregation scratch.
+    let mut worker_scratch: Vec<WorkerScratch> = (0..cluster.workers.max(1))
+        .map(|_| WorkerScratch::new())
+        .collect();
+    let mut driver_scratch = DriverScratch::new();
 
     for epoch in 1..=spec.max_epochs {
         let mut es = EpochStats {
@@ -233,13 +240,14 @@ pub fn train_distributed(
             let messages: Vec<WorkerMessage> = crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = parts
                     .iter()
-                    .map(|part| {
+                    .zip(worker_scratch.iter_mut())
+                    .map(|(part, ws)| {
                         let model = &model;
                         let cost = &cluster.cost;
                         s.spawn(move |_| {
                             let slice: Vec<Instance> =
                                 part.iter().map(|&i| train[i].clone()).collect();
-                            process_glm_batch(model, &slice, compressor, cost)
+                            process_glm_batch(model, &slice, compressor, cost, ws)
                         })
                     })
                     .collect();
@@ -269,6 +277,7 @@ pub fn train_distributed(
                 compressor,
                 &cluster.cost,
                 cluster.compress_downlink,
+                &mut driver_scratch,
             )?;
             // Downlink: torrent-style broadcast of the aggregated update.
             let downlink = cluster

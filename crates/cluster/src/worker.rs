@@ -4,10 +4,27 @@
 //! gradients").
 
 use crate::network::CostModel;
-use sketchml_core::{CompressError, GradientCompressor, SparseGradient};
+use bytes::BytesMut;
+use sketchml_core::{CompressError, CompressScratch, GradientCompressor, SparseGradient};
 use sketchml_encoding::stats::SizeReport;
 use sketchml_ml::{GlmModel, Instance};
 use std::time::Instant;
+
+/// Pooled per-worker compression state, reused across every mini-batch a
+/// worker slot processes: once warm, the encode hot path performs no heap
+/// allocations beyond the outgoing [`WorkerMessage`] itself.
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    scratch: CompressScratch,
+    out: BytesMut,
+}
+
+impl WorkerScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A worker's compressed contribution for one mini-batch.
 #[derive(Debug, Clone)]
@@ -30,7 +47,8 @@ pub struct WorkerMessage {
     pub measured_compute: f64,
 }
 
-/// Computes and compresses one worker's gradient over `slice`.
+/// Computes and compresses one worker's gradient over `slice`, reusing
+/// `ws`'s pooled buffers across calls (the §3.5 CPU-overhead hot path).
 ///
 /// # Errors
 /// Propagates compressor failures.
@@ -39,6 +57,7 @@ pub fn process_glm_batch(
     slice: &[Instance],
     compressor: &dyn GradientCompressor,
     cost: &CostModel,
+    ws: &mut WorkerScratch,
 ) -> Result<WorkerMessage, CompressError> {
     let t0 = Instant::now();
     let grad = model.batch_gradient(slice);
@@ -48,12 +67,12 @@ pub fn process_glm_batch(
     let sparse = SparseGradient::new(model.dim() as u64, grad.keys, grad.values)?;
 
     let t1 = Instant::now();
-    let msg = compressor.compress(&sparse)?;
+    let report = compressor.compress_into(&sparse, &mut ws.scratch, &mut ws.out)?;
     let measured_codec = t1.elapsed().as_secs_f64();
 
     Ok(WorkerMessage {
-        payload: msg.payload.to_vec(),
-        report: msg.report,
+        payload: ws.out[..].to_vec(),
+        report,
         loss_sum: grad.loss_sum,
         instances: slice.len(),
         sim_compute: cost.compute_time(feature_ops),
@@ -119,7 +138,9 @@ mod tests {
         let data = instances();
         let model = GlmModel::new(100, GlmLoss::Logistic, 0.01).unwrap();
         let cost = CostModel::cluster1();
-        let msg = process_glm_batch(&model, &data, &RawCompressor::default(), &cost).unwrap();
+        let mut ws = WorkerScratch::new();
+        let msg =
+            process_glm_batch(&model, &data, &RawCompressor::default(), &cost, &mut ws).unwrap();
         assert!(!msg.payload.is_empty());
         assert_eq!(msg.instances, 20);
         assert!(msg.sim_compute > 0.0);
@@ -133,7 +154,9 @@ mod tests {
     fn empty_slice_is_fine() {
         let model = GlmModel::new(10, GlmLoss::Logistic, 0.0).unwrap();
         let cost = CostModel::cluster1();
-        let msg = process_glm_batch(&model, &[], &RawCompressor::default(), &cost).unwrap();
+        let mut ws = WorkerScratch::new();
+        let msg =
+            process_glm_batch(&model, &[], &RawCompressor::default(), &cost, &mut ws).unwrap();
         assert_eq!(msg.instances, 0);
         assert_eq!(msg.sim_compute, 0.0);
     }

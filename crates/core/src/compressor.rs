@@ -4,7 +4,8 @@
 
 use crate::error::CompressError;
 use crate::gradient::SparseGradient;
-use bytes::Bytes;
+use crate::scratch::CompressScratch;
+use bytes::{Bytes, BytesMut};
 use sketchml_encoding::stats::SizeReport;
 
 /// A compressed gradient message plus its size accounting.
@@ -50,6 +51,50 @@ pub trait GradientCompressor: Send + Sync {
     /// Returns [`CompressError::Corrupt`] (never panics) on truncated or
     /// malformed payloads.
     fn decompress(&self, payload: &[u8]) -> Result<SparseGradient, CompressError>;
+
+    /// Encodes a gradient into `out` (cleared first), reusing `scratch`'s
+    /// pooled buffers across calls. The payload written to `out` is
+    /// **byte-identical** to [`Self::compress`]'s; the returned report is the
+    /// same size accounting.
+    ///
+    /// The default implementation delegates to the allocating `compress`;
+    /// compressors with a fused hot path (SketchML, ZipML, quantification,
+    /// the sharded engine) override it to run allocation-free in steady
+    /// state.
+    ///
+    /// # Errors
+    /// Same contract as [`Self::compress`]. On error `out`'s contents are
+    /// unspecified.
+    fn compress_into(
+        &self,
+        grad: &SparseGradient,
+        scratch: &mut CompressScratch,
+        out: &mut BytesMut,
+    ) -> Result<SizeReport, CompressError> {
+        let _ = scratch;
+        let msg = self.compress(grad)?;
+        out.clear();
+        out.extend_from_slice(&msg.payload);
+        Ok(msg.report)
+    }
+
+    /// Decodes a message into `out` (overwritten), reusing `scratch`'s
+    /// pooled buffers across calls. Produces exactly [`Self::decompress`]'s
+    /// gradient.
+    ///
+    /// # Errors
+    /// Same contract as [`Self::decompress`]. On error `out`'s contents are
+    /// unspecified.
+    fn decompress_into(
+        &self,
+        payload: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut SparseGradient,
+    ) -> Result<(), CompressError> {
+        let _ = scratch;
+        *out = self.decompress(payload)?;
+        Ok(())
+    }
 }
 
 impl<T: GradientCompressor + ?Sized> GradientCompressor for &T {
@@ -62,6 +107,22 @@ impl<T: GradientCompressor + ?Sized> GradientCompressor for &T {
     fn decompress(&self, payload: &[u8]) -> Result<SparseGradient, CompressError> {
         (**self).decompress(payload)
     }
+    fn compress_into(
+        &self,
+        grad: &SparseGradient,
+        scratch: &mut CompressScratch,
+        out: &mut BytesMut,
+    ) -> Result<SizeReport, CompressError> {
+        (**self).compress_into(grad, scratch, out)
+    }
+    fn decompress_into(
+        &self,
+        payload: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut SparseGradient,
+    ) -> Result<(), CompressError> {
+        (**self).decompress_into(payload, scratch, out)
+    }
 }
 
 impl<T: GradientCompressor + ?Sized> GradientCompressor for Box<T> {
@@ -73,6 +134,22 @@ impl<T: GradientCompressor + ?Sized> GradientCompressor for Box<T> {
     }
     fn decompress(&self, payload: &[u8]) -> Result<SparseGradient, CompressError> {
         (**self).decompress(payload)
+    }
+    fn compress_into(
+        &self,
+        grad: &SparseGradient,
+        scratch: &mut CompressScratch,
+        out: &mut BytesMut,
+    ) -> Result<SizeReport, CompressError> {
+        (**self).compress_into(grad, scratch, out)
+    }
+    fn decompress_into(
+        &self,
+        payload: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut SparseGradient,
+    ) -> Result<(), CompressError> {
+        (**self).decompress_into(payload, scratch, out)
     }
 }
 

@@ -73,6 +73,85 @@ impl SparseGradient {
         }
     }
 
+    /// Overwrites this gradient in place from parallel key/value slices,
+    /// reusing its existing buffer capacity — the allocation-free counterpart
+    /// of [`Self::new`], with the identical validation contract.
+    ///
+    /// # Errors
+    /// See [`Self::new`]. On error the gradient is left empty (dimension
+    /// `dim`).
+    pub fn assign(&mut self, dim: u64, keys: &[u64], values: &[f64]) -> Result<(), CompressError> {
+        self.dim = dim;
+        self.keys.clear();
+        self.values.clear();
+        if keys.len() != values.len() {
+            return Err(CompressError::InvalidGradient(format!(
+                "{} keys but {} values",
+                keys.len(),
+                values.len()
+            )));
+        }
+        let mut prev: Option<u64> = None;
+        for (i, &k) in keys.iter().enumerate() {
+            if k >= dim {
+                return Err(CompressError::InvalidGradient(format!(
+                    "key {k} at position {i} out of range for dimension {dim}"
+                )));
+            }
+            if let Some(p) = prev {
+                if k <= p {
+                    return Err(CompressError::InvalidGradient(format!(
+                        "keys must be strictly ascending (position {i})"
+                    )));
+                }
+            }
+            prev = Some(k);
+        }
+        if let Some((i, v)) = values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(CompressError::InvalidGradient(format!(
+                "non-finite value {v} at position {i}"
+            )));
+        }
+        self.keys.extend_from_slice(keys);
+        self.values.extend_from_slice(values);
+        Ok(())
+    }
+
+    /// [`Self::assign`] from `(key, value)` pairs (must already be in
+    /// ascending key order).
+    ///
+    /// # Errors
+    /// See [`Self::assign`].
+    pub fn assign_pairs(&mut self, dim: u64, pairs: &[(u64, f64)]) -> Result<(), CompressError> {
+        self.dim = dim;
+        self.keys.clear();
+        self.values.clear();
+        let mut prev: Option<u64> = None;
+        for (i, &(k, v)) in pairs.iter().enumerate() {
+            if k >= dim {
+                return Err(CompressError::InvalidGradient(format!(
+                    "key {k} at position {i} out of range for dimension {dim}"
+                )));
+            }
+            if let Some(p) = prev {
+                if k <= p {
+                    return Err(CompressError::InvalidGradient(format!(
+                        "keys must be strictly ascending (position {i})"
+                    )));
+                }
+            }
+            prev = Some(k);
+            if !v.is_finite() {
+                return Err(CompressError::InvalidGradient(format!(
+                    "non-finite value {v} at position {i}"
+                )));
+            }
+        }
+        self.keys.extend(pairs.iter().map(|&(k, _)| k));
+        self.values.extend(pairs.iter().map(|&(_, v)| v));
+        Ok(())
+    }
+
     /// Builds an empty gradient over `dim` dimensions.
     pub fn empty(dim: u64) -> Self {
         SparseGradient {

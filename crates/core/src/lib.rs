@@ -58,6 +58,7 @@ pub mod gradient;
 pub mod gradient_io;
 pub mod quantify;
 pub mod registry;
+pub mod scratch;
 pub mod sharded;
 pub mod sketchml;
 pub mod space;
@@ -70,6 +71,7 @@ pub use feedback::ErrorFeedback;
 pub use gradient::SparseGradient;
 pub use quantify::{QuantCompressor, QuantileBackend};
 pub use registry::by_name as compressor_by_name;
+pub use scratch::CompressScratch;
 pub use sharded::{split_gradient, ShardedCompressor};
 pub use sketchml::{MeanPrecision, SketchMlCompressor, SketchMlConfig};
 pub use zipml::{Rounding, ZipMlCompressor};

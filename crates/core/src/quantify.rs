@@ -15,6 +15,7 @@
 use crate::compressor::{CompressedGradient, GradientCompressor};
 use crate::error::CompressError;
 use crate::gradient::SparseGradient;
+use crate::scratch::CompressScratch;
 use bytes::{Buf, BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
 use sketchml_encoding::stats::SizeReport;
@@ -67,6 +68,106 @@ pub fn bucket_of(splits: &[f64], value: f64) -> u16 {
     // Interior splits are splits[1..q]; count how many are <= value.
     let idx = splits[1..q].partition_point(|&s| s <= value);
     idx as u16
+}
+
+/// Maps a finite f64 to a u64 whose unsigned order matches f64 `<=` order.
+/// `v + 0.0` first canonicalizes `-0.0` to `+0.0`, so the two zero bit
+/// patterns (equal under `<=` but 2^63 apart as raw bits) share one key.
+#[inline]
+fn order_key(v: f64) -> u64 {
+    let b = (v + 0.0).to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Flat lookup table replacing [`bucket_of`]'s per-value binary search on
+/// the hot path. Built once per quantization: interior splits are mapped to
+/// monotone [`order_key`]s, and a slot table over the key range stores, per
+/// slot, how many interior splits precede it. A lookup is then one key
+/// transform, one shift, one table load, and a short linear fixup — no
+/// branch mispredictions from a log₂ q search per value.
+///
+/// In debug builds every lookup asserts agreement with the binary-search
+/// slow path.
+#[derive(Debug, Default)]
+pub struct BucketTable {
+    base: u64,
+    shift: u32,
+    /// `order_key` of each interior split, ascending.
+    interior: Vec<u64>,
+    /// `slots[i]` = number of interior keys mapping to a slot `< i`.
+    slots: Vec<u16>,
+}
+
+impl BucketTable {
+    /// Rebuilds the table for a monotone `q + 1` split array, reusing the
+    /// existing buffers.
+    pub fn rebuild(&mut self, splits: &[f64]) {
+        debug_assert!(splits.len() >= 2);
+        let q = splits.len() - 1;
+        self.interior.clear();
+        self.slots.clear();
+        self.interior
+            .extend(splits[1..q].iter().map(|&s| order_key(s)));
+        let (Some(&first), Some(&last)) = (self.interior.first(), self.interior.last()) else {
+            return; // q == 1: everything is bucket 0.
+        };
+        debug_assert!(self.interior.windows(2).all(|w| w[0] <= w[1]));
+        let span = last - first;
+        // ~4 slots per split keeps the linear fixup under one step on
+        // average; the cap bounds rebuild cost for adversarial ranges.
+        let cap = (4 * self.interior.len())
+            .next_power_of_two()
+            .clamp(64, 4096) as u64;
+        let mut shift = 0u32;
+        while (span >> shift) + 1 > cap {
+            shift += 1;
+        }
+        self.base = first;
+        self.shift = shift;
+        let nslots = ((span >> shift) + 1) as usize;
+        self.slots.resize(nslots + 1, 0);
+        for &k in &self.interior {
+            self.slots[((k - first) >> shift) as usize + 1] += 1;
+        }
+        for i in 1..self.slots.len() {
+            self.slots[i] += self.slots[i - 1];
+        }
+    }
+
+    /// Bucket of `value`; identical to `bucket_of(splits, value)` for the
+    /// `splits` this table was rebuilt from (debug-asserted).
+    #[inline]
+    pub fn lookup(&self, splits: &[f64], value: f64) -> u16 {
+        let got = self.lookup_fast(value);
+        debug_assert_eq!(
+            got,
+            bucket_of(splits, value),
+            "bucket table fast path disagrees with binary search for {value}"
+        );
+        got
+    }
+
+    #[inline]
+    fn lookup_fast(&self, value: f64) -> u16 {
+        let m = self.interior.len();
+        if m == 0 {
+            return 0;
+        }
+        let k = order_key(value);
+        if k < self.base {
+            return 0;
+        }
+        let slot = (((k - self.base) >> self.shift) as usize).min(self.slots.len() - 2);
+        let mut idx = self.slots[slot] as usize;
+        while idx < m && self.interior[idx] <= k {
+            idx += 1;
+        }
+        idx as u16
+    }
 }
 
 /// Runs quantile-bucket quantification over `values` with (at most) `q`
@@ -151,6 +252,89 @@ pub fn quantize_with(
         means,
         indexes,
     })
+}
+
+/// Pooled buffers for [`quantize_into`]: the quantile sketch, its weighted-
+/// item scratch, and the split/mean/index outputs, all reused across calls.
+#[derive(Debug, Default)]
+pub struct QuantScratch {
+    sketch: Option<MergingQuantileSketch>,
+    items: Vec<(f64, u64)>,
+    pub(crate) splits: Vec<f64>,
+    pub(crate) means: Vec<f64>,
+    pub(crate) indexes: Vec<u16>,
+    table: BucketTable,
+}
+
+/// [`quantize_with`] into pooled buffers: fills `qs.splits` / `qs.means` /
+/// `qs.indexes` with *exactly* the values the allocating path produces
+/// (the reused Merging sketch is [`MergingQuantileSketch::reset`] so its
+/// compaction parity replays identically), while performing zero heap
+/// allocations in steady state for the Merging backend. Bucket indexes are
+/// assigned through a [`BucketTable`] instead of a per-value binary search.
+///
+/// # Errors
+/// Same contract as [`quantize`].
+pub fn quantize_into(
+    values: &[f64],
+    q: u16,
+    sketch_capacity: usize,
+    cap_divisor: usize,
+    backend: QuantileBackend,
+    qs: &mut QuantScratch,
+) -> Result<(), CompressError> {
+    if q == 0 {
+        return Err(CompressError::InvalidConfig("q must be positive".into()));
+    }
+    if cap_divisor == 0 {
+        return Err(CompressError::InvalidConfig(
+            "cap_divisor must be positive".into(),
+        ));
+    }
+    if values.is_empty() {
+        return Err(CompressError::InvalidGradient(
+            "cannot quantize an empty value array".into(),
+        ));
+    }
+    let q_eff = (q as usize)
+        .min((values.len() / cap_divisor).max(8))
+        .min(values.len()) as u16;
+    match backend {
+        QuantileBackend::Merging => {
+            let cap = sketch_capacity.max(2);
+            let sketch = match &mut qs.sketch {
+                Some(s) if s.capacity() == cap => {
+                    s.reset();
+                    s
+                }
+                slot => slot.insert(MergingQuantileSketch::new(cap)?),
+            };
+            sketch.extend_from_slice(values);
+            sketch.splits_into(q_eff as usize, &mut qs.items, &mut qs.splits)?;
+        }
+        QuantileBackend::Gk => {
+            let mut sketch = GkSummary::for_buckets(q_eff as usize)?;
+            sketch.extend_from_slice(values);
+            qs.splits.clear();
+            qs.splits.extend_from_slice(&sketch.splits(q_eff as usize)?);
+        }
+        QuantileBackend::TDigest => {
+            let mut sketch = TDigest::new((sketch_capacity.max(16)) as f64)?;
+            sketch.extend_from_slice(values);
+            qs.splits.clear();
+            qs.splits.extend_from_slice(&sketch.splits(q_eff as usize)?);
+        }
+    }
+    qs.means.clear();
+    qs.means
+        .extend(qs.splits.windows(2).map(|w| (w[0] + w[1]) / 2.0));
+    qs.table.rebuild(&qs.splits);
+    qs.indexes.clear();
+    qs.indexes.reserve(values.len());
+    for &v in values {
+        qs.indexes.push(qs.table.lookup(&qs.splits, v));
+    }
+    Ok(())
 }
 
 /// Appendix A.1 variance bound: `E‖g − ĝ‖² <= d/(4q) · (φ²min + φ²max)`.
@@ -279,6 +463,100 @@ impl GradientCompressor for QuantCompressor {
             .collect::<Result<_, _>>()?;
         SparseGradient::new(dim, keys, values)
     }
+
+    fn compress_into(
+        &self,
+        grad: &SparseGradient,
+        scratch: &mut CompressScratch,
+        out: &mut BytesMut,
+    ) -> Result<SizeReport, CompressError> {
+        if self.buckets == 0 {
+            return Err(CompressError::InvalidConfig(
+                "buckets must be positive".into(),
+            ));
+        }
+        out.clear();
+        out.put_u8(QUANT_MAGIC);
+        varint::write_u64(out, grad.dim());
+        varint::write_u64(out, grad.nnz() as u64);
+        let mut report = SizeReport {
+            pairs: grad.nnz(),
+            ..SizeReport::default()
+        };
+        if grad.is_empty() {
+            report.header_bytes = out.len();
+            return Ok(report);
+        }
+        let header_so_far = out.len();
+        let key_bytes = delta_binary::encode_keys_into(grad.keys(), out)?;
+
+        quantize_into(
+            grad.values(),
+            self.buckets,
+            self.sketch_capacity,
+            32,
+            QuantileBackend::Merging,
+            &mut scratch.quant,
+        )?;
+        let q = scratch.quant.means.len() as u16;
+        let before_values = out.len();
+        varint::write_u64(out, q as u64);
+        for &m in &scratch.quant.means {
+            out.put_f64_le(m);
+        }
+        let bits = bitpack::bits_for(q.saturating_sub(1));
+        out.put_u8(bits as u8);
+        bitpack::pack_u16_into(&scratch.quant.indexes, bits, out)?;
+
+        report.key_bytes = key_bytes;
+        report.value_bytes = out.len() - before_values;
+        report.header_bytes = header_so_far;
+        Ok(report)
+    }
+
+    fn decompress_into(
+        &self,
+        payload: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut SparseGradient,
+    ) -> Result<(), CompressError> {
+        let mut buf = payload;
+        if !buf.has_remaining() || buf.get_u8() != QUANT_MAGIC {
+            return Err(CompressError::Corrupt("bad Adam+Key+Quan magic".into()));
+        }
+        let dim = varint::read_u64(&mut buf)?;
+        let nnz = varint::read_u64(&mut buf)? as usize;
+        if nnz == 0 {
+            return out.assign(dim, &[], &[]);
+        }
+        delta_binary::decode_keys_into(&mut buf, &mut scratch.dec_keys)?;
+        if scratch.dec_keys.len() != nnz {
+            return Err(CompressError::Corrupt(format!(
+                "declared {nnz} pairs but decoded {} keys",
+                scratch.dec_keys.len()
+            )));
+        }
+        let q = varint::read_u64(&mut buf)? as usize;
+        if q == 0 || buf.remaining() < q * 8 + 1 {
+            return Err(CompressError::Corrupt("truncated bucket means".into()));
+        }
+        scratch.dec_means.clear();
+        scratch.dec_means.reserve(q);
+        for _ in 0..q {
+            scratch.dec_means.push(buf.get_f64_le());
+        }
+        let bits = buf.get_u8() as u32;
+        bitpack::unpack_u16_into(&mut buf, nnz, bits, &mut scratch.dec_idx)?;
+        scratch.dec_vals.clear();
+        scratch.dec_vals.reserve(nnz);
+        for &i in &scratch.dec_idx {
+            let m = scratch.dec_means.get(i as usize).copied().ok_or_else(|| {
+                CompressError::Corrupt(format!("bucket index {i} out of range {q}"))
+            })?;
+            scratch.dec_vals.push(m);
+        }
+        out.assign(dim, &scratch.dec_keys, &scratch.dec_vals)
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +586,79 @@ mod tests {
         assert_eq!(bucket_of(&splits, 2.5), 2);
         assert_eq!(bucket_of(&splits, 3.0), 2);
         assert_eq!(bucket_of(&splits, 99.0), 2);
+    }
+
+    #[test]
+    fn bucket_table_agrees_with_binary_search() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut table = BucketTable::default();
+        for _ in 0..50 {
+            let n = rng.gen_range(2..40usize);
+            let mut splits: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+            splits.sort_by(f64::total_cmp);
+            // Inject duplicate splits (clamped-monotone outputs have them).
+            if n > 4 {
+                splits[2] = splits[1];
+            }
+            table.rebuild(&splits);
+            for _ in 0..500 {
+                let v = rng.gen::<f64>() * 6.0 - 3.0;
+                assert_eq!(table.lookup(&splits, v), bucket_of(&splits, v), "v={v}");
+            }
+            for &s in &splits {
+                assert_eq!(table.lookup(&splits, s), bucket_of(&splits, s));
+                let lo = f64::from_bits(s.to_bits().wrapping_sub(1));
+                let hi = f64::from_bits(s.to_bits().wrapping_add(1));
+                for probe in [lo, hi] {
+                    if probe.is_finite() {
+                        assert_eq!(table.lookup(&splits, probe), bucket_of(&splits, probe));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_table_handles_signed_zero_and_degenerate_splits() {
+        let mut table = BucketTable::default();
+        // -0.0 and 0.0 compare equal under f64 <= but have distant bit
+        // patterns; the order-key canonicalization must agree with bucket_of.
+        let splits = [-1.0, -0.0, 1.0];
+        table.rebuild(&splits);
+        for v in [-2.0, -0.5, -0.0, 0.0, 0.5, 2.0, -1.0, 1.0] {
+            assert_eq!(table.lookup(&splits, v), bucket_of(&splits, v), "v={v}");
+        }
+        let splits = [0.0, -0.0, 5.0]; // interior split is -0.0 itself
+        table.rebuild(&splits);
+        for v in [-0.0, 0.0, 1.0, -1.0] {
+            assert_eq!(table.lookup(&splits, v), bucket_of(&splits, v), "v={v}");
+        }
+        // q = 1: no interior splits, everything is bucket 0.
+        let splits = [3.0, 7.0];
+        table.rebuild(&splits);
+        assert_eq!(table.lookup(&splits, 100.0), 0);
+        // All splits identical (constant gradient side).
+        let splits = [2.0, 2.0, 2.0, 2.0];
+        table.rebuild(&splits);
+        for v in [1.0, 2.0, 3.0] {
+            assert_eq!(table.lookup(&splits, v), bucket_of(&splits, v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn quantize_into_matches_quantize_bitwise_across_reuse() {
+        let mut qs = QuantScratch::default();
+        for (i, n) in [500usize, 3_000, 120, 9_000].iter().enumerate() {
+            let values = skewed_values(*n, 80 + i as u64);
+            let reference = quantize(&values, 256, 128, 32).unwrap();
+            quantize_into(&values, 256, 128, 32, QuantileBackend::Merging, &mut qs).unwrap();
+            assert_eq!(qs.splits, reference.splits, "round {i}: splits diverged");
+            assert_eq!(qs.means, reference.means, "round {i}: means diverged");
+            assert_eq!(qs.indexes, reference.indexes, "round {i}: indexes diverged");
+        }
+        assert!(quantize_into(&[], 8, 128, 32, QuantileBackend::Merging, &mut qs).is_err());
+        assert!(quantize_into(&[1.0], 0, 128, 32, QuantileBackend::Merging, &mut qs).is_err());
+        assert!(quantize_into(&[1.0], 8, 128, 0, QuantileBackend::Merging, &mut qs).is_err());
     }
 
     #[test]

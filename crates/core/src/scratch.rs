@@ -1,0 +1,93 @@
+//! Reusable scratch buffers for the zero-allocation compression hot path.
+//!
+//! §3.5's premise is that compression must cost less CPU than the network
+//! time it saves. The allocating [`GradientCompressor::compress`] path
+//! re-allocates every intermediate (sign partitions, per-group key vectors,
+//! delta arrays, bitpack buffers) on every gradient of every iteration; a
+//! [`CompressScratch`] pools all of them so that, once warm, a steady-state
+//! training loop performs **zero** heap allocations per compressed message
+//! (`crates/bench/src/bin/hotpath.rs` asserts this with a counting
+//! allocator). The scratch-path payload is byte-identical to the allocating
+//! path — the golden fixtures in `tests/fixtures/` and the differential
+//! proptests are the oracle.
+//!
+//! [`GradientCompressor::compress`]: crate::GradientCompressor::compress
+
+use crate::error::CompressError;
+use crate::gradient::SparseGradient;
+use crate::quantify::QuantScratch;
+use bytes::BytesMut;
+use sketchml_encoding::stats::SizeReport;
+
+/// Pooled intermediate buffers shared by every `*_into` compressor method.
+///
+/// One scratch serves any number of compressors and any mix of
+/// `compress_into` / `decompress_into` calls; buffers grow to the high-water
+/// mark of the gradients they process and are then reused. The type is
+/// `Send`, so a long-lived worker thread can own one across iterations —
+/// but it is deliberately not `Sync`: concurrent encoders each need their
+/// own (see the per-shard pool used by the sharded engine).
+#[derive(Debug, Default)]
+pub struct CompressScratch {
+    // --- encode: sign partition (§3.3 Solution 1) ---
+    pub(crate) pos_keys: Vec<u64>,
+    pub(crate) pos_vals: Vec<f64>,
+    pub(crate) neg_keys: Vec<u64>,
+    pub(crate) neg_vals: Vec<f64>,
+    // --- encode: quantification (§3.2) ---
+    pub(crate) quant: QuantScratch,
+    // --- encode: per-group key sectioning (§3.4 / Appendix A.3) ---
+    pub(crate) counts: Vec<usize>,
+    pub(crate) cursor: Vec<usize>,
+    pub(crate) sec_keys: Vec<u64>,
+    pub(crate) sec_idx: Vec<u16>,
+    // --- encode/decode: flat MinMaxSketch cell tables + row seeds (§3.3) ---
+    pub(crate) cells: Vec<u16>,
+    pub(crate) seeds: Vec<u64>,
+    // --- decode ---
+    pub(crate) pairs: Vec<(u64, f64)>,
+    pub(crate) dec_keys: Vec<u64>,
+    pub(crate) dec_vals: Vec<f64>,
+    pub(crate) dec_idx: Vec<u16>,
+    pub(crate) dec_cells: Vec<u16>,
+    pub(crate) dec_means: Vec<f64>,
+    // --- sharded engine: one slot per shard, each with its own scratch ---
+    pub(crate) shards: Vec<ShardScratch>,
+}
+
+impl CompressScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures at least `n` shard slots exist, each with its own inner
+    /// scratch, reusable gradient, and output buffer.
+    pub(crate) fn ensure_shards(&mut self, n: usize) {
+        while self.shards.len() < n {
+            self.shards.push(ShardScratch::new());
+        }
+    }
+}
+
+/// Per-shard state pooled inside a [`CompressScratch`] for the sharded
+/// engine: worker threads borrow disjoint slots, so PR 1's parallelism
+/// composes with zero-alloc (`Box` breaks the recursive type).
+#[derive(Debug)]
+pub(crate) struct ShardScratch {
+    pub(crate) grad: SparseGradient,
+    pub(crate) scratch: Box<CompressScratch>,
+    pub(crate) out: BytesMut,
+    pub(crate) result: Option<Result<SizeReport, CompressError>>,
+}
+
+impl ShardScratch {
+    fn new() -> Self {
+        ShardScratch {
+            grad: SparseGradient::empty(0),
+            scratch: Box::default(),
+            out: BytesMut::new(),
+            result: None,
+        }
+    }
+}

@@ -18,6 +18,7 @@
 use crate::compressor::{CompressedGradient, GradientCompressor};
 use crate::error::CompressError;
 use crate::gradient::SparseGradient;
+use crate::scratch::{CompressScratch, ShardScratch};
 use bytes::BytesMut;
 use sketchml_encoding::framing;
 use sketchml_encoding::stats::SizeReport;
@@ -244,6 +245,186 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
         SparseGradient::new(dim, keys, values)
             .map_err(|e| CompressError::Corrupt(format!("merged shards invalid: {e}")))
     }
+
+    fn compress_into(
+        &self,
+        grad: &SparseGradient,
+        scratch: &mut CompressScratch,
+        out: &mut BytesMut,
+    ) -> Result<SizeReport, CompressError> {
+        let nnz = grad.nnz();
+        let s = self.shards.clamp(1, nnz.max(1));
+        scratch.ensure_shards(s);
+        {
+            let slots = &mut scratch.shards[..s];
+            if s == 1 {
+                let slot = &mut slots[0];
+                slot.result = Some(self.inner.compress_into(
+                    grad,
+                    &mut slot.scratch,
+                    &mut slot.out,
+                ));
+            } else {
+                // Same balanced contiguous split as `split_gradient`, copied
+                // into each slot's pooled gradient instead of fresh Vecs.
+                let base = nnz / s;
+                let extra = nnz % s;
+                let mut start = 0usize;
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    let end = start + base + usize::from(i < extra);
+                    slot.grad
+                        .assign(
+                            grad.dim(),
+                            &grad.keys()[start..end],
+                            &grad.values()[start..end],
+                        )
+                        .expect("contiguous slice of a valid gradient is valid");
+                    start = end;
+                }
+                let workers = self.threads.clamp(1, s);
+                if workers <= 1 {
+                    for slot in slots.iter_mut() {
+                        slot.result = Some(self.inner.compress_into(
+                            &slot.grad,
+                            &mut slot.scratch,
+                            &mut slot.out,
+                        ));
+                    }
+                } else {
+                    let chunk = s.div_ceil(workers);
+                    crossbeam::thread::scope(|sc| {
+                        for slot_chunk in slots.chunks_mut(chunk) {
+                            let inner = &self.inner;
+                            sc.spawn(move |_| {
+                                for slot in slot_chunk.iter_mut() {
+                                    slot.result = Some(inner.compress_into(
+                                        &slot.grad,
+                                        &mut slot.scratch,
+                                        &mut slot.out,
+                                    ));
+                                }
+                            });
+                        }
+                    })
+                    .expect("compression thread pool");
+                }
+            }
+        }
+
+        let mut report = SizeReport::default();
+        for slot in scratch.shards[..s].iter_mut() {
+            let shard_report = slot.result.take().expect("every slot ran")?;
+            report.accumulate(&shard_report);
+        }
+        scratch.counts.clear();
+        for slot in &scratch.shards[..s] {
+            scratch.counts.push(slot.out.len());
+        }
+        let frame_header = framing::header_len(&scratch.counts);
+        out.clear();
+        out.reserve(frame_header + scratch.counts.iter().sum::<usize>());
+        framing::write_header(out, &scratch.counts);
+        report.header_bytes += frame_header;
+        for slot in &scratch.shards[..s] {
+            out.extend_from_slice(&slot.out[..]);
+        }
+        Ok(report)
+    }
+
+    fn decompress_into(
+        &self,
+        payload: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut SparseGradient,
+    ) -> Result<(), CompressError> {
+        let mut buf = payload;
+        framing::read_header_into(&mut buf, &mut scratch.counts)
+            .map_err(|e| CompressError::Corrupt(format!("shard frame: {e}")))?;
+        let s = scratch.counts.len();
+        scratch.cursor.clear();
+        let mut offset = 0usize;
+        for &len in &scratch.counts {
+            // read_header_into guarantees the sum fits in the buffer.
+            scratch.cursor.push(offset);
+            offset += len;
+        }
+        if offset != buf.len() {
+            return Err(CompressError::Corrupt(format!(
+                "frame declares {offset} payload bytes but {} are present",
+                buf.len()
+            )));
+        }
+
+        scratch.ensure_shards(s);
+        {
+            let (shards_scratch, rest) = {
+                // Split disjoint field borrows for the worker closures.
+                let CompressScratch {
+                    shards,
+                    counts,
+                    cursor,
+                    ..
+                } = scratch;
+                (&mut shards[..s], (&*counts, &*cursor))
+            };
+            let (counts, cursor) = rest;
+            let workers = self.threads.clamp(1, s);
+            let decode_slot = |i: usize, slot: &mut ShardScratch| {
+                let slice = &buf[cursor[i]..cursor[i] + counts[i]];
+                let r = self
+                    .inner
+                    .decompress_into(slice, &mut slot.scratch, &mut slot.grad);
+                slot.result = Some(r.map(|()| SizeReport::default()));
+            };
+            if workers <= 1 {
+                for (i, slot) in shards_scratch.iter_mut().enumerate() {
+                    decode_slot(i, slot);
+                }
+            } else {
+                let chunk = s.div_ceil(workers);
+                crossbeam::thread::scope(|sc| {
+                    for (c, slot_chunk) in shards_scratch.chunks_mut(chunk).enumerate() {
+                        let decode_slot = &decode_slot;
+                        sc.spawn(move |_| {
+                            for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                                decode_slot(c * chunk + off, slot);
+                            }
+                        });
+                    }
+                })
+                .expect("compression thread pool");
+            }
+        }
+
+        for slot in scratch.shards[..s].iter_mut() {
+            slot.result
+                .take()
+                .expect("every slot ran")
+                .map_err(|e| match e {
+                    CompressError::Corrupt(msg) => CompressError::Corrupt(msg),
+                    other => CompressError::Corrupt(format!("shard decode: {other}")),
+                })?;
+        }
+        let dim = scratch.shards[..s]
+            .first()
+            .map_or(0, |slot| slot.grad.dim());
+        if scratch.shards[..s]
+            .iter()
+            .any(|slot| slot.grad.dim() != dim)
+        {
+            return Err(CompressError::Corrupt(
+                "shards disagree on gradient dimension".into(),
+            ));
+        }
+        scratch.dec_keys.clear();
+        scratch.dec_vals.clear();
+        for slot in &scratch.shards[..s] {
+            scratch.dec_keys.extend_from_slice(slot.grad.keys());
+            scratch.dec_vals.extend_from_slice(slot.grad.values());
+        }
+        out.assign(dim, &scratch.dec_keys, &scratch.dec_vals)
+            .map_err(|e| CompressError::Corrupt(format!("merged shards invalid: {e}")))
+    }
 }
 
 #[cfg(test)]
@@ -345,6 +526,46 @@ mod tests {
             c.decompress(&trailing),
             Err(CompressError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn scratch_path_matches_allocating_path_across_threads() {
+        let g = grad(401, 3_000_000);
+        let mut scratch = CompressScratch::new();
+        let mut out = BytesMut::new();
+        let mut decoded = SparseGradient::empty(0);
+        for threads in [1usize, 2, 4] {
+            for shards in [1usize, 4, 7] {
+                let c = ShardedCompressor::new(SketchMlCompressor::default(), shards)
+                    .unwrap()
+                    .with_threads(threads)
+                    .unwrap();
+                let msg = c.compress(&g).unwrap();
+                let report = c.compress_into(&g, &mut scratch, &mut out).unwrap();
+                assert_eq!(
+                    &out[..],
+                    &msg.payload[..],
+                    "threads={threads} shards={shards}"
+                );
+                assert_eq!(report.key_bytes, msg.report.key_bytes);
+                assert_eq!(report.value_bytes, msg.report.value_bytes);
+                assert_eq!(report.header_bytes, msg.report.header_bytes);
+                c.decompress_into(&out, &mut scratch, &mut decoded).unwrap();
+                let reference = c.decompress(&msg.payload).unwrap();
+                assert_eq!(decoded.keys(), reference.keys());
+                assert_eq!(decoded.values(), reference.values());
+                assert_eq!(decoded.dim(), reference.dim());
+            }
+        }
+        // Empty gradients keep the single-empty-shard frame.
+        let empty = SparseGradient::empty(77);
+        let c = ShardedCompressor::new(RawCompressor::default(), 4).unwrap();
+        let msg = c.compress(&empty).unwrap();
+        c.compress_into(&empty, &mut scratch, &mut out).unwrap();
+        assert_eq!(&out[..], &msg.payload[..]);
+        c.decompress_into(&out, &mut scratch, &mut decoded).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(decoded.dim(), 77);
     }
 
     #[test]

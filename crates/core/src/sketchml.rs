@@ -25,12 +25,16 @@
 use crate::compressor::{CompressedGradient, GradientCompressor};
 use crate::error::CompressError;
 use crate::gradient::SparseGradient;
-use crate::quantify::{quantize_with, QuantileBackend};
+use crate::quantify::{quantize_into, quantize_with, QuantileBackend};
+use crate::scratch::CompressScratch;
 use bytes::{Buf, BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
 use sketchml_encoding::stats::SizeReport;
 use sketchml_encoding::{bitpack, delta_binary, varint};
-use sketchml_sketches::minmax::{group_seed, GroupedMinMaxSketch, MinMaxSketch, EMPTY_CELL};
+use sketchml_sketches::hash::push_row_seeds;
+use sketchml_sketches::minmax::{
+    group_seed, insert_batch_raw, query_batch_raw, GroupedMinMaxSketch, MinMaxSketch, EMPTY_CELL,
+};
 
 /// Precision of the bucket-means table on the wire (§3.5 charges `8q`
 /// bytes for f64 means; f32 halves that at ~1e-7 relative value error —
@@ -273,6 +277,249 @@ impl SketchMlCompressor {
         Ok((key_bytes, value_bytes))
     }
 
+    /// Fused, allocation-free counterpart of [`Self::build_side`] +
+    /// [`Self::encode_side`]: quantizes through the pooled
+    /// [`crate::quantify::QuantScratch`] (bucket-table index lookup instead
+    /// of per-value binary search), normalizes indexes in place, sections
+    /// keys per group with a stable counting sort, min-inserts each section
+    /// into a flat pooled cell table, and streams keys/cells straight into
+    /// `out`. Byte-identical output to the allocating path.
+    fn encode_side_into(
+        &self,
+        keys: &[u64],
+        values: &[f64],
+        negative: bool,
+        side_seed: u64,
+        scratch: &mut CompressScratch,
+        out: &mut BytesMut,
+    ) -> Result<(usize, usize), CompressError> {
+        let n = keys.len();
+        varint::write_u64(out, n as u64);
+        if n == 0 {
+            return Ok((0, 0));
+        }
+        quantize_into(
+            values,
+            self.config.buckets_per_sign,
+            self.config.quantile_sketch_capacity,
+            self.config.bucket_cap_divisor,
+            self.config.quantile_backend,
+            &mut scratch.quant,
+        )?;
+        let q = scratch.quant.means.len() as u16;
+        if negative {
+            // Normalize by magnitude: index 0 becomes the bucket closest to
+            // zero, mirroring `build_side`'s `q - 1 - idx`.
+            for idx in &mut scratch.quant.indexes {
+                *idx = q - 1 - *idx;
+            }
+        }
+        let r_eff = self.config.groups.min(q as usize);
+        let total_cols = ((n as f64 * self.config.col_ratio) / r_eff as f64).ceil() as usize;
+        let cols = total_cols.max(self.config.min_cols_per_group);
+        let group_width = (q as usize).div_ceil(r_eff) as u16;
+        let rows = self.config.rows;
+
+        // Stable counting sort of (key, index) pairs into per-group
+        // sections, so each section keeps ascending key order — the same
+        // order `encode_side` accumulates into its per-group Vecs.
+        scratch.counts.clear();
+        scratch.counts.resize(r_eff, 0);
+        for &idx in &scratch.quant.indexes {
+            scratch.counts[(idx / group_width) as usize] += 1;
+        }
+        scratch.cursor.clear();
+        let mut at = 0usize;
+        for &c in &scratch.counts {
+            scratch.cursor.push(at);
+            at += c;
+        }
+        scratch.sec_keys.clear();
+        scratch.sec_keys.resize(n, 0);
+        scratch.sec_idx.clear();
+        scratch.sec_idx.resize(n, 0);
+        for (&k, &idx) in keys.iter().zip(&scratch.quant.indexes) {
+            let g = (idx / group_width) as usize;
+            let p = scratch.cursor[g];
+            scratch.sec_keys[p] = k;
+            scratch.sec_idx[p] = idx;
+            scratch.cursor[g] += 1;
+        }
+
+        // Flat `r_eff × rows × cols` cell table plus per-group row seeds:
+        // exactly the tables `GroupedMinMaxSketch` would build (seeds share
+        // the derivation in `push_row_seeds`), without constructing it.
+        scratch.seeds.clear();
+        for g in 0..r_eff {
+            push_row_seeds(rows, group_seed(side_seed, g), &mut scratch.seeds);
+        }
+        let table = rows * cols;
+        scratch.cells.clear();
+        scratch.cells.resize(r_eff * table, EMPTY_CELL);
+
+        let mut value_bytes = 0usize;
+        varint::write_u64(out, q as u64);
+        match self.config.mean_precision {
+            MeanPrecision::F64 => {
+                out.put_u8(8);
+                if negative {
+                    for &m in scratch.quant.means.iter().rev() {
+                        out.put_f64_le(m);
+                    }
+                } else {
+                    for &m in &scratch.quant.means {
+                        out.put_f64_le(m);
+                    }
+                }
+                value_bytes += 8 * scratch.quant.means.len();
+            }
+            MeanPrecision::F32 => {
+                out.put_u8(4);
+                if negative {
+                    for &m in scratch.quant.means.iter().rev() {
+                        out.put_f32_le(m as f32);
+                    }
+                } else {
+                    for &m in &scratch.quant.means {
+                        out.put_f32_le(m as f32);
+                    }
+                }
+                value_bytes += 4 * scratch.quant.means.len();
+            }
+        }
+        varint::write_u64(out, r_eff as u64);
+        varint::write_u64(out, cols as u64);
+        let bits = bitpack::bits_for(q.saturating_sub(1));
+        out.put_u8(bits as u8);
+
+        let mut key_bytes = 0usize;
+        let mut begin = 0usize;
+        for g in 0..r_eff {
+            let end = begin + scratch.counts[g];
+            varint::write_u64(out, (end - begin) as u64);
+            if begin == end {
+                continue;
+            }
+            let g_keys = &scratch.sec_keys[begin..end];
+            let cells = &mut scratch.cells[g * table..(g + 1) * table];
+            insert_batch_raw(
+                cells,
+                &scratch.seeds[g * rows..(g + 1) * rows],
+                cols,
+                g_keys,
+                &scratch.sec_idx[begin..end],
+            );
+            key_bytes += delta_binary::encode_keys_into(g_keys, out)?;
+            // EMPTY cells are never consulted for keys of this section
+            // (their own insert wrote all their cells), so they can ship
+            // as 0 to stay within `bits`.
+            for c in cells.iter_mut() {
+                if *c == EMPTY_CELL {
+                    *c = 0;
+                }
+            }
+            value_bytes += bitpack::pack_u16_into(cells, bits, out)?;
+            begin = end;
+        }
+        Ok((key_bytes, value_bytes))
+    }
+
+    /// Allocation-free counterpart of [`Self::decode_side`], querying keys
+    /// in batch against the pooled cell table.
+    fn decode_side_into(
+        &self,
+        buf: &mut &[u8],
+        side_seed: u64,
+        rows: usize,
+        scratch: &mut CompressScratch,
+    ) -> Result<(), CompressError> {
+        let n = varint::read_u64(buf)? as usize;
+        if n == 0 {
+            return Ok(());
+        }
+        let q = varint::read_u64(buf)? as usize;
+        if q == 0 || q >= EMPTY_CELL as usize {
+            return Err(CompressError::Corrupt(format!(
+                "bucket count {q} out of range"
+            )));
+        }
+        if !buf.has_remaining() {
+            return Err(CompressError::Corrupt("missing mean precision".into()));
+        }
+        let mean_width = buf.get_u8() as usize;
+        if mean_width != 4 && mean_width != 8 {
+            return Err(CompressError::Corrupt(format!(
+                "bad mean precision {mean_width}"
+            )));
+        }
+        if buf.remaining() < q * mean_width {
+            return Err(CompressError::Corrupt("truncated bucket means".into()));
+        }
+        scratch.dec_means.clear();
+        scratch.dec_means.reserve(q);
+        for _ in 0..q {
+            scratch.dec_means.push(if mean_width == 8 {
+                buf.get_f64_le()
+            } else {
+                buf.get_f32_le() as f64
+            });
+        }
+        let r_eff = varint::read_u64(buf)? as usize;
+        let cols = varint::read_u64(buf)? as usize;
+        if r_eff == 0 || cols == 0 {
+            return Err(CompressError::Corrupt("zero sketch shape".into()));
+        }
+        if !buf.has_remaining() {
+            return Err(CompressError::Corrupt("missing bit width".into()));
+        }
+        let bits = buf.get_u8() as u32;
+        if bits == 0 || bits > 16 {
+            return Err(CompressError::Corrupt(format!("bad bit width {bits}")));
+        }
+
+        let mut decoded = 0usize;
+        for g in 0..r_eff {
+            let n_g = varint::read_u64(buf)? as usize;
+            if n_g == 0 {
+                continue;
+            }
+            delta_binary::decode_keys_into(buf, &mut scratch.dec_keys)?;
+            if scratch.dec_keys.len() != n_g {
+                return Err(CompressError::Corrupt(format!(
+                    "group {g}: declared {n_g} keys, decoded {}",
+                    scratch.dec_keys.len()
+                )));
+            }
+            bitpack::unpack_u16_into(buf, rows * cols, bits, &mut scratch.dec_cells)?;
+            scratch.seeds.clear();
+            push_row_seeds(rows, group_seed(side_seed, g), &mut scratch.seeds);
+            if !query_batch_raw(
+                &scratch.dec_cells,
+                &scratch.seeds,
+                cols,
+                &scratch.dec_keys,
+                &mut scratch.dec_idx,
+            ) {
+                return Err(CompressError::Corrupt(
+                    "sketch cell empty for a section key".into(),
+                ));
+            }
+            for (&k, &idx) in scratch.dec_keys.iter().zip(&scratch.dec_idx) {
+                let v = *scratch.dec_means.get(idx as usize).ok_or_else(|| {
+                    CompressError::Corrupt(format!("index {idx} out of {q} buckets"))
+                })?;
+                scratch.pairs.push((k, v));
+                decoded += 1;
+            }
+        }
+        if decoded != n {
+            return Err(CompressError::Corrupt(format!(
+                "side declared {n} pairs, decoded {decoded}"
+            )));
+        }
+        Ok(())
+    }
+
     /// Decodes one side into `(key, value)` pairs.
     fn decode_side(
         &self,
@@ -463,5 +710,120 @@ impl GradientCompressor for SketchMlCompressor {
         let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
         let values: Vec<f64> = pairs.iter().map(|&(_, v)| v).collect();
         SparseGradient::new(dim, keys, values)
+    }
+
+    fn compress_into(
+        &self,
+        grad: &SparseGradient,
+        scratch: &mut CompressScratch,
+        out: &mut BytesMut,
+    ) -> Result<SizeReport, CompressError> {
+        self.config.validate()?;
+        out.clear();
+        out.put_u8(MAGIC);
+        out.put_u8(VERSION);
+        out.put_u64_le(self.config.seed);
+        varint::write_u64(out, grad.dim());
+        varint::write_u64(out, grad.nnz() as u64);
+        varint::write_u64(out, self.config.rows as u64);
+
+        let mut report = SizeReport {
+            pairs: grad.nnz(),
+            ..SizeReport::default()
+        };
+        if grad.is_empty() {
+            varint::write_u64(out, 0); // pos side
+            varint::write_u64(out, 0); // neg side
+            report.header_bytes = out.len();
+            return Ok(report);
+        }
+
+        // §3.3 Solution 1: independent quantile sketches per sign. The
+        // partitions are taken out of the scratch so it can be re-borrowed
+        // mutably by `encode_side_into`, and restored before any `?`.
+        let mut pos_keys = std::mem::take(&mut scratch.pos_keys);
+        let mut pos_vals = std::mem::take(&mut scratch.pos_vals);
+        let mut neg_keys = std::mem::take(&mut scratch.neg_keys);
+        let mut neg_vals = std::mem::take(&mut scratch.neg_vals);
+        pos_keys.clear();
+        pos_vals.clear();
+        neg_keys.clear();
+        neg_vals.clear();
+        for (k, v) in grad.iter() {
+            if v < 0.0 {
+                neg_keys.push(k);
+                neg_vals.push(v);
+            } else {
+                pos_keys.push(k);
+                pos_vals.push(v);
+            }
+        }
+        let sides: Result<(usize, usize), CompressError> = (|| {
+            let (kb_pos, vb_pos) =
+                self.encode_side_into(&pos_keys, &pos_vals, false, self.config.seed, scratch, out)?;
+            let (kb_neg, vb_neg) = self.encode_side_into(
+                &neg_keys,
+                &neg_vals,
+                true,
+                self.config.seed ^ NEG_SALT,
+                scratch,
+                out,
+            )?;
+            Ok((kb_pos + kb_neg, vb_pos + vb_neg))
+        })();
+        scratch.pos_keys = pos_keys;
+        scratch.pos_vals = pos_vals;
+        scratch.neg_keys = neg_keys;
+        scratch.neg_vals = neg_vals;
+        let (key_bytes, value_bytes) = sides?;
+
+        report.key_bytes = key_bytes;
+        report.value_bytes = value_bytes;
+        report.header_bytes = out.len() - report.key_bytes - report.value_bytes;
+        Ok(report)
+    }
+
+    fn decompress_into(
+        &self,
+        payload: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut SparseGradient,
+    ) -> Result<(), CompressError> {
+        let mut buf = payload;
+        if buf.remaining() < 10 {
+            return Err(CompressError::Corrupt("message shorter than header".into()));
+        }
+        if buf.get_u8() != MAGIC {
+            return Err(CompressError::Corrupt("bad SketchML magic".into()));
+        }
+        if buf.get_u8() != VERSION {
+            return Err(CompressError::Corrupt(
+                "unsupported SketchML version".into(),
+            ));
+        }
+        let seed = buf.get_u64_le();
+        let dim = varint::read_u64(&mut buf)?;
+        let nnz = varint::read_u64(&mut buf)? as usize;
+        let rows = varint::read_u64(&mut buf)? as usize;
+        if rows == 0 || rows > 64 {
+            return Err(CompressError::Corrupt(format!(
+                "row count {rows} out of range"
+            )));
+        }
+
+        scratch.pairs.clear();
+        self.decode_side_into(&mut buf, seed, rows, scratch)?;
+        self.decode_side_into(&mut buf, seed ^ NEG_SALT, rows, scratch)?;
+        if scratch.pairs.len() != nnz {
+            return Err(CompressError::Corrupt(format!(
+                "declared {nnz} pairs, decoded {}",
+                scratch.pairs.len()
+            )));
+        }
+        scratch.pairs.sort_unstable_by_key(|&(k, _)| k);
+        let pairs = std::mem::take(&mut scratch.pairs);
+        let assigned = out.assign_pairs(dim, &pairs);
+        scratch.pairs = pairs;
+        assigned
     }
 }

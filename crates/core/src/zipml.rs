@@ -15,6 +15,7 @@
 use crate::compressor::{CompressedGradient, GradientCompressor};
 use crate::error::CompressError;
 use crate::gradient::SparseGradient;
+use crate::scratch::CompressScratch;
 use bytes::{Buf, BufMut, BytesMut};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -81,6 +82,76 @@ impl ZipMlCompressor {
     fn levels(&self) -> u32 {
         (1u32 << self.bits) - 1
     }
+
+    /// Shared encoder behind `compress` and `compress_into`: both paths
+    /// write through here, so their bytes agree by construction. Writes into
+    /// `out` (cleared first) without allocating.
+    fn encode_into(
+        &self,
+        grad: &SparseGradient,
+        out: &mut BytesMut,
+    ) -> Result<SizeReport, CompressError> {
+        out.clear();
+        out.put_u8(MAGIC);
+        out.put_u8(self.bits);
+        varint::write_u64(out, grad.dim());
+        varint::write_u64(out, grad.nnz() as u64);
+        let mut report = SizeReport {
+            pairs: grad.nnz(),
+            ..SizeReport::default()
+        };
+        if grad.is_empty() {
+            report.header_bytes = out.len();
+            return Ok(report);
+        }
+        let header = out.len();
+
+        // Raw 4-byte keys: ZipML does not compress keys.
+        for &k in grad.keys() {
+            let k32 = u32::try_from(k)
+                .map_err(|_| CompressError::InvalidGradient(format!("key {k} exceeds u32")))?;
+            out.put_u32_le(k32);
+        }
+        report.key_bytes = 4 * grad.nnz();
+
+        let values = grad.values();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        out.put_f64_le(min);
+        out.put_f64_le(max);
+        let span = (max - min).max(f64::MIN_POSITIVE);
+        let levels = self.levels() as f64;
+        // The seed counter advances exactly as before, but the rng is only
+        // materialized when stochastic rounding actually draws from it.
+        let rng_seed = self.seed.fetch_add(1, Ordering::Relaxed);
+        let mut rng = match self.rounding {
+            Rounding::Stochastic => Some(StdRng::seed_from_u64(rng_seed)),
+            Rounding::Deterministic => None,
+        };
+        for &v in values {
+            let exact = (v - min) / span * levels;
+            let level = match self.rounding {
+                Rounding::Deterministic => exact.round(),
+                Rounding::Stochastic => {
+                    let floor = exact.floor();
+                    let frac = exact - floor;
+                    if rng.as_mut().expect("stochastic rng").gen::<f64>() < frac {
+                        floor + 1.0
+                    } else {
+                        floor
+                    }
+                }
+            }
+            .clamp(0.0, levels);
+            match self.bits {
+                8 => out.put_u8(level as u8),
+                _ => out.put_u16_le(level as u16),
+            }
+        }
+        report.value_bytes = 16 + grad.nnz() * (self.bits as usize / 8);
+        report.header_bytes = header;
+        Ok(report)
+    }
 }
 
 const MAGIC: u8 = 0x21;
@@ -95,61 +166,7 @@ impl GradientCompressor for ZipMlCompressor {
 
     fn compress(&self, grad: &SparseGradient) -> Result<CompressedGradient, CompressError> {
         let mut buf = BytesMut::new();
-        buf.put_u8(MAGIC);
-        buf.put_u8(self.bits);
-        varint::write_u64(&mut buf, grad.dim());
-        varint::write_u64(&mut buf, grad.nnz() as u64);
-        let mut report = SizeReport {
-            pairs: grad.nnz(),
-            ..SizeReport::default()
-        };
-        if grad.is_empty() {
-            report.header_bytes = buf.len();
-            return Ok(CompressedGradient {
-                payload: buf.freeze(),
-                report,
-            });
-        }
-        let header = buf.len();
-
-        // Raw 4-byte keys: ZipML does not compress keys.
-        for &k in grad.keys() {
-            let k32 = u32::try_from(k)
-                .map_err(|_| CompressError::InvalidGradient(format!("key {k} exceeds u32")))?;
-            buf.put_u32_le(k32);
-        }
-        report.key_bytes = 4 * grad.nnz();
-
-        let values = grad.values();
-        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        buf.put_f64_le(min);
-        buf.put_f64_le(max);
-        let span = (max - min).max(f64::MIN_POSITIVE);
-        let levels = self.levels() as f64;
-        let mut rng = StdRng::seed_from_u64(self.seed.fetch_add(1, Ordering::Relaxed));
-        for &v in values {
-            let exact = (v - min) / span * levels;
-            let level = match self.rounding {
-                Rounding::Deterministic => exact.round(),
-                Rounding::Stochastic => {
-                    let floor = exact.floor();
-                    let frac = exact - floor;
-                    if rng.gen::<f64>() < frac {
-                        floor + 1.0
-                    } else {
-                        floor
-                    }
-                }
-            }
-            .clamp(0.0, levels);
-            match self.bits {
-                8 => buf.put_u8(level as u8),
-                _ => buf.put_u16_le(level as u16),
-            }
-        }
-        report.value_bytes = 16 + grad.nnz() * (self.bits as usize / 8);
-        report.header_bytes = header;
+        let report = self.encode_into(grad, &mut buf)?;
         Ok(CompressedGradient {
             payload: buf.freeze(),
             report,
@@ -192,6 +209,62 @@ impl GradientCompressor for ZipMlCompressor {
             })
             .collect();
         SparseGradient::new(dim, keys, values)
+    }
+
+    fn compress_into(
+        &self,
+        grad: &SparseGradient,
+        _scratch: &mut CompressScratch,
+        out: &mut BytesMut,
+    ) -> Result<SizeReport, CompressError> {
+        self.encode_into(grad, out)
+    }
+
+    fn decompress_into(
+        &self,
+        payload: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut SparseGradient,
+    ) -> Result<(), CompressError> {
+        let mut buf = payload;
+        if buf.remaining() < 2 || buf.get_u8() != MAGIC {
+            return Err(CompressError::Corrupt("bad ZipML magic".into()));
+        }
+        let bits = buf.get_u8();
+        if bits != 8 && bits != 16 {
+            return Err(CompressError::Corrupt(format!("bad ZipML width {bits}")));
+        }
+        let dim = varint::read_u64(&mut buf)?;
+        let nnz = varint::read_u64(&mut buf)? as usize;
+        if nnz == 0 {
+            return out.assign(dim, &[], &[]);
+        }
+        let need = 4 * nnz + 16 + nnz * (bits as usize / 8);
+        if buf.remaining() < need {
+            return Err(CompressError::Corrupt("truncated ZipML body".into()));
+        }
+        scratch.dec_keys.clear();
+        scratch.dec_keys.reserve(nnz);
+        for _ in 0..nnz {
+            scratch.dec_keys.push(buf.get_u32_le() as u64);
+        }
+        let min = buf.get_f64_le();
+        let max = buf.get_f64_le();
+        if !min.is_finite() || !max.is_finite() || min > max {
+            return Err(CompressError::Corrupt("bad ZipML value range".into()));
+        }
+        let span = (max - min).max(f64::MIN_POSITIVE);
+        let levels = ((1u32 << bits) - 1) as f64;
+        scratch.dec_vals.clear();
+        scratch.dec_vals.reserve(nnz);
+        for _ in 0..nnz {
+            let level = match bits {
+                8 => buf.get_u8() as f64,
+                _ => buf.get_u16_le() as f64,
+            };
+            scratch.dec_vals.push(min + level / levels * span);
+        }
+        out.assign(dim, &scratch.dec_keys, &scratch.dec_vals)
     }
 }
 

@@ -2,12 +2,13 @@
 //! for *arbitrary* sparse gradients, keys decode exactly, signs never flip,
 //! and the decode never panics on corrupted bytes.
 
+use bytes::BytesMut;
 use proptest::collection::btree_map;
 use proptest::prelude::*;
 use sketchml_core::{
-    roundtrip_error, GradientCompressor, KeyCompressor, QuantCompressor, RawCompressor,
-    ShardedCompressor, SketchMlCompressor, SketchMlConfig, SparseGradient, TruncationCompressor,
-    ZipMlCompressor,
+    roundtrip_error, CompressScratch, GradientCompressor, KeyCompressor, QuantCompressor,
+    RawCompressor, ShardedCompressor, SketchMlCompressor, SketchMlConfig, SparseGradient,
+    TruncationCompressor, ZipMlCompressor,
 };
 
 /// Arbitrary sparse gradients: up to 300 pairs over a 100k-dim model with
@@ -178,6 +179,76 @@ proptest! {
         let stats = roundtrip_error(&engine, &grad).unwrap();
         prop_assert_eq!(stats.sign_flips, 0usize, "sharded SketchML flipped a sign");
         prop_assert_eq!(stats.pairs_out, grad.nnz());
+    }
+
+    /// The scratch fast path is byte-identical to the allocating path for
+    /// every compressor that overrides it, with one scratch and one output
+    /// buffer reused across compressors (so stale state from a previous
+    /// encode can never leak into the next payload).
+    #[test]
+    fn compress_into_matches_compress_bytes(
+        grad in arb_gradient(),
+        seed in any::<u64>(),
+        shards in 1usize..6,
+        threads in 1usize..4,
+    ) {
+        let cfg = SketchMlConfig { seed, ..SketchMlConfig::default() };
+        let compressors: Vec<Box<dyn GradientCompressor>> = vec![
+            Box::new(SketchMlCompressor::new(cfg).unwrap()),
+            Box::new(QuantCompressor::default()),
+            Box::new(ZipMlCompressor::paper_default()),
+            Box::new(
+                ShardedCompressor::new(SketchMlCompressor::new(cfg).unwrap(), shards)
+                    .unwrap()
+                    .with_threads(threads)
+                    .unwrap(),
+            ),
+        ];
+        let mut scratch = CompressScratch::new();
+        let mut out = BytesMut::new();
+        for c in &compressors {
+            let msg = c.compress(&grad).unwrap();
+            let report = c.compress_into(&grad, &mut scratch, &mut out).unwrap();
+            prop_assert_eq!(&out[..], &msg.payload[..], "{} bytes differ", c.name());
+            prop_assert_eq!(report, msg.report, "{} report differs", c.name());
+        }
+    }
+
+    /// `decompress_into` with pooled scratch round-trips exactly like the
+    /// allocating decode: keys lossless, zero sign flips, and the pooled
+    /// output gradient matches `decompress` even when reused across calls.
+    #[test]
+    fn decompress_into_roundtrips_without_sign_flips(
+        grad in arb_gradient(),
+        seed in any::<u64>(),
+        shards in 1usize..6,
+    ) {
+        let cfg = SketchMlConfig { seed, ..SketchMlConfig::default() };
+        let compressors: Vec<Box<dyn GradientCompressor>> = vec![
+            Box::new(SketchMlCompressor::new(cfg).unwrap()),
+            Box::new(ZipMlCompressor::paper_default()),
+            Box::new(ShardedCompressor::new(SketchMlCompressor::new(cfg).unwrap(), shards).unwrap()),
+        ];
+        let mut scratch = CompressScratch::new();
+        let mut wire = BytesMut::new();
+        let mut decoded = SparseGradient::empty(0);
+        for c in &compressors {
+            c.compress_into(&grad, &mut scratch, &mut wire).unwrap();
+            c.decompress_into(&wire, &mut scratch, &mut decoded).unwrap();
+            let reference = c.decompress(&wire).unwrap();
+            prop_assert_eq!(&decoded, &reference, "{} scratch decode differs", c.name());
+            prop_assert_eq!(decoded.keys(), grad.keys(), "{} keys not lossless", c.name());
+            // §3.3 Solution 1 is a SketchML guarantee; ZipML's nearest-level
+            // rounding may legitimately cross zero.
+            if !c.name().starts_with("ZipML") {
+                for ((_, o), (_, d)) in grad.iter().zip(decoded.iter()) {
+                    prop_assert!(
+                        o.signum() == d.signum() || d == 0.0,
+                        "{} flipped sign {} -> {}", c.name(), o, d
+                    );
+                }
+            }
+        }
     }
 
     /// No compressor panics on arbitrary garbage input.

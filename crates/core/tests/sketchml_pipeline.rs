@@ -2,11 +2,12 @@
 //! encode → wire bytes → decode, checking every correctness property the
 //! paper claims.
 
+use bytes::BytesMut;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use sketchml_core::{
-    roundtrip_error, GradientCompressor, MeanPrecision, QuantileBackend, SketchMlCompressor,
-    SketchMlConfig, SparseGradient,
+    roundtrip_error, CompressScratch, GradientCompressor, MeanPrecision, QuantileBackend,
+    SketchMlCompressor, SketchMlConfig, SparseGradient,
 };
 
 /// A gradient shaped like Figure 4: sparse keys over a large model, values
@@ -315,6 +316,58 @@ fn all_quantile_backends_keep_the_contract() {
         assert!(rel < 1.0, "{backend:?}: rel err {rel}");
         let decoded = c.decompress(&c.compress(&grad).unwrap().payload).unwrap();
         assert_eq!(decoded.keys(), grad.keys(), "{backend:?}");
+    }
+}
+
+#[test]
+fn scratch_path_is_byte_identical_across_reuse() {
+    // The fused `compress_into` / `decompress_into` hot path must produce
+    // the exact bytes and gradient of the allocating path — including when
+    // one scratch is reused across gradients, configs, and backends.
+    let mut scratch = CompressScratch::new();
+    let mut out = BytesMut::new();
+    let mut decoded = SparseGradient::empty(0);
+    let configs = [
+        SketchMlConfig::default(),
+        SketchMlConfig {
+            mean_precision: MeanPrecision::F32,
+            groups: 1,
+            ..SketchMlConfig::default()
+        },
+        SketchMlConfig {
+            quantile_backend: QuantileBackend::Gk,
+            buckets_per_sign: 16,
+            ..SketchMlConfig::default()
+        },
+        SketchMlConfig {
+            quantile_backend: QuantileBackend::TDigest,
+            col_ratio: 0.05,
+            ..SketchMlConfig::default()
+        },
+    ];
+    let grads = [
+        paperlike_gradient(3_000, 400_000, 21),
+        paperlike_gradient(37, 1_000, 22),
+        SparseGradient::empty(123),
+        SparseGradient::new(100, vec![0, 7, 9], vec![0.5, 0.25, 0.125]).unwrap(),
+        SparseGradient::new(100, vec![3, 5], vec![-0.5, -0.25]).unwrap(),
+    ];
+    for cfg in configs {
+        let c = SketchMlCompressor::new(cfg).unwrap();
+        for grad in &grads {
+            let msg = c.compress(grad).unwrap();
+            let report = c.compress_into(grad, &mut scratch, &mut out).unwrap();
+            assert_eq!(&out[..], &msg.payload[..], "scratch payload differs");
+            assert_eq!(report.key_bytes, msg.report.key_bytes);
+            assert_eq!(report.value_bytes, msg.report.value_bytes);
+            assert_eq!(report.header_bytes, msg.report.header_bytes);
+            assert_eq!(report.pairs, msg.report.pairs);
+            c.decompress_into(&out, &mut scratch, &mut decoded).unwrap();
+            let reference = c.decompress(&msg.payload).unwrap();
+            assert_eq!(decoded.dim(), reference.dim());
+            assert_eq!(decoded.keys(), reference.keys());
+            assert_eq!(decoded.values(), reference.values());
+        }
     }
 }
 

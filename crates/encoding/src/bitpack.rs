@@ -7,7 +7,7 @@
 //! table uses when serialized.
 
 use crate::error::EncodingError;
-use bytes::{Buf, BufMut};
+use bytes::{Buf, BufMut, BytesMut};
 
 /// Minimum number of bits required to represent values in `[0, max_value]`.
 pub fn bits_for(max_value: u16) -> u32 {
@@ -57,12 +57,78 @@ pub fn pack_u16(values: &[u16], bits: u32, out: &mut impl BufMut) -> Result<usiz
     Ok(total_bytes)
 }
 
+/// Zero-temporary variant of [`pack_u16`]: reserves the packed region at the
+/// tail of `out` (zeroed) and ORs bits in place instead of building a
+/// temporary byte vector. Byte-identical output to [`pack_u16`]. Returns the
+/// number of bytes appended.
+///
+/// # Errors
+/// See [`pack_u16`]. On error the tail of `out` past its original length is
+/// unspecified.
+pub fn pack_u16_into(
+    values: &[u16],
+    bits: u32,
+    out: &mut BytesMut,
+) -> Result<usize, EncodingError> {
+    if bits == 0 || bits > 16 {
+        return Err(EncodingError::InvalidInput(format!(
+            "bit width must be in 1..=16, got {bits}"
+        )));
+    }
+    let limit = if bits == 16 {
+        u16::MAX
+    } else {
+        (1u16 << bits) - 1
+    };
+    let total_bytes = (values.len() * bits as usize).div_ceil(8);
+    let at = out.len();
+    out.resize(at + total_bytes, 0);
+    let bytes = &mut out[at..];
+    let mut bit_pos = 0usize;
+    for (i, &v) in values.iter().enumerate() {
+        if v > limit {
+            return Err(EncodingError::InvalidInput(format!(
+                "value {v} at position {i} exceeds {bits}-bit limit {limit}"
+            )));
+        }
+        let mut v = v as u32;
+        let mut remaining = bits;
+        while remaining > 0 {
+            let byte = bit_pos / 8;
+            let offset = (bit_pos % 8) as u32;
+            let take = remaining.min(8 - offset);
+            bytes[byte] |= ((v & ((1 << take) - 1)) as u8) << offset;
+            v >>= take;
+            bit_pos += take as usize;
+            remaining -= take;
+        }
+    }
+    Ok(total_bytes)
+}
+
 /// Unpacks `count` values of `bits` bits each from `buf`.
 ///
 /// # Errors
 /// [`EncodingError::UnexpectedEof`] on truncated input,
 /// [`EncodingError::InvalidInput`] on a bad bit width.
 pub fn unpack_u16(buf: &mut impl Buf, count: usize, bits: u32) -> Result<Vec<u16>, EncodingError> {
+    let mut out = Vec::new();
+    unpack_u16_into(buf, count, bits, &mut out)?;
+    Ok(out)
+}
+
+/// Variant of [`unpack_u16`] decoding into a reusable buffer (`out` is
+/// cleared first). Contiguous buffers are decoded straight off the chunk
+/// without an intermediate copy.
+///
+/// # Errors
+/// See [`unpack_u16`].
+pub fn unpack_u16_into(
+    buf: &mut impl Buf,
+    count: usize,
+    bits: u32,
+    out: &mut Vec<u16>,
+) -> Result<(), EncodingError> {
     if bits == 0 || bits > 16 {
         return Err(EncodingError::InvalidInput(format!(
             "bit width must be in 1..=16, got {bits}"
@@ -74,9 +140,20 @@ pub fn unpack_u16(buf: &mut impl Buf, count: usize, bits: u32) -> Result<Vec<u16
             context: "bit-packed values",
         });
     }
-    let mut bytes = vec![0u8; total_bytes];
-    buf.copy_to_slice(&mut bytes);
-    let mut out = Vec::with_capacity(count);
+    out.clear();
+    out.reserve(count);
+    if buf.chunk().len() >= total_bytes {
+        unpack_from_bytes(&buf.chunk()[..total_bytes], count, bits, out);
+        buf.advance(total_bytes);
+    } else {
+        let mut bytes = vec![0u8; total_bytes];
+        buf.copy_to_slice(&mut bytes);
+        unpack_from_bytes(&bytes, count, bits, out);
+    }
+    Ok(())
+}
+
+fn unpack_from_bytes(bytes: &[u8], count: usize, bits: u32, out: &mut Vec<u16>) {
     let mut bit_pos = 0usize;
     for _ in 0..count {
         let mut v: u32 = 0;
@@ -92,7 +169,6 @@ pub fn unpack_u16(buf: &mut impl Buf, count: usize, bits: u32) -> Result<Vec<u16
         }
         out.push(v as u16);
     }
-    Ok(out)
 }
 
 /// Bytes [`pack_u16`] will emit for `count` values at `bits` bits.
@@ -177,6 +253,39 @@ mod tests {
         assert_eq!(bits_for(255), 8);
         assert_eq!(bits_for(256), 9);
         assert_eq!(bits_for(u16::MAX), 16);
+    }
+
+    #[test]
+    fn in_place_variants_match_allocating_path() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut packed = BytesMut::new();
+        let mut unpacked = Vec::new();
+        for bits in 1..=16u32 {
+            let limit = if bits == 16 {
+                u16::MAX
+            } else {
+                (1u16 << bits) - 1
+            };
+            let values: Vec<u16> = (0..257).map(|_| rng.gen_range(0..=limit)).collect();
+            let mut reference = BytesMut::new();
+            let ref_written = pack_u16(&values, bits, &mut reference).unwrap();
+            packed.clear();
+            let written = pack_u16_into(&values, bits, &mut packed).unwrap();
+            assert_eq!(written, ref_written);
+            assert_eq!(&packed[..], &reference[..], "bits={bits} pack diverged");
+
+            let mut view = &packed[..];
+            unpack_u16_into(&mut view, values.len(), bits, &mut unpacked).unwrap();
+            assert_eq!(view.len(), 0);
+            assert_eq!(unpacked, values);
+        }
+        // Error parity with the allocating path.
+        assert!(pack_u16_into(&[8], 3, &mut packed).is_err());
+        assert!(pack_u16_into(&[1], 0, &mut packed).is_err());
+        let mut data: &[u8] = &[0u8; 8];
+        assert!(unpack_u16_into(&mut data, 1, 17, &mut unpacked).is_err());
+        let mut short: &[u8] = &[0u8];
+        assert!(unpack_u16_into(&mut short, 9, 8, &mut unpacked).is_err());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use crate::error::EncodingError;
 use crate::varint;
-use bytes::{Buf, BufMut};
+use bytes::{Buf, BufMut, BytesMut};
 
 /// Number of payload bytes selected by the threshold module for `delta`
 /// (§3.4 Step 2). Always in `1..=4`.
@@ -110,22 +110,106 @@ pub fn encode_keys(keys: &[u64], out: &mut impl BufMut) -> Result<usize, Encodin
     Ok(written)
 }
 
+/// Streaming variant of [`encode_keys`] writing into a [`BytesMut`]: the
+/// 2-bit byte flags are reserved up front (zeroed) and back-patched while the
+/// payload bytes stream out, so no intermediate delta array is materialized.
+/// Byte-for-byte identical output to [`encode_keys`]. Returns the number of
+/// bytes appended.
+///
+/// # Errors
+/// See [`delta_transform`]. On error the tail of `out` past its original
+/// length is unspecified.
+pub fn encode_keys_into(keys: &[u64], out: &mut BytesMut) -> Result<usize, EncodingError> {
+    let n = keys.len();
+    let start = out.len();
+    varint::write_u64(out, n as u64);
+    let flag_at = out.len();
+    out.resize(flag_at + n.div_ceil(4), 0);
+
+    let mut prev: Option<u64> = None;
+    for (i, &k) in keys.iter().enumerate() {
+        let delta = match prev {
+            None => k,
+            Some(p) if k > p => k - p,
+            Some(p) => {
+                return Err(EncodingError::InvalidInput(format!(
+                    "keys must be strictly ascending: keys[{i}] = {k} <= keys[{}] = {p}",
+                    i - 1
+                )))
+            }
+        };
+        let delta = u32::try_from(delta).map_err(|_| {
+            EncodingError::InvalidInput(format!(
+                "delta {delta} at position {i} exceeds the 4-byte maximum"
+            ))
+        })?;
+        prev = Some(k);
+        let nb = bytes_needed(delta);
+        out[flag_at + i / 4] |= ((nb - 1) as u8) << ((i % 4) * 2);
+        out.extend_from_slice(&delta.to_le_bytes()[..nb]);
+    }
+    Ok(out.len() - start)
+}
+
 /// Decodes a key array previously written by [`encode_keys`].
 ///
 /// # Errors
 /// [`EncodingError::UnexpectedEof`] on truncated input.
 pub fn decode_keys(buf: &mut impl Buf) -> Result<Vec<u64>, EncodingError> {
+    let mut out = Vec::new();
+    decode_keys_into(buf, &mut out)?;
+    Ok(out)
+}
+
+/// Single-pass decode of [`encode_keys`] output into a reusable buffer: each
+/// delta is read, accumulated, and pushed as a key in one loop — no
+/// intermediate delta vector. `out` is cleared first.
+///
+/// # Errors
+/// [`EncodingError::UnexpectedEof`] on truncated input (with `out` contents
+/// unspecified).
+pub fn decode_keys_into(buf: &mut impl Buf, out: &mut Vec<u64>) -> Result<(), EncodingError> {
     let n = varint::read_u64(buf)? as usize;
+    out.clear();
     let flag_len = n.div_ceil(4);
     if buf.remaining() < flag_len {
         return Err(EncodingError::UnexpectedEof {
             context: "byte flags",
         });
     }
+    out.reserve(n);
+
+    if buf.chunk().len() == buf.remaining() {
+        // Contiguous buffer (slices, `Bytes`): decode straight off the chunk
+        // without copying flags or payload.
+        let used = {
+            let data = buf.chunk();
+            let mut pos = flag_len;
+            let mut acc = 0u64;
+            for i in 0..n {
+                let flag = (data[i / 4] >> ((i % 4) * 2)) & 0b11;
+                let nb = flag as usize + 1;
+                if data.len() - pos < nb {
+                    return Err(EncodingError::UnexpectedEof {
+                        context: "delta payload",
+                    });
+                }
+                let mut le = [0u8; 4];
+                le[..nb].copy_from_slice(&data[pos..pos + nb]);
+                pos += nb;
+                acc += u64::from(u32::from_le_bytes(le));
+                out.push(acc);
+            }
+            pos
+        };
+        buf.advance(used);
+        return Ok(());
+    }
+
+    // Fragmented buffer: copy the flags once, then stream the payload.
     let mut flag_bytes = vec![0u8; flag_len];
     buf.copy_to_slice(&mut flag_bytes);
-
-    let mut deltas = Vec::with_capacity(n);
+    let mut acc = 0u64;
     for i in 0..n {
         let flag = (flag_bytes[i / 4] >> ((i % 4) * 2)) & 0b11;
         let nb = flag as usize + 1;
@@ -136,9 +220,10 @@ pub fn decode_keys(buf: &mut impl Buf) -> Result<Vec<u64>, EncodingError> {
         }
         let mut le = [0u8; 4];
         buf.copy_to_slice(&mut le[..nb]);
-        deltas.push(u32::from_le_bytes(le));
+        acc += u64::from(u32::from_le_bytes(le));
+        out.push(acc);
     }
-    Ok(delta_restore(&deltas))
+    Ok(())
 }
 
 /// Exact encoded size in bytes of `keys` without materializing the buffer.
@@ -294,6 +379,59 @@ mod tests {
         let sparse: Vec<u64> = (0..5_000u64).map(|i| i * 100_000).collect();
         assert!(bytes_per_key(&sparse).unwrap() > bytes_per_key(&dense).unwrap());
         assert_eq!(bytes_per_key(&[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn streaming_encode_matches_allocating_encode() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut scratch = BytesMut::new();
+        for _ in 0..40 {
+            let n = rng.gen_range(0..1500);
+            let mut keys: Vec<u64> = Vec::with_capacity(n);
+            let mut cur = 0u64;
+            for _ in 0..n {
+                cur += rng.gen_range(1..40_000_000u64);
+                keys.push(cur);
+            }
+            let mut reference = BytesMut::new();
+            let ref_written = encode_keys(&keys, &mut reference).unwrap();
+            scratch.clear();
+            let written = encode_keys_into(&keys, &mut scratch).unwrap();
+            assert_eq!(written, ref_written);
+            assert_eq!(&scratch[..], &reference[..], "streaming encode diverged");
+
+            let mut dec = Vec::new();
+            let mut view = &scratch[..];
+            decode_keys_into(&mut view, &mut dec).unwrap();
+            assert_eq!(view.len(), 0, "decoder must consume exactly its bytes");
+            assert_eq!(dec, keys);
+        }
+    }
+
+    #[test]
+    fn streaming_encode_rejects_bad_keys() {
+        let mut buf = BytesMut::new();
+        assert!(encode_keys_into(&[5, 5], &mut buf).is_err());
+        buf.clear();
+        assert!(encode_keys_into(&[5, 3], &mut buf).is_err());
+        buf.clear();
+        assert!(encode_keys_into(&[u32::MAX as u64 + 1], &mut buf).is_err());
+    }
+
+    #[test]
+    fn decode_into_reuses_buffer_and_rejects_truncation() {
+        let keys: Vec<u64> = (0..200).map(|i| i * 11 + 5).collect();
+        let mut buf = BytesMut::new();
+        encode_keys(&keys, &mut buf).unwrap();
+        let full = buf.freeze();
+        let mut out = vec![99u64; 3]; // stale content must be cleared
+        let mut view = &full[..];
+        decode_keys_into(&mut view, &mut out).unwrap();
+        assert_eq!(out, keys);
+        for cut in 0..full.len() {
+            let mut partial = &full[..cut];
+            let _ = decode_keys_into(&mut partial, &mut out); // must not panic
+        }
     }
 
     #[test]

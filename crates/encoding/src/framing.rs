@@ -47,6 +47,18 @@ pub fn header_len(lens: &[usize]) -> usize {
 /// length does not fit in memory, or the declared payload bytes exceed what
 /// remains in the buffer.
 pub fn read_header(buf: &mut &[u8]) -> Result<Vec<usize>, EncodingError> {
+    let mut lens = Vec::new();
+    read_header_into(buf, &mut lens)?;
+    Ok(lens)
+}
+
+/// [`read_header`] into a caller-owned buffer (cleared first), so the hot
+/// decode path can reuse one allocation across messages.
+///
+/// # Errors
+/// Same contract as [`read_header`].
+pub fn read_header_into(buf: &mut &[u8], lens: &mut Vec<usize>) -> Result<(), EncodingError> {
+    lens.clear();
     let count = varint::read_u64(buf)?;
     if count == 0 || count > MAX_SHARDS as u64 {
         return Err(EncodingError::Corrupt(format!(
@@ -54,7 +66,7 @@ pub fn read_header(buf: &mut &[u8]) -> Result<Vec<usize>, EncodingError> {
         )));
     }
     let count = count as usize;
-    let mut lens = Vec::with_capacity(count);
+    lens.reserve(count);
     let mut total: u64 = 0;
     for _ in 0..count {
         let len = varint::read_u64(buf)?;
@@ -71,7 +83,7 @@ pub fn read_header(buf: &mut &[u8]) -> Result<Vec<usize>, EncodingError> {
             buf.len()
         )));
     }
-    Ok(lens)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -27,6 +27,19 @@ pub fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Appends the `rows` per-row seeds a [`HashFamily`] built from `seed` would
+/// use. Exposed so a flat scratch-buffer hot path can derive seeds without
+/// constructing (allocating) a family; the derivation is shared with
+/// [`HashFamily::new`], so bin mappings are guaranteed identical.
+pub fn push_row_seeds(rows: usize, seed: u64, out: &mut Vec<u64>) {
+    // Derive well-separated per-row seeds by iterating the mixer.
+    let mut s = mix64(seed ^ 0xA076_1D64_78BD_642F);
+    for _ in 0..rows {
+        s = mix64(s);
+        out.push(s);
+    }
+}
+
 impl HashFamily {
     /// Creates `rows` hash functions over `cols` bins, derived
     /// deterministically from `seed`.
@@ -37,14 +50,8 @@ impl HashFamily {
     pub fn new(rows: usize, cols: usize, seed: u64) -> Self {
         assert!(rows > 0, "hash family needs at least one row");
         assert!(cols > 0, "hash family needs at least one column");
-        // Derive well-separated per-row seeds by iterating the mixer.
-        let mut s = mix64(seed ^ 0xA076_1D64_78BD_642F);
-        let seeds = (0..rows)
-            .map(|_| {
-                s = mix64(s);
-                s
-            })
-            .collect();
+        let mut seeds = Vec::with_capacity(rows);
+        push_row_seeds(rows, seed, &mut seeds);
         HashFamily { seeds, cols }
     }
 
@@ -60,14 +67,28 @@ impl HashFamily {
         self.cols
     }
 
+    /// Per-row seeds; row `i` hashes with `seeds()[i]` via [`Self::bin_for`].
+    #[inline]
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
     /// Bin chosen by row `row` for `key`.
     #[inline]
     pub fn bin(&self, row: usize, key: u64) -> usize {
         debug_assert!(row < self.seeds.len());
+        Self::bin_for(self.seeds[row], self.cols, key)
+    }
+
+    /// Bin computed from a raw row seed (see [`Self::seeds`]). This is the
+    /// whole hash function, exposed statically so batch loops can hoist the
+    /// seed and column loads out of their inner loop.
+    #[inline]
+    pub fn bin_for(row_seed: u64, cols: usize, key: u64) -> usize {
         // Multiply-then-take-high via widening keeps the modulo bias
         // negligible for any practical `cols`.
-        let h = mix64(key ^ self.seeds[row]);
-        ((h as u128 * self.cols as u128) >> 64) as usize
+        let h = mix64(key ^ row_seed);
+        ((h as u128 * cols as u128) >> 64) as usize
     }
 
     /// Iterator over the bin chosen by every row for `key`.
@@ -156,6 +177,19 @@ mod tests {
         let collected: Vec<usize> = f.bins(12345).collect();
         let direct: Vec<usize> = (0..5).map(|r| f.bin(r, 12345)).collect();
         assert_eq!(collected, direct);
+    }
+
+    #[test]
+    fn raw_seed_path_matches_family() {
+        let f = HashFamily::new(3, 1000, 77);
+        let mut seeds = Vec::new();
+        push_row_seeds(3, 77, &mut seeds);
+        assert_eq!(seeds, f.seeds());
+        for key in 0..500u64 {
+            for (row, &s) in seeds.iter().enumerate() {
+                assert_eq!(HashFamily::bin_for(s, 1000, key), f.bin(row, key));
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod theory;
 
 pub use countmin::CountMinSketch;
 pub use error::SketchError;
-pub use hash::HashFamily;
-pub use minmax::{GroupedMinMaxSketch, MinMaxSketch};
+pub use hash::{push_row_seeds, HashFamily};
+pub use minmax::{insert_batch_raw, query_batch_raw, GroupedMinMaxSketch, MinMaxSketch};
 pub use quantile::{GkSummary, MergingQuantileSketch, QuantileSketch, TDigest};

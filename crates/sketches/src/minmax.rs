@@ -119,6 +119,31 @@ impl MinMaxSketch {
         Some(best)
     }
 
+    /// Batch [`Self::insert`] over parallel `keys` / `indexes` slices, using
+    /// per-row inner loops that hoist the seed and column loads.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ; debug-asserts every index is not
+    /// the empty sentinel.
+    pub fn insert_batch(&mut self, keys: &[u64], indexes: &[u16]) {
+        assert_eq!(keys.len(), indexes.len(), "keys/indexes length mismatch");
+        self.inserted += keys.len() as u64;
+        insert_batch_raw(
+            &mut self.cells,
+            self.hash.seeds(),
+            self.hash.cols(),
+            keys,
+            indexes,
+        );
+    }
+
+    /// Batch [`Self::query`] into a reusable buffer (cleared first). Returns
+    /// `false` — with `out` contents unspecified — if any probed cell was
+    /// never written, i.e. some key was never inserted.
+    pub fn query_batch(&self, keys: &[u64], out: &mut Vec<u16>) -> bool {
+        query_batch_raw(&self.cells, self.hash.seeds(), self.hash.cols(), keys, out)
+    }
+
     /// Raw cell table (row-major), for serialization by the wire format.
     pub fn cells(&self) -> &[u16] {
         &self.cells
@@ -149,6 +174,71 @@ impl MinMaxSketch {
             inserted: 0,
         })
     }
+}
+
+/// Min-inserts `(keys[i], indexes[i])` pairs into a raw row-major
+/// `row_seeds.len() × cols` cell table — the allocation-free backing of
+/// [`MinMaxSketch::insert_batch`] for callers that pool their cell storage.
+/// Per-row outer loops keep the seed and row base in registers; because
+/// min-insert is order-independent, the result is identical to per-key
+/// inserts.
+///
+/// # Panics
+/// Panics if `cells.len() != row_seeds.len() * cols` or the pair slices
+/// differ in length.
+pub fn insert_batch_raw(
+    cells: &mut [u16],
+    row_seeds: &[u64],
+    cols: usize,
+    keys: &[u64],
+    indexes: &[u16],
+) {
+    assert_eq!(cells.len(), row_seeds.len() * cols, "cell table shape");
+    assert_eq!(keys.len(), indexes.len(), "keys/indexes length mismatch");
+    for (row, &seed) in row_seeds.iter().enumerate() {
+        let row_cells = &mut cells[row * cols..(row + 1) * cols];
+        for (&key, &index) in keys.iter().zip(indexes) {
+            debug_assert!(
+                index != EMPTY_CELL,
+                "index {index} collides with the empty sentinel"
+            );
+            let cell = &mut row_cells[HashFamily::bin_for(seed, cols, key)];
+            if *cell > index {
+                *cell = index;
+            }
+        }
+    }
+}
+
+/// Max-queries every key against a raw cell table (see [`insert_batch_raw`]),
+/// writing one index per key into `out` (cleared first). Returns `false` —
+/// with `out` contents unspecified — if any probed cell was never written.
+///
+/// # Panics
+/// Panics if `cells.len() != row_seeds.len() * cols`.
+pub fn query_batch_raw(
+    cells: &[u16],
+    row_seeds: &[u64],
+    cols: usize,
+    keys: &[u64],
+    out: &mut Vec<u16>,
+) -> bool {
+    assert_eq!(cells.len(), row_seeds.len() * cols, "cell table shape");
+    out.clear();
+    out.resize(keys.len(), 0);
+    for (row, &seed) in row_seeds.iter().enumerate() {
+        let row_cells = &cells[row * cols..(row + 1) * cols];
+        for (&key, best) in keys.iter().zip(out.iter_mut()) {
+            let v = row_cells[HashFamily::bin_for(seed, cols, key)];
+            if v == EMPTY_CELL {
+                return false;
+            }
+            if v > *best {
+                *best = v;
+            }
+        }
+    }
+    true
 }
 
 /// Derives the hash seed of group `g` from a base seed. Exposed so a decoder
@@ -369,6 +459,54 @@ mod tests {
     fn from_cells_validates_length() {
         assert!(MinMaxSketch::from_cells(2, 128, 0, vec![0; 7]).is_err());
         assert!(MinMaxSketch::from_cells(0, 128, 0, vec![]).is_err());
+    }
+
+    #[test]
+    fn batch_insert_and_query_match_per_key_path() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let items: Vec<(u64, u16)> = (0..3_000).map(|k| (k, rng.gen_range(0..200u16))).collect();
+        let keys: Vec<u64> = items.iter().map(|&(k, _)| k).collect();
+        let indexes: Vec<u16> = items.iter().map(|&(_, b)| b).collect();
+
+        let mut reference = MinMaxSketch::new(2, 128, 12).unwrap();
+        for &(k, b) in &items {
+            reference.insert(k, b);
+        }
+        let mut batched = MinMaxSketch::new(2, 128, 12).unwrap();
+        batched.insert_batch(&keys, &indexes);
+        assert_eq!(batched.cells(), reference.cells());
+        assert_eq!(batched.inserted(), reference.inserted());
+
+        let mut got = Vec::new();
+        assert!(batched.query_batch(&keys, &mut got));
+        let expect: Vec<u16> = keys.iter().map(|&k| reference.query(k).unwrap()).collect();
+        assert_eq!(got, expect);
+
+        // The raw entry points see the identical flat table.
+        let mut raw_cells = vec![EMPTY_CELL; 2 * 128];
+        let mut seeds = Vec::new();
+        crate::hash::push_row_seeds(2, 12, &mut seeds);
+        insert_batch_raw(&mut raw_cells, &seeds, 128, &keys, &indexes);
+        assert_eq!(&raw_cells[..], reference.cells());
+        let mut raw_got = Vec::new();
+        assert!(query_batch_raw(
+            &raw_cells,
+            &seeds,
+            128,
+            &keys,
+            &mut raw_got
+        ));
+        assert_eq!(raw_got, expect);
+    }
+
+    #[test]
+    fn batch_query_detects_missing_key() {
+        let mut mm = MinMaxSketch::new(4, 1 << 14, 13).unwrap();
+        mm.insert_batch(&[1, 2, 3], &[5, 6, 7]);
+        let mut out = Vec::new();
+        assert!(!mm.query_batch(&[1, 999_999], &mut out));
+        assert!(mm.query_batch(&[1, 2, 3], &mut out));
+        assert_eq!(out.len(), 3);
     }
 
     #[test]

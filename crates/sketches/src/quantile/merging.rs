@@ -83,11 +83,13 @@ impl MergingQuantileSketch {
             self.levels.push(Vec::with_capacity(self.capacity));
         }
         let mut buf = std::mem::take(&mut self.levels[l]);
-        buf.sort_by(f64::total_cmp);
+        // Unstable sort is safe here: items equal under `total_cmp` are
+        // bitwise identical, so any reorder yields the same array (and the
+        // same survivors), and no temporary sort allocation is made.
+        buf.sort_unstable_by(f64::total_cmp);
         let offset = usize::from(self.next_bit());
-        let survivors: Vec<f64> = buf.iter().skip(offset).step_by(2).copied().collect();
-        self.levels[l + 1].extend_from_slice(&survivors);
-        // `buf` is dropped; level l is now empty (its Vec was taken).
+        self.levels[l + 1].extend(buf.iter().skip(offset).step_by(2).copied());
+        // Put the (cleared) buffer back so its capacity is reused.
         self.levels[l] = buf;
         self.levels[l].clear();
     }
@@ -123,13 +125,90 @@ impl MergingQuantileSketch {
 
     /// All retained `(value, weight)` pairs, sorted by value.
     fn weighted_items(&self) -> Vec<(f64, u64)> {
-        let mut items: Vec<(f64, u64)> = Vec::with_capacity(self.retained());
+        let mut items: Vec<(f64, u64)> = Vec::new();
+        self.weighted_items_into(&mut items);
+        items
+    }
+
+    /// Fills `items` (cleared first) with the retained `(value, weight)`
+    /// pairs, sorted by value. Reordering of equal-value items by the
+    /// unstable sort is immaterial: the rank scans in `query`/`splits` only
+    /// emit values, and any permutation of an equal-value run crosses each
+    /// rank target at the same value with the same cumulative weight at the
+    /// run's exit.
+    fn weighted_items_into(&self, items: &mut Vec<(f64, u64)>) {
+        items.clear();
+        items.reserve(self.retained());
         for (l, buf) in self.levels.iter().enumerate() {
             let w = 1u64 << l;
             items.extend(buf.iter().map(|&v| (v, w)));
         }
-        items.sort_by(|a, b| a.0.total_cmp(&b.0));
-        items
+        items.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+    }
+
+    /// Restores the sketch to its freshly-constructed state while keeping
+    /// every level buffer's capacity. The parity source is re-seeded, so a
+    /// reset sketch fed the same inserts produces *identical* splits to a
+    /// brand-new sketch of the same capacity — the invariant the
+    /// zero-allocation compression path relies on for byte-identical output.
+    pub fn reset(&mut self) {
+        for level in &mut self.levels {
+            level.clear();
+        }
+        self.count = 0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+        self.rng_state = 0x5EED_5EED_5EED_5EED;
+    }
+
+    /// [`QuantileSketch::splits`] into reusable buffers: `items` is the
+    /// weighted-item scratch, `out` receives the `q + 1` split points. Both
+    /// are cleared first. Identical output to `splits`.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidParameter`] if `q == 0` and
+    /// [`SketchError::Empty`] if nothing was inserted.
+    pub fn splits_into(
+        &self,
+        q: usize,
+        items: &mut Vec<(f64, u64)>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SketchError> {
+        if q == 0 {
+            return Err(SketchError::invalid("q", "need at least one bucket"));
+        }
+        if self.count == 0 {
+            return Err(SketchError::Empty);
+        }
+        self.weighted_items_into(items);
+        let total: u64 = items.iter().map(|&(_, w)| w).sum();
+        out.clear();
+        out.reserve(q + 1);
+        out.push(self.min);
+        let mut cum = 0u64;
+        let mut iter = items.iter();
+        let mut cur = iter.next();
+        for i in 1..q {
+            let target = ((i as f64 / q as f64) * total as f64).ceil().max(1.0) as u64;
+            while let Some(&(v, w)) = cur {
+                if cum + w >= target {
+                    out.push(v.clamp(self.min, self.max));
+                    break;
+                }
+                cum += w;
+                cur = iter.next();
+            }
+            if out.len() < i + 1 {
+                out.push(self.max);
+            }
+        }
+        out.push(self.max);
+        for i in 1..out.len() {
+            if out[i] < out[i - 1] {
+                out[i] = out[i - 1];
+            }
+        }
+        Ok(())
     }
 }
 
@@ -184,39 +263,9 @@ impl QuantileSketch for MergingQuantileSketch {
     /// Splits computed from a single materialization of the weighted items,
     /// so the `q + 1` queries cost one sort instead of `q + 1`.
     fn splits(&self, q: usize) -> Result<Vec<f64>, SketchError> {
-        if q == 0 {
-            return Err(SketchError::invalid("q", "need at least one bucket"));
-        }
-        if self.count == 0 {
-            return Err(SketchError::Empty);
-        }
-        let items = self.weighted_items();
-        let total: u64 = items.iter().map(|&(_, w)| w).sum();
-        let mut out = Vec::with_capacity(q + 1);
-        out.push(self.min);
-        let mut cum = 0u64;
-        let mut iter = items.iter();
-        let mut cur = iter.next();
-        for i in 1..q {
-            let target = ((i as f64 / q as f64) * total as f64).ceil().max(1.0) as u64;
-            while let Some(&(v, w)) = cur {
-                if cum + w >= target {
-                    out.push(v.clamp(self.min, self.max));
-                    break;
-                }
-                cum += w;
-                cur = iter.next();
-            }
-            if out.len() < i + 1 {
-                out.push(self.max);
-            }
-        }
-        out.push(self.max);
-        for i in 1..out.len() {
-            if out[i] < out[i - 1] {
-                out[i] = out[i - 1];
-            }
-        }
+        let mut items = Vec::new();
+        let mut out = Vec::new();
+        self.splits_into(q, &mut items, &mut out)?;
         Ok(out)
     }
 }
@@ -349,6 +398,50 @@ mod tests {
             s.query(0.5).unwrap()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn reset_sketch_reproduces_fresh_sketch_exactly() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let data_a: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        let data_b: Vec<f64> = (0..7_000).map(|_| rng.gen::<f64>() - 0.5).collect();
+
+        let mut reused = MergingQuantileSketch::new(128).unwrap();
+        reused.extend_from_slice(&data_a);
+        let _ = reused.splits(64).unwrap();
+        reused.reset();
+        assert_eq!(reused.count(), 0);
+        assert_eq!(reused.min(), None);
+        reused.extend_from_slice(&data_b);
+
+        let mut fresh = MergingQuantileSketch::new(128).unwrap();
+        fresh.extend_from_slice(&data_b);
+
+        // Bit-identical, not just approximately equal: the compression hot
+        // path reuses one sketch across gradients and must produce the same
+        // bytes a fresh sketch would.
+        assert_eq!(reused.splits(64).unwrap(), fresh.splits(64).unwrap());
+        assert_eq!(reused.query(0.5).unwrap(), fresh.query(0.5).unwrap());
+    }
+
+    #[test]
+    fn splits_into_matches_splits() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let data: Vec<f64> = (0..30_000).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+        let mut s = MergingQuantileSketch::new(256).unwrap();
+        s.extend_from_slice(&data);
+        let mut items = vec![(9.0, 9u64)]; // stale scratch must be cleared
+        let mut out = vec![1.0, 2.0];
+        for q in [1usize, 2, 7, 64, 256] {
+            s.splits_into(q, &mut items, &mut out).unwrap();
+            assert_eq!(out, s.splits(q).unwrap(), "q={q}");
+        }
+        assert!(s.splits_into(0, &mut items, &mut out).is_err());
+        let empty = MergingQuantileSketch::new(64).unwrap();
+        assert_eq!(
+            empty.splits_into(4, &mut items, &mut out),
+            Err(SketchError::Empty)
+        );
     }
 
     #[test]

@@ -11,10 +11,12 @@
 //! To bless an *intentional* format change, regenerate the fixtures with
 //! `REGEN_FIXTURES=1 cargo test --test wire_format` and review the diff.
 
+use bytes::BytesMut;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use sketchml_core::{
-    GradientCompressor, ShardedCompressor, SketchMlCompressor, SparseGradient, ZipMlCompressor,
+    CompressScratch, GradientCompressor, ShardedCompressor, SketchMlCompressor, SparseGradient,
+    ZipMlCompressor,
 };
 use sketchml_encoding::{decode_keys, encode_keys};
 use std::path::PathBuf;
@@ -94,6 +96,17 @@ fn assert_golden(name: &str, compressor: &dyn GradientCompressor) {
         to_hex(&encoded),
         "{name}: re-encoding the canonical gradient changed the wire format"
     );
+    // The zero-alloc scratch path must hit the same golden bytes.
+    let mut scratch = CompressScratch::new();
+    let mut out = BytesMut::new();
+    compressor
+        .compress_into(&grad, &mut scratch, &mut out)
+        .expect("compress_into");
+    assert_eq!(
+        to_hex(&golden),
+        to_hex(&out),
+        "{name}: the scratch path diverged from the golden wire format"
+    );
     // The stored bytes must still decode, and exactly like a fresh encode.
     let from_golden = compressor.decompress(&golden).expect("decode fixture");
     let from_fresh = compressor.decompress(&encoded).expect("decode fresh");
@@ -104,6 +117,15 @@ fn assert_golden(name: &str, compressor: &dyn GradientCompressor) {
         from_golden.keys(),
         grad.keys(),
         "{name}: key compression is lossless, keys must survive exactly"
+    );
+    // And the scratch decode must agree with the allocating decode.
+    let mut pooled = SparseGradient::empty(0);
+    compressor
+        .decompress_into(&golden, &mut scratch, &mut pooled)
+        .expect("decompress_into fixture");
+    assert_eq!(
+        &pooled, &from_golden,
+        "{name}: scratch decode disagrees with allocating decode"
     );
 }
 
