@@ -2,7 +2,7 @@
 
 use crate::network::CostModel;
 use serde::{Deserialize, Serialize};
-use sketchml_core::{CompressError, GradientCompressor, ShardedCompressor};
+use sketchml_core::{CompressError, FrameVersion, GradientCompressor, ShardedCompressor};
 
 /// Configuration of one simulated training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,6 +75,46 @@ impl ClusterConfig {
         self
     }
 
+    /// Validates the configuration, returning a typed error instead of
+    /// letting bad values surface as panics deep inside a training loop.
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidConfig`] naming the offending field: zero
+    /// workers, a batch ratio outside `(0, 1]`, zero compression threads, or
+    /// a non-positive bandwidth / negative latency in the cost model.
+    pub fn validate(&self) -> Result<(), CompressError> {
+        if self.workers == 0 {
+            return Err(CompressError::InvalidConfig(
+                "cluster: workers must be at least 1".into(),
+            ));
+        }
+        if !self.batch_ratio.is_finite() || self.batch_ratio <= 0.0 || self.batch_ratio > 1.0 {
+            return Err(CompressError::InvalidConfig(format!(
+                "cluster: batch_ratio {} must be in (0, 1]",
+                self.batch_ratio
+            )));
+        }
+        if self.compress_threads == 0 {
+            return Err(CompressError::InvalidConfig(
+                "cluster: compress_threads must be at least 1".into(),
+            ));
+        }
+        let net = &self.cost.network;
+        if net.bandwidth <= 0.0 || net.bandwidth.is_nan() {
+            return Err(CompressError::InvalidConfig(format!(
+                "cluster: bandwidth {} must be positive",
+                net.bandwidth
+            )));
+        }
+        if !net.latency.is_finite() || net.latency < 0.0 {
+            return Err(CompressError::InvalidConfig(format!(
+                "cluster: latency {} must be finite and non-negative",
+                net.latency
+            )));
+        }
+        Ok(())
+    }
+
     /// Wraps `inner` in the parallel sharded engine when `compress_threads`
     /// exceeds one; returns `None` when the native compressor should be used
     /// directly. Call sites keep the returned value alive and borrow it as a
@@ -87,12 +127,30 @@ impl ClusterConfig {
         &self,
         inner: &'a dyn GradientCompressor,
     ) -> Result<Option<ShardedCompressor<&'a dyn GradientCompressor>>, CompressError> {
-        if self.compress_threads <= 1 {
+        self.wire_compressor(inner, FrameVersion::V1)
+    }
+
+    /// Like [`Self::sharded_compressor`], but also lets the caller request a
+    /// specific wire frame: with [`FrameVersion::V2`] the sharded engine is
+    /// engaged even at one thread, because only its frame carries the
+    /// per-shard CRC32 that chaos runs rely on for corruption detection.
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidConfig`] if `compress_threads` is out of the
+    /// sharded engine's range.
+    pub fn wire_compressor<'a>(
+        &self,
+        inner: &'a dyn GradientCompressor,
+        frame: FrameVersion,
+    ) -> Result<Option<ShardedCompressor<&'a dyn GradientCompressor>>, CompressError> {
+        if self.compress_threads <= 1 && frame == FrameVersion::V1 {
             return Ok(None);
         }
+        let shards = self.compress_threads.max(1);
         Ok(Some(
-            ShardedCompressor::new(inner, self.compress_threads)?
-                .with_threads(self.compress_threads)?,
+            ShardedCompressor::new(inner, shards)?
+                .with_threads(shards)?
+                .with_frame(frame),
         ))
     }
 }
@@ -122,6 +180,51 @@ mod tests {
     fn batch_ratio_override() {
         let c = ClusterConfig::cluster1(10).with_batch_ratio(0.01);
         assert_eq!(c.batch_ratio, 0.01);
+    }
+
+    #[test]
+    fn validate_catches_bad_fields() {
+        assert!(ClusterConfig::cluster1(4).validate().is_ok());
+        assert!(ClusterConfig::single_node().validate().is_ok());
+        let mut c = ClusterConfig::cluster1(4);
+        c.workers = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::cluster1(4);
+        c.batch_ratio = 0.0;
+        assert!(c.validate().is_err());
+        c.batch_ratio = 1.5;
+        assert!(c.validate().is_err());
+        c.batch_ratio = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::cluster1(4);
+        c.compress_threads = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::cluster1(4);
+        c.cost.network.bandwidth = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::cluster1(4);
+        c.cost.network.latency = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn wire_compressor_engages_sharding_for_v2() {
+        use sketchml_core::RawCompressor;
+        let raw = RawCompressor::default();
+        let single = ClusterConfig::cluster1(4);
+        // V1 at one thread: native compressor.
+        assert!(single
+            .wire_compressor(&raw, FrameVersion::V1)
+            .unwrap()
+            .is_none());
+        // V2 forces the sharded engine even at one thread, so messages
+        // carry the CRC frame.
+        let engine = single
+            .wire_compressor(&raw, FrameVersion::V2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(engine.shards(), 1);
+        assert_eq!(engine.frame(), FrameVersion::V2);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 pub mod config;
 pub mod driver;
+pub mod faults;
 pub mod mlp_trainer;
 pub mod network;
 pub mod ps;
@@ -37,7 +38,14 @@ pub mod trainer;
 pub mod worker;
 
 pub use config::ClusterConfig;
+pub use faults::{CrashEvent, CrashPhase, FaultEvent, FaultPlan, FaultTrace, FaultyLink};
+pub use mlp_trainer::{
+    train_mlp_distributed, train_mlp_distributed_chaos, MlpTrainReport, MlpTrainSpec,
+};
 pub use network::{CostModel, NetworkModel};
-pub use ps::{train_parameter_server, ShardMap};
-pub use ssp::{train_ssp, SspConfig, SspReport};
-pub use trainer::{train_distributed, EpochStats, TrainReport, TrainSpec};
+pub use ps::{train_parameter_server, train_parameter_server_chaos, ShardMap};
+pub use ssp::{train_ssp, train_ssp_chaos, SspConfig, SspReport};
+pub use trainer::{
+    train_distributed, train_distributed_chaos, train_distributed_resumable, EpochStats,
+    TrainOutcome, TrainReport, TrainSpec,
+};

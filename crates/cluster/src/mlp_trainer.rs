@@ -7,9 +7,12 @@
 //! harness measures.
 
 use crate::config::ClusterConfig;
+use crate::faults::{CrashPhase, FaultPlan, FaultTrace, FaultyLink};
 use bytes::BytesMut;
 use serde::{Deserialize, Serialize};
-use sketchml_core::{CompressError, CompressScratch, GradientCompressor, SparseGradient};
+use sketchml_core::{
+    CompressError, CompressScratch, FrameVersion, GradientCompressor, SparseGradient,
+};
 use sketchml_ml::metrics::LossPoint;
 use sketchml_ml::mlp::MlpInstance;
 use sketchml_ml::{Adam, AdamConfig, Mlp, MlpConfig};
@@ -89,12 +92,65 @@ pub fn train_mlp_distributed(
     cluster: &ClusterConfig,
     compressor: &dyn GradientCompressor,
 ) -> Result<MlpTrainReport, CompressError> {
-    assert!(!train.is_empty(), "training set must be non-empty");
-    let sharded = cluster.sharded_compressor(compressor)?;
-    let compressor: &dyn GradientCompressor = match &sharded {
+    run_mlp(train, test, net, spec, cluster, compressor, None).map(|(r, _)| r)
+}
+
+/// [`train_mlp_distributed`] under a deterministic fault plan: dense MLP
+/// gradients ride the faulty uplink, crashed workers sit out batches and
+/// rejoin with a charged parameter re-pull, and the surviving workers'
+/// gradients are re-weighted by their delivered instance counts.
+///
+/// # Errors
+/// [`CompressError::InvalidConfig`] on an invalid plan or cluster config;
+/// propagates compressor failures.
+#[allow(clippy::too_many_arguments)]
+pub fn train_mlp_distributed_chaos(
+    train: &[MlpInstance],
+    test: &[MlpInstance],
+    net: &MlpConfig,
+    spec: &MlpTrainSpec,
+    cluster: &ClusterConfig,
+    compressor: &dyn GradientCompressor,
+    faults: &FaultPlan,
+) -> Result<(MlpTrainReport, FaultTrace), CompressError> {
+    run_mlp(train, test, net, spec, cluster, compressor, Some(faults))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_mlp(
+    train: &[MlpInstance],
+    test: &[MlpInstance],
+    net: &MlpConfig,
+    spec: &MlpTrainSpec,
+    cluster: &ClusterConfig,
+    compressor: &dyn GradientCompressor,
+    faults: Option<&FaultPlan>,
+) -> Result<(MlpTrainReport, FaultTrace), CompressError> {
+    if train.is_empty() {
+        return Err(CompressError::InvalidConfig(
+            "training set must be non-empty".into(),
+        ));
+    }
+    cluster.validate()?;
+    let frame = if faults.is_some_and(|p| p.checksum) {
+        FrameVersion::V2
+    } else {
+        FrameVersion::V1
+    };
+    let wired = cluster.wire_compressor(compressor, frame)?;
+    let compressor: &dyn GradientCompressor = match &wired {
         Some(engine) => engine,
         None => compressor,
     };
+    let mut link = match faults {
+        Some(plan) => Some(FaultyLink::new(
+            plan,
+            cluster.cost.network,
+            cluster.workers,
+        )?),
+        None => None,
+    };
+    let mut global_batch = 0u64;
     let mut mlp = Mlp::new(net).map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
     let params = mlp.num_params();
     let mut opt =
@@ -128,55 +184,120 @@ pub fn train_mlp_distributed(
         let mut uplink_bytes = 0u64;
         let mut sim = 0.0f64;
         for batch_idx in order.chunks(batch_size) {
+            // Crash schedule: dead workers sit out the batch; rejoining
+            // ones re-pull the dense parameter vector (8 bytes/param).
+            let mut alive = vec![true; cluster.workers];
+            if let Some(l) = link.as_mut() {
+                for (w, alive_w) in alive.iter_mut().enumerate() {
+                    match l.crash_phase(w, global_batch) {
+                        CrashPhase::Up => {}
+                        CrashPhase::Down => *alive_w = false,
+                        CrashPhase::Rejoin => {
+                            sim += l.charge_recovery(w, global_batch, 8 * params);
+                        }
+                    }
+                }
+            }
             let slices = crate::worker::partition(batch_idx, cluster.workers);
-            let results: Vec<(SparseGradient, f64, usize, f64)> = crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = slices
-                    .iter()
-                    .map(|part| {
-                        let mlp = &mlp;
-                        s.spawn(move |_| {
-                            let batch: Vec<MlpInstance> =
-                                part.iter().map(|&i| train[i].clone()).collect();
-                            let (flat, loss) = mlp.batch_gradient(&batch);
-                            let grad = SparseGradient::from_dense(&flat, 0.0);
-                            (grad, loss, batch.len(), batch.len() as f64)
+            let results: Vec<Option<(SparseGradient, f64, usize, f64)>> =
+                crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = slices
+                        .iter()
+                        .enumerate()
+                        .map(|(w, part)| {
+                            if !alive[w] {
+                                return None;
+                            }
+                            let mlp = &mlp;
+                            Some(s.spawn(move |_| {
+                                let batch: Vec<MlpInstance> =
+                                    part.iter().map(|&i| train[i].clone()).collect();
+                                let (flat, loss) = mlp.batch_gradient(&batch);
+                                let grad = SparseGradient::from_dense(&flat, 0.0);
+                                (grad, loss, batch.len(), batch.len() as f64)
+                            }))
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope");
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.map(|h| h.join().expect("worker thread panicked")))
+                        .collect()
+                })
+                .expect("crossbeam scope");
+
+            // Compute gates on the slowest (straggler-adjusted) alive worker.
+            let compute = results
+                .iter()
+                .enumerate()
+                .filter_map(|(w, r)| r.as_ref().map(|r| (w, r.2)))
+                .map(|(w, n)| {
+                    let factor = link.as_ref().map_or(1.0, |l| l.compute_factor(w));
+                    cluster.cost.compute_time(n as u64 * params as u64) * factor
+                })
+                .fold(0.0f64, f64::max);
 
             // Compress each worker's (dense) gradient — real bytes, pooled
-            // buffers.
-            let total_inst: usize = results.iter().map(|r| r.2).sum();
+            // buffers. Under faults, lost uplinks drop out and the survivors
+            // are re-weighted by the instances that actually arrived.
             while dec_parts.len() < results.len() {
                 dec_parts.push(SparseGradient::empty(0));
             }
-            let mut compute_ops = 0u64;
+            let mut delivered_inst: Vec<usize> = Vec::with_capacity(results.len());
             let t0 = Instant::now();
-            for ((grad, _, n, _), part) in results.iter().zip(dec_parts.iter_mut()) {
-                compute_ops = compute_ops.max(*n as u64 * params as u64);
+            for (w, result) in results.iter().enumerate() {
+                let Some((grad, _, n, _)) = result else {
+                    continue;
+                };
                 compressor.compress_into(grad, &mut scratch, &mut wire)?;
-                uplink_bytes += wire.len() as u64;
-                sim += cluster.cost.network.transfer_time(wire.len());
-                compressor.decompress_into(&wire, &mut scratch, part)?;
+                let part = &mut dec_parts[delivered_inst.len()];
+                match link.as_mut() {
+                    None => {
+                        uplink_bytes += wire.len() as u64;
+                        sim += cluster.cost.network.transfer_time(wire.len());
+                        compressor.decompress_into(&wire, &mut scratch, part)?;
+                        delivered_inst.push(*n);
+                    }
+                    Some(l) => {
+                        let tx = l.transmit(w, global_batch, &wire, &mut |b| {
+                            compressor
+                                .decompress(b)
+                                .map(|g| g.dim() == params as u64)
+                                .unwrap_or(false)
+                        });
+                        uplink_bytes += tx.bytes_on_wire;
+                        sim += tx.sim_seconds;
+                        if let Some(payload) = tx.payload {
+                            compressor.decompress_into(&payload, &mut scratch, part)?;
+                            delivered_inst.push(*n);
+                        }
+                    }
+                }
+            }
+            let _codec_wall = t0.elapsed();
+            let delivered = delivered_inst.len();
+            let total_inst: usize = delivered_inst.iter().sum();
+            for (part, n) in dec_parts[..delivered].iter_mut().zip(&delivered_inst) {
                 if total_inst > 0 {
                     part.scale(*n as f64 / total_inst as f64);
                 }
             }
-            let _codec_wall = t0.elapsed();
-            let agg = SparseGradient::aggregate(&dec_parts[..results.len()])?;
+            sim += compute;
+            global_batch += 1;
+            if delivered == 0 {
+                // Every uplink was lost (or every worker was down): the
+                // round's time is charged but the model does not move.
+                continue;
+            }
+            let agg = SparseGradient::aggregate(&dec_parts[..delivered])?;
             // Downlink: torrent-style broadcast of the aggregated update.
             compressor.compress_into(&agg, &mut scratch, &mut wire)?;
             sim += cluster
                 .cost
                 .network
                 .broadcast_time(wire.len(), cluster.workers);
-            sim += cluster.cost.compute_time(compute_ops);
+            if let Some(l) = link.as_mut() {
+                sim += l.broadcast_penalty(global_batch - 1, wire.len());
+            }
             sim += cluster.cost.codec_time(agg.nnz() * 2);
 
             mlp.apply_sparse_gradient(&mut opt, agg.keys(), agg.values());
@@ -195,12 +316,16 @@ pub fn train_mlp_distributed(
             test_loss,
         });
     }
-    Ok(MlpTrainReport {
-        method: compressor.name().to_string(),
-        epochs,
-        curve,
-        accuracy: mlp.accuracy(test),
-    })
+    let trace = link.map(FaultyLink::into_trace).unwrap_or_default();
+    Ok((
+        MlpTrainReport {
+            method: compressor.name().to_string(),
+            epochs,
+            curve,
+            accuracy: mlp.accuracy(test),
+        },
+        trace,
+    ))
 }
 
 #[cfg(test)]

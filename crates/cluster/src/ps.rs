@@ -18,10 +18,13 @@
 //! identical compressors and cost models.
 
 use crate::config::ClusterConfig;
+use crate::faults::{CrashPhase, FaultPlan, FaultTrace, FaultyLink};
 use crate::worker::partition;
 use bytes::BytesMut;
 use serde::{Deserialize, Serialize};
-use sketchml_core::{CompressError, CompressScratch, GradientCompressor, SparseGradient};
+use sketchml_core::{
+    CompressError, CompressScratch, FrameVersion, GradientCompressor, SparseGradient,
+};
 use sketchml_data::Batcher;
 use sketchml_ml::metrics::{ConvergenceDetector, LossPoint};
 use sketchml_ml::{GlmModel, Instance, Optimizer};
@@ -122,12 +125,77 @@ pub fn train_parameter_server(
     servers: usize,
     compressor: &dyn GradientCompressor,
 ) -> Result<TrainReport, CompressError> {
-    assert!(!train.is_empty(), "training set must be non-empty");
-    let sharded = cluster.sharded_compressor(compressor)?;
-    let compressor: &dyn GradientCompressor = match &sharded {
+    run_ps(train, test, dim, spec, cluster, servers, compressor, None).map(|(r, _)| r)
+}
+
+/// [`train_parameter_server`] under a deterministic fault plan: every
+/// worker→server shard push rides the faulty link (the PS topology's many
+/// small messages make per-message drop probabilities bite hardest here),
+/// crashed workers sit out whole batches and rejoin with a charged state
+/// re-pull, and rejected pull copies cost re-transfers.
+///
+/// # Errors
+/// [`CompressError::InvalidConfig`] on an invalid plan or cluster config;
+/// propagates compressor failures.
+#[allow(clippy::too_many_arguments)]
+pub fn train_parameter_server_chaos(
+    train: &[Instance],
+    test: &[Instance],
+    dim: usize,
+    spec: &TrainSpec,
+    cluster: &ClusterConfig,
+    servers: usize,
+    compressor: &dyn GradientCompressor,
+    faults: &FaultPlan,
+) -> Result<(TrainReport, FaultTrace), CompressError> {
+    run_ps(
+        train,
+        test,
+        dim,
+        spec,
+        cluster,
+        servers,
+        compressor,
+        Some(faults),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_ps(
+    train: &[Instance],
+    test: &[Instance],
+    dim: usize,
+    spec: &TrainSpec,
+    cluster: &ClusterConfig,
+    servers: usize,
+    compressor: &dyn GradientCompressor,
+    faults: Option<&FaultPlan>,
+) -> Result<(TrainReport, FaultTrace), CompressError> {
+    if train.is_empty() {
+        return Err(CompressError::InvalidConfig(
+            "training set must be non-empty".into(),
+        ));
+    }
+    cluster.validate()?;
+    let frame = if faults.is_some_and(|p| p.checksum) {
+        FrameVersion::V2
+    } else {
+        FrameVersion::V1
+    };
+    let wired = cluster.wire_compressor(compressor, frame)?;
+    let compressor: &dyn GradientCompressor = match &wired {
         Some(engine) => engine,
         None => compressor,
     };
+    let mut link = match faults {
+        Some(plan) => Some(FaultyLink::new(
+            plan,
+            cluster.cost.network,
+            cluster.workers,
+        )?),
+        None => None,
+    };
+    let mut global_batch = 0u64;
     let shards = ShardMap::new(dim as u64, servers);
     let mut model = GlmModel::new(dim, spec.loss, spec.l2)
         .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
@@ -155,62 +223,108 @@ pub fn train_parameter_server(
         let batches = batcher.epoch();
         let mut loss_accum = 0.0;
         for batch in &batches {
+            // Crash schedule: dead workers sit out the batch; rejoining
+            // ones re-pull the model shards (8 bytes/weight) first.
+            let mut alive = vec![true; cluster.workers];
+            if let Some(l) = link.as_mut() {
+                for (w, alive_w) in alive.iter_mut().enumerate() {
+                    match l.crash_phase(w, global_batch) {
+                        CrashPhase::Up => {}
+                        CrashPhase::Down => *alive_w = false,
+                        CrashPhase::Rejoin => {
+                            es.comm_seconds += l.charge_recovery(w, global_batch, 8 * dim);
+                        }
+                    }
+                }
+            }
             let parts = partition(batch, cluster.workers);
-            // Worker compute (real, parallel).
-            let results: Vec<(SparseGradient, f64, usize)> = crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = parts
-                    .iter()
-                    .map(|part| {
-                        let model = &model;
-                        s.spawn(move |_| {
-                            let slice: Vec<Instance> =
-                                part.iter().map(|&i| train[i].clone()).collect();
-                            let g = model.batch_gradient(&slice);
-                            let sparse = SparseGradient::new(model.dim() as u64, g.keys, g.values)
-                                .expect("batch gradient is well-formed");
-                            (sparse, g.loss_sum, slice.len())
+            // Worker compute (real, parallel); crashed workers contribute
+            // nothing.
+            let results: Vec<Option<(SparseGradient, f64, usize)>> =
+                crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = parts
+                        .iter()
+                        .enumerate()
+                        .map(|(w, part)| {
+                            if !alive[w] {
+                                return None;
+                            }
+                            let model = &model;
+                            Some(s.spawn(move |_| {
+                                let slice: Vec<Instance> =
+                                    part.iter().map(|&i| train[i].clone()).collect();
+                                let g = model.batch_gradient(&slice);
+                                let sparse =
+                                    SparseGradient::new(model.dim() as u64, g.keys, g.values)
+                                        .expect("batch gradient is well-formed");
+                                (sparse, g.loss_sum, slice.len())
+                            }))
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope");
-
-            let total_instances: usize = results.iter().map(|r| r.2).sum();
-            // Compute gates on the slowest worker.
-            let feature_ops = parts
-                .iter()
-                .map(|part| {
-                    part.iter()
-                        .map(|&i| train[i].features.nnz() as u64)
-                        .sum::<u64>()
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.map(|h| h.join().expect("worker thread panicked")))
+                        .collect()
                 })
-                .max()
-                .unwrap_or(0);
-            es.compute_seconds += cluster.cost.compute_time(feature_ops);
+                .expect("crossbeam scope");
+
+            let total_instances: usize = results.iter().flatten().map(|r| r.2).sum();
+            // Compute gates on the slowest (straggler-adjusted) alive worker.
+            let compute = parts
+                .iter()
+                .enumerate()
+                .filter(|&(w, _)| alive[w])
+                .map(|(w, part)| {
+                    let ops = part
+                        .iter()
+                        .map(|&i| train[i].features.nnz() as u64)
+                        .sum::<u64>();
+                    let factor = link.as_ref().map_or(1.0, |l| l.compute_factor(w));
+                    cluster.cost.compute_time(ops) * factor
+                })
+                .fold(0.0f64, f64::max);
+            es.compute_seconds += compute;
 
             // Push: each worker sends one compressed message per shard; the
             // S servers ingest in parallel, each serially over its W senders.
             let mut per_server_time = vec![0.0f64; shards.servers()];
             let mut shard_parts: Vec<Vec<SparseGradient>> = vec![Vec::new(); shards.servers()];
             let mut pairs_this_batch = 0u64;
-            for (grad, _, n) in &results {
+            for (w, result) in results.iter().enumerate() {
+                let Some((grad, _, n)) = result else { continue };
                 let split = shards.split(grad);
                 for (s, shard_grad) in split.into_iter().enumerate() {
                     if shard_grad.is_empty() {
                         continue;
                     }
                     let report = compressor.compress_into(&shard_grad, &mut scratch, &mut wire)?;
-                    per_server_time[s] += cluster.cost.network.transfer_time(wire.len());
-                    es.uplink_bytes += wire.len() as u64;
                     es.pairs += report.pairs as u64;
                     es.raw_bytes += 12 * report.pairs as u64;
                     pairs_this_batch += report.pairs as u64;
                     let mut g = SparseGradient::empty(0);
-                    compressor.decompress_into(&wire, &mut scratch, &mut g)?;
+                    match link.as_mut() {
+                        None => {
+                            per_server_time[s] += cluster.cost.network.transfer_time(wire.len());
+                            es.uplink_bytes += wire.len() as u64;
+                            compressor.decompress_into(&wire, &mut scratch, &mut g)?;
+                        }
+                        Some(l) => {
+                            let tx = l.transmit(w, global_batch, &wire, &mut |b| {
+                                compressor
+                                    .decompress(b)
+                                    .map(|g| g.dim() == dim as u64)
+                                    .unwrap_or(false)
+                            });
+                            per_server_time[s] += tx.sim_seconds;
+                            es.uplink_bytes += tx.bytes_on_wire;
+                            let Some(payload) = tx.payload else {
+                                // This shard's contribution is lost; the
+                                // server aggregates the survivors.
+                                continue;
+                            };
+                            compressor.decompress_into(&payload, &mut scratch, &mut g)?;
+                        }
+                    }
                     if total_instances > 0 {
                         g.scale(*n as f64 / total_instances as f64);
                     }
@@ -232,7 +346,7 @@ pub fn train_parameter_server(
             } else {
                 SparseGradient::aggregate(&all_parts)?
             };
-            let batch_loss_sum: f64 = results.iter().map(|(_, l, _)| *l).sum();
+            let batch_loss_sum: f64 = results.iter().flatten().map(|(_, l, _)| *l).sum();
             loss_accum += if total_instances == 0 {
                 0.0
             } else {
@@ -252,8 +366,14 @@ pub fn train_parameter_server(
                 pull_time[s] +=
                     cluster.workers as f64 * cluster.cost.network.transfer_time(wire.len());
                 es.downlink_bytes += (wire.len() * cluster.workers) as u64;
+                if let Some(l) = link.as_mut() {
+                    // Rejected pull copies cost re-transfers (workers that
+                    // exhaust retries proceed on their stale shard copy).
+                    pull_time[s] += l.broadcast_penalty(global_batch, wire.len());
+                }
             }
             es.comm_seconds += pull_time.iter().copied().fold(0.0, f64::max);
+            global_batch += 1;
         }
         es.sim_seconds = es.compute_seconds + es.comm_seconds + es.codec_seconds;
         es.train_loss = loss_accum / batches.len() as f64;
@@ -274,15 +394,19 @@ pub fn train_parameter_server(
         }
     }
     let accuracy = model.accuracy(test);
-    Ok(TrainReport {
-        method: format!("{} (PS x{})", compressor.name(), shards.servers()),
-        model: spec.loss.name().to_string(),
-        workers: cluster.workers,
-        epochs,
-        curve,
-        converged_epoch,
-        accuracy,
-    })
+    let trace = link.map(FaultyLink::into_trace).unwrap_or_default();
+    Ok((
+        TrainReport {
+            method: format!("{} (PS x{})", compressor.name(), shards.servers()),
+            model: spec.loss.name().to_string(),
+            workers: cluster.workers,
+            epochs,
+            curve,
+            converged_epoch,
+            accuracy,
+        },
+        trace,
+    ))
 }
 
 #[cfg(test)]

@@ -15,9 +15,12 @@
 //! in event order.
 
 use crate::config::ClusterConfig;
+use crate::faults::{CrashPhase, FaultPlan, FaultTrace, FaultyLink};
 use bytes::BytesMut;
 use serde::{Deserialize, Serialize};
-use sketchml_core::{CompressError, CompressScratch, GradientCompressor, SparseGradient};
+use sketchml_core::{
+    CompressError, CompressScratch, FrameVersion, GradientCompressor, SparseGradient,
+};
 use sketchml_ml::metrics::LossPoint;
 use sketchml_ml::{GlmModel, Instance, Optimizer};
 
@@ -53,6 +56,27 @@ impl SspConfig {
             straggle,
             batch_ratio: 0.1,
         }
+    }
+
+    /// Validates the SSP knobs.
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidConfig`] for a negative or non-finite
+    /// straggle spread, or a batch ratio outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), CompressError> {
+        if !self.straggle.is_finite() || self.straggle < 0.0 {
+            return Err(CompressError::InvalidConfig(format!(
+                "ssp: straggle {} must be finite and non-negative",
+                self.straggle
+            )));
+        }
+        if !self.batch_ratio.is_finite() || self.batch_ratio <= 0.0 || self.batch_ratio > 1.0 {
+            return Err(CompressError::InvalidConfig(format!(
+                "ssp: batch_ratio {} must be in (0, 1]",
+                self.batch_ratio
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -111,13 +135,75 @@ pub fn train_ssp(
     ssp: &SspConfig,
     compressor: &dyn GradientCompressor,
 ) -> Result<SspReport, CompressError> {
-    assert!(!train.is_empty(), "training set must be non-empty");
-    let sharded = cluster.sharded_compressor(compressor)?;
-    let compressor: &dyn GradientCompressor = match &sharded {
+    run_ssp(train, test, dim, spec, cluster, ssp, compressor, None).map(|(r, _)| r)
+}
+
+/// [`train_ssp`] under a deterministic fault plan: pushes suffer drops,
+/// corruption, and duplication; crashed workers are excluded from the
+/// staleness bound while down (no deadlock) and rejoin at the cohort's
+/// pace after a charged state re-pull; plan stragglers stack with the
+/// config's straggle spread — the scenario where SSP's bounded staleness
+/// absorbs the slowdown that would stall BSP.
+///
+/// # Errors
+/// [`CompressError::InvalidConfig`] on an invalid plan or config;
+/// propagates compressor failures.
+#[allow(clippy::too_many_arguments)]
+pub fn train_ssp_chaos(
+    train: &[Instance],
+    test: &[Instance],
+    dim: usize,
+    spec: &TrainSpec,
+    cluster: &ClusterConfig,
+    ssp: &SspConfig,
+    compressor: &dyn GradientCompressor,
+    faults: &FaultPlan,
+) -> Result<(SspReport, FaultTrace), CompressError> {
+    run_ssp(
+        train,
+        test,
+        dim,
+        spec,
+        cluster,
+        ssp,
+        compressor,
+        Some(faults),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_ssp(
+    train: &[Instance],
+    test: &[Instance],
+    dim: usize,
+    spec: &TrainSpec,
+    cluster: &ClusterConfig,
+    ssp: &SspConfig,
+    compressor: &dyn GradientCompressor,
+    faults: Option<&FaultPlan>,
+) -> Result<(SspReport, FaultTrace), CompressError> {
+    if train.is_empty() {
+        return Err(CompressError::InvalidConfig(
+            "training set must be non-empty".into(),
+        ));
+    }
+    cluster.validate()?;
+    ssp.validate()?;
+    let frame = if faults.is_some_and(|p| p.checksum) {
+        FrameVersion::V2
+    } else {
+        FrameVersion::V1
+    };
+    let wired = cluster.wire_compressor(compressor, frame)?;
+    let compressor: &dyn GradientCompressor = match &wired {
         Some(engine) => engine,
         None => compressor,
     };
-    let workers = cluster.workers.max(1);
+    let workers = cluster.workers;
+    let mut link = match faults {
+        Some(plan) => Some(FaultyLink::new(plan, cluster.cost.network, workers)?),
+        None => None,
+    };
     let mut model = GlmModel::new(dim, spec.loss, spec.l2)
         .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
     let mut opt: Box<dyn Optimizer> = spec
@@ -157,17 +243,49 @@ pub fn train_ssp(
     let mut total_iters = 0u64;
 
     while total_iters < target_iters {
+        // Crash schedule (fault plans only): downed workers leave the
+        // cohort — and the staleness bound — until they rejoin, which costs
+        // a state re-pull charged to their clock.
+        let mut down = vec![false; workers];
+        if let Some(l) = link.as_mut() {
+            for (w, down_w) in down.iter_mut().enumerate() {
+                match l.crash_phase(w, total_iters) {
+                    CrashPhase::Up => {}
+                    CrashPhase::Down => *down_w = true,
+                    CrashPhase::Rejoin => {
+                        // Rejoin at the surviving cohort's pace so the
+                        // staleness bound doesn't retroactively stall on
+                        // iterations the worker never ran.
+                        let cohort_min = (0..workers)
+                            .filter(|&x| x != w)
+                            .map(|x| iters[x])
+                            .min()
+                            .unwrap_or(iters[w]);
+                        iters[w] = iters[w].max(cohort_min);
+                        let now = clocks.iter().copied().fold(0.0f64, f64::max);
+                        clocks[w] = clocks[w].max(now) + l.charge_recovery(w, total_iters, 8 * dim);
+                    }
+                }
+            }
+        }
         // The staleness bound: a worker may be at most `s` iterations ahead
-        // of the slowest.
-        let min_iter = iters.iter().copied().min().expect("workers > 0");
-        let eligible = (0..workers)
-            .filter(|&w| iters[w] <= min_iter + ssp.staleness as u64)
+        // of the slowest *alive* worker.
+        let Some(min_iter) = (0..workers).filter(|&w| !down[w]).map(|w| iters[w]).min() else {
+            // Every worker is down: burn an idle tick so the crash windows
+            // (keyed on total_iters) eventually reopen.
+            total_iters += 1;
+            continue;
+        };
+        let Some(w) = (0..workers)
+            .filter(|&w| !down[w] && iters[w] <= min_iter + ssp.staleness as u64)
             .min_by(|&a, &b| clocks[a].total_cmp(&clocks[b]))
-            .expect("at least the slowest worker is eligible");
+        else {
+            total_iters += 1;
+            continue;
+        };
         // A blocked worker waits until it becomes eligible: advance its
         // clock to the chosen worker's completion implicitly by processing
         // events in clock order among eligible workers.
-        let w = eligible;
 
         // Sample this worker's next local mini-batch (sequential scan).
         let part = &partitions[w];
@@ -188,27 +306,60 @@ pub fn train_ssp(
         let feature_ops: u64 = batch.iter().map(|i| i.features.nnz() as u64).sum();
         let sparse = SparseGradient::new(dim as u64, g.keys, g.values)?;
         compressor.compress_into(&sparse, &mut scratch, &mut wire)?;
-        uplink_bytes += wire.len() as u64;
-        compressor.decompress_into(&wire, &mut scratch, &mut decoded)?;
-        decoded.scale(1.0 / workers as f64); // same scaling as sync averaging
-        model.apply_gradient(opt.as_mut(), decoded.keys(), decoded.values());
 
-        // Advance this worker's clock: pull + compute + push.
-        let compute = cluster.cost.compute_time(feature_ops) * speed(w);
-        let push = cluster.cost.network.transfer_time(wire.len());
+        // Push through the (possibly faulty) link; a lost push means this
+        // iteration's update never reaches the server.
+        let push = match link.as_mut() {
+            None => {
+                uplink_bytes += wire.len() as u64;
+                compressor.decompress_into(&wire, &mut scratch, &mut decoded)?;
+                decoded.scale(1.0 / workers as f64); // same scaling as sync averaging
+                model.apply_gradient(opt.as_mut(), decoded.keys(), decoded.values());
+                cluster.cost.network.transfer_time(wire.len())
+            }
+            Some(l) => {
+                let tx = l.transmit(w, total_iters, &wire, &mut |b| {
+                    compressor
+                        .decompress(b)
+                        .map(|g| g.dim() == dim as u64)
+                        .unwrap_or(false)
+                });
+                uplink_bytes += tx.bytes_on_wire;
+                if let Some(payload) = tx.payload {
+                    compressor.decompress_into(&payload, &mut scratch, &mut decoded)?;
+                    decoded.scale(1.0 / workers as f64);
+                    model.apply_gradient(opt.as_mut(), decoded.keys(), decoded.values());
+                }
+                tx.sim_seconds
+            }
+        };
+
+        // Advance this worker's clock: pull + compute + push. Plan-declared
+        // stragglers stack multiplicatively on the config's speed spread.
+        let straggle_factor = link.as_ref().map_or(1.0, |l| l.compute_factor(w));
+        let compute = cluster.cost.compute_time(feature_ops) * speed(w) * straggle_factor;
         let pull = cluster.cost.network.transfer_time(wire.len()); // model delta ≈ gradient size
         let codec = cluster.cost.codec_time(sparse.nnz() * 2);
         clocks[w] += compute + push + pull + codec;
 
         // Under BSP the whole cohort waits for the slowest at each barrier:
-        // emulate by snapping everyone to the max clock when a round
-        // completes (all workers at the same iteration count).
+        // emulate by snapping every alive worker to the max clock when a
+        // round completes (all alive workers at the same iteration count).
         iters[w] += 1;
         total_iters += 1;
-        if ssp.staleness == 0 && iters.iter().all(|&i| i == iters[w]) {
-            let barrier = clocks.iter().copied().fold(0.0f64, f64::max);
-            for c in clocks.iter_mut() {
-                *c = barrier;
+        if ssp.staleness == 0
+            && (0..workers)
+                .filter(|&x| !down[x])
+                .all(|x| iters[x] == iters[w])
+        {
+            let barrier = (0..workers)
+                .filter(|&x| !down[x])
+                .map(|x| clocks[x])
+                .fold(0.0f64, f64::max);
+            for (x, c) in clocks.iter_mut().enumerate() {
+                if !down[x] {
+                    *c = barrier;
+                }
             }
         }
 
@@ -232,12 +383,16 @@ pub fn train_ssp(
         }
     }
 
-    Ok(SspReport {
-        method: compressor.name().to_string(),
-        staleness: ssp.staleness,
-        epochs,
-        curve,
-    })
+    let trace = link.map(FaultyLink::into_trace).unwrap_or_default();
+    Ok((
+        SspReport {
+            method: compressor.name().to_string(),
+            staleness: ssp.staleness,
+            epochs,
+            curve,
+        },
+        trace,
+    ))
 }
 
 #[cfg(test)]

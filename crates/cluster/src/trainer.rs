@@ -5,12 +5,15 @@
 
 use crate::config::ClusterConfig;
 use crate::driver::{aggregate, DriverScratch};
+use crate::faults::{CrashPhase, FaultPlan, FaultTrace, FaultyLink};
 use crate::worker::{partition, process_glm_batch, WorkerMessage, WorkerScratch};
 use serde::{Deserialize, Serialize};
-use sketchml_core::{CompressError, GradientCompressor};
+use sketchml_core::{CompressError, FrameVersion, GradientCompressor};
 use sketchml_data::Batcher;
 use sketchml_ml::metrics::{ConvergenceDetector, LossPoint};
-use sketchml_ml::{AdamConfig, GlmLoss, GlmModel, Instance, OptimizerKind};
+use sketchml_ml::{
+    Adam, AdamConfig, Checkpoint, GlmLoss, GlmModel, Instance, Optimizer, OptimizerKind,
+};
 
 /// Training hyper-parameters (§4.1 "Protocol": λ = 0.01, Adam β₁ = 0.9,
 /// β₂ = 0.999, ε = 1e-8, grid-searched η).
@@ -172,6 +175,70 @@ impl TrainReport {
     }
 }
 
+/// Result of a chaos or resumable run: the regular report plus the fault
+/// trace (empty for fault-free runs) and, when the optimizer is Adam, a
+/// checkpoint of the final state for later resumption.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// The per-epoch report, identical in shape to a fault-free run's.
+    pub report: TrainReport,
+    /// Ordered record of every injected fault and its recovery cost.
+    pub trace: FaultTrace,
+    /// Restartable final state (`None` for non-Adam optimizers, whose
+    /// internal state is not serializable).
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// Optimizer state that stays checkpointable when it is Adam (the
+/// [`Optimizer`] trait offers no downcast, so the concrete type is kept).
+enum OptState {
+    Adam(Adam),
+    Other(Box<dyn Optimizer>),
+}
+
+impl OptState {
+    fn build(kind: OptimizerKind, dim: usize) -> Result<Self, CompressError> {
+        Ok(match kind {
+            OptimizerKind::Adam(cfg) => OptState::Adam(
+                Adam::new(dim, cfg).map_err(|e| CompressError::InvalidConfig(e.to_string()))?,
+            ),
+            other => OptState::Other(
+                other
+                    .build(dim)
+                    .map_err(|e| CompressError::InvalidConfig(e.to_string()))?,
+            ),
+        })
+    }
+
+    fn as_dyn(&mut self) -> &mut dyn Optimizer {
+        match self {
+            OptState::Adam(a) => a,
+            OptState::Other(b) => b.as_mut(),
+        }
+    }
+
+    fn adam(&self) -> Option<&Adam> {
+        match self {
+            OptState::Adam(a) => Some(a),
+            OptState::Other(_) => None,
+        }
+    }
+}
+
+/// Serializes a restore point through the real checkpoint codec so crash
+/// recovery ships (and is charged for) genuine bytes.
+fn checkpoint_bytes(
+    model: &GlmModel,
+    adam: &Adam,
+    epochs_done: usize,
+) -> Result<Vec<u8>, CompressError> {
+    let mut buf = Vec::new();
+    Checkpoint::new(model.clone(), adam.clone(), epochs_done)
+        .save(&mut buf)
+        .map_err(|e| CompressError::InvalidConfig(format!("checkpoint: {e}")))?;
+    Ok(buf)
+}
+
 /// Runs the full distributed training simulation.
 ///
 /// Workers are real threads computing real gradients on their slice of each
@@ -179,7 +246,8 @@ impl TrainReport {
 /// declared [`crate::CostModel`].
 ///
 /// # Errors
-/// Propagates compressor failures.
+/// [`CompressError::InvalidConfig`] on an empty training set or invalid
+/// cluster configuration; propagates compressor failures.
 pub fn train_distributed(
     train: &[Instance],
     test: &[Instance],
@@ -188,88 +256,295 @@ pub fn train_distributed(
     cluster: &ClusterConfig,
     compressor: &dyn GradientCompressor,
 ) -> Result<TrainReport, CompressError> {
-    assert!(!train.is_empty(), "training set must be non-empty");
-    // compress_threads > 1 swaps in the parallel sharded engine for every
-    // worker encode and driver decode below.
-    let sharded = cluster.sharded_compressor(compressor)?;
-    let compressor: &dyn GradientCompressor = match &sharded {
+    run_train(train, test, dim, spec, cluster, compressor, None, None).map(|o| o.report)
+}
+
+/// [`train_distributed`] under a deterministic fault plan: messages are
+/// dropped / corrupted / duplicated per the plan, crashed workers recover
+/// from checkpoints, and every retry and restore is charged to the
+/// simulated clock. The same plan and data always produce the identical
+/// trace and final loss.
+///
+/// # Errors
+/// [`CompressError::InvalidConfig`] on an invalid plan or cluster config;
+/// propagates compressor failures.
+pub fn train_distributed_chaos(
+    train: &[Instance],
+    test: &[Instance],
+    dim: usize,
+    spec: &TrainSpec,
+    cluster: &ClusterConfig,
+    compressor: &dyn GradientCompressor,
+    faults: &FaultPlan,
+) -> Result<TrainOutcome, CompressError> {
+    run_train(
+        train,
+        test,
+        dim,
+        spec,
+        cluster,
+        compressor,
+        Some(faults),
+        None,
+    )
+}
+
+/// The full-control entry point: optional fault plan, optional checkpoint
+/// to resume from. A resumed run replays the batch shuffles of the
+/// already-completed epochs, so it walks exactly the batches the
+/// uninterrupted run would have — resumption is bit-exact for lossless
+/// compressors.
+///
+/// # Errors
+/// [`CompressError::InvalidConfig`] if the checkpoint's dimension does not
+/// match `dim` or it already covers `max_epochs`; otherwise as
+/// [`train_distributed_chaos`].
+#[allow(clippy::too_many_arguments)]
+pub fn train_distributed_resumable(
+    train: &[Instance],
+    test: &[Instance],
+    dim: usize,
+    spec: &TrainSpec,
+    cluster: &ClusterConfig,
+    compressor: &dyn GradientCompressor,
+    faults: Option<&FaultPlan>,
+    resume: Option<Checkpoint>,
+) -> Result<TrainOutcome, CompressError> {
+    run_train(train, test, dim, spec, cluster, compressor, faults, resume)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_train(
+    train: &[Instance],
+    test: &[Instance],
+    dim: usize,
+    spec: &TrainSpec,
+    cluster: &ClusterConfig,
+    compressor: &dyn GradientCompressor,
+    faults: Option<&FaultPlan>,
+    resume: Option<Checkpoint>,
+) -> Result<TrainOutcome, CompressError> {
+    if train.is_empty() {
+        return Err(CompressError::InvalidConfig(
+            "training set must be non-empty".into(),
+        ));
+    }
+    cluster.validate()?;
+    // Chaos runs with checksums ship every message in the CRC-carrying v2
+    // frame so the receiver can actually detect injected corruption;
+    // compress_threads > 1 engages the same sharded engine for parallelism.
+    let frame = if faults.is_some_and(|p| p.checksum) {
+        FrameVersion::V2
+    } else {
+        FrameVersion::V1
+    };
+    let wired = cluster.wire_compressor(compressor, frame)?;
+    let compressor: &dyn GradientCompressor = match &wired {
         Some(engine) => engine,
         None => compressor,
     };
-    let mut model = GlmModel::new(dim, spec.loss, spec.l2)
-        .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
-    let mut opt = spec
-        .optimizer
-        .build(dim)
-        .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
+
+    let mut start_epoch = 0usize;
+    let (mut model, mut opt) = match resume {
+        Some(ck) => {
+            if ck.model.weights.len() != dim {
+                return Err(CompressError::InvalidConfig(format!(
+                    "checkpoint dimension {} does not match requested {dim}",
+                    ck.model.weights.len()
+                )));
+            }
+            if ck.epochs_done >= spec.max_epochs {
+                return Err(CompressError::InvalidConfig(format!(
+                    "checkpoint already covers {} of {} epochs",
+                    ck.epochs_done, spec.max_epochs
+                )));
+            }
+            start_epoch = ck.epochs_done;
+            (ck.model, OptState::Adam(ck.optimizer))
+        }
+        None => (
+            GlmModel::new(dim, spec.loss, spec.l2)
+                .map_err(|e| CompressError::InvalidConfig(e.to_string()))?,
+            OptState::build(spec.optimizer, dim)?,
+        ),
+    };
     let mut batcher = Batcher::new(train.len(), cluster.batch_ratio, spec.seed);
+    // Replay the shuffles of completed epochs so the resumed run sees
+    // exactly the batches the uninterrupted run would.
+    for _ in 0..start_epoch {
+        let _ = batcher.epoch();
+    }
     let mut detector = ConvergenceDetector::default();
+    let mut link = match faults {
+        Some(plan) => Some(FaultyLink::new(
+            plan,
+            cluster.cost.network,
+            cluster.workers,
+        )?),
+        None => None,
+    };
 
     let mut epochs = Vec::with_capacity(spec.max_epochs);
     let mut curve = Vec::new();
     let mut converged_epoch = None;
     let mut clock = 0.0f64;
+    let mut global_batch = 0u64;
+    let mut epochs_completed = start_epoch;
+    // The restore point a crashed worker receives; refreshed each epoch.
+    let mut last_checkpoint: Option<Vec<u8>> = None;
     // Pooled codec state, persistent across every batch of every epoch: one
     // scratch per worker slot (threads borrow disjoint slots) plus the
     // driver's aggregation scratch.
-    let mut worker_scratch: Vec<WorkerScratch> = (0..cluster.workers.max(1))
-        .map(|_| WorkerScratch::new())
-        .collect();
+    let mut worker_scratch: Vec<WorkerScratch> =
+        (0..cluster.workers).map(|_| WorkerScratch::new()).collect();
     let mut driver_scratch = DriverScratch::new();
 
-    for epoch in 1..=spec.max_epochs {
+    for epoch in start_epoch + 1..=spec.max_epochs {
         let mut es = EpochStats {
             epoch,
-            sim_seconds: 0.0,
-            compute_seconds: 0.0,
-            comm_seconds: 0.0,
-            codec_seconds: 0.0,
-            measured_codec_seconds: 0.0,
-            uplink_bytes: 0,
-            downlink_bytes: 0,
-            pairs: 0,
-            raw_bytes: 0,
-            train_loss: 0.0,
-            test_loss: 0.0,
+            ..EpochStats::zeroed()
         };
         let batches = batcher.epoch();
         let mut loss_accum = 0.0;
         for batch in &batches {
+            // Crash schedule: mark dead workers, restore rejoining ones.
+            let mut alive = vec![true; cluster.workers];
+            if let Some(l) = link.as_mut() {
+                for (w, alive_w) in alive.iter_mut().enumerate() {
+                    match l.crash_phase(w, global_batch) {
+                        CrashPhase::Up => {}
+                        CrashPhase::Down => *alive_w = false,
+                        CrashPhase::Rejoin => {
+                            // The rejoining worker restores from the last
+                            // end-of-epoch checkpoint (real serialized
+                            // bytes) — or, for non-Adam runs, re-pulls the
+                            // raw weight vector.
+                            let bytes = match (&last_checkpoint, opt.adam()) {
+                                (Some(b), _) => b.clone(),
+                                (None, Some(adam)) => {
+                                    checkpoint_bytes(&model, adam, epochs_completed)?
+                                }
+                                (None, None) => Vec::new(),
+                            };
+                            let len = if bytes.is_empty() {
+                                8 * dim
+                            } else {
+                                // Prove the restore path end to end: the
+                                // shipped bytes must actually load.
+                                Checkpoint::load(bytes.as_slice()).map_err(|e| {
+                                    CompressError::InvalidConfig(format!(
+                                        "recovery checkpoint: {e}"
+                                    ))
+                                })?;
+                                bytes.len()
+                            };
+                            es.comm_seconds += l.charge_recovery(w, global_batch, len);
+                        }
+                    }
+                }
+            }
+
             let parts = partition(batch, cluster.workers);
-            // Real parallel gradient computation + compression.
-            let messages: Vec<WorkerMessage> = crossbeam::thread::scope(|s| {
+            // Real parallel gradient computation + compression; crashed
+            // workers contribute nothing this batch.
+            let computed: Vec<Option<WorkerMessage>> = crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = parts
                     .iter()
                     .zip(worker_scratch.iter_mut())
-                    .map(|(part, ws)| {
+                    .enumerate()
+                    .map(|(w, (part, ws))| {
+                        if !alive[w] {
+                            return None;
+                        }
                         let model = &model;
                         let cost = &cluster.cost;
-                        s.spawn(move |_| {
+                        Some(s.spawn(move |_| {
                             let slice: Vec<Instance> =
                                 part.iter().map(|&i| train[i].clone()).collect();
                             process_glm_batch(model, &slice, compressor, cost, ws)
-                        })
+                        }))
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
+                    .map(|h| match h {
+                        Some(h) => h.join().expect("worker thread panicked").map(Some),
+                        None => Ok(None),
+                    })
                     .collect::<Result<Vec<_>, _>>()
             })
             .expect("crossbeam scope")?;
 
             // --- simulated clock for this batch ---
-            // Workers run in parallel: the slowest gates the batch.
-            let compute = messages
+            // Workers run in parallel: the slowest (straggler-adjusted)
+            // alive worker gates the batch.
+            let compute = computed
                 .iter()
-                .map(|m| m.sim_compute)
+                .enumerate()
+                .filter_map(|(w, m)| {
+                    let factor = link.as_ref().map_or(1.0, |l| l.compute_factor(w));
+                    m.as_ref().map(|m| m.sim_compute * factor)
+                })
                 .fold(0.0f64, f64::max);
-            let worker_codec = messages.iter().map(|m| m.sim_codec).fold(0.0f64, f64::max);
-            // Uplink messages land serially at the driver's NIC.
-            let uplink: f64 = messages
+            let worker_codec = computed
                 .iter()
-                .map(|m| cluster.cost.network.transfer_time(m.payload.len()))
-                .sum();
+                .flatten()
+                .map(|m| m.sim_codec)
+                .fold(0.0f64, f64::max);
+
+            // Uplink messages land serially at the driver's NIC — through
+            // the faulty link when a plan is active.
+            let mut messages: Vec<WorkerMessage> = Vec::with_capacity(computed.len());
+            let mut uplink = 0.0f64;
+            match link.as_mut() {
+                None => {
+                    for m in computed.into_iter().flatten() {
+                        uplink += cluster.cost.network.transfer_time(m.payload.len());
+                        es.uplink_bytes += m.payload.len() as u64;
+                        messages.push(m);
+                    }
+                }
+                Some(l) => {
+                    for (w, m) in computed.into_iter().enumerate() {
+                        let Some(mut m) = m else { continue };
+                        // The driver's integrity check: the payload must
+                        // decode (v2 frames verify per-shard CRCs here) and
+                        // announce the expected dimension.
+                        let tx = l.transmit(w, global_batch, &m.payload, &mut |b| {
+                            compressor
+                                .decompress(b)
+                                .map(|g| g.dim() == dim as u64)
+                                .unwrap_or(false)
+                        });
+                        uplink += tx.sim_seconds;
+                        es.uplink_bytes += tx.bytes_on_wire;
+                        if let Some(payload) = tx.payload {
+                            m.payload = payload;
+                            messages.push(m);
+                        }
+                        // Lost messages simply drop out: the driver
+                        // aggregates the survivors (instance weighting
+                        // renormalizes automatically).
+                    }
+                }
+            }
+
+            es.compute_seconds += compute;
+            es.codec_seconds += worker_codec;
+            es.comm_seconds += uplink;
+            es.pairs += messages.iter().map(|m| m.report.pairs as u64).sum::<u64>();
+            es.raw_bytes += messages
+                .iter()
+                .map(|m| 12 * m.report.pairs as u64)
+                .sum::<u64>();
+            es.measured_codec_seconds += messages.iter().map(|m| m.measured_codec).sum::<f64>();
+            global_batch += 1;
+
+            if messages.is_empty() {
+                // Every contribution was lost or crashed: no update this
+                // batch (time was still spent).
+                continue;
+            }
 
             let agg = aggregate(
                 &messages,
@@ -279,26 +554,22 @@ pub fn train_distributed(
                 cluster.compress_downlink,
                 &mut driver_scratch,
             )?;
-            // Downlink: torrent-style broadcast of the aggregated update.
+            // Downlink: torrent-style broadcast of the aggregated update,
+            // plus re-pulls for copies the fault plan rejects.
             let downlink = cluster
                 .cost
                 .network
                 .broadcast_time(agg.downlink_bytes, cluster.workers);
+            let downlink_penalty = link.as_mut().map_or(0.0, |l| {
+                l.broadcast_penalty(global_batch - 1, agg.downlink_bytes)
+            });
 
-            model.apply_gradient(opt.as_mut(), agg.gradient.keys(), agg.gradient.values());
+            model.apply_gradient(opt.as_dyn(), agg.gradient.keys(), agg.gradient.values());
 
-            es.compute_seconds += compute;
-            es.codec_seconds += worker_codec + agg.sim_codec;
-            es.comm_seconds += uplink + downlink;
-            es.measured_codec_seconds +=
-                messages.iter().map(|m| m.measured_codec).sum::<f64>() + agg.measured_codec;
-            es.uplink_bytes += messages.iter().map(|m| m.payload.len() as u64).sum::<u64>();
+            es.codec_seconds += agg.sim_codec;
+            es.comm_seconds += downlink + downlink_penalty;
+            es.measured_codec_seconds += agg.measured_codec;
             es.downlink_bytes += (agg.downlink_bytes * cluster.workers) as u64;
-            es.pairs += messages.iter().map(|m| m.report.pairs as u64).sum::<u64>();
-            es.raw_bytes += messages
-                .iter()
-                .map(|m| 12 * m.report.pairs as u64)
-                .sum::<u64>();
             loss_accum += agg.batch_loss;
         }
         es.sim_seconds = es.compute_seconds + es.comm_seconds + es.codec_seconds;
@@ -310,6 +581,13 @@ pub fn train_distributed(
             epoch,
             loss: es.test_loss,
         });
+        epochs_completed = epoch;
+        // Refresh the restore point crashed workers recover from.
+        if link.is_some() {
+            if let Some(adam) = opt.adam() {
+                last_checkpoint = Some(checkpoint_bytes(&model, adam, epoch)?);
+            }
+        }
         let converged = detector.push(es.test_loss);
         epochs.push(es);
         if converged && converged_epoch.is_none() {
@@ -321,7 +599,7 @@ pub fn train_distributed(
     }
 
     let accuracy = model.accuracy(test);
-    Ok(TrainReport {
+    let report = TrainReport {
         method: compressor.name().to_string(),
         model: spec.loss.name().to_string(),
         workers: cluster.workers,
@@ -329,6 +607,16 @@ pub fn train_distributed(
         curve,
         converged_epoch,
         accuracy,
+    };
+    let trace = link.map(FaultyLink::into_trace).unwrap_or_default();
+    let checkpoint = match opt {
+        OptState::Adam(adam) => Some(Checkpoint::new(model, adam, epochs_completed)),
+        OptState::Other(_) => None,
+    };
+    Ok(TrainOutcome {
+        report,
+        trace,
+        checkpoint,
     })
 }
 

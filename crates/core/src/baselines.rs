@@ -94,7 +94,10 @@ impl GradientCompressor for RawCompressor {
         }
         let dim = varint::read_u64(&mut buf)?;
         let nnz = varint::read_u64(&mut buf)? as usize;
-        if buf.remaining() < nnz * (4 + width) {
+        let need = nnz
+            .checked_mul(4 + width)
+            .ok_or_else(|| CompressError::Corrupt(format!("raw nnz {nnz} overflows")))?;
+        if buf.remaining() < need {
             return Err(CompressError::Corrupt("truncated raw body".into()));
         }
         let keys: Vec<u64> = (0..nnz).map(|_| buf.get_u32_le() as u64).collect();

@@ -74,4 +74,5 @@ pub use registry::by_name as compressor_by_name;
 pub use scratch::CompressScratch;
 pub use sharded::{split_gradient, ShardedCompressor};
 pub use sketchml::{MeanPrecision, SketchMlCompressor, SketchMlConfig};
+pub use sketchml_encoding::framing::FrameVersion;
 pub use zipml::{Rounding, ZipMlCompressor};

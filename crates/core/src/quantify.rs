@@ -447,7 +447,13 @@ impl GradientCompressor for QuantCompressor {
             )));
         }
         let q = varint::read_u64(&mut buf)? as usize;
-        if q == 0 || buf.remaining() < q * 8 + 1 {
+        // Checked multiply: a wire-controlled q must not wrap past the
+        // remaining-bytes test (each mean costs 8 bytes + 1 bit-width byte).
+        let means_need = q
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(1))
+            .ok_or_else(|| CompressError::Corrupt(format!("bucket count {q} overflows")))?;
+        if q == 0 || buf.remaining() < means_need {
             return Err(CompressError::Corrupt("truncated bucket means".into()));
         }
         let means: Vec<f64> = (0..q).map(|_| buf.get_f64_le()).collect();
@@ -537,7 +543,13 @@ impl GradientCompressor for QuantCompressor {
             )));
         }
         let q = varint::read_u64(&mut buf)? as usize;
-        if q == 0 || buf.remaining() < q * 8 + 1 {
+        // Checked multiply: a wire-controlled q must not wrap past the
+        // remaining-bytes test (each mean costs 8 bytes + 1 bit-width byte).
+        let means_need = q
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(1))
+            .ok_or_else(|| CompressError::Corrupt(format!("bucket count {q} overflows")))?;
+        if q == 0 || buf.remaining() < means_need {
             return Err(CompressError::Corrupt("truncated bucket means".into()));
         }
         scratch.dec_means.clear();

@@ -7,14 +7,18 @@ use crate::quantify::QuantCompressor;
 use crate::sharded::ShardedCompressor;
 use crate::sketchml::{MeanPrecision, SketchMlCompressor, SketchMlConfig};
 use crate::zipml::{Rounding, ZipMlCompressor};
+use sketchml_encoding::framing::FrameVersion;
 
 /// Names accepted by [`by_name`], in canonical form. Any of them also
 /// accepts an `@N` suffix (e.g. `sketchml@8`) selecting the parallel sharded
-/// engine with `N` shards and `N` worker threads.
+/// engine with `N` shards and `N` worker threads; appending `c` to the shard
+/// count (e.g. `sketchml@4c`) switches the frame to the CRC-carrying v2
+/// format so in-flight corruption is detected.
 pub const KNOWN_COMPRESSORS: &[&str] = &[
     "sketchml",
     "sketchml-f32",
     "sketchml@4",
+    "sketchml@4c",
     "adam",
     "adam-float",
     "adam+key",
@@ -31,20 +35,28 @@ pub const KNOWN_COMPRESSORS: &[&str] = &[
 ///
 /// A trailing `@N` wraps the named compressor in a [`ShardedCompressor`]
 /// with `N` shards and `N` threads: `by_name("sketchml@8")` compresses
-/// 8 key-range shards concurrently.
+/// 8 key-range shards concurrently. `@Nc` additionally selects the v2
+/// checksummed frame ([`FrameVersion::V2`]).
 ///
 /// # Errors
 /// [`CompressError::InvalidConfig`] listing the known names on a miss, or if
 /// the `@N` suffix is not a positive integer.
 pub fn by_name(name: &str) -> Result<Box<dyn GradientCompressor>, CompressError> {
-    if let Some((base, shards)) = name.rsplit_once('@') {
-        let shards: usize = shards.parse().map_err(|_| {
+    if let Some((base, suffix)) = name.rsplit_once('@') {
+        let (digits, frame) = match suffix.strip_suffix(['c', 'C']) {
+            Some(digits) => (digits, FrameVersion::V2),
+            None => (suffix, FrameVersion::V1),
+        };
+        let shards: usize = digits.parse().map_err(|_| {
             CompressError::InvalidConfig(format!(
-                "`{name}`: shard suffix `@{shards}` must be a positive integer"
+                "`{name}`: shard suffix `@{suffix}` must be a positive integer, \
+                 optionally followed by `c` for the checksummed v2 frame"
             ))
         })?;
         let inner = by_name(base)?;
-        return Ok(Box::new(ShardedCompressor::new(inner, shards)?));
+        return Ok(Box::new(
+            ShardedCompressor::new(inner, shards)?.with_frame(frame),
+        ));
     }
     let c: Box<dyn GradientCompressor> = match name.to_ascii_lowercase().as_str() {
         "sketchml" => Box::new(SketchMlCompressor::default()),
@@ -118,6 +130,26 @@ mod tests {
         assert!(by_name("sketchml@x").is_err());
         assert!(by_name("sketchml@").is_err());
         assert!(by_name("nope@4").is_err());
+        assert!(by_name("sketchml@c").is_err());
+        assert!(by_name("sketchml@0c").is_err());
+    }
+
+    #[test]
+    fn checksum_suffix_selects_v2_frame() {
+        let keys: Vec<u64> = (0..64).map(|i| i * 5).collect();
+        let values: Vec<f64> = (0..64).map(|i| (i as f64 - 32.0) * 0.01).collect();
+        let grad = SparseGradient::new(1_000, keys, values).unwrap();
+        let checked = by_name("sketchml@4c").unwrap();
+        let msg = checked.compress(&grad).unwrap();
+        // The v2 sentinel leads the frame and the plain engine rejects it.
+        assert_eq!(msg.payload[0], 0x00);
+        let decoded = checked.decompress(&msg.payload).unwrap();
+        assert_eq!(decoded.keys(), grad.keys());
+        // A flipped payload byte is detected by the CRC.
+        let mut bad = msg.payload.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(checked.decompress(&bad).is_err());
     }
 
     #[test]

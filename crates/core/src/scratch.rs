@@ -39,6 +39,8 @@ pub struct CompressScratch {
     // --- encode: per-group key sectioning (§3.4 / Appendix A.3) ---
     pub(crate) counts: Vec<usize>,
     pub(crate) cursor: Vec<usize>,
+    // --- sharded engine: per-shard CRC32 table of the v2 frame ---
+    pub(crate) crcs: Vec<u32>,
     pub(crate) sec_keys: Vec<u64>,
     pub(crate) sec_idx: Vec<u16>,
     // --- encode/decode: flat MinMaxSketch cell tables + row seeds (§3.3) ---

@@ -20,7 +20,8 @@ use crate::error::CompressError;
 use crate::gradient::SparseGradient;
 use crate::scratch::{CompressScratch, ShardScratch};
 use bytes::BytesMut;
-use sketchml_encoding::framing;
+use sketchml_encoding::crc32::crc32;
+use sketchml_encoding::framing::{self, FrameVersion};
 use sketchml_encoding::stats::SizeReport;
 
 /// Wraps an inner compressor with key-range sharding + thread parallelism.
@@ -40,6 +41,7 @@ pub struct ShardedCompressor<C> {
     inner: C,
     shards: usize,
     threads: usize,
+    frame: FrameVersion,
 }
 
 impl<C: GradientCompressor> ShardedCompressor<C> {
@@ -60,6 +62,7 @@ impl<C: GradientCompressor> ShardedCompressor<C> {
             inner,
             shards,
             threads: shards,
+            frame: FrameVersion::V1,
         })
     }
 
@@ -74,6 +77,21 @@ impl<C: GradientCompressor> ShardedCompressor<C> {
         }
         self.threads = threads;
         Ok(self)
+    }
+
+    /// Selects the frame format written on compress. The default,
+    /// [`FrameVersion::V1`], keeps the PR 1 wire format byte-identical;
+    /// [`FrameVersion::V2`] adds a per-shard CRC32 so in-flight corruption is
+    /// rejected with a typed error instead of decoding garbage. Decompression
+    /// accepts **both** versions regardless of this setting.
+    pub fn with_frame(mut self, frame: FrameVersion) -> Self {
+        self.frame = frame;
+        self
+    }
+
+    /// The frame format written on compress.
+    pub fn frame(&self) -> FrameVersion {
+        self.frame
     }
 
     /// The wrapped compressor.
@@ -136,6 +154,27 @@ pub fn split_gradient(grad: &SparseGradient, shards: usize) -> Vec<SparseGradien
     out
 }
 
+/// Verifies each shard slice against its declared v2 CRC32, rejecting any
+/// mismatch before the inner codec ever sees the corrupted bytes.
+fn verify_crcs(slices: &[&[u8]], crcs: &[u32]) -> Result<(), CompressError> {
+    if slices.len() != crcs.len() {
+        return Err(CompressError::Corrupt(format!(
+            "frame declares {} shards but {} checksums",
+            slices.len(),
+            crcs.len()
+        )));
+    }
+    for (i, (slice, &expect)) in slices.iter().zip(crcs).enumerate() {
+        let got = crc32(slice);
+        if got != expect {
+            return Err(CompressError::Corrupt(format!(
+                "shard {i} CRC mismatch: header says {expect:#010x}, payload hashes to {got:#010x}"
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Runs `job` over `0..n` items, writing each result into its slot, using up
 /// to `threads` scoped workers over contiguous chunks. Slot order — and thus
 /// every downstream byte — is independent of `threads`.
@@ -184,9 +223,18 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
         .collect::<Result<_, _>>()?;
 
         let lens: Vec<usize> = messages.iter().map(|m| m.payload.len()).collect();
-        let frame_header = framing::header_len(&lens);
+        let frame_header = match self.frame {
+            FrameVersion::V1 => framing::header_len(&lens),
+            FrameVersion::V2 => framing::header_len_v2(&lens),
+        };
         let mut buf = BytesMut::with_capacity(frame_header + lens.iter().sum::<usize>());
-        framing::write_header(&mut buf, &lens);
+        match self.frame {
+            FrameVersion::V1 => framing::write_header(&mut buf, &lens),
+            FrameVersion::V2 => {
+                let crcs: Vec<u32> = messages.iter().map(|m| crc32(&m.payload)).collect();
+                framing::write_header_v2(&mut buf, &lens, &crcs);
+            }
+        }
         let mut report = SizeReport {
             header_bytes: frame_header,
             ..SizeReport::default()
@@ -203,13 +251,15 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
 
     fn decompress(&self, payload: &[u8]) -> Result<SparseGradient, CompressError> {
         let mut buf = payload;
-        let lens = framing::read_header(&mut buf)
+        let mut lens = Vec::new();
+        let mut crcs = Vec::new();
+        let version = framing::read_any_header_into(&mut buf, &mut lens, &mut crcs)
             .map_err(|e| CompressError::Corrupt(format!("shard frame: {e}")))?;
 
         let mut slices = Vec::with_capacity(lens.len());
         let mut offset = 0usize;
         for &len in &lens {
-            // read_header guarantees the sum fits in the buffer.
+            // the header reader guarantees the sum fits in the buffer.
             slices.push(&buf[offset..offset + len]);
             offset += len;
         }
@@ -218,6 +268,9 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
                 "frame declares {offset} payload bytes but {} are present",
                 buf.len()
             )));
+        }
+        if version == FrameVersion::V2 {
+            verify_crcs(&slices, &crcs)?;
         }
 
         let shards: Vec<SparseGradient> = run_chunked(slices.len(), self.threads, |i| {
@@ -320,10 +373,22 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
         for slot in &scratch.shards[..s] {
             scratch.counts.push(slot.out.len());
         }
-        let frame_header = framing::header_len(&scratch.counts);
+        let frame_header = match self.frame {
+            FrameVersion::V1 => framing::header_len(&scratch.counts),
+            FrameVersion::V2 => framing::header_len_v2(&scratch.counts),
+        };
         out.clear();
         out.reserve(frame_header + scratch.counts.iter().sum::<usize>());
-        framing::write_header(out, &scratch.counts);
+        match self.frame {
+            FrameVersion::V1 => framing::write_header(out, &scratch.counts),
+            FrameVersion::V2 => {
+                scratch.crcs.clear();
+                for slot in &scratch.shards[..s] {
+                    scratch.crcs.push(crc32(&slot.out[..]));
+                }
+                framing::write_header_v2(out, &scratch.counts, &scratch.crcs);
+            }
+        }
         report.header_bytes += frame_header;
         for slot in &scratch.shards[..s] {
             out.extend_from_slice(&slot.out[..]);
@@ -338,13 +403,14 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
         out: &mut SparseGradient,
     ) -> Result<(), CompressError> {
         let mut buf = payload;
-        framing::read_header_into(&mut buf, &mut scratch.counts)
-            .map_err(|e| CompressError::Corrupt(format!("shard frame: {e}")))?;
+        let version =
+            framing::read_any_header_into(&mut buf, &mut scratch.counts, &mut scratch.crcs)
+                .map_err(|e| CompressError::Corrupt(format!("shard frame: {e}")))?;
         let s = scratch.counts.len();
         scratch.cursor.clear();
         let mut offset = 0usize;
         for &len in &scratch.counts {
-            // read_header_into guarantees the sum fits in the buffer.
+            // the header reader guarantees the sum fits in the buffer.
             scratch.cursor.push(offset);
             offset += len;
         }
@@ -353,6 +419,15 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
                 "frame declares {offset} payload bytes but {} are present",
                 buf.len()
             )));
+        }
+        if version == FrameVersion::V2 {
+            let slices: Vec<&[u8]> = scratch
+                .cursor
+                .iter()
+                .zip(&scratch.counts)
+                .map(|(&at, &len)| &buf[at..at + len])
+                .collect();
+            verify_crcs(&slices, &scratch.crcs)?;
         }
 
         scratch.ensure_shards(s);
@@ -566,6 +641,68 @@ mod tests {
         c.decompress_into(&out, &mut scratch, &mut decoded).unwrap();
         assert!(decoded.is_empty());
         assert_eq!(decoded.dim(), 77);
+    }
+
+    #[test]
+    fn v2_frame_roundtrips_and_still_decodes_v1() {
+        let g = grad(257, 1_000_000);
+        let v2 = ShardedCompressor::new(RawCompressor::default(), 4)
+            .unwrap()
+            .with_frame(FrameVersion::V2);
+        assert_eq!(v2.frame(), FrameVersion::V2);
+        let msg = v2.compress(&g).unwrap();
+        assert_eq!(msg.payload[0], framing::V2_SENTINEL);
+        let d = v2.decompress(&msg.payload).unwrap();
+        assert_eq!(d.keys(), g.keys());
+        assert_eq!(d.values(), g.values());
+
+        // Scratch paths are byte- and element-identical to the allocating
+        // paths, v2 included.
+        let mut scratch = CompressScratch::new();
+        let mut out = BytesMut::new();
+        let report = v2.compress_into(&g, &mut scratch, &mut out).unwrap();
+        assert_eq!(&out[..], &msg.payload[..]);
+        assert_eq!(report.total(), msg.payload.len());
+        let mut decoded = SparseGradient::empty(0);
+        v2.decompress_into(&out, &mut scratch, &mut decoded)
+            .unwrap();
+        assert_eq!(decoded.keys(), g.keys());
+        assert_eq!(decoded.values(), g.values());
+
+        // Decoding is version-agnostic: the v2-configured engine reads v1
+        // frames, and vice versa.
+        let v1 = ShardedCompressor::new(RawCompressor::default(), 4).unwrap();
+        let old = v1.compress(&g).unwrap();
+        assert_eq!(v2.decompress(&old.payload).unwrap().keys(), g.keys());
+        assert_eq!(v1.decompress(&msg.payload).unwrap().keys(), g.keys());
+        // v2 costs exactly sentinel + version + one CRC32 per shard.
+        assert_eq!(msg.payload.len(), old.payload.len() + 2 + 4 * 4);
+    }
+
+    #[test]
+    fn v2_detects_every_single_bit_flip() {
+        let g = grad(32, 10_000);
+        let c = ShardedCompressor::new(RawCompressor::default(), 2)
+            .unwrap()
+            .with_frame(FrameVersion::V2);
+        let msg = c.compress(&g).unwrap();
+        let mut scratch = CompressScratch::new();
+        let mut decoded = SparseGradient::empty(0);
+        let mut bytes = msg.payload.to_vec();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                bytes[byte] ^= 1 << bit;
+                assert!(c.decompress(&bytes).is_err(), "flip {byte}:{bit}");
+                assert!(
+                    c.decompress_into(&bytes, &mut scratch, &mut decoded)
+                        .is_err(),
+                    "flip {byte}:{bit}"
+                );
+                bytes[byte] ^= 1 << bit;
+            }
+        }
+        // The pristine payload still decodes after all that.
+        assert_eq!(c.decompress(&bytes).unwrap().keys(), g.keys());
     }
 
     #[test]

@@ -490,7 +490,10 @@ impl SketchMlCompressor {
                     scratch.dec_keys.len()
                 )));
             }
-            bitpack::unpack_u16_into(buf, rows * cols, bits, &mut scratch.dec_cells)?;
+            let cells_len = rows.checked_mul(cols).ok_or_else(|| {
+                CompressError::Corrupt(format!("sketch shape {rows}x{cols} overflows"))
+            })?;
+            bitpack::unpack_u16_into(buf, cells_len, bits, &mut scratch.dec_cells)?;
             scratch.seeds.clear();
             push_row_seeds(rows, group_seed(side_seed, g), &mut scratch.seeds);
             if !query_batch_raw(
@@ -585,7 +588,10 @@ impl SketchMlCompressor {
                     keys.len()
                 )));
             }
-            let cells = bitpack::unpack_u16(buf, rows * cols, bits)?;
+            let cells_len = rows.checked_mul(cols).ok_or_else(|| {
+                CompressError::Corrupt(format!("sketch shape {rows}x{cols} overflows"))
+            })?;
+            let cells = bitpack::unpack_u16(buf, cells_len, bits)?;
             let table = MinMaxSketch::from_cells(rows, cols, group_seed(side_seed, g), cells)?;
             for k in keys {
                 let idx = table.query(k).ok_or_else(|| {
@@ -697,6 +703,14 @@ impl GradientCompressor for SketchMlCompressor {
             )));
         }
 
+        // Allocation-bomb guard: delta-binary keys cost ≥ 1 byte per pair, so
+        // a declared nnz beyond the whole payload cannot decode.
+        if nnz > payload.len() {
+            return Err(CompressError::Corrupt(format!(
+                "declared {nnz} pairs exceeds the {}-byte payload",
+                payload.len()
+            )));
+        }
         let mut pairs: Vec<(u64, f64)> = Vec::with_capacity(nnz);
         self.decode_side(&mut buf, seed, rows, &mut pairs)?;
         self.decode_side(&mut buf, seed ^ NEG_SALT, rows, &mut pairs)?;

@@ -187,7 +187,12 @@ impl GradientCompressor for ZipMlCompressor {
         if nnz == 0 {
             return Ok(SparseGradient::empty(dim));
         }
-        let need = 4 * nnz + 16 + nnz * (bits as usize / 8);
+        // Checked arithmetic: a wire-controlled nnz must not wrap past the
+        // remaining-bytes test.
+        let need = nnz
+            .checked_mul(4 + bits as usize / 8)
+            .and_then(|b| b.checked_add(16))
+            .ok_or_else(|| CompressError::Corrupt(format!("ZipML nnz {nnz} overflows")))?;
         if buf.remaining() < need {
             return Err(CompressError::Corrupt("truncated ZipML body".into()));
         }
@@ -239,7 +244,12 @@ impl GradientCompressor for ZipMlCompressor {
         if nnz == 0 {
             return out.assign(dim, &[], &[]);
         }
-        let need = 4 * nnz + 16 + nnz * (bits as usize / 8);
+        // Checked arithmetic: a wire-controlled nnz must not wrap past the
+        // remaining-bytes test.
+        let need = nnz
+            .checked_mul(4 + bits as usize / 8)
+            .and_then(|b| b.checked_add(16))
+            .ok_or_else(|| CompressError::Corrupt(format!("ZipML nnz {nnz} overflows")))?;
         if buf.remaining() < need {
             return Err(CompressError::Corrupt("truncated ZipML body".into()));
         }

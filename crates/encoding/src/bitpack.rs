@@ -134,7 +134,12 @@ pub fn unpack_u16_into(
             "bit width must be in 1..=16, got {bits}"
         )));
     }
-    let total_bytes = (count * bits as usize).div_ceil(8);
+    // `count` can come straight off the wire: a checked multiply keeps an
+    // absurd declared count from wrapping past the remaining-bytes test.
+    let total_bytes = count
+        .checked_mul(bits as usize)
+        .map(|b| b.div_ceil(8))
+        .ok_or_else(|| EncodingError::Corrupt(format!("bit-packed count {count} overflows")))?;
     if buf.remaining() < total_bytes {
         return Err(EncodingError::UnexpectedEof {
             context: "bit-packed values",

@@ -1,0 +1,89 @@
+//! CRC32 (IEEE 802.3, polynomial `0xEDB88320`) for frame integrity checks.
+//!
+//! The v2 shard frame ([`crate::framing`]) carries one CRC32 per shard so a
+//! receiver can tell a corrupted-in-flight payload from a valid one *before*
+//! handing it to the inner codec — turning silent gradient poisoning into a
+//! typed [`crate::error::EncodingError::Corrupt`]. Table-driven, built at
+//! compile time; no external crates.
+
+/// The reflected IEEE polynomial used by zlib, PNG, Ethernet.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `data` (initial value `!0`, final XOR `!0` — the standard
+/// "CRC-32/ISO-HDLC" parameterisation; `crc32(b"123456789") == 0xCBF43926`).
+pub fn crc32(data: &[u8]) -> u32 {
+    !update(!0, data)
+}
+
+/// Feeds `data` into a running raw CRC state (pre-inversion). Start from
+/// `!0`, finish with `!state` — lets callers checksum scattered slices
+/// without concatenating them.
+pub fn update(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+        assert_eq!(crc32(&[0u8]), 0xD202_EF8D);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        for split in [0usize, 1, 7, 512, 1024] {
+            let state = update(!0, &data[..split]);
+            let state = update(state, &data[split..]);
+            assert_eq!(!state, crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_crc() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let reference = crc32(&data);
+        let mut copy = data.clone();
+        for byte in 0..copy.len() {
+            for bit in 0..8 {
+                copy[byte] ^= 1 << bit;
+                assert_ne!(crc32(&copy), reference, "flip {byte}:{bit} undetected");
+                copy[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

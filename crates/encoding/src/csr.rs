@@ -122,7 +122,15 @@ impl CsrMatrix {
     pub fn decode(buf: &mut impl Buf) -> Result<Self, EncodingError> {
         let rows = varint::read_u64(buf)? as usize;
         let nnz = varint::read_u64(buf)? as usize;
-        let need = 4 * (rows + 1) + 4 * nnz + 8 * nnz;
+        // Checked arithmetic: wire-controlled counts must not wrap past the
+        // remaining-bytes test and reach the unchecked reads below.
+        let need = rows
+            .checked_add(1)
+            .and_then(|r| r.checked_mul(4))
+            .and_then(|p| nnz.checked_mul(12).and_then(|b| p.checked_add(b)))
+            .ok_or_else(|| {
+                EncodingError::Corrupt(format!("CSR dimensions overflow: rows={rows} nnz={nnz}"))
+            })?;
         if buf.remaining() < need {
             return Err(EncodingError::UnexpectedEof {
                 context: "CSR arrays",

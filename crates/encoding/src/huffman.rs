@@ -146,6 +146,14 @@ pub fn decode_huffman(buf: &mut impl Buf) -> Result<Vec<u8>, EncodingError> {
         v
     };
 
+    // Allocation-bomb guard: every decoded symbol consumes ≥ 1 bit of body,
+    // so a declared count beyond 8× the body length cannot be satisfied.
+    if n > body.len().saturating_mul(8) {
+        return Err(EncodingError::Corrupt(format!(
+            "declared {n} symbols but the bitstream holds at most {}",
+            body.len().saturating_mul(8)
+        )));
+    }
     let mut out = Vec::with_capacity(n);
     let mut code: u32 = 0;
     let mut len: u8 = 0;

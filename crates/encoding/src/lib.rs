@@ -25,13 +25,16 @@
 //! - [`bitpack`] — fixed-width bit packing used for the binary-encoded
 //!   bucket indexes of §3.2 Step 4;
 //! - [`varint`] — LEB128 variable-length integers used by the wire format
-//!   for counts and headers.
+//!   for counts and headers;
+//! - [`crc32`] — frame-integrity checksums carried by the v2 shard frame
+//!   ([`framing`]) so in-flight corruption is detected, not silently decoded.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod bitmap;
 pub mod bitpack;
+pub mod crc32;
 pub mod csr;
 pub mod delta_binary;
 pub mod error;

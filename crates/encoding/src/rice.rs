@@ -169,6 +169,14 @@ pub fn decode_rice(buf: &mut impl Buf) -> Result<Vec<u32>, EncodingError> {
         buf.copy_to_slice(&mut v);
         v
     };
+    // Allocation-bomb guard: every value costs at least its unary terminator
+    // bit, so a declared count beyond 8× the body length is corrupt.
+    if n > body.len().saturating_mul(8) {
+        return Err(EncodingError::Corrupt(format!(
+            "declared {n} values but the bitstream holds at most {}",
+            body.len().saturating_mul(8)
+        )));
+    }
     let mut bits = BitReader::new(&body);
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {

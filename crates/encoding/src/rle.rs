@@ -38,7 +38,12 @@ pub fn encode_rle(values: &[u64], out: &mut impl BufMut) -> usize {
 /// if run lengths disagree with the declared element count.
 pub fn decode_rle(buf: &mut impl Buf) -> Result<Vec<u64>, EncodingError> {
     let n = varint::read_u64(buf)? as usize;
-    let mut out = Vec::with_capacity(n);
+    // Allocation-bomb guard: each encoded run costs at least two varint
+    // bytes and expands to at most `run` elements, but a *declared* count far
+    // beyond what any remaining run could produce is corruption — cap the
+    // upfront reservation by what the buffer could plausibly hold and let the
+    // loop's own bounds checks reject the rest.
+    let mut out = Vec::with_capacity(n.min(buf.remaining().saturating_mul(8)));
     while out.len() < n {
         let run = varint::read_u64(buf)?;
         let v = varint::read_u64(buf)?;

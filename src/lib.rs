@@ -54,8 +54,10 @@ pub use sketchml_ml as ml;
 pub use sketchml_sketches as sketches;
 
 pub use sketchml_cluster::{
-    train_distributed, train_parameter_server, train_ssp, ClusterConfig, ShardMap, SspConfig,
-    TrainReport, TrainSpec,
+    train_distributed, train_distributed_chaos, train_distributed_resumable,
+    train_mlp_distributed_chaos, train_parameter_server, train_parameter_server_chaos, train_ssp,
+    train_ssp_chaos, ClusterConfig, FaultPlan, FaultTrace, FaultyLink, ShardMap, SspConfig,
+    TrainOutcome, TrainReport, TrainSpec,
 };
 pub use sketchml_core::{
     compressor_by_name, CompressError, CompressedGradient, ErrorFeedback, GradientCompressor,

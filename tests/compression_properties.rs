@@ -3,9 +3,11 @@
 
 use proptest::collection::btree_map;
 use proptest::prelude::*;
+use sketchml::core::registry::KNOWN_COMPRESSORS;
+use sketchml::core::FrameVersion;
 use sketchml::{
-    CompressError, GradientCompressor, QuantCompressor, RawCompressor, ShardedCompressor,
-    SketchMlCompressor, SparseGradient, ZipMlCompressor,
+    compressor_by_name, CompressError, GradientCompressor, QuantCompressor, RawCompressor,
+    ShardedCompressor, SketchMlCompressor, SparseGradient, ZipMlCompressor,
 };
 
 fn arb_gradient() -> impl Strategy<Value = SparseGradient> {
@@ -144,5 +146,136 @@ proptest! {
         let sum = SparseGradient::aggregate(&[da, db]).expect("sum");
         let direct = SparseGradient::aggregate(&[a, b]).expect("direct");
         prop_assert_eq!(sum, direct);
+    }
+}
+
+proptest! {
+    // Every registered compressor goes through the corruption gauntlet; each
+    // case runs the whole registry, so fewer cases keep the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Truncation is detected for **every** registered compressor: a strict
+    /// prefix of any wire message decodes to `Err`, never a panic and never
+    /// a silent partial gradient.
+    #[test]
+    fn truncation_is_an_error_for_every_registered_compressor(
+        grad in arb_gradient(),
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        for &name in KNOWN_COMPRESSORS {
+            let c = compressor_by_name(name).expect(name);
+            let payload = c.compress(&grad).expect(name).payload;
+            if payload.len() < 2 {
+                continue;
+            }
+            let cut = cut_at.index(payload.len() - 1) + 1; // 1..len strict prefix
+            prop_assert!(
+                c.decompress(&payload[..cut]).is_err(),
+                "{name}: truncation at {cut}/{} decoded successfully",
+                payload.len()
+            );
+        }
+    }
+
+    /// Bit flips never panic any registered compressor, and any successful
+    /// decode stays structurally sane (keys inside the declared dimension).
+    #[test]
+    fn bitflips_fail_safely_for_every_registered_compressor(
+        grad in arb_gradient(),
+        flip_at in any::<prop::sample::Index>(),
+        flip_mask in 1u8..=255,
+    ) {
+        for &name in KNOWN_COMPRESSORS {
+            let c = compressor_by_name(name).expect(name);
+            let mut bytes = c.compress(&grad).expect(name).payload.to_vec();
+            let i = flip_at.index(bytes.len());
+            bytes[i] ^= flip_mask;
+            if let Ok(decoded) = c.decompress(&bytes) {
+                for (k, _) in decoded.iter() {
+                    prop_assert!(k < decoded.dim(), "{name}: key {k} escaped dim");
+                }
+            }
+        }
+    }
+
+    /// The v2 checksummed frame *detects* every injected single-byte
+    /// corruption, for every registered compressor: the CRC32 covers each
+    /// shard payload and the header is fully length-accounted, so any flip
+    /// surfaces as [`CompressError::Corrupt`].
+    #[test]
+    fn v2_frames_detect_every_bitflip_for_every_registered_compressor(
+        grad in arb_gradient(),
+        shards in 1usize..5,
+        flip_at in any::<prop::sample::Index>(),
+        flip_mask in 1u8..=255,
+    ) {
+        for &name in KNOWN_COMPRESSORS {
+            if name.contains('@') {
+                continue; // already framed; the bare engines below cover v2
+            }
+            let inner = compressor_by_name(name).expect(name);
+            let engine = ShardedCompressor::new(inner, shards)
+                .expect("shard count in range")
+                .with_frame(FrameVersion::V2);
+            let mut bytes = engine.compress(&grad).expect(name).payload.to_vec();
+            let i = flip_at.index(bytes.len());
+            bytes[i] ^= flip_mask;
+            match engine.decompress(&bytes) {
+                Err(CompressError::Corrupt(_)) => {}
+                Err(other) => prop_assert!(false, "{name}: expected Corrupt, got {other:?}"),
+                Ok(_) => prop_assert!(
+                    false,
+                    "{name}: v2 frame decoded a corrupted byte at {i} silently"
+                ),
+            }
+        }
+    }
+}
+
+/// The v1 frame documents the silent-failure baseline the v2 CRC closes:
+/// flipping value bytes in a v1-framed raw message can decode `Ok` with a
+/// *different* gradient, while the identical corruption campaign against the
+/// v2 frame is rejected every single time.
+#[test]
+fn v1_silently_corrupts_where_v2_detects() {
+    let grad = SparseGradient::new(
+        10_000,
+        (0..100u64).map(|i| i * 97).collect(),
+        (0..100).map(|i| 0.25 + i as f64 * 1e-3).collect(),
+    )
+    .expect("well-formed gradient");
+
+    let v1 = ShardedCompressor::new(RawCompressor::default(), 2).expect("shards");
+    let v2 = ShardedCompressor::new(RawCompressor::default(), 2)
+        .expect("shards")
+        .with_frame(FrameVersion::V2);
+
+    let p1 = v1.compress(&grad).expect("v1").payload.to_vec();
+    let p2 = v2.compress(&grad).expect("v2").payload.to_vec();
+    let reference = v1.decompress(&p1).expect("clean v1 decodes");
+
+    let mut silent = 0usize;
+    for i in 0..p1.len() {
+        let mut bytes = p1.clone();
+        bytes[i] ^= 0x10; // middle-of-byte flip: hits f64 mantissas
+        if let Ok(decoded) = v1.decompress(&bytes) {
+            if decoded != reference {
+                silent += 1;
+            }
+        }
+    }
+    assert!(
+        silent > 0,
+        "expected at least one silent v1 corruption in {} positions",
+        p1.len()
+    );
+
+    for i in 0..p2.len() {
+        let mut bytes = p2.clone();
+        bytes[i] ^= 0x10;
+        assert!(
+            matches!(v2.decompress(&bytes), Err(CompressError::Corrupt(_))),
+            "v2 let a flipped byte at {i} through"
+        );
     }
 }

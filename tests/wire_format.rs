@@ -15,8 +15,8 @@ use bytes::BytesMut;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use sketchml_core::{
-    CompressScratch, GradientCompressor, ShardedCompressor, SketchMlCompressor, SparseGradient,
-    ZipMlCompressor,
+    CompressError, CompressScratch, FrameVersion, GradientCompressor, ShardedCompressor,
+    SketchMlCompressor, SparseGradient, ZipMlCompressor,
 };
 use sketchml_encoding::{decode_keys, encode_keys};
 use std::path::PathBuf;
@@ -146,6 +146,51 @@ fn sharded_frame_matches_golden_fixture() {
 }
 
 #[test]
+fn sharded_v2_frame_matches_golden_fixture() {
+    let engine = ShardedCompressor::new(SketchMlCompressor::default(), 4)
+        .expect("4 shards")
+        .with_frame(FrameVersion::V2);
+    assert_golden("sketchml_sharded4_v2_seed901df1.hex", &engine);
+}
+
+#[test]
+fn v2_fixture_rejects_corruption_and_stays_v1_compatible() {
+    let grad = canonical_gradient();
+    let v1 = ShardedCompressor::new(SketchMlCompressor::default(), 4).expect("4 shards");
+    let v2 = ShardedCompressor::new(SketchMlCompressor::default(), 4)
+        .expect("4 shards")
+        .with_frame(FrameVersion::V2);
+
+    // The v2 engine still decodes v1 frames (and vice versa): the frame
+    // version is self-describing, so mixed-version clusters interoperate.
+    let p1 = v1.compress(&grad).expect("v1").payload;
+    let p2 = v2.compress(&grad).expect("v2").payload;
+    assert_eq!(
+        v2.decompress(&p1).expect("v2 engine reads v1 frame").keys(),
+        grad.keys()
+    );
+    assert_eq!(
+        v1.decompress(&p2).expect("v1 engine reads v2 frame").keys(),
+        grad.keys()
+    );
+    // v2 costs exactly 2 + 4*S bytes over v1: sentinel + version byte, then
+    // one CRC32 per shard.
+    assert_eq!(p2.len(), p1.len() + 2 + 4 * 4);
+
+    // Every single-byte corruption of the committed v2 fixture is rejected
+    // with a typed error.
+    let golden = load_or_regen("sketchml_sharded4_v2_seed901df1.hex", &p2);
+    for i in 0..golden.len() {
+        let mut corrupt = golden.clone();
+        corrupt[i] ^= 0x40;
+        assert!(
+            matches!(v2.decompress(&corrupt), Err(CompressError::Corrupt(_))),
+            "v2 fixture byte {i} corrupted silently"
+        );
+    }
+}
+
+#[test]
 fn delta_binary_keys_match_golden_fixture() {
     let grad = canonical_gradient();
     let mut encoded = Vec::new();
@@ -173,6 +218,7 @@ fn fixtures_are_committed_not_regenerated_in_ci() {
         "sketchml_seed901df1.hex",
         "zipml_seed901df1.hex",
         "sketchml_sharded4_seed901df1.hex",
+        "sketchml_sharded4_v2_seed901df1.hex",
         "delta_binary_seed901df1.hex",
     ] {
         assert!(
