@@ -103,7 +103,7 @@ fn main() {
             }
         }
         let empirical = correct as f64 / total as f64;
-        let bound = minmax_correctness_rate(v, cols, d_rows);
+        let bound = minmax_correctness_rate(v, cols, d_rows).expect("valid A.2 shape");
         rows.push(vec![
             cols.to_string(),
             format!("{:.3}", empirical),
@@ -133,7 +133,8 @@ fn main() {
         let msg = compressor.compress(&grad).expect("compress");
         let measured_bpk = msg.report.bytes_per_key();
         let predicted_bpk =
-            expected_bytes_per_key(2 * compressor.config.groups, dim, grad.nnz() as u64);
+            expected_bytes_per_key(2 * compressor.config.groups, dim, grad.nnz() as u64)
+                .expect("valid A.3 shape");
         rows.push(vec![
             format!("1/{ratio}"),
             format!("{measured_bpk:.3}"),
@@ -167,7 +168,8 @@ fn main() {
             compressor.config.rows,
             (grad.nnz() as f64 * compressor.config.col_ratio) as usize,
             2 * compressor.config.groups,
-        );
+        )
+        .expect("valid §3.5 shape");
         let rate = 12.0 * grad.nnz() as f64 / msg.len() as f64;
         space_rows.push(vec![
             grad.nnz().to_string(),

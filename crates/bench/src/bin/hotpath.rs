@@ -1,11 +1,13 @@
 //! Hot-path perf trajectory: allocating vs scratch compression engines.
 //!
-//! Sweeps gradient size d ∈ {10k, 100k, 1M} × {serial, sharded@4} ×
+//! Sweeps gradient size d ∈ {10k, 100k, 1M} × {serial, sharded@4, ef} ×
 //! {alloc, scratch}, timing SketchML encode per call under a counting
 //! global allocator, and writes `BENCH_hotpath.json` so future PRs have a
 //! baseline to regress against (DESIGN.md §2.2). The run aborts if the
-//! scratch path ever produces different bytes than the allocating path, or
-//! if the serial scratch path allocates in steady state.
+//! scratch path ever produces different bytes than the allocating path, if
+//! the serial or error-feedback scratch path allocates in steady state, or
+//! if telemetry is unexpectedly enabled (the whole sweep measures the
+//! disabled-telemetry contract: one relaxed atomic load per gate).
 //!
 //! `--quick` skips the 1M point and shrinks iteration counts (CI smoke).
 
@@ -15,7 +17,8 @@ use rand::rngs::StdRng;
 use serde::Serialize;
 use sketchml_bench::output::print_table;
 use sketchml_core::{
-    CompressScratch, GradientCompressor, ShardedCompressor, SketchMlCompressor, SparseGradient,
+    CompressScratch, ErrorFeedback, GradientCompressor, ShardedCompressor, SketchMlCompressor,
+    SparseGradient,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -123,13 +126,20 @@ fn main() {
         &[10_000, 100_000, 1_000_000]
     };
 
+    // The whole sweep measures the disabled-telemetry contract.
+    assert!(
+        !sketchml_telemetry::enabled(),
+        "telemetry must be disabled for the hot-path baseline"
+    );
+
     let serial = SketchMlCompressor::default();
     let sharded = ShardedCompressor::new(SketchMlCompressor::default(), 4)
         .expect("4 shards valid")
         .with_threads(4)
         .expect("4 threads valid");
-    let engines: [(&'static str, &dyn GradientCompressor); 2] =
-        [("serial", &serial), ("sharded4", &sharded)];
+    let ef = ErrorFeedback::new(SketchMlCompressor::default());
+    let engines: [(&'static str, &dyn GradientCompressor); 3] =
+        [("serial", &serial), ("sharded4", &sharded), ("ef", &ef)];
 
     let mut rows = Vec::new();
     let mut iterations = Vec::new();
@@ -154,29 +164,51 @@ fn main() {
         };
         iterations.push(iters);
         for (mode, engine) in engines {
-            // The allocating path is the byte oracle for the scratch path.
-            let reference = engine.compress(&grad).expect("compress").payload;
-            engine
-                .compress_into(&grad, &mut scratch, &mut out)
-                .expect("compress_into");
-            assert_eq!(
-                &out[..],
-                &reference[..],
-                "scratch path diverged from allocating path (d={d}, {mode})"
-            );
+            if mode == "ef" {
+                // Error feedback is stateful (the residual evolves every
+                // round), so the byte oracle is a twin wrapper advanced in
+                // lockstep rather than a fresh compress of the same input.
+                let oracle = ErrorFeedback::new(SketchMlCompressor::default());
+                let twin = ErrorFeedback::new(SketchMlCompressor::default());
+                for round in 0..3 {
+                    let reference = oracle.compress(&grad).expect("compress").payload;
+                    twin.compress_into(&grad, &mut scratch, &mut out)
+                        .expect("compress_into");
+                    assert_eq!(
+                        &out[..],
+                        &reference[..],
+                        "EF scratch path diverged from allocating path \
+                         (d={d}, round={round})"
+                    );
+                }
+            } else {
+                // The allocating path is the byte oracle for the scratch path.
+                let reference = engine.compress(&grad).expect("compress").payload;
+                engine
+                    .compress_into(&grad, &mut scratch, &mut out)
+                    .expect("compress_into");
+                assert_eq!(
+                    &out[..],
+                    &reference[..],
+                    "scratch path diverged from allocating path (d={d}, {mode})"
+                );
+            }
 
             let (alloc_ns, alloc_allocs) = measure(iters, 2, || {
                 std::hint::black_box(engine.compress(&grad).expect("compress").len());
             });
-            let (scratch_ns, scratch_allocs) = measure(iters, 3, || {
+            // EF's residual map reaches its steady-state key set only after
+            // a few rounds; give it a longer untimed runway.
+            let warmup = if mode == "ef" { 6 } else { 3 };
+            let (scratch_ns, scratch_allocs) = measure(iters, warmup, || {
                 engine
                     .compress_into(&grad, &mut scratch, &mut out)
                     .expect("compress_into");
                 std::hint::black_box(out.len());
             });
             assert!(
-                mode != "serial" || scratch_allocs == 0,
-                "serial scratch path must be allocation-free in steady state, \
+                (mode != "serial" && mode != "ef") || scratch_allocs == 0,
+                "{mode} scratch path must be allocation-free in steady state, \
                  saw {scratch_allocs} allocs/op at d={d}"
             );
             rows.push(Row {

@@ -1,11 +1,15 @@
 //! Simulated-cluster configuration (paper §4.1 "Clusters" and "Protocol").
 
 use crate::network::CostModel;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use sketchml_core::{CompressError, FrameVersion, GradientCompressor, ShardedCompressor};
 
 /// Configuration of one simulated training run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand (rather than derived) so that the
+/// `telemetry` field is optional in serialized configs — documents written
+/// before the field existed keep loading, defaulting it to `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ClusterConfig {
     /// Number of workers (executors) `W`.
     pub workers: usize,
@@ -22,6 +26,38 @@ pub struct ClusterConfig {
     /// compressor's native single-threaded wire format; `> 1` splits every
     /// message into that many key-range shards encoded concurrently.
     pub compress_threads: usize,
+    /// Enables the [`sketchml_telemetry`] registry for the duration of the
+    /// run: every training entry point holds a recording scope while this is
+    /// set, so pipeline/shard/cluster counters accumulate and can be read
+    /// back with [`sketchml_telemetry::snapshot`]. Off (the default) the
+    /// instrumented hot paths reduce to one relaxed atomic load.
+    pub telemetry: bool,
+}
+
+impl serde::Deserialize for ClusterConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| serde::Error::custom("ClusterConfig: expected an object"))?;
+        Ok(ClusterConfig {
+            workers: serde::Deserialize::from_value(serde::field(obj, "workers")?)?,
+            cost: serde::Deserialize::from_value(serde::field(obj, "cost")?)?,
+            batch_ratio: serde::Deserialize::from_value(serde::field(obj, "batch_ratio")?)?,
+            compress_downlink: serde::Deserialize::from_value(serde::field(
+                obj,
+                "compress_downlink",
+            )?)?,
+            compress_threads: serde::Deserialize::from_value(serde::field(
+                obj,
+                "compress_threads",
+            )?)?,
+            // Optional for backward compatibility with pre-telemetry configs.
+            telemetry: match serde::field(obj, "telemetry") {
+                Ok(val) => serde::Deserialize::from_value(val)?,
+                Err(_) => false,
+            },
+        })
+    }
 }
 
 impl ClusterConfig {
@@ -33,6 +69,7 @@ impl ClusterConfig {
             batch_ratio: 0.1,
             compress_downlink: true,
             compress_threads: 1,
+            telemetry: false,
         }
     }
 
@@ -44,6 +81,7 @@ impl ClusterConfig {
             batch_ratio: 0.1,
             compress_downlink: true,
             compress_threads: 1,
+            telemetry: false,
         }
     }
 
@@ -59,12 +97,19 @@ impl ClusterConfig {
             batch_ratio: 0.1,
             compress_downlink: false,
             compress_threads: 1,
+            telemetry: false,
         }
     }
 
     /// Overrides the batch ratio (Figure 8(d) sweeps 0.1 → 0.01).
     pub fn with_batch_ratio(mut self, ratio: f64) -> Self {
         self.batch_ratio = ratio;
+        self
+    }
+
+    /// Turns telemetry recording on (or off) for runs with this config.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
         self
     }
 
@@ -169,6 +214,23 @@ mod tests {
         let single = ClusterConfig::single_node();
         assert_eq!(single.workers, 1);
         assert_eq!(single.cost.network.transfer_time(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn telemetry_field_is_optional_in_serialized_configs() {
+        let c = ClusterConfig::cluster1(4).with_telemetry(true);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        // A document written before the field existed still loads, with
+        // telemetry defaulting to off.
+        let v = serde::Serialize::to_value(&c);
+        let mut obj = v.as_obj().unwrap().to_vec();
+        obj.retain(|(k, _)| k != "telemetry");
+        let legacy: ClusterConfig =
+            serde::Deserialize::from_value(&serde::Value::Obj(obj)).unwrap();
+        assert!(!legacy.telemetry);
+        assert_eq!(legacy.workers, c.workers);
     }
 
     #[test]

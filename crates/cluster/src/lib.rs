@@ -32,6 +32,7 @@ pub mod driver;
 pub mod faults;
 pub mod mlp_trainer;
 pub mod network;
+mod obs;
 pub mod ps;
 pub mod ssp;
 pub mod trainer;

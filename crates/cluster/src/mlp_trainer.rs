@@ -8,6 +8,7 @@
 
 use crate::config::ClusterConfig;
 use crate::faults::{CrashPhase, FaultPlan, FaultTrace, FaultyLink};
+use crate::obs;
 use bytes::BytesMut;
 use serde::{Deserialize, Serialize};
 use sketchml_core::{
@@ -132,6 +133,7 @@ fn run_mlp(
         ));
     }
     cluster.validate()?;
+    let _recording = obs::scope_for(cluster);
     let frame = if faults.is_some_and(|p| p.checksum) {
         FrameVersion::V2
     } else {
@@ -182,8 +184,11 @@ fn run_mlp(
             order.swap(i, j);
         }
         let mut uplink_bytes = 0u64;
+        let mut downlink_bytes = 0u64;
+        let mut rounds = 0u64;
         let mut sim = 0.0f64;
         for batch_idx in order.chunks(batch_size) {
+            rounds += 1;
             // Crash schedule: dead workers sit out the batch; rejoining
             // ones re-pull the dense parameter vector (8 bytes/param).
             let mut alive = vec![true; cluster.workers];
@@ -235,6 +240,14 @@ fn run_mlp(
                     cluster.cost.compute_time(n as u64 * params as u64) * factor
                 })
                 .fold(0.0f64, f64::max);
+            if sketchml_telemetry::enabled() {
+                let unskewed = results
+                    .iter()
+                    .flatten()
+                    .map(|r| cluster.cost.compute_time(r.2 as u64 * params as u64))
+                    .fold(0.0f64, f64::max);
+                obs::straggler_wait(compute - unskewed);
+            }
 
             // Compress each worker's (dense) gradient — real bytes, pooled
             // buffers. Under faults, lost uplinks drop out and the survivors
@@ -291,6 +304,7 @@ fn run_mlp(
             let agg = SparseGradient::aggregate(&dec_parts[..delivered])?;
             // Downlink: torrent-style broadcast of the aggregated update.
             compressor.compress_into(&agg, &mut scratch, &mut wire)?;
+            downlink_bytes += (wire.len() * cluster.workers) as u64;
             sim += cluster
                 .cost
                 .network
@@ -302,6 +316,7 @@ fn run_mlp(
 
             mlp.apply_sparse_gradient(&mut opt, agg.keys(), agg.values());
         }
+        obs::rounds(rounds, uplink_bytes, downlink_bytes);
         let test_loss = mlp.mean_loss(test);
         clock += sim;
         curve.push(LossPoint {
@@ -317,6 +332,7 @@ fn run_mlp(
         });
     }
     let trace = link.map(FaultyLink::into_trace).unwrap_or_default();
+    obs::trace_totals(&trace);
     Ok((
         MlpTrainReport {
             method: compressor.name().to_string(),

@@ -1,0 +1,75 @@
+//! Glue between the training loops and the [`sketchml_telemetry`] registry.
+//!
+//! Every helper is gated on [`telemetry::enabled`], so with telemetry off a
+//! call costs one relaxed atomic load. Cluster counters are recorded from
+//! the serial driver/simulator loops only (never from worker threads), which
+//! keeps seeded runs snapshot-deterministic: same seed, same counter totals.
+
+use crate::config::ClusterConfig;
+use crate::faults::FaultTrace;
+use sketchml_telemetry as telemetry;
+
+/// Opens a recording scope when the config asks for telemetry. Call sites
+/// hold the returned guard for the duration of the run; `None` leaves the
+/// registry in whatever state the caller (e.g. an enclosing
+/// [`telemetry::TelemetrySession`]) put it in.
+pub(crate) fn scope_for(cluster: &ClusterConfig) -> Option<telemetry::RecordingScope> {
+    cluster.telemetry.then(telemetry::recording_scope)
+}
+
+/// Records one or more completed communication rounds and the bytes they
+/// moved. Totals are what the snapshot exposes, so batching an epoch's worth
+/// of rounds into one call is equivalent to per-round calls.
+pub(crate) fn rounds(count: u64, uplink_bytes: u64, downlink_bytes: u64) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::add(telemetry::Counter::ClusterRounds, count);
+    telemetry::add(telemetry::Counter::ClusterUplinkBytes, uplink_bytes);
+    telemetry::add(telemetry::Counter::ClusterDownlinkBytes, downlink_bytes);
+}
+
+/// Charges straggler skew: the gap between the slowest straggler-adjusted
+/// worker and the same batch with every compute factor at 1.0.
+pub(crate) fn straggler_wait(seconds: f64) {
+    if telemetry::enabled() && seconds > 0.0 {
+        telemetry::gauge_add(telemetry::Gauge::ClusterStragglerWaitSeconds, seconds);
+    }
+}
+
+/// Counts an end-of-epoch checkpoint refresh.
+pub(crate) fn checkpoint_saved() {
+    if telemetry::enabled() {
+        telemetry::inc(telemetry::Counter::ClusterCheckpointSaves);
+    }
+}
+
+/// Counts a run resumed from a checkpoint.
+pub(crate) fn resumed() {
+    if telemetry::enabled() {
+        telemetry::inc(telemetry::Counter::ClusterResumes);
+    }
+}
+
+/// Folds a finished run's fault trace into the cluster counters. The trace
+/// is itself deterministic for a fixed plan and seed, so recording it once
+/// at the end (rather than event by event) preserves snapshot determinism.
+pub(crate) fn trace_totals(trace: &FaultTrace) {
+    if !telemetry::enabled() {
+        return;
+    }
+    use telemetry::Counter as C;
+    telemetry::add(C::ClusterRetransmits, trace.retransmits);
+    telemetry::add(C::ClusterDrops, trace.drops);
+    telemetry::add(C::ClusterCorruptionsDetected, trace.corruptions_detected);
+    telemetry::add(C::ClusterCorruptionsSilent, trace.corruptions_silent);
+    telemetry::add(C::ClusterDuplicates, trace.duplicates);
+    telemetry::add(C::ClusterLostMessages, trace.lost_messages);
+    telemetry::add(C::ClusterCrashes, trace.crashes);
+    telemetry::add(C::ClusterRecoveries, trace.recoveries);
+    telemetry::gauge_add(telemetry::Gauge::ClusterBackoffSeconds, trace.retry_seconds);
+    telemetry::gauge_add(
+        telemetry::Gauge::ClusterRecoverySeconds,
+        trace.recovery_seconds,
+    );
+}

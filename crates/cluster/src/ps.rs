@@ -19,6 +19,7 @@
 
 use crate::config::ClusterConfig;
 use crate::faults::{CrashPhase, FaultPlan, FaultTrace, FaultyLink};
+use crate::obs;
 use crate::worker::partition;
 use bytes::BytesMut;
 use serde::{Deserialize, Serialize};
@@ -177,6 +178,7 @@ fn run_ps(
         ));
     }
     cluster.validate()?;
+    let _recording = obs::scope_for(cluster);
     let frame = if faults.is_some_and(|p| p.checksum) {
         FrameVersion::V2
     } else {
@@ -283,6 +285,21 @@ fn run_ps(
                     cluster.cost.compute_time(ops) * factor
                 })
                 .fold(0.0f64, f64::max);
+            if sketchml_telemetry::enabled() {
+                let unskewed = parts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(w, _)| alive[w])
+                    .map(|(_, part)| {
+                        let ops = part
+                            .iter()
+                            .map(|&i| train[i].features.nnz() as u64)
+                            .sum::<u64>();
+                        cluster.cost.compute_time(ops)
+                    })
+                    .fold(0.0f64, f64::max);
+                obs::straggler_wait(compute - unskewed);
+            }
             es.compute_seconds += compute;
 
             // Push: each worker sends one compressed message per shard; the
@@ -375,6 +392,7 @@ fn run_ps(
             es.comm_seconds += pull_time.iter().copied().fold(0.0, f64::max);
             global_batch += 1;
         }
+        obs::rounds(batches.len() as u64, es.uplink_bytes, es.downlink_bytes);
         es.sim_seconds = es.compute_seconds + es.comm_seconds + es.codec_seconds;
         es.train_loss = loss_accum / batches.len() as f64;
         es.test_loss = model.mean_loss(test);
@@ -395,6 +413,7 @@ fn run_ps(
     }
     let accuracy = model.accuracy(test);
     let trace = link.map(FaultyLink::into_trace).unwrap_or_default();
+    obs::trace_totals(&trace);
     Ok((
         TrainReport {
             method: format!("{} (PS x{})", compressor.name(), shards.servers()),

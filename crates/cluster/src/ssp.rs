@@ -16,6 +16,7 @@
 
 use crate::config::ClusterConfig;
 use crate::faults::{CrashPhase, FaultPlan, FaultTrace, FaultyLink};
+use crate::obs;
 use bytes::BytesMut;
 use serde::{Deserialize, Serialize};
 use sketchml_core::{
@@ -189,6 +190,7 @@ fn run_ssp(
     }
     cluster.validate()?;
     ssp.validate()?;
+    let _recording = obs::scope_for(cluster);
     let frame = if faults.is_some_and(|p| p.checksum) {
         FrameVersion::V2
     } else {
@@ -309,6 +311,7 @@ fn run_ssp(
 
         // Push through the (possibly faulty) link; a lost push means this
         // iteration's update never reaches the server.
+        let uplink_before = uplink_bytes;
         let push = match link.as_mut() {
             None => {
                 uplink_bytes += wire.len() as u64;
@@ -338,6 +341,9 @@ fn run_ssp(
         // stragglers stack multiplicatively on the config's speed spread.
         let straggle_factor = link.as_ref().map_or(1.0, |l| l.compute_factor(w));
         let compute = cluster.cost.compute_time(feature_ops) * speed(w) * straggle_factor;
+        // Pull bytes mirror the push (model delta ≈ gradient size).
+        obs::rounds(1, uplink_bytes - uplink_before, wire.len() as u64);
+        obs::straggler_wait(compute - cluster.cost.compute_time(feature_ops));
         let pull = cluster.cost.network.transfer_time(wire.len()); // model delta ≈ gradient size
         let codec = cluster.cost.codec_time(sparse.nnz() * 2);
         clocks[w] += compute + push + pull + codec;
@@ -384,6 +390,7 @@ fn run_ssp(
     }
 
     let trace = link.map(FaultyLink::into_trace).unwrap_or_default();
+    obs::trace_totals(&trace);
     Ok((
         SspReport {
             method: compressor.name().to_string(),

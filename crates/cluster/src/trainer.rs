@@ -6,6 +6,7 @@
 use crate::config::ClusterConfig;
 use crate::driver::{aggregate, DriverScratch};
 use crate::faults::{CrashPhase, FaultPlan, FaultTrace, FaultyLink};
+use crate::obs;
 use crate::worker::{partition, process_glm_batch, WorkerMessage, WorkerScratch};
 use serde::{Deserialize, Serialize};
 use sketchml_core::{CompressError, FrameVersion, GradientCompressor};
@@ -330,6 +331,10 @@ fn run_train(
         ));
     }
     cluster.validate()?;
+    let _recording = obs::scope_for(cluster);
+    if resume.is_some() {
+        obs::resumed();
+    }
     // Chaos runs with checksums ship every message in the CRC-carrying v2
     // frame so the receiver can actually detect injected corruption;
     // compress_threads > 1 engages the same sharded engine for parallelism.
@@ -486,6 +491,14 @@ fn run_train(
                     m.as_ref().map(|m| m.sim_compute * factor)
                 })
                 .fold(0.0f64, f64::max);
+            if sketchml_telemetry::enabled() {
+                let unskewed = computed
+                    .iter()
+                    .flatten()
+                    .map(|m| m.sim_compute)
+                    .fold(0.0f64, f64::max);
+                obs::straggler_wait(compute - unskewed);
+            }
             let worker_codec = computed
                 .iter()
                 .flatten()
@@ -572,6 +585,7 @@ fn run_train(
             es.downlink_bytes += (agg.downlink_bytes * cluster.workers) as u64;
             loss_accum += agg.batch_loss;
         }
+        obs::rounds(batches.len() as u64, es.uplink_bytes, es.downlink_bytes);
         es.sim_seconds = es.compute_seconds + es.comm_seconds + es.codec_seconds;
         es.train_loss = loss_accum / batches.len() as f64;
         es.test_loss = model.mean_loss(test);
@@ -586,6 +600,7 @@ fn run_train(
         if link.is_some() {
             if let Some(adam) = opt.adam() {
                 last_checkpoint = Some(checkpoint_bytes(&model, adam, epoch)?);
+                obs::checkpoint_saved();
             }
         }
         let converged = detector.push(es.test_loss);
@@ -609,6 +624,7 @@ fn run_train(
         accuracy,
     };
     let trace = link.map(FaultyLink::into_trace).unwrap_or_default();
+    obs::trace_totals(&trace);
     let checkpoint = match opt {
         OptState::Adam(adam) => Some(Checkpoint::new(model, adam, epochs_completed)),
         OptState::Other(_) => None,

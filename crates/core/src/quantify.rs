@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 use sketchml_encoding::stats::SizeReport;
 use sketchml_encoding::{bitpack, delta_binary, varint};
 use sketchml_sketches::quantile::{GkSummary, MergingQuantileSketch, QuantileSketch, TDigest};
+use sketchml_telemetry as telemetry;
 
 /// Result of quantile-bucket quantification over one value array.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -228,23 +229,27 @@ pub fn quantize_with(
     let q_eff = (q as usize)
         .min((values.len() / cap_divisor).max(8))
         .min(values.len()) as u16;
-    let splits = match backend {
-        QuantileBackend::Merging => {
-            let mut sketch = MergingQuantileSketch::new(sketch_capacity.max(2))?;
-            sketch.extend_from_slice(values);
-            sketch.splits(q_eff as usize)?
-        }
-        QuantileBackend::Gk => {
-            let mut sketch = GkSummary::for_buckets(q_eff as usize)?;
-            sketch.extend_from_slice(values);
-            sketch.splits(q_eff as usize)?
-        }
-        QuantileBackend::TDigest => {
-            let mut sketch = TDigest::new((sketch_capacity.max(16)) as f64)?;
-            sketch.extend_from_slice(values);
-            sketch.splits(q_eff as usize)?
+    let splits = {
+        let _t = telemetry::time(telemetry::Stage::QuantileBuild);
+        match backend {
+            QuantileBackend::Merging => {
+                let mut sketch = MergingQuantileSketch::new(sketch_capacity.max(2))?;
+                sketch.extend_from_slice(values);
+                sketch.splits(q_eff as usize)?
+            }
+            QuantileBackend::Gk => {
+                let mut sketch = GkSummary::for_buckets(q_eff as usize)?;
+                sketch.extend_from_slice(values);
+                sketch.splits(q_eff as usize)?
+            }
+            QuantileBackend::TDigest => {
+                let mut sketch = TDigest::new((sketch_capacity.max(16)) as f64)?;
+                sketch.extend_from_slice(values);
+                sketch.splits(q_eff as usize)?
+            }
         }
     };
+    let _t = telemetry::time(telemetry::Stage::Bucketize);
     let means: Vec<f64> = splits.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
     let indexes: Vec<u16> = values.iter().map(|&v| bucket_of(&splits, v)).collect();
     Ok(Quantization {
@@ -299,32 +304,36 @@ pub fn quantize_into(
     let q_eff = (q as usize)
         .min((values.len() / cap_divisor).max(8))
         .min(values.len()) as u16;
-    match backend {
-        QuantileBackend::Merging => {
-            let cap = sketch_capacity.max(2);
-            let sketch = match &mut qs.sketch {
-                Some(s) if s.capacity() == cap => {
-                    s.reset();
-                    s
-                }
-                slot => slot.insert(MergingQuantileSketch::new(cap)?),
-            };
-            sketch.extend_from_slice(values);
-            sketch.splits_into(q_eff as usize, &mut qs.items, &mut qs.splits)?;
-        }
-        QuantileBackend::Gk => {
-            let mut sketch = GkSummary::for_buckets(q_eff as usize)?;
-            sketch.extend_from_slice(values);
-            qs.splits.clear();
-            qs.splits.extend_from_slice(&sketch.splits(q_eff as usize)?);
-        }
-        QuantileBackend::TDigest => {
-            let mut sketch = TDigest::new((sketch_capacity.max(16)) as f64)?;
-            sketch.extend_from_slice(values);
-            qs.splits.clear();
-            qs.splits.extend_from_slice(&sketch.splits(q_eff as usize)?);
+    {
+        let _t = telemetry::time(telemetry::Stage::QuantileBuild);
+        match backend {
+            QuantileBackend::Merging => {
+                let cap = sketch_capacity.max(2);
+                let sketch = match &mut qs.sketch {
+                    Some(s) if s.capacity() == cap => {
+                        s.reset();
+                        s
+                    }
+                    slot => slot.insert(MergingQuantileSketch::new(cap)?),
+                };
+                sketch.extend_from_slice(values);
+                sketch.splits_into(q_eff as usize, &mut qs.items, &mut qs.splits)?;
+            }
+            QuantileBackend::Gk => {
+                let mut sketch = GkSummary::for_buckets(q_eff as usize)?;
+                sketch.extend_from_slice(values);
+                qs.splits.clear();
+                qs.splits.extend_from_slice(&sketch.splits(q_eff as usize)?);
+            }
+            QuantileBackend::TDigest => {
+                let mut sketch = TDigest::new((sketch_capacity.max(16)) as f64)?;
+                sketch.extend_from_slice(values);
+                qs.splits.clear();
+                qs.splits.extend_from_slice(&sketch.splits(q_eff as usize)?);
+            }
         }
     }
+    let _t = telemetry::time(telemetry::Stage::Bucketize);
     qs.means.clear();
     qs.means
         .extend(qs.splits.windows(2).map(|w| (w[0] + w[1]) / 2.0));

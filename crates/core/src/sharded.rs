@@ -23,6 +23,24 @@ use bytes::BytesMut;
 use sketchml_encoding::crc32::crc32;
 use sketchml_encoding::framing::{self, FrameVersion};
 use sketchml_encoding::stats::SizeReport;
+use sketchml_telemetry as telemetry;
+
+/// Frame-level sharded-engine metrics: one framed message plus the per-shard
+/// payload-byte imbalance `(max − min) · 1000 / mean` (pair counts are
+/// balanced by construction, so byte skew is the interesting signal).
+fn record_frame(lens: &[usize]) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::inc(telemetry::Counter::ShardedMessages);
+    let (Some(&min), Some(&max)) = (lens.iter().min(), lens.iter().max()) else {
+        return;
+    };
+    let sum: usize = lens.iter().sum();
+    if let Some(permille) = ((max - min) * 1000 * lens.len()).checked_div(sum) {
+        telemetry::observe(telemetry::Hist::ShardImbalancePermille, permille as u64);
+    }
+}
 
 /// Wraps an inner compressor with key-range sharding + thread parallelism.
 ///
@@ -217,12 +235,15 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
     fn compress(&self, grad: &SparseGradient) -> Result<CompressedGradient, CompressError> {
         let parts = split_gradient(grad, self.shards);
         let messages: Vec<CompressedGradient> = run_chunked(parts.len(), self.threads, |i| {
+            let _t = telemetry::time(telemetry::Stage::ShardEncode);
+            telemetry::inc(telemetry::Counter::ShardedShardEncodes);
             self.inner.compress(&parts[i])
         })
         .into_iter()
         .collect::<Result<_, _>>()?;
 
         let lens: Vec<usize> = messages.iter().map(|m| m.payload.len()).collect();
+        record_frame(&lens);
         let frame_header = match self.frame {
             FrameVersion::V1 => framing::header_len(&lens),
             FrameVersion::V2 => framing::header_len_v2(&lens),
@@ -312,6 +333,8 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
             let slots = &mut scratch.shards[..s];
             if s == 1 {
                 let slot = &mut slots[0];
+                let _t = telemetry::time(telemetry::Stage::ShardEncode);
+                telemetry::inc(telemetry::Counter::ShardedShardEncodes);
                 slot.result = Some(self.inner.compress_into(
                     grad,
                     &mut slot.scratch,
@@ -337,6 +360,8 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
                 let workers = self.threads.clamp(1, s);
                 if workers <= 1 {
                     for slot in slots.iter_mut() {
+                        let _t = telemetry::time(telemetry::Stage::ShardEncode);
+                        telemetry::inc(telemetry::Counter::ShardedShardEncodes);
                         slot.result = Some(self.inner.compress_into(
                             &slot.grad,
                             &mut slot.scratch,
@@ -350,6 +375,8 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
                             let inner = &self.inner;
                             sc.spawn(move |_| {
                                 for slot in slot_chunk.iter_mut() {
+                                    let _t = telemetry::time(telemetry::Stage::ShardEncode);
+                                    telemetry::inc(telemetry::Counter::ShardedShardEncodes);
                                     slot.result = Some(inner.compress_into(
                                         &slot.grad,
                                         &mut slot.scratch,
@@ -373,6 +400,7 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
         for slot in &scratch.shards[..s] {
             scratch.counts.push(slot.out.len());
         }
+        record_frame(&scratch.counts);
         let frame_header = match self.frame {
             FrameVersion::V1 => framing::header_len(&scratch.counts),
             FrameVersion::V2 => framing::header_len_v2(&scratch.counts),

@@ -35,6 +35,7 @@ use sketchml_sketches::hash::push_row_seeds;
 use sketchml_sketches::minmax::{
     group_seed, insert_batch_raw, query_batch_raw, GroupedMinMaxSketch, MinMaxSketch, EMPTY_CELL,
 };
+use sketchml_telemetry as telemetry;
 
 /// Precision of the bucket-means table on the wire (§3.5 charges `8q`
 /// bytes for f64 means; f32 halves that at ~1e-7 relative value error —
@@ -167,6 +168,20 @@ const VERSION: u8 = 1;
 /// Salt separating the negative side's hash seed from the positive side's.
 const NEG_SALT: u64 = 0x4E45_4741_5449_5645; // "NEGATIVE"
 
+/// Message-level pipeline counters (input vs. payload bytes; a sparse pair
+/// costs 12 raw bytes, matching [`SizeReport`]'s accounting).
+fn record_encode(pairs: usize, payload_bytes: usize) {
+    if telemetry::enabled() {
+        telemetry::inc(telemetry::Counter::PipelineEncodes);
+        telemetry::add(telemetry::Counter::PipelineInputPairs, pairs as u64);
+        telemetry::add(telemetry::Counter::PipelineInputBytes, 12 * pairs as u64);
+        telemetry::add(
+            telemetry::Counter::PipelinePayloadBytes,
+            payload_bytes as u64,
+        );
+    }
+}
+
 /// One sign's worth of pairs, quantized and normalized.
 struct Side {
     /// `(key, normalized_index)` in ascending key order.
@@ -228,9 +243,38 @@ impl SketchMlCompressor {
 
         let mut sketch = GroupedMinMaxSketch::new(q, r_eff, self.config.rows, cols, side_seed)?;
         let mut group_keys: Vec<Vec<u64>> = vec![Vec::new(); r_eff];
-        for &(k, idx) in &side.pairs {
-            let g = sketch.insert(k, idx);
-            group_keys[g].push(k);
+        {
+            let _t = telemetry::time(telemetry::Stage::SketchEncode);
+            for &(k, idx) in &side.pairs {
+                let g = sketch.insert(k, idx);
+                group_keys[g].push(k);
+            }
+        }
+        if telemetry::enabled() {
+            for (g, keys) in group_keys.iter().enumerate() {
+                if keys.is_empty() {
+                    continue;
+                }
+                let table = sketch.group(g).expect("group in range");
+                let occupied = table.cells().iter().filter(|&&c| c != EMPTY_CELL).count() as u64;
+                let inserts = (keys.len() * self.config.rows) as u64;
+                telemetry::add(telemetry::Counter::SketchInserts, inserts);
+                telemetry::add(telemetry::Counter::SketchCells, table.cells().len() as u64);
+                telemetry::add(telemetry::Counter::SketchCellsOccupied, occupied);
+                telemetry::add(
+                    telemetry::Counter::SketchCollisions,
+                    inserts.saturating_sub(occupied),
+                );
+            }
+            // Bucket-index error (Appendix A.2's underestimation): re-query
+            // every inserted key against its own group.
+            for &(k, idx) in &side.pairs {
+                let decoded = sketch.query(sketch.group_of(idx), k).unwrap_or(idx);
+                telemetry::observe(
+                    telemetry::Hist::BucketIndexError,
+                    (idx as i64 - decoded as i64).unsigned_abs(),
+                );
+            }
         }
 
         let mut value_bytes = 0usize;
@@ -262,7 +306,11 @@ impl SketchMlCompressor {
             if keys.is_empty() {
                 continue;
             }
-            key_bytes += delta_binary::encode_keys(keys, buf)?;
+            {
+                let _t = telemetry::time(telemetry::Stage::KeyEncode);
+                key_bytes += delta_binary::encode_keys(keys, buf)?;
+            }
+            let _t = telemetry::time(telemetry::Stage::SketchEncode);
             let table = sketch.group(g).expect("group in range");
             // EMPTY cells are never consulted for keys of this section
             // (their own insert wrote all their cells), so they can ship
@@ -394,6 +442,10 @@ impl SketchMlCompressor {
 
         let mut key_bytes = 0usize;
         let mut begin = 0usize;
+        // Query buffer for the bucket-index-error histogram; only allocated
+        // when telemetry is enabled (the zero-alloc contract covers the
+        // disabled state).
+        let mut probe: Vec<u16> = Vec::new();
         for g in 0..r_eff {
             let end = begin + scratch.counts[g];
             varint::write_u64(out, (end - begin) as u64);
@@ -402,14 +454,48 @@ impl SketchMlCompressor {
             }
             let g_keys = &scratch.sec_keys[begin..end];
             let cells = &mut scratch.cells[g * table..(g + 1) * table];
-            insert_batch_raw(
-                cells,
-                &scratch.seeds[g * rows..(g + 1) * rows],
-                cols,
-                g_keys,
-                &scratch.sec_idx[begin..end],
-            );
-            key_bytes += delta_binary::encode_keys_into(g_keys, out)?;
+            {
+                let _t = telemetry::time(telemetry::Stage::SketchEncode);
+                insert_batch_raw(
+                    cells,
+                    &scratch.seeds[g * rows..(g + 1) * rows],
+                    cols,
+                    g_keys,
+                    &scratch.sec_idx[begin..end],
+                );
+            }
+            if telemetry::enabled() {
+                let occupied = cells.iter().filter(|&&c| c != EMPTY_CELL).count() as u64;
+                let inserts = (g_keys.len() * rows) as u64;
+                telemetry::add(telemetry::Counter::SketchInserts, inserts);
+                telemetry::add(telemetry::Counter::SketchCells, table as u64);
+                telemetry::add(telemetry::Counter::SketchCellsOccupied, occupied);
+                telemetry::add(
+                    telemetry::Counter::SketchCollisions,
+                    inserts.saturating_sub(occupied),
+                );
+                // Bucket-index error (Appendix A.2's underestimation):
+                // re-query every inserted key before EMPTY cells are zeroed.
+                if query_batch_raw(
+                    cells,
+                    &scratch.seeds[g * rows..(g + 1) * rows],
+                    cols,
+                    g_keys,
+                    &mut probe,
+                ) {
+                    for (&idx, &decoded) in scratch.sec_idx[begin..end].iter().zip(&probe) {
+                        telemetry::observe(
+                            telemetry::Hist::BucketIndexError,
+                            (idx as i64 - decoded as i64).unsigned_abs(),
+                        );
+                    }
+                }
+            }
+            {
+                let _t = telemetry::time(telemetry::Stage::KeyEncode);
+                key_bytes += delta_binary::encode_keys_into(g_keys, out)?;
+            }
+            let _t = telemetry::time(telemetry::Stage::SketchEncode);
             // EMPTY cells are never consulted for keys of this section
             // (their own insert wrote all their cells), so they can ship
             // as 0 to stay within `bits`.
@@ -636,6 +722,7 @@ impl GradientCompressor for SketchMlCompressor {
             varint::write_u64(&mut buf, 0); // pos side
             varint::write_u64(&mut buf, 0); // neg side
             report.header_bytes = buf.len();
+            record_encode(0, buf.len());
             return Ok(CompressedGradient {
                 payload: buf.freeze(),
                 report,
@@ -674,6 +761,7 @@ impl GradientCompressor for SketchMlCompressor {
         report.key_bytes = kb_pos + kb_neg;
         report.value_bytes = vb_pos + vb_neg;
         report.header_bytes = buf.len() - report.key_bytes - report.value_bytes;
+        record_encode(grad.nnz(), buf.len());
         Ok(CompressedGradient {
             payload: buf.freeze(),
             report,
@@ -681,6 +769,8 @@ impl GradientCompressor for SketchMlCompressor {
     }
 
     fn decompress(&self, payload: &[u8]) -> Result<SparseGradient, CompressError> {
+        let _t = telemetry::time(telemetry::Stage::Decode);
+        telemetry::inc(telemetry::Counter::PipelineDecodes);
         let mut buf = payload;
         if buf.remaining() < 10 {
             return Err(CompressError::Corrupt("message shorter than header".into()));
@@ -749,6 +839,7 @@ impl GradientCompressor for SketchMlCompressor {
             varint::write_u64(out, 0); // pos side
             varint::write_u64(out, 0); // neg side
             report.header_bytes = out.len();
+            record_encode(0, out.len());
             return Ok(report);
         }
 
@@ -794,6 +885,7 @@ impl GradientCompressor for SketchMlCompressor {
         report.key_bytes = key_bytes;
         report.value_bytes = value_bytes;
         report.header_bytes = out.len() - report.key_bytes - report.value_bytes;
+        record_encode(grad.nnz(), out.len());
         Ok(report)
     }
 
@@ -803,6 +895,8 @@ impl GradientCompressor for SketchMlCompressor {
         scratch: &mut CompressScratch,
         out: &mut SparseGradient,
     ) -> Result<(), CompressError> {
+        let _t = telemetry::time(telemetry::Stage::Decode);
+        telemetry::inc(telemetry::Counter::PipelineDecodes);
         let mut buf = payload;
         if buf.remaining() < 10 {
             return Err(CompressError::Corrupt("message shorter than header".into()));

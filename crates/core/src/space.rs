@@ -11,32 +11,48 @@
 //! [`SketchMlConfig`] and actual gradients so tests
 //! and the `appendix_a_bounds` harness can compare model vs. measurement.
 
+use crate::error::CompressError;
 use crate::sketchml::SketchMlConfig;
 pub use sketchml_sketches::theory::{raw_space_cost, sketchml_space_cost};
 
 /// Predicted message size in bytes for a gradient with `nnz` nonzeros of a
 /// `dim`-dimensional model under `config` (§3.5 formula).
-pub fn predicted_message_bytes(config: &SketchMlConfig, nnz: usize, dim: u64) -> f64 {
+///
+/// # Errors
+/// [`CompressError::Sketch`] when the derived shape is out of the model's
+/// domain (e.g. a zero model dimension).
+pub fn predicted_message_bytes(
+    config: &SketchMlConfig,
+    nnz: usize,
+    dim: u64,
+) -> Result<f64, CompressError> {
     let q_total = 2 * config.buckets_per_sign as usize; // both signs
     let t_total = ((nnz as f64) * config.col_ratio).ceil() as usize;
     // Keys are sectioned per (sign, group): 2 × groups sections (A.3's r).
-    sketchml_space_cost(
+    Ok(sketchml_space_cost(
         nnz as u64,
         dim,
         q_total.min(nnz.max(1)),
         config.rows,
         t_total.max(config.min_cols_per_group * config.groups),
         2 * config.groups,
-    )
+    )?)
 }
 
 /// Predicted compression rate vs. the raw `12d` representation.
-pub fn predicted_compression_rate(config: &SketchMlConfig, nnz: usize, dim: u64) -> f64 {
-    let predicted = predicted_message_bytes(config, nnz, dim);
+///
+/// # Errors
+/// Same contract as [`predicted_message_bytes`].
+pub fn predicted_compression_rate(
+    config: &SketchMlConfig,
+    nnz: usize,
+    dim: u64,
+) -> Result<f64, CompressError> {
+    let predicted = predicted_message_bytes(config, nnz, dim)?;
     if predicted <= 0.0 {
-        return 1.0;
+        return Ok(1.0);
     }
-    raw_space_cost(nnz as u64) / predicted
+    Ok(raw_space_cost(nnz as u64) / predicted)
 }
 
 #[cfg(test)]
@@ -66,7 +82,7 @@ mod tests {
         let grad = SparseGradient::new(dim, keys, values).unwrap();
         let c = SketchMlCompressor::default();
         let measured = c.compress(&grad).unwrap().len() as f64;
-        let predicted = predicted_message_bytes(&c.config, nnz, dim);
+        let predicted = predicted_message_bytes(&c.config, nnz, dim).unwrap();
         let ratio = measured / predicted;
         assert!(
             (0.5..=2.0).contains(&ratio),
@@ -77,7 +93,13 @@ mod tests {
     #[test]
     fn predicted_rate_is_high_for_sparse_high_dim() {
         let config = SketchMlConfig::default();
-        let rate = predicted_compression_rate(&config, 100_000, 50_000_000);
+        let rate = predicted_compression_rate(&config, 100_000, 50_000_000).unwrap();
         assert!(rate > 3.0, "predicted rate {rate}");
+    }
+
+    #[test]
+    fn zero_dim_is_a_typed_error() {
+        let config = SketchMlConfig::default();
+        assert!(predicted_message_bytes(&config, 100, 0).is_err());
     }
 }

@@ -1,57 +1,120 @@
 //! Closed-form bounds from the paper's Appendix A.2, used by the validation
 //! tests and the `appendix_a_bounds` experiment harness to check the
 //! implementation against theory.
+//!
+//! Every bound validates its inputs and returns a typed
+//! [`SketchError::InvalidParameter`] instead of silently producing garbage
+//! probabilities for out-of-domain arguments (a `debug_assert!` would vanish
+//! in release builds, exactly where the bench harness runs).
+
+use crate::error::SketchError;
 
 /// Probability that a query for the `l`-th least frequent of `v` distinct
 /// elements returns an error-free answer from one counter of a MinMaxSketch
 /// with `w` bins per row (Appendix A.2): `P' = (1 - 1/w)^(v - l)`.
 ///
 /// `l` is 1-based; `l = v` is the most frequent element.
-pub fn minmax_single_row_correct(v: u64, l: u64, w: usize) -> f64 {
-    debug_assert!(l >= 1 && l <= v);
-    (1.0 - 1.0 / w as f64).powi((v - l) as i32)
+///
+/// # Errors
+/// [`SketchError::InvalidParameter`] when `w == 0` or `l` is outside
+/// `1..=v`.
+pub fn minmax_single_row_correct(v: u64, l: u64, w: usize) -> Result<f64, SketchError> {
+    if w == 0 {
+        return Err(SketchError::invalid("w", "bins per row must be positive"));
+    }
+    if l < 1 || l > v {
+        return Err(SketchError::invalid(
+            "l",
+            format!("element rank {l} must be in 1..={v}"),
+        ));
+    }
+    Ok((1.0 - 1.0 / w as f64).powi((v - l) as i32))
 }
 
 /// Overall probability that the query result of element `e_l` is correct
 /// with `d` rows (Appendix A.2): `P_CR{e_l} = 1 - (1 - P')^d`.
-pub fn minmax_element_correct(v: u64, l: u64, w: usize, d: usize) -> f64 {
-    let p = minmax_single_row_correct(v, l, w);
-    1.0 - (1.0 - p).powi(d as i32)
+///
+/// # Errors
+/// [`SketchError::InvalidParameter`] when `d == 0` or the
+/// [`minmax_single_row_correct`] domain is violated.
+pub fn minmax_element_correct(v: u64, l: u64, w: usize, d: usize) -> Result<f64, SketchError> {
+    if d == 0 {
+        return Err(SketchError::invalid("d", "row count must be positive"));
+    }
+    let p = minmax_single_row_correct(v, l, w)?;
+    Ok(1.0 - (1.0 - p).powi(d as i32))
 }
 
 /// Lower bound on the expected correctness rate of a MinMaxSketch holding
 /// `v` distinct elements in `d` rows of `w` bins — equation (2) of the paper:
 ///
 /// `Cr >= (1/v) * Σ_{l=1}^{v} [ 1 - (1 - (1 - 1/w)^{v-l})^d ]`.
-pub fn minmax_correctness_rate(v: u64, w: usize, d: usize) -> f64 {
-    if v == 0 {
-        return 1.0;
+///
+/// An empty sketch (`v == 0`) is vacuously always correct.
+///
+/// # Errors
+/// [`SketchError::InvalidParameter`] when `w == 0` or `d == 0`.
+pub fn minmax_correctness_rate(v: u64, w: usize, d: usize) -> Result<f64, SketchError> {
+    if w == 0 {
+        return Err(SketchError::invalid("w", "bins per row must be positive"));
     }
-    let sum: f64 = (1..=v).map(|l| minmax_element_correct(v, l, w, d)).sum();
-    sum / v as f64
+    if d == 0 {
+        return Err(SketchError::invalid("d", "row count must be positive"));
+    }
+    if v == 0 {
+        return Ok(1.0);
+    }
+    let mut sum = 0.0;
+    for l in 1..=v {
+        sum += minmax_element_correct(v, l, w, d)?;
+    }
+    Ok(sum / v as f64)
 }
 
 /// Count-Min over-estimation tail bound (Appendix A.2, with `α <= 1`):
 /// `Pr[f̂(e) > f(e) + ε·α·N] <= exp(-d)` when `w = ⌈e/ε⌉`.
-pub fn countmin_overestimate_prob(d: usize) -> f64 {
-    (-(d as f64)).exp()
+///
+/// # Errors
+/// [`SketchError::InvalidParameter`] when `d == 0` (a zero-row sketch has
+/// no tail to bound).
+pub fn countmin_overestimate_prob(d: usize) -> Result<f64, SketchError> {
+    if d == 0 {
+        return Err(SketchError::invalid("d", "row count must be positive"));
+    }
+    Ok((-(d as f64)).exp())
 }
 
 /// Expected bytes per delta-encoded key (Appendix A.3): with `r` groups,
 /// model dimension `D` and `d` nonzero keys, the expected key increment is
 /// `r·D/d`, which needs `⌈(1/8)·log2(r·D/d)⌉` bytes; the 2-bit byte flag
-/// adds `1/4` byte.
-pub fn expected_bytes_per_key(r: usize, model_dim: u64, nnz: u64) -> f64 {
+/// adds `1/4` byte. An empty gradient (`nnz == 0`) costs nothing.
+///
+/// # Errors
+/// [`SketchError::InvalidParameter`] when `r == 0` or `model_dim == 0`.
+pub fn expected_bytes_per_key(r: usize, model_dim: u64, nnz: u64) -> Result<f64, SketchError> {
+    if r == 0 {
+        return Err(SketchError::invalid("r", "group count must be positive"));
+    }
+    if model_dim == 0 {
+        return Err(SketchError::invalid(
+            "model_dim",
+            "model dimension must be positive",
+        ));
+    }
     if nnz == 0 {
-        return 0.0;
+        return Ok(0.0);
     }
     let gap = (r as f64) * (model_dim as f64) / (nnz as f64);
     let bytes = (gap.log2() / 8.0).ceil().max(1.0);
-    bytes + 0.25
+    Ok(bytes + 0.25)
 }
 
 /// Total space cost of a SketchML message in bytes (paper §3.5):
 /// `d·(⌈(1/8)·log2(rD/d)⌉ + 1/4) + 8q + s·t·⌈(1/8)·log2 q⌉`.
+///
+/// # Errors
+/// [`SketchError::InvalidParameter`] when any shape parameter (`model_dim`,
+/// `q`, `s`, `t`, `r`) is zero.
 pub fn sketchml_space_cost(
     nnz: u64,
     model_dim: u64,
@@ -59,15 +122,25 @@ pub fn sketchml_space_cost(
     s: usize,
     t: usize,
     r: usize,
-) -> f64 {
-    let per_key = expected_bytes_per_key(r, model_dim, nnz);
+) -> Result<f64, SketchError> {
+    if q == 0 {
+        return Err(SketchError::invalid("q", "bucket count must be positive"));
+    }
+    if s == 0 {
+        return Err(SketchError::invalid("s", "sketch rows must be positive"));
+    }
+    if t == 0 {
+        return Err(SketchError::invalid("t", "sketch columns must be positive"));
+    }
+    let per_key = expected_bytes_per_key(r, model_dim, nnz)?;
     let means = 8.0 * q as f64;
     let cell_bytes = ((q as f64).log2() / 8.0).ceil().max(1.0);
-    nnz as f64 * per_key + means + (s * t) as f64 * cell_bytes
+    Ok(nnz as f64 * per_key + means + (s * t) as f64 * cell_bytes)
 }
 
 /// Uncompressed size of a sparse gradient stored as (4-byte key, 8-byte
-/// value) pairs — the `12d` reference of §3.5.
+/// value) pairs — the `12d` reference of §3.5. Total and valid for any
+/// `nnz`, so this one stays infallible.
 pub fn raw_space_cost(nnz: u64) -> f64 {
     12.0 * nnz as f64
 }
@@ -81,23 +154,58 @@ mod tests {
 
     #[test]
     fn correctness_rate_monotone_in_width() {
-        let narrow = minmax_correctness_rate(1000, 100, 2);
-        let wide = minmax_correctness_rate(1000, 1000, 2);
+        let narrow = minmax_correctness_rate(1000, 100, 2).unwrap();
+        let wide = minmax_correctness_rate(1000, 1000, 2).unwrap();
         assert!(wide > narrow);
     }
 
     #[test]
     fn correctness_rate_monotone_in_rows() {
-        let one = minmax_correctness_rate(1000, 200, 1);
-        let three = minmax_correctness_rate(1000, 200, 3);
+        let one = minmax_correctness_rate(1000, 200, 1).unwrap();
+        let three = minmax_correctness_rate(1000, 200, 3).unwrap();
         assert!(three > one);
     }
 
     #[test]
     fn correctness_rate_edge_cases() {
-        assert_eq!(minmax_correctness_rate(0, 10, 2), 1.0);
+        assert_eq!(minmax_correctness_rate(0, 10, 2).unwrap(), 1.0);
         // A single element can never collide.
-        assert!((minmax_correctness_rate(1, 10, 2) - 1.0).abs() < 1e-12);
+        assert!((minmax_correctness_rate(1, 10, 2).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_are_typed_errors() {
+        // Zero-width / zero-row shapes and out-of-range ranks must surface
+        // as InvalidParameter even in release builds.
+        assert!(matches!(
+            minmax_single_row_correct(10, 5, 0),
+            Err(SketchError::InvalidParameter { name: "w", .. })
+        ));
+        assert!(matches!(
+            minmax_single_row_correct(10, 0, 8),
+            Err(SketchError::InvalidParameter { name: "l", .. })
+        ));
+        assert!(matches!(
+            minmax_single_row_correct(10, 11, 8),
+            Err(SketchError::InvalidParameter { name: "l", .. })
+        ));
+        assert!(matches!(
+            minmax_element_correct(10, 5, 8, 0),
+            Err(SketchError::InvalidParameter { name: "d", .. })
+        ));
+        assert!(minmax_correctness_rate(10, 0, 2).is_err());
+        assert!(minmax_correctness_rate(10, 8, 0).is_err());
+        assert!(countmin_overestimate_prob(0).is_err());
+        assert!(matches!(
+            expected_bytes_per_key(0, 1000, 10),
+            Err(SketchError::InvalidParameter { name: "r", .. })
+        ));
+        assert!(expected_bytes_per_key(8, 0, 10).is_err());
+        assert!(sketchml_space_cost(100, 1000, 0, 2, 20, 8).is_err());
+        assert!(sketchml_space_cost(100, 1000, 256, 0, 20, 8).is_err());
+        assert!(sketchml_space_cost(100, 1000, 256, 2, 0, 8).is_err());
+        assert!(sketchml_space_cost(100, 1000, 256, 2, 20, 0).is_err());
+        assert!(sketchml_space_cost(100, 0, 256, 2, 20, 8).is_err());
     }
 
     #[test]
@@ -127,7 +235,7 @@ mod tests {
             }
         }
         let empirical = trials_correct as f64 / total as f64;
-        let bound = minmax_correctness_rate(v, w, d);
+        let bound = minmax_correctness_rate(v, w, d).unwrap();
         // Equation (2) is a lower bound; allow small statistical slack.
         assert!(
             empirical >= bound - 0.02,
@@ -140,7 +248,7 @@ mod tests {
         // §3.5 example: d = 100k nonzeros of a 1M-dim model, q = 256,
         // s = 2, t = d/5, r = 8.
         let nnz = 100_000u64;
-        let cost = sketchml_space_cost(nnz, 1_000_000, 256, 2, (nnz / 5) as usize, 8);
+        let cost = sketchml_space_cost(nnz, 1_000_000, 256, 2, (nnz / 5) as usize, 8).unwrap();
         let raw = raw_space_cost(nnz);
         assert!(
             cost < raw / 4.0,
@@ -151,17 +259,17 @@ mod tests {
     #[test]
     fn bytes_per_key_matches_paper_regime() {
         // §A.3: with r = 8 and d/D >= 1/32 each key fits in 1 byte (+flag).
-        let b = expected_bytes_per_key(8, 32_000_000, 1_000_000);
+        let b = expected_bytes_per_key(8, 32_000_000, 1_000_000).unwrap();
         assert_eq!(b, 1.25);
         // Paper's empirical figure is ~1.27-1.5 bytes in sparser settings.
-        let sparse = expected_bytes_per_key(8, 54_000_000, 100_000);
+        let sparse = expected_bytes_per_key(8, 54_000_000, 100_000).unwrap();
         assert!(sparse <= 2.25);
-        assert_eq!(expected_bytes_per_key(8, 1000, 0), 0.0);
+        assert_eq!(expected_bytes_per_key(8, 1000, 0).unwrap(), 0.0);
     }
 
     #[test]
     fn countmin_tail_decays_with_rows() {
-        assert!(countmin_overestimate_prob(4) < countmin_overestimate_prob(2));
-        assert!(countmin_overestimate_prob(10) < 1e-4);
+        assert!(countmin_overestimate_prob(4).unwrap() < countmin_overestimate_prob(2).unwrap());
+        assert!(countmin_overestimate_prob(10).unwrap() < 1e-4);
     }
 }

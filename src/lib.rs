@@ -16,7 +16,9 @@
 //!   truncation baselines behind the [`GradientCompressor`] trait;
 //! - [`ml`] — LR / SVM / Linear GLMs, Adam SGD, and an MLP;
 //! - [`data`] — synthetic KDD10/KDD12/CTR-like datasets and libsvm IO;
-//! - [`cluster`] — the driver/executor distributed-training simulator.
+//! - [`cluster`] — the driver/executor distributed-training simulator;
+//! - [`telemetry`] — opt-in pipeline/cluster counters, histograms, and
+//!   stage timers behind a single relaxed atomic gate.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +54,7 @@ pub use sketchml_data as data;
 pub use sketchml_encoding as encoding;
 pub use sketchml_ml as ml;
 pub use sketchml_sketches as sketches;
+pub use sketchml_telemetry as telemetry;
 
 pub use sketchml_cluster::{
     train_distributed, train_distributed_chaos, train_distributed_resumable,

@@ -279,3 +279,42 @@ fn v1_silently_corrupts_where_v2_detects() {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Error feedback over the sharded engine is thread-count invariant:
+    /// `ErrorFeedback<Sharded(sketchml @ 4 shards, 4 threads)>` must produce
+    /// the same payload bytes *and* the same residual map, round after
+    /// round, as the serial (1-thread) wrapper — and the zero-alloc scratch
+    /// path must agree with the allocating path while doing it.
+    #[test]
+    fn error_feedback_over_sharded_is_thread_invariant(
+        grad in arb_gradient(),
+        rounds in 1usize..4,
+    ) {
+        use bytes::BytesMut;
+        use sketchml::core::CompressScratch;
+        use sketchml::ErrorFeedback;
+
+        let serial = ErrorFeedback::new(
+            ShardedCompressor::new(SketchMlCompressor::default(), 4).expect("4 shards"),
+        );
+        let threaded = ErrorFeedback::new(
+            ShardedCompressor::new(SketchMlCompressor::default(), 4)
+                .expect("4 shards")
+                .with_threads(4)
+                .expect("4 threads"),
+        );
+        let mut scratch = CompressScratch::new();
+        let mut out = BytesMut::new();
+        for _ in 0..rounds {
+            let a = serial.compress(&grad).expect("serial EF").payload;
+            threaded
+                .compress_into(&grad, &mut scratch, &mut out)
+                .expect("threaded EF scratch path");
+            prop_assert_eq!(&a[..], &out[..]);
+            prop_assert_eq!(serial.residual_entries(), threaded.residual_entries());
+        }
+    }
+}

@@ -15,8 +15,8 @@ use bytes::BytesMut;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use sketchml_core::{
-    CompressError, CompressScratch, FrameVersion, GradientCompressor, ShardedCompressor,
-    SketchMlCompressor, SparseGradient, ZipMlCompressor,
+    CompressError, CompressScratch, ErrorFeedback, FrameVersion, GradientCompressor,
+    ShardedCompressor, SketchMlCompressor, SparseGradient, ZipMlCompressor,
 };
 use sketchml_encoding::{decode_keys, encode_keys};
 use std::path::PathBuf;
@@ -191,6 +191,53 @@ fn v2_fixture_rejects_corruption_and_stays_v1_compatible() {
 }
 
 #[test]
+fn error_feedback_wire_path_matches_golden_fixture() {
+    // Error feedback is stateful, so the fixture pins the *second* round:
+    // its payload carries the residual of round one folded back in.
+    let grad = canonical_gradient();
+    let ef = ErrorFeedback::new(SketchMlCompressor::default());
+    let r1 = ef.compress(&grad).expect("EF round 1").payload;
+    let r2 = ef.compress(&grad).expect("EF round 2").payload;
+    // Round 1 starts with an empty residual: the wire bytes are exactly the
+    // bare compressor's.
+    assert_eq!(
+        to_hex(&r1),
+        to_hex(
+            &SketchMlCompressor::default()
+                .compress(&grad)
+                .expect("bare compress")
+                .payload
+        ),
+        "EF with an empty residual must be wire-identical to the bare compressor"
+    );
+    let golden = load_or_regen("ef_sketchml_round2_seed901df1.hex", &r2);
+    assert_eq!(
+        to_hex(&golden),
+        to_hex(&r2),
+        "EF round-2 payload changed: residual compensation or the wire format drifted"
+    );
+    // The zero-alloc scratch path replays both rounds to the same bytes.
+    let ef_scratch = ErrorFeedback::new(SketchMlCompressor::default());
+    let mut scratch = CompressScratch::new();
+    let mut out = BytesMut::new();
+    ef_scratch
+        .compress_into(&grad, &mut scratch, &mut out)
+        .expect("EF scratch round 1");
+    assert_eq!(to_hex(&r1), to_hex(&out));
+    ef_scratch
+        .compress_into(&grad, &mut scratch, &mut out)
+        .expect("EF scratch round 2");
+    assert_eq!(to_hex(&golden), to_hex(&out));
+    // The fixture still decodes, through both decode paths.
+    let decoded = ef.decompress(&golden).expect("decode EF fixture");
+    assert_eq!(decoded.keys(), grad.keys());
+    let mut pooled = SparseGradient::empty(0);
+    ef.decompress_into(&golden, &mut scratch, &mut pooled)
+        .expect("scratch decode EF fixture");
+    assert_eq!(&pooled, &decoded);
+}
+
+#[test]
 fn delta_binary_keys_match_golden_fixture() {
     let grad = canonical_gradient();
     let mut encoded = Vec::new();
@@ -220,6 +267,7 @@ fn fixtures_are_committed_not_regenerated_in_ci() {
         "sketchml_sharded4_seed901df1.hex",
         "sketchml_sharded4_v2_seed901df1.hex",
         "delta_binary_seed901df1.hex",
+        "ef_sketchml_round2_seed901df1.hex",
     ] {
         assert!(
             fixture_path(name).exists() || std::env::var_os("REGEN_FIXTURES").is_some(),
