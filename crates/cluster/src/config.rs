@@ -2,13 +2,15 @@
 
 use crate::network::CostModel;
 use serde::Serialize;
+use sketchml_collectives::Topology;
 use sketchml_core::{CompressError, FrameVersion, GradientCompressor, ShardedCompressor};
 
 /// Configuration of one simulated training run.
 ///
 /// `Deserialize` is implemented by hand (rather than derived) so that the
-/// `telemetry` field is optional in serialized configs — documents written
-/// before the field existed keep loading, defaulting it to `false`.
+/// `telemetry` and `topology` fields are optional in serialized configs —
+/// documents written before the fields existed keep loading, defaulting
+/// them to `false` and [`Topology::Star`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ClusterConfig {
     /// Number of workers (executors) `W`.
@@ -32,6 +34,12 @@ pub struct ClusterConfig {
     /// back with [`sketchml_telemetry::snapshot`]. Off (the default) the
     /// instrumented hot paths reduce to one relaxed atomic load.
     pub telemetry: bool,
+    /// How worker gradients are aggregated by [`crate::train_allreduce`]:
+    /// the default [`Topology::Star`] funnels everything through the
+    /// driver, [`Topology::Ring`] and [`Topology::Tree`] merge compressed
+    /// payloads peer-to-peer. Ignored by the star-only entry points
+    /// ([`crate::train_distributed`] and friends).
+    pub topology: Topology,
 }
 
 impl serde::Deserialize for ClusterConfig {
@@ -56,6 +64,11 @@ impl serde::Deserialize for ClusterConfig {
                 Ok(val) => serde::Deserialize::from_value(val)?,
                 Err(_) => false,
             },
+            // Optional likewise: pre-collectives configs default to star.
+            topology: match serde::field(obj, "topology") {
+                Ok(val) => serde::Deserialize::from_value(val)?,
+                Err(_) => Topology::Star,
+            },
         })
     }
 }
@@ -70,6 +83,7 @@ impl ClusterConfig {
             compress_downlink: true,
             compress_threads: 1,
             telemetry: false,
+            topology: Topology::Star,
         }
     }
 
@@ -82,6 +96,7 @@ impl ClusterConfig {
             compress_downlink: true,
             compress_threads: 1,
             telemetry: false,
+            topology: Topology::Star,
         }
     }
 
@@ -98,6 +113,7 @@ impl ClusterConfig {
             compress_downlink: false,
             compress_threads: 1,
             telemetry: false,
+            topology: Topology::Star,
         }
     }
 
@@ -120,18 +136,33 @@ impl ClusterConfig {
         self
     }
 
+    /// Selects the aggregation topology used by [`crate::train_allreduce`].
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// Validates the configuration, returning a typed error instead of
     /// letting bad values surface as panics deep inside a training loop.
     ///
     /// # Errors
     /// [`CompressError::InvalidConfig`] naming the offending field: zero
-    /// workers, a batch ratio outside `(0, 1]`, zero compression threads, or
-    /// a non-positive bandwidth / negative latency in the cost model.
+    /// workers, too few workers for the chosen topology, a batch ratio
+    /// outside `(0, 1]`, zero compression threads, or a non-positive
+    /// bandwidth / negative latency in the cost model.
     pub fn validate(&self) -> Result<(), CompressError> {
         if self.workers == 0 {
             return Err(CompressError::InvalidConfig(
                 "cluster: workers must be at least 1".into(),
             ));
+        }
+        if self.workers < self.topology.min_workers() {
+            return Err(CompressError::InvalidConfig(format!(
+                "cluster: {} topology needs at least {} workers, got {}",
+                self.topology.name(),
+                self.topology.min_workers(),
+                self.workers
+            )));
         }
         if !self.batch_ratio.is_finite() || self.batch_ratio <= 0.0 || self.batch_ratio > 1.0 {
             return Err(CompressError::InvalidConfig(format!(
@@ -231,6 +262,39 @@ mod tests {
             serde::Deserialize::from_value(&serde::Value::Obj(obj)).unwrap();
         assert!(!legacy.telemetry);
         assert_eq!(legacy.workers, c.workers);
+    }
+
+    #[test]
+    fn topology_field_is_optional_in_serialized_configs() {
+        let c = ClusterConfig::cluster1(8).with_topology(Topology::Ring);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.topology, Topology::Ring);
+        // A document written before the field existed still loads, with the
+        // topology defaulting to the star (parameter-server) pattern.
+        let v = serde::Serialize::to_value(&c);
+        let mut obj = v.as_obj().unwrap().to_vec();
+        obj.retain(|(k, _)| k != "topology");
+        let legacy: ClusterConfig =
+            serde::Deserialize::from_value(&serde::Value::Obj(obj)).unwrap();
+        assert_eq!(legacy.topology, Topology::Star);
+        assert_eq!(legacy.workers, c.workers);
+    }
+
+    #[test]
+    fn topology_needs_enough_workers() {
+        for t in [Topology::Ring, Topology::Tree] {
+            assert!(ClusterConfig::cluster1(1)
+                .with_topology(t)
+                .validate()
+                .is_err());
+            assert!(ClusterConfig::cluster1(2)
+                .with_topology(t)
+                .validate()
+                .is_ok());
+        }
+        assert!(ClusterConfig::cluster1(1).validate().is_ok());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod allreduce;
 pub mod config;
 pub mod driver;
 pub mod faults;
@@ -38,6 +39,7 @@ pub mod ssp;
 pub mod trainer;
 pub mod worker;
 
+pub use allreduce::{train_allreduce, train_allreduce_chaos, train_allreduce_with_policy};
 pub use config::ClusterConfig;
 pub use faults::{CrashEvent, CrashPhase, FaultEvent, FaultPlan, FaultTrace, FaultyLink};
 pub use mlp_trainer::{
@@ -45,6 +47,7 @@ pub use mlp_trainer::{
 };
 pub use network::{CostModel, NetworkModel};
 pub use ps::{train_parameter_server, train_parameter_server_chaos, ShardMap};
+pub use sketchml_collectives::{MergePolicy, Topology};
 pub use ssp::{train_ssp, train_ssp_chaos, SspConfig, SspReport};
 pub use trainer::{
     train_distributed, train_distributed_chaos, train_distributed_resumable, EpochStats,

@@ -192,13 +192,14 @@ pub struct TrainOutcome {
 
 /// Optimizer state that stays checkpointable when it is Adam (the
 /// [`Optimizer`] trait offers no downcast, so the concrete type is kept).
-enum OptState {
+/// Shared with the allreduce trainer.
+pub(crate) enum OptState {
     Adam(Adam),
     Other(Box<dyn Optimizer>),
 }
 
 impl OptState {
-    fn build(kind: OptimizerKind, dim: usize) -> Result<Self, CompressError> {
+    pub(crate) fn build(kind: OptimizerKind, dim: usize) -> Result<Self, CompressError> {
         Ok(match kind {
             OptimizerKind::Adam(cfg) => OptState::Adam(
                 Adam::new(dim, cfg).map_err(|e| CompressError::InvalidConfig(e.to_string()))?,
@@ -211,14 +212,14 @@ impl OptState {
         })
     }
 
-    fn as_dyn(&mut self) -> &mut dyn Optimizer {
+    pub(crate) fn as_dyn(&mut self) -> &mut dyn Optimizer {
         match self {
             OptState::Adam(a) => a,
             OptState::Other(b) => b.as_mut(),
         }
     }
 
-    fn adam(&self) -> Option<&Adam> {
+    pub(crate) fn adam(&self) -> Option<&Adam> {
         match self {
             OptState::Adam(a) => Some(a),
             OptState::Other(_) => None,

@@ -1,0 +1,39 @@
+//! Mergeable-sketch allreduce: peer-to-peer aggregation of *compressed*
+//! gradient payloads.
+//!
+//! The star (parameter-server) pattern funnels every worker's payload
+//! through one driver link: at `n` workers the driver's NIC carries `2n`
+//! full payloads per round while every other link sits idle. This crate
+//! aggregates the SketchML wire format itself along ring and tree
+//! topologies instead, so payloads are merged *where they meet* and no
+//! single link ever carries more than a constant number of gradients'
+//! worth of bytes:
+//!
+//! * [`Topology`] — star, ring and binary-tree hop schedules with
+//!   deterministic chunking ([`chunk_ranges`], [`reduce_schedule`],
+//!   [`distribute_schedule`]).
+//! * [`allreduce`] — the executor: decodes, merges and re-emits real wire
+//!   payloads hop by hop, accounting every byte per node.
+//! * [`Transport`] — the pluggable link layer; the cluster simulator
+//!   plugs in its lossy retrying links, tests use [`PerfectTransport`].
+//!
+//! Merging is defined by [`MergePolicy`] (re-exported from
+//! `sketchml-core`): `Exact` relays f64 partial sums in AGG frames
+//! (bit-faithful aggregation, ~9 B/key), `Resketch` re-compresses each
+//! hop into the native sketch format (~2 B/key links, quantization
+//! compounds once per merge hop but signs never flip).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod executor;
+pub mod topology;
+pub mod transport;
+
+pub use executor::{allreduce, AllreduceReport, Contribution};
+pub use topology::{chunk_ranges, distribute_schedule, reduce_schedule, Hop, Topology};
+pub use transport::{PerfectTransport, Transport};
+
+// Re-exported so downstream crates can name the merge vocabulary without a
+// direct sketchml-core dependency.
+pub use sketchml_core::{MergeAcc, MergePolicy, MergeableCompressor};

@@ -1,0 +1,35 @@
+//! The link abstraction the executor moves hop payloads through.
+//!
+//! Collectives must not depend on the cluster simulator (the dependency
+//! points the other way), so the executor is parameterized over this trait:
+//! the cluster plugs in its lossy [`FaultyLink`]-backed transport and cost
+//! model, tests and benches use [`PerfectTransport`].
+//!
+//! [`FaultyLink`]: ../../sketchml_cluster/faults/struct.FaultyLink.html
+
+use crate::topology::Hop;
+
+/// Moves one hop payload from sender to receiver.
+pub trait Transport {
+    /// Delivers `payload` along `hop`. Returns the bytes the receiver saw,
+    /// or `None` when delivery failed for good (retries exhausted); the
+    /// implementation accounts any wire time or retransmission cost itself.
+    fn transmit(&mut self, hop: Hop, payload: &[u8]) -> Option<Vec<u8>>;
+}
+
+/// Lossless, cost-free delivery — the default for tests and byte-accounting
+/// benches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectTransport;
+
+impl Transport for PerfectTransport {
+    fn transmit(&mut self, _hop: Hop, payload: &[u8]) -> Option<Vec<u8>> {
+        Some(payload.to_vec())
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for &mut T {
+    fn transmit(&mut self, hop: Hop, payload: &[u8]) -> Option<Vec<u8>> {
+        (**self).transmit(hop, payload)
+    }
+}

@@ -56,6 +56,7 @@ pub mod error;
 pub mod feedback;
 pub mod gradient;
 pub mod gradient_io;
+pub mod merge;
 pub mod quantify;
 pub mod registry;
 pub mod scratch;
@@ -69,6 +70,7 @@ pub use compressor::{roundtrip_error, CompressedGradient, GradientCompressor, Ro
 pub use error::CompressError;
 pub use feedback::ErrorFeedback;
 pub use gradient::SparseGradient;
+pub use merge::{MergeAcc, MergePolicy, MergeableCompressor};
 pub use quantify::{QuantCompressor, QuantileBackend};
 pub use registry::by_name as compressor_by_name;
 pub use scratch::CompressScratch;

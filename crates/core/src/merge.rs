@@ -1,0 +1,572 @@
+//! Mergeable compression: the wire-level operations collective aggregation
+//! (ring / tree allreduce) performs on *compressed* gradient payloads
+//! instead of decompressing everything at a central driver.
+//!
+//! Two hop-payload policies are supported, because exactness and per-link
+//! bytes pull in opposite directions:
+//!
+//! * [`MergePolicy::Exact`] — intermediate hops carry **AGG frames**: the
+//!   delta-binary key union plus full-precision `f64` partial sums. The
+//!   final aggregate is numerically the driver's instance-weighted mean
+//!   (modulo floating-point reassociation from the hop order), so training
+//!   trajectories match the star topology to ~1e-12 per round. Partial sums
+//!   cannot be compressed below ~8 bytes/key without losing exactness, so
+//!   hop frames are larger than native SketchML payloads.
+//! * [`MergePolicy::Resketch`] — every hop decodes, accumulates, and
+//!   **re-compresses** the running partial aggregate with the native
+//!   compressor, so each link carries a genuinely sketch-compressed payload
+//!   (~2 bytes/key for SketchML). Quantization error compounds once per
+//!   merge hop, but the MinMaxSketch underestimate-only rule keeps every
+//!   hop's error conservative: magnitudes decay, signs never flip.
+//!
+//! [`MergeAcc`] is the accumulator both policies share; the
+//! [`MergeableCompressor`] trait plugs any [`GradientCompressor`] into it.
+
+use crate::compressor::GradientCompressor;
+use crate::error::CompressError;
+use crate::gradient::SparseGradient;
+use crate::scratch::CompressScratch;
+use bytes::BytesMut;
+use sketchml_encoding::{delta_binary, varint};
+
+/// Lead byte of an AGG (exact partial-aggregate) frame. Distinct from every
+/// native compressor magic (`0x0D`/`0x0E`/`0x0F` baselines, `0xA5` Quan,
+/// `0xA7` SketchML, `0x21` ZipML) and from the sharded framing's `0x00` v2
+/// sentinel, so [`MergeableCompressor::accumulate`] can sniff frame kinds.
+pub const AGG_MAGIC: u8 = 0xAC;
+
+/// Version byte of the AGG frame format.
+pub const AGG_VERSION: u8 = 1;
+
+/// How intermediate hops of a collective represent partial aggregates.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum MergePolicy {
+    /// Hops carry exact `f64` partial sums in AGG frames: bit-faithful to
+    /// driver aggregation modulo summation order, at ~9 bytes/key per hop.
+    #[default]
+    Exact,
+    /// Hops re-compress the partial aggregate with the native compressor:
+    /// sketch-sized links, conservatively lossy (one quantization per hop).
+    Resketch,
+}
+
+impl MergePolicy {
+    /// Short name used in benches and config files.
+    pub fn name(self) -> &'static str {
+        match self {
+            MergePolicy::Exact => "exact",
+            MergePolicy::Resketch => "resketch",
+        }
+    }
+}
+
+/// Accumulator for partial gradient aggregates: a sorted key-union with one
+/// running `f64` sum per key. Buffers persist across [`reset`](Self::reset)
+/// calls so steady-state accumulation does not allocate.
+#[derive(Debug, Clone)]
+pub struct MergeAcc {
+    dim: u64,
+    keys: Vec<u64>,
+    sums: Vec<f64>,
+    // Union scratch, swapped with the live buffers each accumulate.
+    tmp_keys: Vec<u64>,
+    tmp_sums: Vec<f64>,
+    decode: SparseGradient,
+}
+
+impl Default for MergeAcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MergeAcc {
+    /// Creates an empty accumulator over a zero-dimensional space; call
+    /// [`reset`](Self::reset) before use.
+    pub fn new() -> Self {
+        Self {
+            dim: 0,
+            keys: Vec::new(),
+            sums: Vec::new(),
+            tmp_keys: Vec::new(),
+            tmp_sums: Vec::new(),
+            decode: SparseGradient::empty(0),
+        }
+    }
+
+    /// Clears the accumulator for a new aggregation over `dim` keys.
+    pub fn reset(&mut self, dim: u64) {
+        self.dim = dim;
+        self.keys.clear();
+        self.sums.clear();
+    }
+
+    /// Gradient dimension this accumulator aggregates over.
+    pub fn dim(&self) -> u64 {
+        self.dim
+    }
+
+    /// Number of distinct keys accumulated so far.
+    pub fn nnz(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Sorted distinct keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Running per-key sums, parallel to [`keys`](Self::keys).
+    pub fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// Folds `scale * values` into the running sums by sorted key-union.
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidGradient`] on unsorted/duplicate keys, a
+    /// length mismatch, or a key at or beyond the accumulator's dimension —
+    /// the signatures of a corrupt upstream payload.
+    pub fn accumulate_pairs(
+        &mut self,
+        keys: &[u64],
+        values: &[f64],
+        scale: f64,
+    ) -> Result<(), CompressError> {
+        if keys.len() != values.len() {
+            return Err(CompressError::InvalidGradient(format!(
+                "{} keys vs {} values",
+                keys.len(),
+                values.len()
+            )));
+        }
+        if let Some(&last) = keys.last() {
+            if last >= self.dim {
+                return Err(CompressError::InvalidGradient(format!(
+                    "key {last} outside dimension {}",
+                    self.dim
+                )));
+            }
+        }
+        for w in keys.windows(2) {
+            if w[1] <= w[0] {
+                return Err(CompressError::InvalidGradient(format!(
+                    "keys must be strictly ascending: {} then {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        self.tmp_keys.clear();
+        self.tmp_sums.clear();
+        self.tmp_keys.reserve(self.keys.len() + keys.len());
+        self.tmp_sums.reserve(self.keys.len() + keys.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.keys.len() && j < keys.len() {
+            match self.keys[i].cmp(&keys[j]) {
+                std::cmp::Ordering::Less => {
+                    self.tmp_keys.push(self.keys[i]);
+                    self.tmp_sums.push(self.sums[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    self.tmp_keys.push(keys[j]);
+                    self.tmp_sums.push(scale * values[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    self.tmp_keys.push(self.keys[i]);
+                    self.tmp_sums.push(self.sums[i] + scale * values[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        while i < self.keys.len() {
+            self.tmp_keys.push(self.keys[i]);
+            self.tmp_sums.push(self.sums[i]);
+            i += 1;
+        }
+        while j < keys.len() {
+            self.tmp_keys.push(keys[j]);
+            self.tmp_sums.push(scale * values[j]);
+            j += 1;
+        }
+        std::mem::swap(&mut self.keys, &mut self.tmp_keys);
+        std::mem::swap(&mut self.sums, &mut self.tmp_sums);
+        Ok(())
+    }
+
+    /// [`accumulate_pairs`](Self::accumulate_pairs) from a decoded gradient.
+    ///
+    /// # Errors
+    /// As [`accumulate_pairs`](Self::accumulate_pairs), plus a dimension
+    /// mismatch against the accumulator.
+    pub fn accumulate_gradient(
+        &mut self,
+        grad: &SparseGradient,
+        scale: f64,
+    ) -> Result<(), CompressError> {
+        if grad.dim() != self.dim {
+            return Err(CompressError::InvalidGradient(format!(
+                "gradient dimension {} does not match accumulator {}",
+                grad.dim(),
+                self.dim
+            )));
+        }
+        self.accumulate_pairs(grad.keys(), grad.values(), scale)
+    }
+
+    /// Materializes the aggregate as a gradient, dropping keys whose sum is
+    /// exactly zero — the same canonical form [`SparseGradient::aggregate`]
+    /// produces, so collective and driver aggregation agree on key sets.
+    ///
+    /// # Errors
+    /// Propagates gradient validation (non-finite sums).
+    pub fn to_gradient(&self) -> Result<SparseGradient, CompressError> {
+        let mut keys = Vec::with_capacity(self.keys.len());
+        let mut values = Vec::with_capacity(self.sums.len());
+        for (&k, &s) in self.keys.iter().zip(&self.sums) {
+            if s != 0.0 {
+                keys.push(k);
+                values.push(s);
+            }
+        }
+        SparseGradient::new(self.dim, keys, values)
+    }
+
+    /// Serializes the accumulator as an AGG frame:
+    ///
+    /// ```text
+    /// 0xAC | version | varint dim | varint nnz | delta-binary keys | nnz f64 LE sums
+    /// ```
+    ///
+    /// `out` is cleared first. Returns the frame length in bytes.
+    ///
+    /// # Errors
+    /// Propagates key-encoding failures ([`CompressError::Encoding`]).
+    pub fn write_agg(&self, out: &mut BytesMut) -> Result<usize, CompressError> {
+        out.clear();
+        out.extend_from_slice(&[AGG_MAGIC, AGG_VERSION]);
+        varint::write_u64(out, self.dim);
+        varint::write_u64(out, self.keys.len() as u64);
+        delta_binary::encode_keys_into(&self.keys, out)?;
+        for &s in &self.sums {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        Ok(out.len())
+    }
+
+    /// Folds a serialized AGG frame into the accumulator with weight
+    /// `scale` (hop payloads already carry their scales, so relays pass 1.0).
+    /// Returns the number of key-value pairs the frame carried.
+    ///
+    /// # Errors
+    /// [`CompressError::Corrupt`] on a malformed frame; accumulation errors
+    /// as [`accumulate_pairs`](Self::accumulate_pairs).
+    pub fn read_agg(&mut self, payload: &[u8], scale: f64) -> Result<usize, CompressError> {
+        let mut buf = payload;
+        if buf.len() < 2 || buf[0] != AGG_MAGIC {
+            return Err(CompressError::Corrupt("AGG frame: bad magic".into()));
+        }
+        if buf[1] != AGG_VERSION {
+            return Err(CompressError::Corrupt(format!(
+                "AGG frame: unsupported version {}",
+                buf[1]
+            )));
+        }
+        buf = &buf[2..];
+        let dim = varint::read_u64(&mut buf).map_err(CompressError::Encoding)?;
+        if dim != self.dim {
+            return Err(CompressError::Corrupt(format!(
+                "AGG frame: dimension {dim} does not match accumulator {}",
+                self.dim
+            )));
+        }
+        let nnz = varint::read_u64(&mut buf).map_err(CompressError::Encoding)? as usize;
+        if nnz > payload.len() {
+            // Every key costs at least one byte on the wire.
+            return Err(CompressError::Corrupt(format!(
+                "AGG frame: {nnz} keys exceed the {} payload bytes",
+                payload.len()
+            )));
+        }
+        let mut keys = std::mem::take(&mut self.tmp_keys);
+        let result = (|| {
+            delta_binary::decode_keys_into(&mut buf, &mut keys).map_err(CompressError::Encoding)?;
+            if keys.len() != nnz {
+                return Err(CompressError::Corrupt(format!(
+                    "AGG frame: key section holds {} keys, header says {nnz}",
+                    keys.len()
+                )));
+            }
+            if buf.len() != 8 * nnz {
+                return Err(CompressError::Corrupt(format!(
+                    "AGG frame: {} sum bytes left for {nnz} keys",
+                    buf.len()
+                )));
+            }
+            let mut sums = std::mem::take(&mut self.tmp_sums);
+            sums.clear();
+            for chunk in buf.chunks_exact(8) {
+                sums.push(f64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            }
+            let r = self.accumulate_pairs(&keys, &sums, scale).map(|()| nnz);
+            // `accumulate_pairs` used (and swapped) tmp_sums via the union;
+            // hand the decode buffer back regardless of outcome.
+            self.tmp_sums = sums;
+            self.tmp_sums.clear();
+            r
+        })();
+        keys.clear();
+        self.tmp_keys = keys;
+        result
+    }
+}
+
+/// A compressor whose payloads can be merged hop-by-hop inside a collective.
+///
+/// The default methods implement both policies on top of the
+/// [`GradientCompressor`] contract, so `impl MergeableCompressor for X {}`
+/// suffices for any compressor; the trait exists as an explicit capability
+/// marker (and extension point) for the collective executor, which only
+/// accepts compressors that opted in.
+pub trait MergeableCompressor: GradientCompressor {
+    /// Folds a hop payload into `acc` with weight `scale`, returning the
+    /// number of key-value pairs the payload carried (the decode work done,
+    /// which cost models charge for). AGG frames are recognized by their
+    /// magic; anything else is decoded by the native compressor.
+    ///
+    /// # Errors
+    /// Decode or accumulation failures ([`CompressError`]).
+    fn accumulate(
+        &self,
+        acc: &mut MergeAcc,
+        payload: &[u8],
+        scale: f64,
+        scratch: &mut CompressScratch,
+    ) -> Result<u64, CompressError> {
+        if payload.first() == Some(&AGG_MAGIC) {
+            return acc.read_agg(payload, scale).map(|n| n as u64);
+        }
+        let mut decoded = std::mem::replace(&mut acc.decode, SparseGradient::empty(0));
+        let result = self
+            .decompress_into(payload, scratch, &mut decoded)
+            .and_then(|()| acc.accumulate_gradient(&decoded, scale))
+            .map(|()| decoded.nnz() as u64);
+        acc.decode = decoded;
+        result
+    }
+
+    /// Serializes the accumulator as the next hop's payload under `policy`:
+    /// an AGG frame for [`MergePolicy::Exact`], a re-compressed native
+    /// payload for [`MergePolicy::Resketch`]. `out` is cleared first.
+    ///
+    /// # Errors
+    /// Encoding failures ([`CompressError`]).
+    fn emit_hop(
+        &self,
+        acc: &MergeAcc,
+        policy: MergePolicy,
+        scratch: &mut CompressScratch,
+        out: &mut BytesMut,
+    ) -> Result<(), CompressError> {
+        match policy {
+            MergePolicy::Exact => {
+                acc.write_agg(out)?;
+            }
+            MergePolicy::Resketch => {
+                let grad = acc.to_gradient()?;
+                self.compress_into(&grad, scratch, out)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T: MergeableCompressor + ?Sized> MergeableCompressor for &T {}
+
+impl MergeableCompressor for crate::sketchml::SketchMlCompressor {}
+impl MergeableCompressor for crate::baselines::RawCompressor {}
+impl MergeableCompressor for crate::baselines::KeyCompressor {}
+impl MergeableCompressor for crate::baselines::TruncationCompressor {}
+impl MergeableCompressor for crate::quantify::QuantCompressor {}
+impl MergeableCompressor for crate::zipml::ZipMlCompressor {}
+impl<C: GradientCompressor> MergeableCompressor for crate::sharded::ShardedCompressor<C> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::RawCompressor;
+    use crate::sketchml::SketchMlCompressor;
+
+    fn grad(dim: u64, pairs: &[(u64, f64)]) -> SparseGradient {
+        SparseGradient::new(
+            dim,
+            pairs.iter().map(|&(k, _)| k).collect(),
+            pairs.iter().map(|&(_, v)| v).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accumulate_unions_and_sums() {
+        let mut acc = MergeAcc::new();
+        acc.reset(100);
+        acc.accumulate_gradient(&grad(100, &[(1, 1.0), (5, 2.0)]), 1.0)
+            .unwrap();
+        acc.accumulate_gradient(&grad(100, &[(5, 3.0), (9, -1.0)]), 2.0)
+            .unwrap();
+        assert_eq!(acc.keys(), &[1, 5, 9]);
+        assert_eq!(acc.sums(), &[1.0, 8.0, -2.0]);
+        let g = acc.to_gradient().unwrap();
+        assert_eq!(g.keys(), &[1, 5, 9]);
+    }
+
+    #[test]
+    fn to_gradient_drops_exact_zero_sums() {
+        let mut acc = MergeAcc::new();
+        acc.reset(10);
+        acc.accumulate_pairs(&[2, 4], &[1.5, 2.0], 1.0).unwrap();
+        acc.accumulate_pairs(&[2], &[-1.5], 1.0).unwrap();
+        let g = acc.to_gradient().unwrap();
+        assert_eq!(g.keys(), &[4]);
+    }
+
+    #[test]
+    fn accumulate_rejects_corrupt_inputs() {
+        let mut acc = MergeAcc::new();
+        acc.reset(10);
+        assert!(acc.accumulate_pairs(&[3, 3], &[1.0, 1.0], 1.0).is_err());
+        assert!(acc.accumulate_pairs(&[5, 2], &[1.0, 1.0], 1.0).is_err());
+        assert!(acc.accumulate_pairs(&[11], &[1.0], 1.0).is_err());
+        assert!(acc.accumulate_pairs(&[1], &[1.0, 2.0], 1.0).is_err());
+        assert!(acc
+            .accumulate_gradient(&grad(20, &[(1, 1.0)]), 1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn agg_frame_roundtrips() {
+        let mut acc = MergeAcc::new();
+        acc.reset(1_000);
+        acc.accumulate_pairs(&[7, 90, 900], &[0.5, -0.25, 1.75], 1.0)
+            .unwrap();
+        let mut frame = BytesMut::new();
+        let len = acc.write_agg(&mut frame).unwrap();
+        assert_eq!(len, frame.len());
+        assert_eq!(frame[0], AGG_MAGIC);
+
+        let mut back = MergeAcc::new();
+        back.reset(1_000);
+        back.read_agg(&frame, 1.0).unwrap();
+        assert_eq!(back.keys(), acc.keys());
+        assert_eq!(back.sums(), acc.sums());
+
+        // Scaled read applies the weight.
+        let mut scaled = MergeAcc::new();
+        scaled.reset(1_000);
+        scaled.read_agg(&frame, 2.0).unwrap();
+        assert_eq!(scaled.sums(), &[1.0, -0.5, 3.5]);
+    }
+
+    #[test]
+    fn agg_frame_rejects_corruption() {
+        let mut acc = MergeAcc::new();
+        acc.reset(50);
+        acc.accumulate_pairs(&[3, 9], &[1.0, 2.0], 1.0).unwrap();
+        let mut frame = BytesMut::new();
+        acc.write_agg(&mut frame).unwrap();
+
+        let mut back = MergeAcc::new();
+        back.reset(50);
+        assert!(back.read_agg(&[], 1.0).is_err());
+        assert!(back.read_agg(&[0xFF, 1], 1.0).is_err());
+        assert!(back.read_agg(&[AGG_MAGIC, 99], 1.0).is_err());
+        for cut in 0..frame.len() {
+            let _ = back.read_agg(&frame[..cut], 1.0); // must not panic
+        }
+        // Dimension mismatch is typed.
+        let mut wrong = MergeAcc::new();
+        wrong.reset(51);
+        assert!(wrong.read_agg(&frame, 1.0).is_err());
+    }
+
+    #[test]
+    fn exact_policy_matches_driver_style_aggregation() {
+        let c = SketchMlCompressor::default();
+        let dim = 4_096u64;
+        let g1 = grad(dim, &[(3, 0.5), (700, -0.25), (900, 0.125)]);
+        let g2 = grad(dim, &[(3, 0.25), (800, 1.0)]);
+        let p1 = c.compress(&g1).unwrap();
+        let p2 = c.compress(&g2).unwrap();
+
+        // Driver-style: decode each, scale, aggregate.
+        let mut d1 = c.decompress(&p1.payload).unwrap();
+        let mut d2 = c.decompress(&p2.payload).unwrap();
+        d1.scale(0.5);
+        d2.scale(0.5);
+        let reference = SparseGradient::aggregate(&[d1, d2]).unwrap();
+
+        // Collective-style: accumulate both payloads, relay as AGG, finish.
+        let mut scratch = CompressScratch::default();
+        let mut acc = MergeAcc::new();
+        acc.reset(dim);
+        c.accumulate(&mut acc, &p1.payload, 0.5, &mut scratch)
+            .unwrap();
+        let mut hop = BytesMut::new();
+        c.emit_hop(&acc, MergePolicy::Exact, &mut scratch, &mut hop)
+            .unwrap();
+
+        let mut acc2 = MergeAcc::new();
+        acc2.reset(dim);
+        c.accumulate(&mut acc2, &hop, 1.0, &mut scratch).unwrap();
+        c.accumulate(&mut acc2, &p2.payload, 0.5, &mut scratch)
+            .unwrap();
+        let got = acc2.to_gradient().unwrap();
+        assert_eq!(got.keys(), reference.keys());
+        assert_eq!(got.values(), reference.values());
+    }
+
+    #[test]
+    fn resketch_policy_emits_native_payloads() {
+        let c = SketchMlCompressor::default();
+        let dim = 4_096u64;
+        let g = grad(dim, &[(3, 0.5), (700, -0.25), (900, 0.125)]);
+        let p = c.compress(&g).unwrap();
+
+        let mut scratch = CompressScratch::default();
+        let mut acc = MergeAcc::new();
+        acc.reset(dim);
+        c.accumulate(&mut acc, &p.payload, 1.0, &mut scratch)
+            .unwrap();
+        let mut hop = BytesMut::new();
+        c.emit_hop(&acc, MergePolicy::Resketch, &mut scratch, &mut hop)
+            .unwrap();
+        // The hop payload is a native SketchML message: decodable, keys are
+        // lossless, and signs never flip versus the accumulated partial
+        // (values land on bucket means, so magnitudes may wobble).
+        let decoded = c.decompress(&hop).unwrap();
+        assert_eq!(decoded.keys(), acc.keys());
+        for (sum, dec) in acc.sums().iter().zip(decoded.values()) {
+            assert!(sum.signum() == dec.signum() || *dec == 0.0);
+        }
+    }
+
+    #[test]
+    fn raw_compressor_is_mergeable_via_defaults() {
+        let c = RawCompressor::default();
+        let dim = 64u64;
+        let g = grad(dim, &[(1, 1.0), (2, -2.0)]);
+        let p = c.compress(&g).unwrap();
+        let mut scratch = CompressScratch::default();
+        let mut acc = MergeAcc::new();
+        acc.reset(dim);
+        c.accumulate(&mut acc, &p.payload, 1.0, &mut scratch)
+            .unwrap();
+        c.accumulate(&mut acc, &p.payload, 1.0, &mut scratch)
+            .unwrap();
+        assert_eq!(acc.sums(), &[2.0, -4.0]);
+    }
+}

@@ -43,9 +43,10 @@ pub fn bytes_needed(delta: u32) -> usize {
 /// `keys[i] - keys[i-1]`.
 ///
 /// # Errors
-/// [`EncodingError::InvalidInput`] if keys are not strictly ascending or a
-/// delta (or the first key) exceeds `u32::MAX`, the 4-byte maximum of the
-/// byte-flag scheme.
+/// [`EncodingError::DuplicateKey`] if a key repeats (a merged shard stream
+/// that was concatenated instead of summed), [`EncodingError::InvalidInput`]
+/// if keys descend or a delta (or the first key) exceeds `u32::MAX`, the
+/// 4-byte maximum of the byte-flag scheme.
 pub fn delta_transform(keys: &[u64]) -> Result<Vec<u32>, EncodingError> {
     let mut out = Vec::with_capacity(keys.len());
     let mut prev: Option<u64> = None;
@@ -53,9 +54,10 @@ pub fn delta_transform(keys: &[u64]) -> Result<Vec<u32>, EncodingError> {
         let delta = match prev {
             None => k,
             Some(p) if k > p => k - p,
+            Some(p) if k == p => return Err(EncodingError::DuplicateKey { key: k }),
             Some(p) => {
                 return Err(EncodingError::InvalidInput(format!(
-                    "keys must be strictly ascending: keys[{i}] = {k} <= keys[{}] = {p}",
+                    "keys must be strictly ascending: keys[{i}] = {k} < keys[{}] = {p}",
                     i - 1
                 )))
             }
@@ -131,9 +133,10 @@ pub fn encode_keys_into(keys: &[u64], out: &mut BytesMut) -> Result<usize, Encod
         let delta = match prev {
             None => k,
             Some(p) if k > p => k - p,
+            Some(p) if k == p => return Err(EncodingError::DuplicateKey { key: k }),
             Some(p) => {
                 return Err(EncodingError::InvalidInput(format!(
-                    "keys must be strictly ascending: keys[{i}] = {k} <= keys[{}] = {p}",
+                    "keys must be strictly ascending: keys[{i}] = {k} < keys[{}] = {p}",
                     i - 1
                 )))
             }
@@ -238,6 +241,57 @@ pub fn encoded_len(keys: &[u64]) -> Result<usize, EncodingError> {
         + deltas.iter().map(|&d| bytes_needed(d)).sum::<usize>())
 }
 
+/// Merges two strictly ascending key arrays into their sorted union (each
+/// shared key appearing once), appending to `out` (cleared first). This is
+/// the key-union step of collective merge: the result is guaranteed to
+/// re-encode through [`encode_keys`] without tripping the duplicate check.
+///
+/// # Errors
+/// [`EncodingError::DuplicateKey`] / [`EncodingError::InvalidInput`] if
+/// either *input* repeats or descends — a corrupt increment stream upstream,
+/// surfaced here instead of silently poisoning the union.
+pub fn union_keys_into(a: &[u64], b: &[u64], out: &mut Vec<u64>) -> Result<(), EncodingError> {
+    fn check_ascending(keys: &[u64]) -> Result<(), EncodingError> {
+        for w in keys.windows(2) {
+            if w[1] == w[0] {
+                return Err(EncodingError::DuplicateKey { key: w[0] });
+            }
+            if w[1] < w[0] {
+                return Err(EncodingError::InvalidInput(format!(
+                    "keys must be strictly ascending: {} < {}",
+                    w[1], w[0]
+                )));
+            }
+        }
+        Ok(())
+    }
+    check_ascending(a)?;
+    check_ascending(b)?;
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    Ok(())
+}
+
 /// Average bytes consumed per key — the statistic Figure 8(d) tracks
 /// ("Bytes Per Key", ~1.25–1.27 in the paper). Excludes the count varint.
 ///
@@ -337,6 +391,59 @@ mod tests {
     fn non_ascending_rejected() {
         assert!(encode_keys(&[5, 5], &mut BytesMut::new()).is_err());
         assert!(encode_keys(&[5, 3], &mut BytesMut::new()).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_are_a_typed_error() {
+        // A concatenated (unsummed) shard union repeats keys; both encode
+        // paths must name the offending key rather than emit a zero delta.
+        for result in [
+            encode_keys(&[3, 7, 7, 9], &mut BytesMut::new()),
+            encode_keys_into(&[3, 7, 7, 9], &mut BytesMut::new()).map(|_| 0),
+        ] {
+            assert_eq!(result, Err(EncodingError::DuplicateKey { key: 7 }));
+        }
+        assert_eq!(
+            delta_transform(&[1, 1]),
+            Err(EncodingError::DuplicateKey { key: 1 })
+        );
+        // Descending stays the generic invalid-input error.
+        assert!(matches!(
+            delta_transform(&[5, 3]),
+            Err(EncodingError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn union_keys_merges_and_dedups() {
+        let mut out = Vec::new();
+        union_keys_into(&[1, 4, 9], &[2, 4, 10], &mut out).unwrap();
+        assert_eq!(out, vec![1, 2, 4, 9, 10]);
+        union_keys_into(&[], &[7], &mut out).unwrap();
+        assert_eq!(out, vec![7]);
+        union_keys_into(&[7], &[], &mut out).unwrap();
+        assert_eq!(out, vec![7]);
+        // The union always re-encodes cleanly.
+        let mut buf = BytesMut::new();
+        union_keys_into(&[1, 4, 9], &[2, 4, 10], &mut out).unwrap();
+        encode_keys(&out, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn union_keys_rejects_corrupt_inputs() {
+        let mut out = Vec::new();
+        assert_eq!(
+            union_keys_into(&[1, 1], &[2], &mut out),
+            Err(EncodingError::DuplicateKey { key: 1 })
+        );
+        assert_eq!(
+            union_keys_into(&[2], &[9, 9], &mut out),
+            Err(EncodingError::DuplicateKey { key: 9 })
+        );
+        assert!(matches!(
+            union_keys_into(&[5, 3], &[], &mut out),
+            Err(EncodingError::InvalidInput(_))
+        ));
     }
 
     #[test]

@@ -5,9 +5,18 @@ use std::fmt;
 /// Errors produced while encoding or decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EncodingError {
-    /// Input violated a codec precondition (e.g. keys not strictly
-    /// ascending, or a delta too large for the 4-byte maximum).
+    /// Input violated a codec precondition (e.g. keys descending, or a
+    /// delta too large for the 4-byte maximum).
     InvalidInput(String),
+    /// A key appeared twice in input that must be strictly ascending —
+    /// the signature of a shard/partial union that was concatenated without
+    /// summing. Encoding it would silently produce a zero increment the
+    /// decoder cannot distinguish from a corrupt stream, so it is rejected
+    /// with the offending key for the caller to merge first.
+    DuplicateKey {
+        /// The repeated key.
+        key: u64,
+    },
     /// The byte stream ended before the decoder finished.
     UnexpectedEof {
         /// What the decoder was reading when the stream ran out.
@@ -21,6 +30,12 @@ impl fmt::Display for EncodingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodingError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            EncodingError::DuplicateKey { key } => {
+                write!(
+                    f,
+                    "duplicate key {key}: merged key streams must be summed, not concatenated"
+                )
+            }
             EncodingError::UnexpectedEof { context } => {
                 write!(f, "unexpected end of stream while reading {context}")
             }
@@ -46,5 +61,8 @@ mod tests {
         assert!(EncodingError::Corrupt("bad magic".into())
             .to_string()
             .contains("bad magic"));
+        assert!(EncodingError::DuplicateKey { key: 42 }
+            .to_string()
+            .contains("42"));
     }
 }

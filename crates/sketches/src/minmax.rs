@@ -149,6 +149,49 @@ impl MinMaxSketch {
         &self.cells
     }
 
+    /// Merges `other` into `self` by bin-wise **minimum** — the mergeable-
+    /// sketch operation collective aggregation relies on.
+    ///
+    /// Because min is commutative, associative, and idempotent, and
+    /// [`EMPTY_CELL`] (`u16::MAX`) is its identity, merging the sketches of
+    /// two item sets yields cells *identical* to inserting both sets into a
+    /// single sketch. The §3.3 underestimate-only guarantee is therefore
+    /// preserved under merge: a query can only move toward zero, never above
+    /// the smallest true index inserted for that key — decoded gradients
+    /// decay, they never flip sign.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidParameter`] unless both sketches have
+    /// identical shape *and* identical per-row hash seeds (bins are only
+    /// comparable when the hash functions agree).
+    pub fn merge(&mut self, other: &MinMaxSketch) -> Result<(), SketchError> {
+        if self.rows() != other.rows() || self.cols() != other.cols() {
+            return Err(SketchError::invalid(
+                "shape",
+                format!(
+                    "cannot merge {}x{} into {}x{}",
+                    other.rows(),
+                    other.cols(),
+                    self.rows(),
+                    self.cols()
+                ),
+            ));
+        }
+        if self.hash.seeds() != other.hash.seeds() {
+            return Err(SketchError::invalid(
+                "seed",
+                "cannot merge sketches with different hash seeds",
+            ));
+        }
+        for (mine, theirs) in self.cells.iter_mut().zip(&other.cells) {
+            if *theirs < *mine {
+                *mine = *theirs;
+            }
+        }
+        self.inserted += other.inserted;
+        Ok(())
+    }
+
     /// Rebuilds a sketch from its raw parts (deserialization path).
     ///
     /// # Errors
@@ -333,6 +376,32 @@ impl GroupedMinMaxSketch {
     /// Immutable access to one group's sketch (serialization path).
     pub fn group(&self, g: usize) -> Option<&MinMaxSketch> {
         self.groups.get(g)
+    }
+
+    /// Merges `other` group-by-group (see [`MinMaxSketch::merge`]). Both
+    /// sketches must cover the same index range with the same group count;
+    /// each group pair must agree on shape and hash seeds.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::InvalidParameter`] on any layout mismatch; on
+    /// error `self` may have absorbed a prefix of the groups.
+    pub fn merge(&mut self, other: &GroupedMinMaxSketch) -> Result<(), SketchError> {
+        if self.q != other.q || self.groups.len() != other.groups.len() {
+            return Err(SketchError::invalid(
+                "groups",
+                format!(
+                    "cannot merge q={} r={} into q={} r={}",
+                    other.q,
+                    other.groups.len(),
+                    self.q,
+                    self.groups.len()
+                ),
+            ));
+        }
+        for (mine, theirs) in self.groups.iter_mut().zip(&other.groups) {
+            mine.merge(theirs)?;
+        }
+        Ok(())
     }
 
     /// Rebuilds from per-group sketches (deserialization path).
@@ -562,6 +631,65 @@ mod tests {
             e8 < e1,
             "grouping should reduce mean index error: grouped {e8} !< single {e1}"
         );
+    }
+
+    #[test]
+    fn merge_equals_single_sketch_over_union() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let items: Vec<(u64, u16)> = (0..3_000).map(|k| (k, rng.gen_range(0..200u16))).collect();
+
+        let mut all = MinMaxSketch::new(2, 128, 14).unwrap();
+        for &(k, b) in &items {
+            all.insert(k, b);
+        }
+        let mut merged = MinMaxSketch::new(2, 128, 14).unwrap();
+        for part in items.chunks(700) {
+            let mut s = MinMaxSketch::new(2, 128, 14).unwrap();
+            for &(k, b) in part {
+                s.insert(k, b);
+            }
+            merged.merge(&s).unwrap();
+        }
+        assert_eq!(merged.cells(), all.cells());
+        assert_eq!(merged.inserted(), all.inserted());
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_layouts() {
+        let mut a = MinMaxSketch::new(2, 128, 14).unwrap();
+        assert!(a.merge(&MinMaxSketch::new(3, 128, 14).unwrap()).is_err());
+        assert!(a.merge(&MinMaxSketch::new(2, 64, 14).unwrap()).is_err());
+        assert!(a.merge(&MinMaxSketch::new(2, 128, 15).unwrap()).is_err());
+        assert!(a.merge(&MinMaxSketch::new(2, 128, 14).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn grouped_merge_equals_single_grouped_sketch() {
+        let q = 256u16;
+        let mut rng = StdRng::seed_from_u64(28);
+        let items: Vec<(u64, u16)> = (0..3_000).map(|k| (k, rng.gen_range(0..q))).collect();
+
+        let mut all = GroupedMinMaxSketch::new(q, 8, 2, 32, 16).unwrap();
+        let mut merged = GroupedMinMaxSketch::new(q, 8, 2, 32, 16).unwrap();
+        for &(k, b) in &items {
+            all.insert(k, b);
+        }
+        for part in items.chunks(1_000) {
+            let mut s = GroupedMinMaxSketch::new(q, 8, 2, 32, 16).unwrap();
+            for &(k, b) in part {
+                s.insert(k, b);
+            }
+            merged.merge(&s).unwrap();
+        }
+        for g in 0..all.num_groups() {
+            assert_eq!(
+                merged.group(g).unwrap().cells(),
+                all.group(g).unwrap().cells()
+            );
+        }
+        // Layout mismatches are typed errors.
+        let other = GroupedMinMaxSketch::new(q, 4, 2, 32, 16).unwrap();
+        assert!(merged.merge(&other).is_err());
     }
 
     #[test]

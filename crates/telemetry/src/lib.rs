@@ -40,7 +40,8 @@ use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Version stamped into every [`TelemetrySnapshot`]; bump on schema changes.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version 2 added the collectives section (allreduce hop/merge accounting).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Number of power-of-two buckets in every histogram.
 pub const HIST_BUCKETS: usize = 16;
@@ -64,9 +65,12 @@ pub enum Stage {
     Decode,
     /// One shard's inner encode inside the sharded engine.
     ShardEncode,
+    /// One merge of a hop payload into a collective's partial aggregate
+    /// (decode + key-union accumulate, plus the re-encode under resketch).
+    CollectiveMerge,
 }
 
-const NUM_STAGES: usize = 6;
+const NUM_STAGES: usize = 7;
 
 impl Stage {
     fn idx(self) -> usize {
@@ -129,9 +133,19 @@ pub enum Counter {
     ClusterCheckpointSaves,
     /// Cluster: runs resumed from a checkpoint.
     ClusterResumes,
+    /// Collectives: point-to-point hops attempted (every scheduled edge
+    /// transmission of an allreduce, successful or not).
+    CollectiveHops,
+    /// Collectives: payload bytes pushed across hops (as sent; retries and
+    /// duplicates are the transport's business and counted by the cluster).
+    CollectiveHopBytes,
+    /// Collectives: hop payloads merged into a partial aggregate.
+    CollectiveMerges,
+    /// Collectives: hops whose delivery failed for good.
+    CollectiveLostHops,
 }
 
-const NUM_COUNTERS: usize = 25;
+const NUM_COUNTERS: usize = 29;
 
 impl Counter {
     fn idx(self) -> usize {
@@ -537,6 +551,16 @@ pub struct ClusterSnapshot {
     pub recovery_seconds: f64,
 }
 
+/// Collective-aggregation (allreduce) section of the snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CollectivesSnapshot {
+    pub hops: u64,
+    pub hop_bytes: u64,
+    pub merges: u64,
+    pub lost_hops: u64,
+    pub merge: StageStat,
+}
+
 /// Everything the registry recorded, as plain serializable data.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TelemetrySnapshot {
@@ -544,6 +568,7 @@ pub struct TelemetrySnapshot {
     pub pipeline: PipelineSnapshot,
     pub sharded: ShardedSnapshot,
     pub cluster: ClusterSnapshot,
+    pub collectives: CollectivesSnapshot,
 }
 
 impl TelemetrySnapshot {
@@ -559,6 +584,7 @@ impl TelemetrySnapshot {
             &mut s.pipeline.key_encode,
             &mut s.pipeline.decode,
             &mut s.sharded.shard_encode,
+            &mut s.collectives.merge,
         ] {
             stat.nanos = 0;
         }
@@ -596,6 +622,9 @@ impl TelemetrySnapshot {
         }
         if self.pipeline.sketch_cells_occupied > self.pipeline.sketch_cells {
             return Err("sketch_cells_occupied > sketch_cells".into());
+        }
+        if self.collectives.lost_hops > self.collectives.hops {
+            return Err("collectives lost_hops > hops".into());
         }
         if self.pipeline.sketch_collisions > self.pipeline.sketch_inserts {
             return Err("sketch_collisions > sketch_inserts".into());
@@ -692,6 +721,13 @@ pub fn snapshot() -> TelemetrySnapshot {
             backoff_seconds: gauge(Gauge::ClusterBackoffSeconds),
             straggler_wait_seconds: gauge(Gauge::ClusterStragglerWaitSeconds),
             recovery_seconds: gauge(Gauge::ClusterRecoverySeconds),
+        },
+        collectives: CollectivesSnapshot {
+            hops: counter(Counter::CollectiveHops),
+            hop_bytes: counter(Counter::CollectiveHopBytes),
+            merges: counter(Counter::CollectiveMerges),
+            lost_hops: counter(Counter::CollectiveLostHops),
+            merge: stage_stat(Stage::CollectiveMerge),
         },
     }
 }

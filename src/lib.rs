@@ -17,6 +17,8 @@
 //! - [`ml`] — LR / SVM / Linear GLMs, Adam SGD, and an MLP;
 //! - [`data`] — synthetic KDD10/KDD12/CTR-like datasets and libsvm IO;
 //! - [`cluster`] — the driver/executor distributed-training simulator;
+//! - [`collectives`] — mergeable-sketch allreduce: ring / tree / star
+//!   aggregation of compressed gradient payloads;
 //! - [`telemetry`] — opt-in pipeline/cluster counters, histograms, and
 //!   stage timers behind a single relaxed atomic gate.
 //!
@@ -49,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub use sketchml_cluster as cluster;
+pub use sketchml_collectives as collectives;
 pub use sketchml_core as core;
 pub use sketchml_data as data;
 pub use sketchml_encoding as encoding;
@@ -57,11 +60,13 @@ pub use sketchml_sketches as sketches;
 pub use sketchml_telemetry as telemetry;
 
 pub use sketchml_cluster::{
-    train_distributed, train_distributed_chaos, train_distributed_resumable,
-    train_mlp_distributed_chaos, train_parameter_server, train_parameter_server_chaos, train_ssp,
-    train_ssp_chaos, ClusterConfig, FaultPlan, FaultTrace, FaultyLink, ShardMap, SspConfig,
-    TrainOutcome, TrainReport, TrainSpec,
+    train_allreduce, train_allreduce_chaos, train_allreduce_with_policy, train_distributed,
+    train_distributed_chaos, train_distributed_resumable, train_mlp_distributed_chaos,
+    train_parameter_server, train_parameter_server_chaos, train_ssp, train_ssp_chaos,
+    ClusterConfig, FaultPlan, FaultTrace, FaultyLink, ShardMap, SspConfig, TrainOutcome,
+    TrainReport, TrainSpec,
 };
+pub use sketchml_collectives::{MergePolicy, MergeableCompressor, Topology};
 pub use sketchml_core::{
     compressor_by_name, CompressError, CompressedGradient, ErrorFeedback, GradientCompressor,
     KeyCompressor, QuantCompressor, RawCompressor, Rounding, ShardedCompressor, SketchMlCompressor,

@@ -1,0 +1,257 @@
+//! Integration tests for the collectives crate wired through the cluster
+//! simulator: ring/tree allreduce training must match the star trainer
+//! under the exact merge policy, telemetry must account every hop, and
+//! seeded fault plans must reproduce bit-identically.
+
+use sketchml::telemetry::TelemetrySession;
+use sketchml::{
+    train_allreduce, train_allreduce_chaos, train_allreduce_with_policy, train_distributed,
+    ClusterConfig, CompressError, FaultPlan, GlmLoss, GradientCompressor, Instance, MergePolicy,
+    MergeableCompressor, RawCompressor, SketchMlCompressor, SparseDatasetSpec, Topology, TrainSpec,
+};
+
+fn dataset() -> (Vec<Instance>, Vec<Instance>, usize) {
+    let spec = SparseDatasetSpec {
+        name: "collectives".into(),
+        instances: 1_600,
+        features: 40_000,
+        avg_nnz: 22,
+        skew: 1.1,
+        label_noise: 0.02,
+        task: sketchml::data::Task::Classification,
+        seed: 321,
+    };
+    let (tr, te) = spec.generate_split();
+    (tr, te, 40_000)
+}
+
+/// Acceptance criterion: `train_allreduce` (ring, n = 8) under the exact
+/// merge policy lands within 1e-9 of `train_distributed` on the same seed.
+/// The two runs feed identical worker payloads into different aggregation
+/// orders, so the only divergence is floating-point reassociation.
+#[test]
+fn ring_allreduce_matches_the_star_trainer_to_1e9() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 6);
+    let star_cluster = ClusterConfig::cluster1(8);
+    let ring_cluster = ClusterConfig::cluster1(8).with_topology(Topology::Ring);
+
+    let sk = SketchMlCompressor::default();
+    let raw = RawCompressor::default();
+    let cases: [(&str, &dyn MergeableCompressor, &dyn GradientCompressor); 2] =
+        [("sketchml", &sk, &sk), ("raw", &raw, &raw)];
+    for (name, merge_comp, grad_comp) in cases {
+        let star = train_distributed(&train, &test, dim, &spec, &star_cluster, grad_comp).unwrap();
+        let ring = train_allreduce(&train, &test, dim, &spec, &ring_cluster, merge_comp).unwrap();
+        for (s, r) in star.epochs.iter().zip(ring.epochs.iter()) {
+            assert!(
+                (s.test_loss - r.test_loss).abs() < 1e-9,
+                "{name} epoch {}: star {} vs ring {}",
+                s.epoch,
+                s.test_loss,
+                r.test_loss
+            );
+        }
+        assert_eq!(star.epochs.len(), ring.epochs.len());
+    }
+}
+
+/// Tree and star topologies through the allreduce entry point agree with the
+/// ring (all are exact-policy sums of the same payloads) and beat the zero
+/// model.
+#[test]
+fn every_topology_trains_to_the_same_place() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 4);
+    let c = SketchMlCompressor::default();
+    let run = |t: Topology| {
+        let cluster = ClusterConfig::cluster1(4).with_topology(t);
+        train_allreduce(&train, &test, dim, &spec, &cluster, &c).unwrap()
+    };
+    let ring = run(Topology::Ring);
+    let tree = run(Topology::Tree);
+    let star = run(Topology::Star);
+
+    let baseline = (2f64).ln(); // zero model's logistic loss
+    for (name, r) in [("ring", &ring), ("tree", &tree), ("star", &star)] {
+        let loss = r.best_test_loss();
+        assert!(
+            loss < baseline * 0.95,
+            "{name}: loss {loss} did not beat the zero model"
+        );
+    }
+    let lr = ring.epochs.last().unwrap().test_loss;
+    let lt = tree.epochs.last().unwrap().test_loss;
+    let ls = star.epochs.last().unwrap().test_loss;
+    assert!((lr - lt).abs() < 1e-9, "ring {lr} vs tree {lt}");
+    assert!((lr - ls).abs() < 1e-9, "ring {lr} vs star {ls}");
+}
+
+/// The resketch policy keeps every hop sketch-compressed: links shrink
+/// relative to the exact policy's full-precision partial sums, and the run
+/// still converges.
+#[test]
+fn resketch_policy_shrinks_links_and_still_converges() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 4);
+    let cluster = ClusterConfig::cluster1(4).with_topology(Topology::Ring);
+    let c = SketchMlCompressor::default();
+    let exact =
+        train_allreduce_with_policy(&train, &test, dim, &spec, &cluster, &c, MergePolicy::Exact)
+            .unwrap();
+    let resketch = train_allreduce_with_policy(
+        &train,
+        &test,
+        dim,
+        &spec,
+        &cluster,
+        &c,
+        MergePolicy::Resketch,
+    )
+    .unwrap();
+
+    let bytes = |r: &sketchml::TrainReport| {
+        r.epochs
+            .iter()
+            .map(|e| e.uplink_bytes + e.downlink_bytes)
+            .sum::<u64>()
+    };
+    assert!(
+        bytes(&resketch) < bytes(&exact),
+        "resketch {} bytes should undercut exact {} bytes",
+        bytes(&resketch),
+        bytes(&exact)
+    );
+    let baseline = (2f64).ln();
+    assert!(
+        resketch.best_test_loss() < baseline * 0.95,
+        "resketch loss {} did not beat the zero model",
+        resketch.best_test_loss()
+    );
+}
+
+/// Acceptance criterion: telemetry counters account every hop. One ring
+/// round of n workers is n(n-1) reduce-scatter hops plus n(n-1) allgather
+/// hops, each hop is one merge on the reduce half, and every hop byte shows
+/// up in the cluster uplink/downlink books.
+#[test]
+fn telemetry_accounts_every_collective_hop() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 2);
+    let n = 4usize;
+    let cluster = ClusterConfig::cluster1(n)
+        .with_topology(Topology::Ring)
+        .with_telemetry(true);
+    let session = TelemetrySession::begin();
+    let report = train_allreduce(
+        &train,
+        &test,
+        dim,
+        &spec,
+        &cluster,
+        &SketchMlCompressor::default(),
+    )
+    .unwrap();
+    let snap = session.finish();
+    snap.validate().unwrap();
+
+    let rounds = snap.cluster.rounds;
+    assert!(rounds > 0);
+    let hops_per_round = 2 * n as u64 * (n as u64 - 1);
+    let merges_per_round = n as u64 * (n as u64 - 1);
+    assert_eq!(snap.collectives.hops, rounds * hops_per_round);
+    assert_eq!(snap.collectives.merges, rounds * merges_per_round);
+    assert_eq!(snap.collectives.lost_hops, 0);
+    assert!(snap.collectives.merge.count > 0);
+    // Every byte that crossed a link is booked exactly once: hop bytes are
+    // counted at the sender, the cluster books split the same stream into
+    // reduce (uplink) and distribute (downlink) phases.
+    assert_eq!(
+        snap.collectives.hop_bytes,
+        snap.cluster.uplink_bytes + snap.cluster.downlink_bytes
+    );
+    let report_bytes: u64 = report
+        .epochs
+        .iter()
+        .map(|e| e.uplink_bytes + e.downlink_bytes)
+        .sum();
+    assert_eq!(snap.collectives.hop_bytes, report_bytes);
+}
+
+/// Satellite: a seeded plan with 10% per-link drops on the ring converges
+/// within 5% of the fault-free loss. Retries are capped low enough that
+/// some hops are really lost for good, so the test exercises the
+/// drop-a-contribution path rather than just the retry loop.
+#[test]
+fn ring_survives_ten_percent_drops() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 4);
+    let cluster = ClusterConfig::cluster1(4).with_topology(Topology::Ring);
+    let c = SketchMlCompressor::default();
+
+    let clean = train_allreduce(&train, &test, dim, &spec, &cluster, &c).unwrap();
+    let plan = FaultPlan::seeded(0xD2075)
+        .with_drops(0.10)
+        .with_retries(2, 0.01);
+    let stormy = train_allreduce_chaos(&train, &test, dim, &spec, &cluster, &c, &plan).unwrap();
+
+    assert!(
+        !stormy.trace.events.is_empty(),
+        "a 10% drop plan should inject faults"
+    );
+    let lf = clean.epochs.last().unwrap().test_loss;
+    let lc = stormy.report.epochs.last().unwrap().test_loss;
+    assert!(
+        (lc - lf).abs() <= 0.05 * lf,
+        "chaos loss {lc} strayed more than 5% from fault-free loss {lf}"
+    );
+}
+
+/// Satellite: the same plan and data always reproduce the identical fault
+/// trace and a bit-identical final loss.
+#[test]
+fn chaos_allreduce_is_bit_reproducible() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 2);
+    let cluster = ClusterConfig::cluster1(4).with_topology(Topology::Ring);
+    let c = SketchMlCompressor::default();
+    let plan = FaultPlan::seeded(42).with_drops(0.10).with_retries(2, 0.01);
+    let run = || train_allreduce_chaos(&train, &test, dim, &spec, &cluster, &c, &plan).unwrap();
+    let a = run();
+    let b = run();
+    assert_eq!(a.trace, b.trace, "fault traces diverged");
+    let la = a.report.epochs.last().unwrap().test_loss;
+    let lb = b.report.epochs.last().unwrap().test_loss;
+    assert_eq!(
+        la.to_bits(),
+        lb.to_bits(),
+        "final losses diverged: {la} vs {lb}"
+    );
+}
+
+/// Crash events need a central checkpoint coordinator, which peer-to-peer
+/// rounds do not have: crash-bearing plans are rejected with a typed error,
+/// as is a topology without enough workers.
+#[test]
+fn invalid_configurations_are_typed_errors() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 1);
+    let c = SketchMlCompressor::default();
+
+    let cluster = ClusterConfig::cluster1(4).with_topology(Topology::Ring);
+    let crashy = FaultPlan::seeded(1).with_drops(0.10).with_crash(1, 2, 2);
+    match train_allreduce_chaos(&train, &test, dim, &spec, &cluster, &c, &crashy) {
+        Err(CompressError::InvalidConfig(msg)) => {
+            assert!(msg.contains("crash"), "unexpected message: {msg}")
+        }
+        other => panic!("crash plan should be rejected, got {other:?}"),
+    }
+
+    let lonely = ClusterConfig::cluster1(1).with_topology(Topology::Ring);
+    match train_allreduce(&train, &test, dim, &spec, &lonely, &c) {
+        Err(CompressError::InvalidConfig(msg)) => {
+            assert!(msg.contains("worker"), "unexpected message: {msg}")
+        }
+        other => panic!("one-worker ring should be rejected, got {other:?}"),
+    }
+}

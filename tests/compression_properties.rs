@@ -281,6 +281,110 @@ fn v1_silently_corrupts_where_v2_detects() {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// [`MinMaxSketch::merge`] of k partial sketches is *bin-wise identical*
+    /// to inserting every item into a single sketch: min is commutative,
+    /// associative and idempotent, with the empty sentinel as its identity.
+    /// Queries against the merged sketch therefore keep the §3.3
+    /// underestimate-only contract across the whole item set.
+    #[test]
+    fn minmax_merge_is_binwise_equal_to_single_sketch_insertion(
+        rows in 1usize..4,
+        cols in 8usize..96,
+        seed in any::<u64>(),
+        k in 2usize..5,
+        items in proptest::collection::vec((any::<u64>(), 0u16..1_000), 1..300),
+    ) {
+        use sketchml::sketches::MinMaxSketch;
+
+        let mut reference = MinMaxSketch::new(rows, cols, seed).expect("shape");
+        for &(key, index) in &items {
+            reference.insert(key, index);
+        }
+
+        let mut parts: Vec<MinMaxSketch> = (0..k)
+            .map(|_| MinMaxSketch::new(rows, cols, seed).expect("shape"))
+            .collect();
+        for (i, &(key, index)) in items.iter().enumerate() {
+            parts[i % k].insert(key, index);
+        }
+        let (merged, rest) = parts.split_first_mut().expect("k >= 2");
+        for part in rest {
+            merged.merge(part).expect("identical layout");
+        }
+
+        prop_assert_eq!(merged.cells(), reference.cells());
+        prop_assert_eq!(merged.inserted(), reference.inserted());
+
+        // Underestimate-only, per key: the merged query never exceeds the
+        // smallest index inserted for that key anywhere.
+        let mut min_index = std::collections::BTreeMap::new();
+        for &(key, index) in &items {
+            let e = min_index.entry(key).or_insert(index);
+            if index < *e {
+                *e = index;
+            }
+        }
+        for (&key, &floor) in &min_index {
+            let got = merged.query(key);
+            prop_assert_eq!(got, reference.query(key));
+            let got = got.expect("inserted keys always resolve");
+            prop_assert!(got <= floor, "key {}: query {} > min inserted {}", key, got, floor);
+        }
+    }
+
+    /// Merging compressed payloads and re-encoding the aggregate — the
+    /// resketch hop a collective performs — never flips a gradient sign
+    /// when the contributions agree on it: positive scalings of one payload
+    /// accumulate to same-sign sums, and the SketchML re-encode preserves
+    /// every sign (§3.3) while decoding the exact key set.
+    #[test]
+    fn merged_payload_redecode_never_flips_a_sign(
+        grad in arb_gradient(),
+        scales in proptest::collection::vec(0.1f64..2.0, 2..5),
+    ) {
+        use sketchml::core::{CompressScratch, MergeAcc};
+        use sketchml::MergeableCompressor;
+
+        let c = SketchMlCompressor::default();
+        let payload = c.compress(&grad).expect("compress").payload;
+
+        let mut acc = MergeAcc::new();
+        acc.reset(grad.dim());
+        let mut scratch = CompressScratch::new();
+        for &scale in &scales {
+            c.accumulate(&mut acc, &payload, scale, &mut scratch)
+                .expect("merge hop accepts its own wire format");
+        }
+
+        // Keys survive the merge except where a decode landed on an exact
+        // zero (allowed by the §3.3 contract: decay toward zero is fine).
+        let merged = acc.to_gradient().expect("finite sums");
+        let originals: std::collections::BTreeMap<u64, f64> =
+            grad.iter().collect();
+        for (k, _) in merged.iter() {
+            prop_assert!(originals.contains_key(&k), "merge invented key {}", k);
+        }
+        prop_assume!(merged.nnz() > 0); // compressors reject empty gradients
+        let rehop = c
+            .decompress(&c.compress(&merged).expect("re-encode").payload)
+            .expect("re-decode");
+        prop_assert_eq!(rehop.keys(), merged.keys(), "re-encode is keys-lossless");
+        for (k, out) in rehop.iter() {
+            let orig = originals[&k];
+            prop_assert!(
+                orig.signum() == out.signum() || out == 0.0,
+                "sign flip at key {}: contribution {} re-decoded as {}",
+                k,
+                orig,
+                out
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Error feedback over the sharded engine is thread-count invariant:

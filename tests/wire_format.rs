@@ -74,7 +74,13 @@ fn load_or_regen(name: &str, current: &[u8]) -> Vec<u8> {
 /// The canonical gradient every compressor fixture is built from: strictly
 /// ascending keys with mixed 1/2-byte deltas and zero-mean values.
 fn canonical_gradient() -> SparseGradient {
-    let mut rng = StdRng::seed_from_u64(SEED);
+    canonical_gradient_for(SEED)
+}
+
+/// [`canonical_gradient`] with an explicit seed: the collective fixtures
+/// build one gradient per worker from derived seeds.
+fn canonical_gradient_for(seed: u64) -> SparseGradient {
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut keys = Vec::with_capacity(NNZ);
     let mut next = 0u64;
     for _ in 0..NNZ {
@@ -256,6 +262,87 @@ fn delta_binary_keys_match_golden_fixture() {
     assert_eq!(to_hex(&golden), to_hex(&reencoded));
 }
 
+/// Replays a 3-worker ring reduce over sharded SketchML payloads and returns
+/// the final hop payload (an exact-policy AGG frame): worker 0's weighted
+/// contribution rides to worker 1, which folds its own in, and so on — each
+/// hop re-reads the previous AGG frame exactly as the collective executor
+/// does.
+fn ring_merged_payload(threads: usize) -> Vec<u8> {
+    use sketchml_core::{MergeAcc, MergePolicy, MergeableCompressor};
+
+    let engine = ShardedCompressor::new(SketchMlCompressor::default(), 4)
+        .expect("4 shards")
+        .with_threads(threads)
+        .expect("thread count in range");
+    let mut scratch = CompressScratch::new();
+    let mut acc = MergeAcc::new();
+    let mut hop = Vec::new();
+    for w in 0..3u64 {
+        let grad = canonical_gradient_for(SEED + 1 + w);
+        let payload = engine.compress(&grad).expect("worker payload").payload;
+        acc.reset(DIM);
+        if w > 0 {
+            engine
+                .accumulate(&mut acc, &hop, 1.0, &mut scratch)
+                .expect("previous hop frame re-reads");
+        }
+        engine
+            .accumulate(&mut acc, &payload, 1.0 / 3.0, &mut scratch)
+            .expect("own contribution folds in");
+        let mut out = BytesMut::new();
+        engine
+            .emit_hop(&acc, MergePolicy::Exact, &mut scratch, &mut out)
+            .expect("emit AGG hop frame");
+        hop = out.to_vec();
+    }
+    hop
+}
+
+#[test]
+fn ring_merged_agg_payload_matches_golden_fixture() {
+    use sketchml_core::{MergeAcc, MergeableCompressor};
+
+    let merged = ring_merged_payload(1);
+    let golden = load_or_regen("agg_ring3_seed901df1.hex", &merged);
+    assert_eq!(
+        to_hex(&golden),
+        to_hex(&merged),
+        "replaying the 3-worker ring changed the AGG wire format"
+    );
+    assert_eq!(golden[0], 0xAC, "AGG frames open with their magic byte");
+
+    // The merge path is deterministic across the sharded engine's thread
+    // counts: the hop bytes depend only on the data, never the schedule.
+    for threads in [2usize, 4] {
+        assert_eq!(
+            to_hex(&ring_merged_payload(threads)),
+            to_hex(&golden),
+            "{threads}-thread ring merge diverged from the single-threaded bytes"
+        );
+    }
+
+    // The stored frame still decodes, to exactly the driver-style aggregate:
+    // AGG sums are raw f64 partial sums, so equality here is bitwise.
+    let engine = ShardedCompressor::new(SketchMlCompressor::default(), 4).expect("4 shards");
+    let mut scratch = CompressScratch::new();
+    let mut from_fixture = MergeAcc::new();
+    from_fixture.reset(DIM);
+    engine
+        .accumulate(&mut from_fixture, &golden, 1.0, &mut scratch)
+        .expect("fixture decodes");
+    let mut reference = MergeAcc::new();
+    reference.reset(DIM);
+    for w in 0..3u64 {
+        let grad = canonical_gradient_for(SEED + 1 + w);
+        let payload = engine.compress(&grad).expect("worker payload").payload;
+        engine
+            .accumulate(&mut reference, &payload, 1.0 / 3.0, &mut scratch)
+            .expect("reference accumulate");
+    }
+    assert_eq!(from_fixture.keys(), reference.keys());
+    assert_eq!(from_fixture.sums(), reference.sums());
+}
+
 #[test]
 fn fixtures_are_committed_not_regenerated_in_ci() {
     // All four fixtures must exist in the tree; the other tests would
@@ -268,6 +355,7 @@ fn fixtures_are_committed_not_regenerated_in_ci() {
         "sketchml_sharded4_v2_seed901df1.hex",
         "delta_binary_seed901df1.hex",
         "ef_sketchml_round2_seed901df1.hex",
+        "agg_ring3_seed901df1.hex",
     ] {
         assert!(
             fixture_path(name).exists() || std::env::var_os("REGEN_FIXTURES").is_some(),
