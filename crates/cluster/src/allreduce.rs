@@ -43,6 +43,7 @@ struct SimTransport<'a> {
     cluster: &'a ClusterConfig,
     link: Option<FaultyLink>,
     compressor: &'a dyn MergeableCompressor,
+    policy: MergePolicy,
     dim: u64,
     verify_acc: MergeAcc,
     verify_scratch: CompressScratch,
@@ -56,6 +57,7 @@ impl<'a> SimTransport<'a> {
     fn new(
         cluster: &'a ClusterConfig,
         compressor: &'a dyn MergeableCompressor,
+        policy: MergePolicy,
         dim: u64,
         link: Option<FaultyLink>,
     ) -> Self {
@@ -64,6 +66,7 @@ impl<'a> SimTransport<'a> {
             cluster,
             link,
             compressor,
+            policy,
             dim,
             verify_acc: MergeAcc::new(),
             verify_scratch: CompressScratch::default(),
@@ -113,6 +116,7 @@ impl Transport for SimTransport<'_> {
                     hop.to
                 };
                 let comp = self.compressor;
+                let policy = self.policy;
                 let dim = self.dim;
                 let acc = &mut self.verify_acc;
                 let scratch = &mut self.verify_scratch;
@@ -120,9 +124,10 @@ impl Transport for SimTransport<'_> {
                     // The receiver's integrity check: the hop payload must
                     // merge cleanly at the declared dimension (v2-framed
                     // native payloads verify per-shard CRCs here; AGG
-                    // frames are structurally validated).
+                    // frames are structurally validated, and Linear-policy
+                    // CSK frames carry their own CRC32).
                     acc.reset(dim);
-                    comp.accumulate(acc, b, 1.0, scratch).is_ok()
+                    comp.accumulate_hop(acc, b, 1.0, policy, scratch).is_ok()
                 });
                 (tx.sim_seconds, tx.payload)
             }
@@ -291,7 +296,7 @@ fn run_allreduce(
         )?),
         None => None,
     };
-    let mut transport = SimTransport::new(cluster, merge_comp, dim as u64, link);
+    let mut transport = SimTransport::new(cluster, merge_comp, policy, dim as u64, link);
 
     let mut epochs = Vec::with_capacity(spec.max_epochs);
     let mut curve = Vec::new();

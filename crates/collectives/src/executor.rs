@@ -3,8 +3,10 @@
 //!
 //! The executor is a *simulation* of a peer-to-peer collective in one
 //! process: each node's partial aggregate lives in a [`MergeAcc`], hop
-//! payloads are genuine wire frames ([`MergePolicy::Exact`] AGG frames or
-//! natively re-compressed messages under [`MergePolicy::Resketch`]), and
+//! payloads are genuine wire frames ([`MergePolicy::Exact`] AGG frames,
+//! natively re-compressed messages under [`MergePolicy::Resketch`], or raw
+//! Count-Sketch cell tables under [`MergePolicy::Linear`] — merged
+//! element-wise and extracted only at the final decode), and
 //! every transmission goes through the caller's [`Transport`]. Hops are
 //! performed in schedule order, so a seeded lossy transport yields
 //! bit-reproducible outcomes.
@@ -94,12 +96,12 @@ fn emit(
     scratch: &mut CompressScratch,
     out: &mut BytesMut,
 ) -> Result<u64, CompressError> {
-    if acc.nnz() == 0 {
+    if acc.is_empty() {
         acc.write_agg(out)?;
         return Ok(0);
     }
     compressor.emit_hop(acc, policy, scratch, out)?;
-    Ok(acc.nnz() as u64)
+    Ok(acc.linear().map_or(acc.nnz() as u64, |t| t.nnz()))
 }
 
 /// Byte/hop bookkeeping shared by the three topology drivers.
@@ -206,6 +208,14 @@ pub fn allreduce(
             )));
         }
     }
+    if policy == MergePolicy::Linear && !compressor.supports_linear() {
+        return Err(CompressError::InvalidConfig(format!(
+            "{} payloads are not linear; the {} policy needs a compressor \
+             whose frames merge element-wise (e.g. countsketch)",
+            compressor.name(),
+            policy.name()
+        )));
+    }
     let mut scratch = CompressScratch::default();
     match topology {
         Topology::Star => star(
@@ -236,9 +246,12 @@ pub fn allreduce(
 }
 
 /// Decodes the final payload a distribute phase ships — what every worker
-/// actually applies to its model replica.
+/// actually applies to its model replica. Under [`MergePolicy::Linear`]
+/// this is the single point where heavy hitters are extracted from the
+/// merged cell table.
 fn decode_final(
     compressor: &dyn MergeableCompressor,
+    policy: MergePolicy,
     dim: u64,
     payloads: &[&[u8]],
     scratch: &mut CompressScratch,
@@ -246,9 +259,9 @@ fn decode_final(
     let mut acc = MergeAcc::new();
     acc.reset(dim);
     for p in payloads {
-        compressor.accumulate(&mut acc, p, 1.0, scratch)?;
+        compressor.accumulate_hop(&mut acc, p, 1.0, policy, scratch)?;
     }
-    acc.to_gradient()
+    compressor.finish(&acc)
 }
 
 fn star(
@@ -267,7 +280,8 @@ fn star(
         let c = &contributions[hop.from];
         if let Some(delivered) = books.ship(transport, hop, c.payload) {
             let _t = telemetry::time(telemetry::Stage::CollectiveMerge);
-            let pairs = compressor.accumulate(&mut acc, &delivered, c.weight, scratch)?;
+            let pairs =
+                compressor.accumulate_hop(&mut acc, &delivered, c.weight, policy, scratch)?;
             books.merged(pairs);
         }
     }
@@ -277,7 +291,7 @@ fn star(
     for hop in distribute_schedule(Topology::Star, n) {
         books.ship(transport, hop, &down);
     }
-    let gradient = decode_final(compressor, dim, &[&down], scratch)?;
+    let gradient = decode_final(compressor, policy, dim, &[&down], scratch)?;
     Ok(books.into_report(gradient))
 }
 
@@ -294,20 +308,33 @@ fn ring(
     let mut books = Books::new(n);
 
     // Each worker decodes its own contribution and splits it into one
-    // partial accumulator per key-range chunk.
+    // partial accumulator per chunk: key ranges for pair aggregates, cell
+    // ranges of the sketch table under [`MergePolicy::Linear`] (the table
+    // is the payload, so the reduce-scatter shards *cells*, not keys).
     let mut accs: Vec<Vec<MergeAcc>> = Vec::with_capacity(n);
     let mut full = MergeAcc::new();
     for c in contributions {
         full.reset(dim);
-        compressor.accumulate(&mut full, c.payload, c.weight, scratch)?;
+        compressor.accumulate_hop(&mut full, c.payload, c.weight, policy, scratch)?;
         let mut per_chunk = Vec::with_capacity(n);
-        for r in &ranges {
-            let lo = full.keys().partition_point(|&k| k < r.start);
-            let hi = full.keys().partition_point(|&k| k < r.end);
-            let mut acc = MergeAcc::new();
-            acc.reset(dim);
-            acc.accumulate_pairs(&full.keys()[lo..hi], &full.sums()[lo..hi], 1.0)?;
-            per_chunk.push(acc);
+        if let Some(table) = full.linear() {
+            for r in chunk_ranges(table.table_len(), n) {
+                let mut acc = MergeAcc::new();
+                acc.reset(dim);
+                if r.end > r.start {
+                    acc.fold_linear_slice(table, r.start, r.end - r.start)?;
+                }
+                per_chunk.push(acc);
+            }
+        } else {
+            for r in &ranges {
+                let lo = full.keys().partition_point(|&k| k < r.start);
+                let hi = full.keys().partition_point(|&k| k < r.end);
+                let mut acc = MergeAcc::new();
+                acc.reset(dim);
+                acc.accumulate_pairs(&full.keys()[lo..hi], &full.sums()[lo..hi], 1.0)?;
+                per_chunk.push(acc);
+            }
         }
         accs.push(per_chunk);
     }
@@ -320,7 +347,13 @@ fn ring(
         books.codec_pairs += emit(compressor, &accs[hop.from][c], policy, scratch, &mut out)?;
         if let Some(delivered) = books.ship(transport, hop, &out) {
             let _t = telemetry::time(telemetry::Stage::CollectiveMerge);
-            let pairs = compressor.accumulate(&mut accs[hop.to][c], &delivered, 1.0, scratch)?;
+            let pairs = compressor.accumulate_hop(
+                &mut accs[hop.to][c],
+                &delivered,
+                1.0,
+                policy,
+                scratch,
+            )?;
             books.merged(pairs);
         }
     }
@@ -357,7 +390,7 @@ fn ring(
     // The authoritative aggregate: every chunk as its owner shipped it
     // (identical to every delivered copy — allgather forwards unchanged).
     let refs: Vec<&[u8]> = owner_payload.iter().map(Vec::as_slice).collect();
-    let gradient = decode_final(compressor, dim, &refs, scratch)?;
+    let gradient = decode_final(compressor, policy, dim, &refs, scratch)?;
     Ok(books.into_report(gradient))
 }
 
@@ -375,7 +408,7 @@ fn tree(
     for c in contributions {
         let mut acc = MergeAcc::new();
         acc.reset(dim);
-        compressor.accumulate(&mut acc, c.payload, c.weight, scratch)?;
+        compressor.accumulate_hop(&mut acc, c.payload, c.weight, policy, scratch)?;
         accs.push(acc);
     }
 
@@ -386,7 +419,8 @@ fn tree(
         books.codec_pairs += emit(compressor, &accs[hop.from], policy, scratch, &mut out)?;
         if let Some(delivered) = books.ship(transport, hop, &out) {
             let _t = telemetry::time(telemetry::Stage::CollectiveMerge);
-            let pairs = compressor.accumulate(&mut accs[hop.to], &delivered, 1.0, scratch)?;
+            let pairs =
+                compressor.accumulate_hop(&mut accs[hop.to], &delivered, 1.0, policy, scratch)?;
             books.merged(pairs);
         }
     }
@@ -399,7 +433,7 @@ fn tree(
     for hop in distribute_schedule(Topology::Tree, n) {
         books.ship(transport, hop, &root_payload);
     }
-    let gradient = decode_final(compressor, dim, &[&root_payload], scratch)?;
+    let gradient = decode_final(compressor, policy, dim, &[&root_payload], scratch)?;
     Ok(books.into_report(gradient))
 }
 
@@ -672,6 +706,81 @@ mod tests {
         // Workers 0 and 1 still reached the aggregate.
         for w in [0usize, 1] {
             assert!(got.gradient.keys().contains(&j_fix(w)), "worker {w} kept");
+        }
+    }
+
+    #[test]
+    fn linear_policy_requires_a_linear_compressor() {
+        let c = RawCompressor::default();
+        let ps = payloads(&c, 100, 2, 5);
+        let contribs = contributions(&ps);
+        let err = allreduce(
+            Topology::Ring,
+            MergePolicy::Linear,
+            &c,
+            100,
+            &contribs,
+            &mut PerfectTransport,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompressError::InvalidConfig(_)));
+        assert!(err.to_string().contains("linear"));
+    }
+
+    #[test]
+    fn linear_policy_is_bit_exact_across_topologies() {
+        use sketchml_core::{CountSketchCompressor, CountSketchConfig};
+        let c = CountSketchCompressor::new(CountSketchConfig::default()).unwrap();
+        let dim = 16_384u64;
+        let n = 4usize;
+        // Dyadic values and power-of-two weights: every addition along any
+        // merge order is exact, so sum-of-sketches equals sketch-of-sum
+        // bit for bit.
+        let grads: Vec<SparseGradient> = (0..n)
+            .map(|w| {
+                let keys: Vec<u64> = (0..64).map(|j| (j * 97 + w as u64 * 13) % dim).collect();
+                let mut keys = keys;
+                keys.sort_unstable();
+                keys.dedup();
+                let values: Vec<f64> = keys
+                    .iter()
+                    .enumerate()
+                    .map(|(j, _)| ((j as f64) - 31.0) / 64.0)
+                    .collect();
+                SparseGradient::new(dim, keys, values).unwrap()
+            })
+            .collect();
+        let ps: Vec<Vec<u8>> = grads
+            .iter()
+            .map(|g| c.compress(g).unwrap().payload.to_vec())
+            .collect();
+        let contribs: Vec<Contribution> = ps
+            .iter()
+            .map(|p| Contribution {
+                payload: p,
+                weight: 0.25,
+            })
+            .collect();
+        // Single-node reference: sketch the weighted sum directly, extract.
+        let mut weighted = grads.clone();
+        for g in &mut weighted {
+            g.scale(0.25);
+        }
+        let sum = SparseGradient::aggregate(&weighted).unwrap();
+        let want = c.decompress(&c.compress(&sum).unwrap().payload).unwrap();
+        for t in [Topology::Star, Topology::Ring, Topology::Tree] {
+            let got = allreduce(
+                t,
+                MergePolicy::Linear,
+                &c,
+                dim,
+                &contribs,
+                &mut PerfectTransport,
+            )
+            .unwrap();
+            assert_eq!(got.gradient.keys(), want.keys(), "{t:?}");
+            assert_eq!(got.gradient.values(), want.values(), "{t:?}");
+            assert_eq!(got.lost_hops, 0);
         }
     }
 

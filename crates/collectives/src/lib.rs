@@ -21,7 +21,11 @@
 //! `sketchml-core`): `Exact` relays f64 partial sums in AGG frames
 //! (bit-faithful aggregation, ~9 B/key), `Resketch` re-compresses each
 //! hop into the native sketch format (~2 B/key links, quantization
-//! compounds once per merge hop but signs never flip).
+//! compounds once per merge hop but signs never flip), and `Linear`
+//! merges raw Count-Sketch cell tables element-wise — sketch-of-sum
+//! equals sum-of-sketches, so nothing compounds and heavy-hitter
+//! extraction is deferred to the final decode (requires a compressor
+//! with [`MergeableCompressor::supports_linear`], e.g. `countsketch`).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]

@@ -52,6 +52,7 @@
 
 pub mod baselines;
 pub mod compressor;
+pub mod count_sketch;
 pub mod error;
 pub mod feedback;
 pub mod gradient;
@@ -67,6 +68,7 @@ pub mod zipml;
 
 pub use baselines::{KeyCompressor, RawCompressor, TruncationCompressor, ValueWidth};
 pub use compressor::{roundtrip_error, CompressedGradient, GradientCompressor, RoundtripStats};
+pub use count_sketch::{CountSketchCompressor, CountSketchConfig};
 pub use error::CompressError;
 pub use feedback::ErrorFeedback;
 pub use gradient::SparseGradient;

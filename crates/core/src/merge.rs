@@ -2,7 +2,7 @@
 //! (ring / tree allreduce) performs on *compressed* gradient payloads
 //! instead of decompressing everything at a central driver.
 //!
-//! Two hop-payload policies are supported, because exactness and per-link
+//! Three hop-payload policies are supported, because exactness and per-link
 //! bytes pull in opposite directions:
 //!
 //! * [`MergePolicy::Exact`] — intermediate hops carry **AGG frames**: the
@@ -18,8 +18,16 @@
 //!   (~2 bytes/key for SketchML). Quantization error compounds once per
 //!   merge hop, but the MinMaxSketch underestimate-only rule keeps every
 //!   hop's error conservative: magnitudes decay, signs never flip.
+//! * [`MergePolicy::Linear`] — hops carry raw **Count-Sketch cell tables**
+//!   (CSK frames, [`sketchml_encoding::csk`]) merged element-wise: no key
+//!   union, no resketch, and heavy-hitter extraction is deferred to the
+//!   final hop. Because the sketch is linear, the merged table is
+//!   *bit-identical* to the single-node sketch of the summed gradient
+//!   (modulo f64 reassociation, which vanishes for dyadic inputs). Only
+//!   compressors whose payloads are linear opt in via
+//!   [`MergeableCompressor::supports_linear`].
 //!
-//! [`MergeAcc`] is the accumulator both policies share; the
+//! [`MergeAcc`] is the accumulator all policies share; the
 //! [`MergeableCompressor`] trait plugs any [`GradientCompressor`] into it.
 
 use crate::compressor::GradientCompressor;
@@ -27,7 +35,9 @@ use crate::error::CompressError;
 use crate::gradient::SparseGradient;
 use crate::scratch::CompressScratch;
 use bytes::BytesMut;
+use sketchml_encoding::csk::{self, CskHeader};
 use sketchml_encoding::{delta_binary, varint};
+use sketchml_telemetry as telemetry;
 
 /// Lead byte of an AGG (exact partial-aggregate) frame. Distinct from every
 /// native compressor magic (`0x0D`/`0x0E`/`0x0F` baselines, `0xA5` Quan,
@@ -50,6 +60,10 @@ pub enum MergePolicy {
     /// Hops re-compress the partial aggregate with the native compressor:
     /// sketch-sized links, conservatively lossy (one quantization per hop).
     Resketch,
+    /// Hops merge raw Count-Sketch cell tables element-wise (CSK frames),
+    /// deferring heavy-hitter extraction to the final hop. Requires a
+    /// compressor with [`MergeableCompressor::supports_linear`].
+    Linear,
 }
 
 impl MergePolicy {
@@ -58,7 +72,121 @@ impl MergePolicy {
         match self {
             MergePolicy::Exact => "exact",
             MergePolicy::Resketch => "resketch",
+            MergePolicy::Linear => "linear",
         }
+    }
+}
+
+/// The linear-merge state of a [`MergeAcc`]: a full Count-Sketch cell table
+/// plus the window of cells this accumulator is responsible for emitting.
+/// The table always allocates `rows · cols` cells — cells outside every
+/// folded window stay exactly `0.0`, so additions commute bit-exactly — and
+/// the emit window is the union of all folded windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearTable {
+    dim: u64,
+    rows: u32,
+    cols: u32,
+    k: u32,
+    seed: u64,
+    nnz: u64,
+    key_lo: u64,
+    key_end: u64,
+    win_start: u64,
+    win_end: u64,
+    cells: Vec<f64>,
+}
+
+impl LinearTable {
+    /// Gradient dimension the table summarizes.
+    pub fn dim(&self) -> u64 {
+        self.dim
+    }
+
+    /// Sketch rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Sketch columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Heavy hitters to extract at the final hop.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Hash-family seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total pair count folded in so far (reporting only).
+    pub fn nnz(&self) -> u64 {
+        self.nnz
+    }
+
+    /// `[lo, end)` union of every folded frame's key range — the bound for
+    /// the final heavy-hitter extraction.
+    pub fn key_range(&self) -> (u64, u64) {
+        (self.key_lo, self.key_end)
+    }
+
+    /// Total cells of the full table.
+    pub fn table_len(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols)
+    }
+
+    /// The full cell table (row-major, `rows · cols` long).
+    pub fn cells(&self) -> &[f64] {
+        &self.cells
+    }
+
+    /// The `[start, end)` cell window this accumulator emits.
+    pub fn window(&self) -> (u64, u64) {
+        (self.win_start, self.win_end)
+    }
+
+    fn header(&self) -> CskHeader {
+        CskHeader {
+            dim: self.dim,
+            rows: self.rows,
+            cols: self.cols,
+            k: self.k,
+            seed: self.seed,
+            nnz: self.nnz,
+            key_lo: self.key_lo,
+            key_end: self.key_end,
+            cell_start: self.win_start,
+            cell_count: self.win_end - self.win_start,
+        }
+    }
+
+    fn check_compatible(&self, h: &CskHeader) -> Result<(), CompressError> {
+        if self.dim != h.dim
+            || self.rows != h.rows
+            || self.cols != h.cols
+            || self.k != h.k
+            || self.seed != h.seed
+        {
+            return Err(CompressError::Corrupt(format!(
+                "CSK frame shape {}x{} k={} seed={} dim={} does not match \
+                 accumulated table {}x{} k={} seed={} dim={}",
+                h.rows,
+                h.cols,
+                h.k,
+                h.seed,
+                h.dim,
+                self.rows,
+                self.cols,
+                self.k,
+                self.seed,
+                self.dim
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -74,6 +202,8 @@ pub struct MergeAcc {
     tmp_keys: Vec<u64>,
     tmp_sums: Vec<f64>,
     decode: SparseGradient,
+    // Linear-policy state: present once a CSK frame has been folded.
+    linear: Option<LinearTable>,
 }
 
 impl Default for MergeAcc {
@@ -93,6 +223,7 @@ impl MergeAcc {
             tmp_keys: Vec::new(),
             tmp_sums: Vec::new(),
             decode: SparseGradient::empty(0),
+            linear: None,
         }
     }
 
@@ -101,6 +232,19 @@ impl MergeAcc {
         self.dim = dim;
         self.keys.clear();
         self.sums.clear();
+        self.linear = None;
+    }
+
+    /// The linear-merge cell table, if any CSK frame has been folded since
+    /// the last [`reset`](Self::reset).
+    pub fn linear(&self) -> Option<&LinearTable> {
+        self.linear.as_ref()
+    }
+
+    /// True when nothing — neither pairs nor a linear table — has been
+    /// accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty() && self.linear.is_none()
     }
 
     /// Gradient dimension this accumulator aggregates over.
@@ -323,6 +467,147 @@ impl MergeAcc {
         self.tmp_keys = keys;
         result
     }
+
+    /// Folds `scale · cells` (a window `[h.cell_start, h.cell_start +
+    /// h.cell_count)` of a Count-Sketch table described by `h`) into the
+    /// linear table, creating it on first fold. The emit window grows to the
+    /// union of all folded windows.
+    ///
+    /// # Errors
+    /// [`CompressError::Corrupt`] if `h` disagrees with the accumulator's
+    /// dimension, an already-folded table's shape/seed, or `cells`' length.
+    pub fn fold_linear(
+        &mut self,
+        h: &CskHeader,
+        cells: &[f64],
+        scale: f64,
+    ) -> Result<(), CompressError> {
+        if h.dim != self.dim {
+            return Err(CompressError::Corrupt(format!(
+                "CSK frame dimension {} does not match accumulator {}",
+                h.dim, self.dim
+            )));
+        }
+        if cells.len() as u64 != h.cell_count {
+            return Err(CompressError::Corrupt(format!(
+                "CSK frame declares {} cells but {} were supplied",
+                h.cell_count,
+                cells.len()
+            )));
+        }
+        let table = match &mut self.linear {
+            Some(t) => {
+                t.check_compatible(h)?;
+                t
+            }
+            None => {
+                let len = usize::try_from(h.table_len())
+                    .ok()
+                    .filter(|&n| n <= u32::MAX as usize)
+                    .ok_or_else(|| {
+                        CompressError::Corrupt("CSK table exceeds u32::MAX cells".into())
+                    })?;
+                self.linear.insert(LinearTable {
+                    dim: h.dim,
+                    rows: h.rows,
+                    cols: h.cols,
+                    k: h.k,
+                    seed: h.seed,
+                    nnz: 0,
+                    key_lo: h.key_lo,
+                    key_end: h.key_end,
+                    win_start: h.cell_start,
+                    win_end: h.cell_start + h.cell_count,
+                    cells: vec![0.0; len],
+                })
+            }
+        };
+        let start = h.cell_start as usize;
+        for (dst, &src) in table.cells[start..start + cells.len()]
+            .iter_mut()
+            .zip(cells)
+        {
+            *dst += scale * src;
+        }
+        table.nnz = table.nnz.saturating_add(h.nnz);
+        // Union the key ranges; an empty range ([lo, lo)) is the identity.
+        if h.key_lo != h.key_end {
+            if table.key_lo == table.key_end {
+                (table.key_lo, table.key_end) = (h.key_lo, h.key_end);
+            } else {
+                table.key_lo = table.key_lo.min(h.key_lo);
+                table.key_end = table.key_end.max(h.key_end);
+            }
+        }
+        table.win_start = table.win_start.min(h.cell_start);
+        table.win_end = table.win_end.max(h.cell_start + h.cell_count);
+        if telemetry::enabled() {
+            telemetry::inc(telemetry::Counter::CollectiveLinearFolds);
+        }
+        Ok(())
+    }
+
+    /// Parses a CSK frame and [`fold_linear`](Self::fold_linear)s it in.
+    /// Returns the pair count the frame declared.
+    ///
+    /// # Errors
+    /// [`CompressError::Corrupt`] on a malformed frame or an incompatible
+    /// table.
+    pub fn read_csk(&mut self, payload: &[u8], scale: f64) -> Result<u64, CompressError> {
+        let mut cells = std::mem::take(&mut self.tmp_sums);
+        let result = csk::read_frame(payload, &mut cells)
+            .map_err(|e| CompressError::Corrupt(format!("CSK frame: {e}")))
+            .and_then(|h| self.fold_linear(&h, &cells, scale).map(|()| h.nnz));
+        cells.clear();
+        self.tmp_sums = cells;
+        result
+    }
+
+    /// Serializes the linear table's emit window as a CSK frame (`out` is
+    /// cleared first). Returns the frame length.
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidConfig`] if no linear table is present.
+    pub fn write_csk(&self, out: &mut BytesMut) -> Result<usize, CompressError> {
+        let t = self.linear.as_ref().ok_or_else(|| {
+            CompressError::InvalidConfig("no linear table accumulated to emit".into())
+        })?;
+        out.clear();
+        let (start, end) = (t.win_start as usize, t.win_end as usize);
+        csk::write_frame(&t.header(), &t.cells[start..end], out)
+            .map_err(CompressError::Encoding)?;
+        Ok(out.len())
+    }
+
+    /// Copies the cell window `[start, start + len)` of `src` into this
+    /// accumulator as its own emit window — the reduce-scatter split: each
+    /// ring chunk gets a per-chunk accumulator covering a disjoint cell
+    /// range of the same table.
+    ///
+    /// # Errors
+    /// [`CompressError::Corrupt`] if the window is out of range or conflicts
+    /// with an existing fold.
+    pub fn fold_linear_slice(
+        &mut self,
+        src: &LinearTable,
+        start: u64,
+        len: u64,
+    ) -> Result<(), CompressError> {
+        if start + len > src.table_len() || len == 0 {
+            return Err(CompressError::Corrupt(format!(
+                "cell window [{start}, {}) outside table of {} cells",
+                start + len,
+                src.table_len()
+            )));
+        }
+        let h = CskHeader {
+            cell_start: start,
+            cell_count: len,
+            ..src.header()
+        };
+        let range = start as usize..(start + len) as usize;
+        self.fold_linear(&h, &src.cells[range], 1.0)
+    }
 }
 
 /// A compressor whose payloads can be merged hop-by-hop inside a collective.
@@ -333,6 +618,13 @@ impl MergeAcc {
 /// marker (and extension point) for the collective executor, which only
 /// accepts compressors that opted in.
 pub trait MergeableCompressor: GradientCompressor {
+    /// True when this compressor's native payloads are CSK frames that can
+    /// be merged element-wise under [`MergePolicy::Linear`]. The collective
+    /// executor rejects `Linear` for compressors that return `false`.
+    fn supports_linear(&self) -> bool {
+        false
+    }
+
     /// Folds a hop payload into `acc` with weight `scale`, returning the
     /// number of key-value pairs the payload carried (the decode work done,
     /// which cost models charge for). AGG frames are recognized by their
@@ -359,9 +651,34 @@ pub trait MergeableCompressor: GradientCompressor {
         result
     }
 
+    /// Policy-aware [`accumulate`](Self::accumulate): under
+    /// [`MergePolicy::Linear`], CSK frames fold element-wise into the
+    /// accumulator's table instead of being decoded to top-k pairs — the
+    /// lossless one-pass merge. Every other (payload, policy) combination
+    /// defers to `accumulate`.
+    ///
+    /// # Errors
+    /// Decode or accumulation failures ([`CompressError`]).
+    fn accumulate_hop(
+        &self,
+        acc: &mut MergeAcc,
+        payload: &[u8],
+        scale: f64,
+        policy: MergePolicy,
+        scratch: &mut CompressScratch,
+    ) -> Result<u64, CompressError> {
+        if policy == MergePolicy::Linear && payload.first() == Some(&csk::CSK_MAGIC) {
+            return acc.read_csk(payload, scale);
+        }
+        self.accumulate(acc, payload, scale, scratch)
+    }
+
     /// Serializes the accumulator as the next hop's payload under `policy`:
     /// an AGG frame for [`MergePolicy::Exact`], a re-compressed native
-    /// payload for [`MergePolicy::Resketch`]. `out` is cleared first.
+    /// payload for [`MergePolicy::Resketch`], a raw cell-table CSK frame for
+    /// [`MergePolicy::Linear`] (falling back to an AGG frame when nothing
+    /// linear was folded, so empty contributions stay representable).
+    /// `out` is cleared first.
     ///
     /// # Errors
     /// Encoding failures ([`CompressError`]).
@@ -380,12 +697,79 @@ pub trait MergeableCompressor: GradientCompressor {
                 let grad = acc.to_gradient()?;
                 self.compress_into(&grad, scratch, out)?;
             }
+            MergePolicy::Linear => {
+                if acc.linear().is_some() {
+                    acc.write_csk(out)?;
+                } else {
+                    acc.write_agg(out)?;
+                }
+            }
         }
         Ok(())
     }
+
+    /// Materializes the final aggregate. With a linear table present this is
+    /// where heavy-hitter extraction happens (overridden by the Count-Sketch
+    /// compressor); the default is the exact pair aggregate.
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidConfig`] if a linear table was accumulated
+    /// but this compressor cannot extract from it; gradient validation
+    /// otherwise.
+    fn finish(&self, acc: &MergeAcc) -> Result<SparseGradient, CompressError> {
+        if acc.linear().is_some() {
+            return Err(CompressError::InvalidConfig(format!(
+                "{} cannot extract heavy hitters from a linear cell table",
+                self.name()
+            )));
+        }
+        acc.to_gradient()
+    }
 }
 
-impl<T: MergeableCompressor + ?Sized> MergeableCompressor for &T {}
+// Forward every method through references explicitly: a bare `impl {}`
+// would hand `&T` the *default* bodies and silently drop any overrides
+// (e.g. the Count-Sketch compressor's `supports_linear`/`finish`).
+impl<T: MergeableCompressor + ?Sized> MergeableCompressor for &T {
+    fn supports_linear(&self) -> bool {
+        (**self).supports_linear()
+    }
+
+    fn accumulate(
+        &self,
+        acc: &mut MergeAcc,
+        payload: &[u8],
+        scale: f64,
+        scratch: &mut CompressScratch,
+    ) -> Result<u64, CompressError> {
+        (**self).accumulate(acc, payload, scale, scratch)
+    }
+
+    fn accumulate_hop(
+        &self,
+        acc: &mut MergeAcc,
+        payload: &[u8],
+        scale: f64,
+        policy: MergePolicy,
+        scratch: &mut CompressScratch,
+    ) -> Result<u64, CompressError> {
+        (**self).accumulate_hop(acc, payload, scale, policy, scratch)
+    }
+
+    fn emit_hop(
+        &self,
+        acc: &MergeAcc,
+        policy: MergePolicy,
+        scratch: &mut CompressScratch,
+        out: &mut BytesMut,
+    ) -> Result<(), CompressError> {
+        (**self).emit_hop(acc, policy, scratch, out)
+    }
+
+    fn finish(&self, acc: &MergeAcc) -> Result<SparseGradient, CompressError> {
+        (**self).finish(acc)
+    }
+}
 
 impl MergeableCompressor for crate::sketchml::SketchMlCompressor {}
 impl MergeableCompressor for crate::baselines::RawCompressor {}
@@ -445,6 +829,107 @@ mod tests {
         assert!(acc
             .accumulate_gradient(&grad(20, &[(1, 1.0)]), 1.0)
             .is_err());
+    }
+
+    #[test]
+    fn empty_acc_emits_an_empty_agg_frame_under_every_policy() {
+        let c = RawCompressor::default();
+        let acc = MergeAcc::new();
+        assert!(acc.is_empty());
+        let mut scratch = CompressScratch::new();
+        for policy in [MergePolicy::Exact, MergePolicy::Linear] {
+            let mut out = BytesMut::new();
+            c.emit_hop(&acc, policy, &mut scratch, &mut out).unwrap();
+            assert_eq!(out[0], AGG_MAGIC, "{policy:?}");
+            // The empty frame folds back into a still-empty accumulator.
+            let mut back = MergeAcc::new();
+            back.reset(0);
+            c.accumulate_hop(&mut back, &out, 1.0, policy, &mut scratch)
+                .unwrap();
+            assert!(back.is_empty());
+            assert_eq!(c.finish(&back).unwrap().nnz(), 0);
+        }
+    }
+
+    #[test]
+    fn single_key_accumulates_and_roundtrips() {
+        let mut acc = MergeAcc::new();
+        acc.reset(10);
+        acc.accumulate_pairs(&[7], &[0.25], 4.0).unwrap();
+        assert_eq!(acc.keys(), &[7]);
+        assert_eq!(acc.sums(), &[1.0]);
+        let mut frame = BytesMut::new();
+        acc.write_agg(&mut frame).unwrap();
+        let mut back = MergeAcc::new();
+        back.reset(10);
+        back.read_agg(&frame, 1.0).unwrap();
+        let g = back.to_gradient().unwrap();
+        assert_eq!(g.keys(), &[7]);
+        assert_eq!(g.values(), &[1.0]);
+    }
+
+    #[test]
+    fn duplicate_keys_are_a_typed_error() {
+        let mut acc = MergeAcc::new();
+        acc.reset(10);
+        let err = acc.accumulate_pairs(&[3, 3], &[1.0, 1.0], 1.0).unwrap_err();
+        assert!(matches!(err, CompressError::InvalidGradient(_)));
+        assert!(err.to_string().contains('3'));
+        // The failed fold must not have half-applied: the acc stays empty.
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn dim_mismatch_is_a_typed_error() {
+        let mut acc = MergeAcc::new();
+        acc.reset(10);
+        let err = acc
+            .accumulate_gradient(&grad(20, &[(1, 1.0)]), 1.0)
+            .unwrap_err();
+        assert!(matches!(err, CompressError::InvalidGradient(_)));
+        // Key at/beyond the accumulator's own dimension is equally typed.
+        let err = acc.accumulate_pairs(&[10], &[1.0], 1.0).unwrap_err();
+        assert!(matches!(err, CompressError::InvalidGradient(_)));
+    }
+
+    #[test]
+    fn linear_fold_rejects_incompatible_tables() {
+        let header = |dim, rows, cols, seed| CskHeader {
+            dim,
+            rows,
+            cols,
+            k: 4,
+            seed,
+            nnz: 1,
+            key_lo: 0,
+            key_end: dim,
+            cell_start: 0,
+            cell_count: u64::from(rows) * u64::from(cols),
+        };
+        let mut acc = MergeAcc::new();
+        acc.reset(100);
+        acc.fold_linear(&header(100, 2, 4, 9), &[1.0; 8], 1.0)
+            .unwrap();
+        assert!(!acc.is_empty());
+        assert!(acc.linear().is_some());
+        // Dim, shape and seed mismatches are all typed errors.
+        assert!(acc
+            .fold_linear(&header(50, 2, 4, 9), &[1.0; 8], 1.0)
+            .is_err());
+        assert!(acc
+            .fold_linear(&header(100, 4, 2, 9), &[1.0; 8], 1.0)
+            .is_err());
+        assert!(acc
+            .fold_linear(&header(100, 2, 4, 8), &[1.0; 8], 1.0)
+            .is_err());
+        // Cell-count vs slice-length mismatch too.
+        assert!(acc
+            .fold_linear(&header(100, 2, 4, 9), &[1.0; 7], 1.0)
+            .is_err());
+        // `reset` clears the table so the acc is reusable.
+        acc.reset(100);
+        assert!(acc.linear().is_none());
+        assert!(acc.is_empty());
     }
 
     #[test]

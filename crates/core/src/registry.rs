@@ -2,6 +2,7 @@
 
 use crate::baselines::{KeyCompressor, RawCompressor, TruncationCompressor, ValueWidth};
 use crate::compressor::GradientCompressor;
+use crate::count_sketch::{CountSketchCompressor, CountSketchConfig};
 use crate::error::CompressError;
 use crate::quantify::QuantCompressor;
 use crate::sharded::ShardedCompressor;
@@ -14,6 +15,10 @@ use sketchml_encoding::framing::FrameVersion;
 /// engine with `N` shards and `N` worker threads; appending `c` to the shard
 /// count (e.g. `sketchml@4c`) switches the frame to the CRC-carrying v2
 /// format so in-flight corruption is detected.
+///
+/// `countsketch` additionally takes a parameter grammar:
+/// `countsketch[:<rows>x<cols>:<k>][:m<rho>]` — table shape, heavy hitters
+/// extracted per decode, and optional sketched momentum `ρ ∈ [0, 1)`.
 pub const KNOWN_COMPRESSORS: &[&str] = &[
     "sketchml",
     "sketchml-f32",
@@ -29,7 +34,42 @@ pub const KNOWN_COMPRESSORS: &[&str] = &[
     "zipml-stochastic",
     "zipml@4",
     "truncation",
+    "countsketch",
+    "countsketch:8x2048:512",
+    "countsketch:8x2048:512@4",
+    "countsketch:4x1024:256:m0.9",
 ];
+
+/// Parses `countsketch[:<rows>x<cols>:<k>][:m<rho>]` into a config.
+fn count_sketch_config(name: &str, spec: &str) -> Result<CountSketchConfig, CompressError> {
+    let bad = |what: &str| {
+        CompressError::InvalidConfig(format!(
+            "`{name}`: {what}; expected countsketch[:<rows>x<cols>:<k>][:m<rho>]"
+        ))
+    };
+    let mut config = CountSketchConfig::default();
+    let mut parts = spec.split(':').filter(|p| !p.is_empty()).peekable();
+    if let Some(shape) = parts.peek().filter(|p| !p.starts_with(['m', 'M'])) {
+        let (rows, cols) = shape
+            .split_once(['x', 'X'])
+            .ok_or_else(|| bad("malformed shape"))?;
+        config.rows = rows.parse().map_err(|_| bad("rows must be an integer"))?;
+        config.cols = cols.parse().map_err(|_| bad("cols must be an integer"))?;
+        parts.next();
+        let k = parts.next().ok_or_else(|| bad("missing k after shape"))?;
+        config.k = k.parse().map_err(|_| bad("k must be an integer"))?;
+    }
+    if let Some(tail) = parts.next() {
+        let rho = tail
+            .strip_prefix(['m', 'M'])
+            .ok_or_else(|| bad("unexpected trailing component"))?;
+        config.momentum = Some(rho.parse().map_err(|_| bad("rho must be a number"))?);
+    }
+    if parts.next().is_some() {
+        return Err(bad("too many components"));
+    }
+    Ok(config)
+}
 
 /// Builds a compressor from its canonical (case-insensitive) name.
 ///
@@ -58,7 +98,12 @@ pub fn by_name(name: &str) -> Result<Box<dyn GradientCompressor>, CompressError>
             ShardedCompressor::new(inner, shards)?.with_frame(frame),
         ));
     }
-    let c: Box<dyn GradientCompressor> = match name.to_ascii_lowercase().as_str() {
+    let lower = name.to_ascii_lowercase();
+    if let Some(spec) = lower.strip_prefix("countsketch") {
+        let config = count_sketch_config(name, spec)?;
+        return Ok(Box::new(CountSketchCompressor::new(config)?));
+    }
+    let c: Box<dyn GradientCompressor> = match lower.as_str() {
         "sketchml" => Box::new(SketchMlCompressor::default()),
         "sketchml-f32" => Box::new(SketchMlCompressor::new(SketchMlConfig {
             mean_precision: MeanPrecision::F32,
@@ -150,6 +195,30 @@ mod tests {
         let last = bad.len() - 1;
         bad[last] ^= 0x40;
         assert!(checked.decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn countsketch_grammar_parses_and_rejects() {
+        assert_eq!(by_name("countsketch").unwrap().name(), "CountSketch");
+        assert_eq!(
+            by_name("CountSketch:8X2048:512").unwrap().name(),
+            "CountSketch"
+        );
+        assert_eq!(
+            by_name("countsketch:4x1024:256:m0.9").unwrap().name(),
+            "CountSketch"
+        );
+        assert_eq!(by_name("countsketch:m0.5").unwrap().name(), "CountSketch");
+        for bad in [
+            "countsketch:4x1024",          // shape without k
+            "countsketchx",                // junk tail
+            "countsketch:0x1024:4",        // rows out of range
+            "countsketch:4x1024:256:z",    // unknown trailing component
+            "countsketch:4x1024:256:m1.5", // rho out of range
+            "countsketch:4x1024:256:m0.9:m0.9",
+        ] {
+            assert!(by_name(bad).is_err(), "accepted `{bad}`");
+        }
     }
 
     #[test]

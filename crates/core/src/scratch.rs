@@ -46,6 +46,9 @@ pub struct CompressScratch {
     // --- encode/decode: flat MinMaxSketch cell tables + row seeds (§3.3) ---
     pub(crate) cells: Vec<u16>,
     pub(crate) seeds: Vec<u64>,
+    // --- encode/decode: flat Count-Sketch cell table + sign seeds ---
+    pub(crate) csk_cells: Vec<f64>,
+    pub(crate) csk_signs: Vec<u64>,
     // --- decode ---
     pub(crate) pairs: Vec<(u64, f64)>,
     pub(crate) dec_keys: Vec<u64>,

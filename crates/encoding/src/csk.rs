@@ -1,0 +1,408 @@
+//! CSK wire frame: a Count-Sketch cell table with v2-style CRC framing.
+//!
+//! Unlike the native SketchML payload (keys + bucket indexes), a Count-Sketch
+//! message is just a dense `rows × cols` table of signed `f64` cells plus the
+//! parameters needed to rebuild the hash families. Because the table is
+//! linear, a frame may also carry a *window* of the table (`cell_start`,
+//! `cell_count`): ring reduce-scatter chunks the table by contiguous cell
+//! ranges and each hop folds windows element-wise.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic 0xC5 | version 0x01 | crc32 (4 B, over everything after itself)
+//! | varint dim | varint rows | varint cols | varint k | seed (8 B)
+//! | varint nnz | varint key_lo | varint key_end
+//! | varint cell_start | varint cell_count
+//! | cell_count × f64 cells
+//! ```
+//!
+//! `[key_lo, key_end)` is the key range the encoder actually folded in: the
+//! decoder's heavy-hitter scan is confined to it, so a sketch of a key-range
+//! shard can never surface ghost keys outside its shard (and a narrow range
+//! makes decode proportionally cheaper). A full-gradient frame uses
+//! `[0, dim)`; an empty one `[0, 0)`. Merging frames unions the ranges.
+//!
+//! The CRC covers every byte after the checksum field, so any single-byte
+//! flip in the body is detected; flips in the magic/version/CRC prefix are
+//! caught structurally. There is no CRC-less v1 of this frame — it was born
+//! after the PR 4 corruption-detection work, so integrity is not optional.
+
+use crate::crc32::crc32;
+use crate::error::EncodingError;
+use crate::varint;
+use bytes::{BufMut, BytesMut};
+
+/// First byte of every CSK frame.
+pub const CSK_MAGIC: u8 = 0xC5;
+/// Current frame version.
+pub const CSK_VERSION: u8 = 1;
+/// Bytes before the CRC-covered body: magic, version, crc32.
+const PREFIX_LEN: usize = 6;
+
+/// The self-describing parameters of a CSK frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CskHeader {
+    /// Gradient dimensionality the sketch summarizes.
+    pub dim: u64,
+    /// Sketch rows (hash/sign pairs).
+    pub rows: u32,
+    /// Sketch columns (bins per row).
+    pub cols: u32,
+    /// Heavy hitters to extract on decode.
+    pub k: u32,
+    /// Seed both hash families derive from.
+    pub seed: u64,
+    /// Pair count folded into the table (reporting only; merges add it).
+    pub nnz: u64,
+    /// Smallest key folded into the table (heavy-hitter scan lower bound).
+    pub key_lo: u64,
+    /// One past the largest key folded in (scan upper bound; merges union).
+    pub key_end: u64,
+    /// First cell of the carried window (0 for a full table).
+    pub cell_start: u64,
+    /// Number of cells carried (`rows·cols` for a full table).
+    pub cell_count: u64,
+}
+
+impl CskHeader {
+    /// Total cells of the full table this frame windows into.
+    pub fn table_len(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols)
+    }
+
+    /// True when the frame carries the whole table.
+    pub fn is_full(&self) -> bool {
+        self.cell_start == 0 && self.cell_count == self.table_len()
+    }
+
+    fn validate(&self) -> Result<(), EncodingError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(EncodingError::InvalidInput(
+                "csk frame needs rows >= 1 and cols >= 1".into(),
+            ));
+        }
+        if self.k == 0 {
+            return Err(EncodingError::InvalidInput("csk frame needs k >= 1".into()));
+        }
+        if self.key_lo > self.key_end || self.key_end > self.dim {
+            return Err(EncodingError::InvalidInput(format!(
+                "csk key range [{}, {}) outside gradient of dim {}",
+                self.key_lo, self.key_end, self.dim
+            )));
+        }
+        if self.nnz > 0 && self.key_lo == self.key_end {
+            return Err(EncodingError::InvalidInput(format!(
+                "csk frame carries {} pairs but an empty key range",
+                self.nnz
+            )));
+        }
+        let table = self.table_len();
+        let end = self
+            .cell_start
+            .checked_add(self.cell_count)
+            .ok_or_else(|| EncodingError::InvalidInput("csk window overflows".into()))?;
+        if self.cell_count == 0 || end > table {
+            return Err(EncodingError::InvalidInput(format!(
+                "csk window [{}, {end}) outside table of {table} cells",
+                self.cell_start
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Appends a CSK frame for `header` + `cells` to `out`, returning the number
+/// of header bytes (everything except the cell payload).
+///
+/// # Errors
+/// [`EncodingError::InvalidInput`] if the header is inconsistent or
+/// `cells.len()` disagrees with `header.cell_count`.
+pub fn write_frame(
+    header: &CskHeader,
+    cells: &[f64],
+    out: &mut BytesMut,
+) -> Result<usize, EncodingError> {
+    header.validate()?;
+    if cells.len() as u64 != header.cell_count {
+        return Err(EncodingError::InvalidInput(format!(
+            "csk frame declares {} cells but {} were supplied",
+            header.cell_count,
+            cells.len()
+        )));
+    }
+    let base = out.len();
+    out.reserve(PREFIX_LEN + 40 + cells.len() * 8);
+    out.put_u8(CSK_MAGIC);
+    out.put_u8(CSK_VERSION);
+    out.put_u32_le(0); // CRC back-patched below.
+    varint::write_u64(out, header.dim);
+    varint::write_u64(out, u64::from(header.rows));
+    varint::write_u64(out, u64::from(header.cols));
+    varint::write_u64(out, u64::from(header.k));
+    out.put_u64_le(header.seed);
+    varint::write_u64(out, header.nnz);
+    varint::write_u64(out, header.key_lo);
+    varint::write_u64(out, header.key_end);
+    varint::write_u64(out, header.cell_start);
+    varint::write_u64(out, header.cell_count);
+    let header_bytes = out.len() - base;
+    for &c in cells {
+        out.put_f64_le(c);
+    }
+    let crc = crc32(&out[base + PREFIX_LEN..]);
+    out[base + 2..base + PREFIX_LEN].copy_from_slice(&crc.to_le_bytes());
+    Ok(header_bytes)
+}
+
+/// Exact frame length [`write_frame`] would produce.
+pub fn frame_len(header: &CskHeader) -> usize {
+    PREFIX_LEN
+        + varint::encoded_len(header.dim)
+        + varint::encoded_len(u64::from(header.rows))
+        + varint::encoded_len(u64::from(header.cols))
+        + varint::encoded_len(u64::from(header.k))
+        + 8
+        + varint::encoded_len(header.nnz)
+        + varint::encoded_len(header.key_lo)
+        + varint::encoded_len(header.key_end)
+        + varint::encoded_len(header.cell_start)
+        + varint::encoded_len(header.cell_count)
+        + header.cell_count as usize * 8
+}
+
+/// Parses a CSK frame, appending its cells to `cells_out` (cleared first).
+///
+/// # Errors
+/// [`EncodingError::Corrupt`] on a wrong magic/version, CRC mismatch,
+/// truncated or over-long payload, inconsistent window, or non-finite cell.
+pub fn read_frame(payload: &[u8], cells_out: &mut Vec<f64>) -> Result<CskHeader, EncodingError> {
+    cells_out.clear();
+    if payload.len() < PREFIX_LEN {
+        return Err(EncodingError::UnexpectedEof {
+            context: "csk frame prefix",
+        });
+    }
+    if payload[0] != CSK_MAGIC {
+        return Err(EncodingError::Corrupt(format!(
+            "csk frame magic {:#04x}, expected {CSK_MAGIC:#04x}",
+            payload[0]
+        )));
+    }
+    if payload[1] != CSK_VERSION {
+        return Err(EncodingError::Corrupt(format!(
+            "csk frame version {}, expected {CSK_VERSION}",
+            payload[1]
+        )));
+    }
+    let declared = u32::from_le_bytes([payload[2], payload[3], payload[4], payload[5]]);
+    let got = crc32(&payload[PREFIX_LEN..]);
+    if declared != got {
+        return Err(EncodingError::Corrupt(format!(
+            "csk frame CRC mismatch: header says {declared:#010x}, payload hashes to {got:#010x}"
+        )));
+    }
+    let mut buf = &payload[PREFIX_LEN..];
+    let dim = varint::read_u64(&mut buf)?;
+    let rows = read_u32(&mut buf, "rows")?;
+    let cols = read_u32(&mut buf, "cols")?;
+    let k = read_u32(&mut buf, "k")?;
+    if buf.len() < 8 {
+        return Err(EncodingError::UnexpectedEof {
+            context: "csk seed",
+        });
+    }
+    let seed = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes checked"));
+    buf = &buf[8..];
+    let nnz = varint::read_u64(&mut buf)?;
+    let key_lo = varint::read_u64(&mut buf)?;
+    let key_end = varint::read_u64(&mut buf)?;
+    let cell_start = varint::read_u64(&mut buf)?;
+    let cell_count = varint::read_u64(&mut buf)?;
+    let header = CskHeader {
+        dim,
+        rows,
+        cols,
+        k,
+        seed,
+        nnz,
+        key_lo,
+        key_end,
+        cell_start,
+        cell_count,
+    };
+    header
+        .validate()
+        .map_err(|e| EncodingError::Corrupt(format!("csk frame header: {e}")))?;
+    let want = cell_count
+        .checked_mul(8)
+        .filter(|&n| n <= usize::MAX as u64)
+        .ok_or_else(|| EncodingError::Corrupt("csk cell count overflows".into()))?
+        as usize;
+    if buf.len() != want {
+        return Err(EncodingError::Corrupt(format!(
+            "csk frame declares {cell_count} cells ({want} bytes) but {} bytes follow",
+            buf.len()
+        )));
+    }
+    cells_out.reserve(cell_count as usize);
+    for chunk in buf.chunks_exact(8) {
+        let c = f64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)"));
+        if !c.is_finite() {
+            return Err(EncodingError::Corrupt(format!(
+                "csk cell is not finite: {c}"
+            )));
+        }
+        cells_out.push(c);
+    }
+    Ok(header)
+}
+
+fn read_u32(buf: &mut &[u8], what: &'static str) -> Result<u32, EncodingError> {
+    let v = varint::read_u64(buf)?;
+    u32::try_from(v).map_err(|_| EncodingError::Corrupt(format!("csk {what} {v} exceeds u32")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(cells: u64) -> CskHeader {
+        CskHeader {
+            dim: 40_000,
+            rows: 4,
+            cols: 8,
+            k: 16,
+            seed: 0xDEAD_BEEF,
+            nnz: 10,
+            key_lo: 5,
+            key_end: 39_000,
+            cell_start: 0,
+            cell_count: cells,
+        }
+    }
+
+    #[test]
+    fn full_table_roundtrips() {
+        let cells: Vec<f64> = (0..32).map(|i| (i as f64 - 16.0) / 8.0).collect();
+        let h = header(32);
+        let mut buf = BytesMut::new();
+        let header_bytes = write_frame(&h, &cells, &mut buf).unwrap();
+        assert_eq!(buf.len(), frame_len(&h));
+        assert_eq!(buf.len(), header_bytes + 32 * 8);
+        let mut out = Vec::new();
+        let back = read_frame(&buf, &mut out).unwrap();
+        assert_eq!(back, h);
+        assert!(back.is_full());
+        assert_eq!(out, cells);
+    }
+
+    #[test]
+    fn window_roundtrips() {
+        let cells: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let h = CskHeader {
+            cell_start: 5,
+            cell_count: 10,
+            ..header(10)
+        };
+        let mut buf = BytesMut::new();
+        write_frame(&h, &cells, &mut buf).unwrap();
+        let mut out = Vec::new();
+        let back = read_frame(&buf, &mut out).unwrap();
+        assert_eq!(back.cell_start, 5);
+        assert!(!back.is_full());
+        assert_eq!(out, cells);
+    }
+
+    #[test]
+    fn invalid_headers_rejected_on_write() {
+        let mut buf = BytesMut::new();
+        let zero_rows = CskHeader {
+            rows: 0,
+            ..header(32)
+        };
+        assert!(write_frame(&zero_rows, &[0.0; 32], &mut buf).is_err());
+        let zero_k = CskHeader { k: 0, ..header(32) };
+        assert!(write_frame(&zero_k, &[0.0; 32], &mut buf).is_err());
+        let bad_window = CskHeader {
+            cell_start: 30,
+            cell_count: 10,
+            ..header(10)
+        };
+        assert!(write_frame(&bad_window, &[0.0; 10], &mut buf).is_err());
+        let miscounted = header(32);
+        assert!(write_frame(&miscounted, &[0.0; 31], &mut buf).is_err());
+        let range_past_dim = CskHeader {
+            key_end: 40_001,
+            ..header(32)
+        };
+        assert!(write_frame(&range_past_dim, &[0.0; 32], &mut buf).is_err());
+        let inverted_range = CskHeader {
+            key_lo: 9,
+            key_end: 3,
+            ..header(32)
+        };
+        assert!(write_frame(&inverted_range, &[0.0; 32], &mut buf).is_err());
+        let pairs_in_empty_range = CskHeader {
+            key_lo: 7,
+            key_end: 7,
+            ..header(32)
+        };
+        assert!(write_frame(&pairs_in_empty_range, &[0.0; 32], &mut buf).is_err());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let cells: Vec<f64> = (0..32).map(|i| i as f64 * 0.25 - 4.0).collect();
+        let mut buf = BytesMut::new();
+        write_frame(&header(32), &cells, &mut buf).unwrap();
+        let mut bytes = buf.to_vec();
+        let mut out = Vec::new();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                bytes[i] ^= 1 << bit;
+                assert!(read_frame(&bytes, &mut out).is_err(), "flip {i}:{bit}");
+                bytes[i] ^= 1 << bit;
+            }
+        }
+        assert!(read_frame(&bytes, &mut out).is_ok());
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_rejected() {
+        let cells = vec![1.5f64; 32];
+        let mut buf = BytesMut::new();
+        write_frame(&header(32), &cells, &mut buf).unwrap();
+        let mut out = Vec::new();
+        for cut in 0..buf.len() {
+            assert!(read_frame(&buf[..cut], &mut out).is_err(), "cut {cut}");
+        }
+        let mut long = buf.to_vec();
+        long.push(0);
+        assert!(read_frame(&long, &mut out).is_err());
+    }
+
+    #[test]
+    fn non_finite_cells_rejected() {
+        let mut cells = vec![0.5f64; 32];
+        cells[7] = f64::INFINITY;
+        let mut buf = BytesMut::new();
+        write_frame(&header(32), &cells, &mut buf).unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(
+            read_frame(&buf, &mut out),
+            Err(EncodingError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn appending_after_existing_bytes_patches_the_right_crc() {
+        let cells = vec![0.25f64; 32];
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"prefix");
+        let start = buf.len();
+        write_frame(&header(32), &cells, &mut buf).unwrap();
+        let mut out = Vec::new();
+        assert!(read_frame(&buf[start..], &mut out).is_ok());
+    }
+}

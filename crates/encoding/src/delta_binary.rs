@@ -54,7 +54,7 @@ pub fn delta_transform(keys: &[u64]) -> Result<Vec<u32>, EncodingError> {
         let delta = match prev {
             None => k,
             Some(p) if k > p => k - p,
-            Some(p) if k == p => return Err(EncodingError::DuplicateKey { key: k }),
+            Some(p) if k == p => return Err(EncodingError::DuplicateKey { key: k, offset: i }),
             Some(p) => {
                 return Err(EncodingError::InvalidInput(format!(
                     "keys must be strictly ascending: keys[{i}] = {k} < keys[{}] = {p}",
@@ -133,7 +133,7 @@ pub fn encode_keys_into(keys: &[u64], out: &mut BytesMut) -> Result<usize, Encod
         let delta = match prev {
             None => k,
             Some(p) if k > p => k - p,
-            Some(p) if k == p => return Err(EncodingError::DuplicateKey { key: k }),
+            Some(p) if k == p => return Err(EncodingError::DuplicateKey { key: k, offset: i }),
             Some(p) => {
                 return Err(EncodingError::InvalidInput(format!(
                     "keys must be strictly ascending: keys[{i}] = {k} < keys[{}] = {p}",
@@ -252,9 +252,13 @@ pub fn encoded_len(keys: &[u64]) -> Result<usize, EncodingError> {
 /// surfaced here instead of silently poisoning the union.
 pub fn union_keys_into(a: &[u64], b: &[u64], out: &mut Vec<u64>) -> Result<(), EncodingError> {
     fn check_ascending(keys: &[u64]) -> Result<(), EncodingError> {
-        for w in keys.windows(2) {
+        for (i, w) in keys.windows(2).enumerate() {
             if w[1] == w[0] {
-                return Err(EncodingError::DuplicateKey { key: w[0] });
+                // `i + 1` is the index of the repeated occurrence.
+                return Err(EncodingError::DuplicateKey {
+                    key: w[0],
+                    offset: i + 1,
+                });
             }
             if w[1] < w[0] {
                 return Err(EncodingError::InvalidInput(format!(
@@ -396,22 +400,53 @@ mod tests {
     #[test]
     fn duplicate_keys_are_a_typed_error() {
         // A concatenated (unsummed) shard union repeats keys; both encode
-        // paths must name the offending key rather than emit a zero delta.
+        // paths must name the offending key *and its position* rather than
+        // emit a zero delta.
         for result in [
             encode_keys(&[3, 7, 7, 9], &mut BytesMut::new()),
             encode_keys_into(&[3, 7, 7, 9], &mut BytesMut::new()).map(|_| 0),
         ] {
-            assert_eq!(result, Err(EncodingError::DuplicateKey { key: 7 }));
+            assert_eq!(
+                result,
+                Err(EncodingError::DuplicateKey { key: 7, offset: 2 })
+            );
         }
         assert_eq!(
             delta_transform(&[1, 1]),
-            Err(EncodingError::DuplicateKey { key: 1 })
+            Err(EncodingError::DuplicateKey { key: 1, offset: 1 })
         );
         // Descending stays the generic invalid-input error.
         assert!(matches!(
             delta_transform(&[5, 3]),
             Err(EncodingError::InvalidInput(_))
         ));
+    }
+
+    #[test]
+    fn duplicate_key_offset_points_at_second_occurrence() {
+        // The offset disambiguates *which* repeat tripped the check when the
+        // same key value legitimately appears far apart in a bad merge.
+        let keys = [10u64, 20, 30, 30, 40, 40];
+        assert_eq!(
+            delta_transform(&keys),
+            Err(EncodingError::DuplicateKey { key: 30, offset: 3 })
+        );
+        assert_eq!(
+            encode_keys(&keys, &mut BytesMut::new()),
+            Err(EncodingError::DuplicateKey { key: 30, offset: 3 })
+        );
+        assert_eq!(
+            encode_keys_into(&keys, &mut BytesMut::new()),
+            Err(EncodingError::DuplicateKey { key: 30, offset: 3 })
+        );
+        let mut out = Vec::new();
+        assert_eq!(
+            union_keys_into(&keys, &[], &mut out),
+            Err(EncodingError::DuplicateKey { key: 30, offset: 3 })
+        );
+        // The rendered message carries both coordinates.
+        let msg = EncodingError::DuplicateKey { key: 30, offset: 3 }.to_string();
+        assert!(msg.contains("30") && msg.contains("offset 3"), "{msg}");
     }
 
     #[test]
@@ -434,11 +469,11 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(
             union_keys_into(&[1, 1], &[2], &mut out),
-            Err(EncodingError::DuplicateKey { key: 1 })
+            Err(EncodingError::DuplicateKey { key: 1, offset: 1 })
         );
         assert_eq!(
             union_keys_into(&[2], &[9, 9], &mut out),
-            Err(EncodingError::DuplicateKey { key: 9 })
+            Err(EncodingError::DuplicateKey { key: 9, offset: 1 })
         );
         assert!(matches!(
             union_keys_into(&[5, 3], &[], &mut out),

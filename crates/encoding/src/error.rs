@@ -12,10 +12,13 @@ pub enum EncodingError {
     /// the signature of a shard/partial union that was concatenated without
     /// summing. Encoding it would silently produce a zero increment the
     /// decoder cannot distinguish from a corrupt stream, so it is rejected
-    /// with the offending key for the caller to merge first.
+    /// with the offending key and its position for the caller to merge
+    /// first.
     DuplicateKey {
         /// The repeated key.
         key: u64,
+        /// Index of the *second* occurrence in the input key slice.
+        offset: usize,
     },
     /// The byte stream ended before the decoder finished.
     UnexpectedEof {
@@ -30,10 +33,10 @@ impl fmt::Display for EncodingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodingError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
-            EncodingError::DuplicateKey { key } => {
+            EncodingError::DuplicateKey { key, offset } => {
                 write!(
                     f,
-                    "duplicate key {key}: merged key streams must be summed, not concatenated"
+                    "duplicate key {key} at offset {offset}: merged key streams must be summed, not concatenated"
                 )
             }
             EncodingError::UnexpectedEof { context } => {
@@ -61,8 +64,8 @@ mod tests {
         assert!(EncodingError::Corrupt("bad magic".into())
             .to_string()
             .contains("bad magic"));
-        assert!(EncodingError::DuplicateKey { key: 42 }
-            .to_string()
-            .contains("42"));
+        let dup = EncodingError::DuplicateKey { key: 42, offset: 7 }.to_string();
+        assert!(dup.contains("42"));
+        assert!(dup.contains("offset 7"));
     }
 }

@@ -27,7 +27,9 @@
 //! - [`varint`] — LEB128 variable-length integers used by the wire format
 //!   for counts and headers;
 //! - [`crc32`] — frame-integrity checksums carried by the v2 shard frame
-//!   ([`framing`]) so in-flight corruption is detected, not silently decoded.
+//!   ([`framing`]) so in-flight corruption is detected, not silently decoded;
+//! - [`csk`] — the Count-Sketch cell-table frame (full or windowed), CRC32
+//!   protected, merged element-wise by the `MergePolicy::Linear` collectives.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -35,6 +37,7 @@
 pub mod bitmap;
 pub mod bitpack;
 pub mod crc32;
+pub mod csk;
 pub mod csr;
 pub mod delta_binary;
 pub mod error;

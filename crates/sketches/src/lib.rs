@@ -9,6 +9,10 @@
 //! - [`quantile::MergingQuantileSketch`] — a mergeable, compactor-based
 //!   quantile sketch in the spirit of Yahoo DataSketches (the sketch the
 //!   paper's prototype uses in §3.2 Step 1).
+//! - [`count_sketch::CountSketch`] — the *linear* signed-sum sketch of
+//!   Charikar et al., used for gradient compression by SketchSGD
+//!   (arXiv:1903.04488): sum-of-sketches equals sketch-of-sum, enabling
+//!   one-pass merges in the collectives layer.
 //! - [`countmin::CountMinSketch`] — the classic additive frequency sketch
 //!   (paper §2.4, Figure 1), kept both as the motivating baseline that
 //!   *cannot* be used for bucket indexes (§3.3 "Motivation") and for tests
@@ -30,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod count_sketch;
 pub mod countmin;
 pub mod error;
 pub mod hash;
@@ -37,6 +42,7 @@ pub mod minmax;
 pub mod quantile;
 pub mod theory;
 
+pub use count_sketch::{push_sign_seeds, sign_for, CountSketch};
 pub use countmin::CountMinSketch;
 pub use error::SketchError;
 pub use hash::{push_row_seeds, HashFamily};

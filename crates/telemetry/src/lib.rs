@@ -40,8 +40,9 @@ use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Version stamped into every [`TelemetrySnapshot`]; bump on schema changes.
-/// Version 2 added the collectives section (allreduce hop/merge accounting).
-pub const SCHEMA_VERSION: u32 = 2;
+/// Version 2 added the collectives section (allreduce hop/merge accounting);
+/// version 3 added `collectives.linear_folds` (Count-Sketch table merges).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Number of power-of-two buckets in every histogram.
 pub const HIST_BUCKETS: usize = 16;
@@ -143,9 +144,12 @@ pub enum Counter {
     CollectiveMerges,
     /// Collectives: hops whose delivery failed for good.
     CollectiveLostHops,
+    /// Collectives: Count-Sketch cell-table windows folded element-wise
+    /// under `MergePolicy::Linear`.
+    CollectiveLinearFolds,
 }
 
-const NUM_COUNTERS: usize = 29;
+const NUM_COUNTERS: usize = 30;
 
 impl Counter {
     fn idx(self) -> usize {
@@ -558,6 +562,7 @@ pub struct CollectivesSnapshot {
     pub hop_bytes: u64,
     pub merges: u64,
     pub lost_hops: u64,
+    pub linear_folds: u64,
     pub merge: StageStat,
 }
 
@@ -727,6 +732,7 @@ pub fn snapshot() -> TelemetrySnapshot {
             hop_bytes: counter(Counter::CollectiveHopBytes),
             merges: counter(Counter::CollectiveMerges),
             lost_hops: counter(Counter::CollectiveLostHops),
+            linear_folds: counter(Counter::CollectiveLinearFolds),
             merge: stage_stat(Stage::CollectiveMerge),
         },
     }

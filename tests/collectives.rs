@@ -6,8 +6,9 @@
 use sketchml::telemetry::TelemetrySession;
 use sketchml::{
     train_allreduce, train_allreduce_chaos, train_allreduce_with_policy, train_distributed,
-    ClusterConfig, CompressError, FaultPlan, GlmLoss, GradientCompressor, Instance, MergePolicy,
-    MergeableCompressor, RawCompressor, SketchMlCompressor, SparseDatasetSpec, Topology, TrainSpec,
+    ClusterConfig, CompressError, CountSketchCompressor, CountSketchConfig, FaultPlan, GlmLoss,
+    GradientCompressor, Instance, MergePolicy, MergeableCompressor, RawCompressor,
+    SketchMlCompressor, SparseDatasetSpec, SparseGradient, Topology, TrainSpec,
 };
 
 fn dataset() -> (Vec<Instance>, Vec<Instance>, usize) {
@@ -227,6 +228,110 @@ fn chaos_allreduce_is_bit_reproducible() {
         lb.to_bits(),
         "final losses diverged: {la} vs {lb}"
     );
+}
+
+/// Acceptance criterion: an 8-worker ring under [`MergePolicy::Linear`]
+/// recovers *bit-identical* top-k to a single node that sketches the summed
+/// gradient directly. The inputs are dyadic rationals and the weights are
+/// 1/8, so every f64 addition along every merge order is exact — linearity
+/// of the Count-Sketch makes the 14-hop ring indistinguishable from the
+/// one-shot sketch.
+#[test]
+fn linear_ring_recovers_the_single_node_sketch_of_sum_bit_for_bit() {
+    use sketchml::collectives::{allreduce, Contribution, PerfectTransport};
+
+    let c = CountSketchCompressor::new(CountSketchConfig::default()).unwrap();
+    let dim = 40_000u64;
+    let n = 8usize;
+    let grads: Vec<SparseGradient> = (0..n as u64)
+        .map(|w| {
+            let mut keys: Vec<u64> = (0..120).map(|j| (j * 331 + w * 7919) % dim).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            let values: Vec<f64> = keys
+                .iter()
+                .enumerate()
+                .map(|(j, _)| (j as f64 - 60.0) / 128.0)
+                .collect();
+            SparseGradient::new(dim, keys, values).unwrap()
+        })
+        .collect();
+    let payloads: Vec<Vec<u8>> = grads
+        .iter()
+        .map(|g| c.compress(g).unwrap().payload.to_vec())
+        .collect();
+    let contribs: Vec<Contribution> = payloads
+        .iter()
+        .map(|p| Contribution {
+            payload: p,
+            weight: 1.0 / 8.0,
+        })
+        .collect();
+
+    // Single-node reference: sum the weighted gradients, sketch once,
+    // extract once.
+    let mut weighted = grads.clone();
+    for g in &mut weighted {
+        g.scale(1.0 / 8.0);
+    }
+    let sum = SparseGradient::aggregate(&weighted).unwrap();
+    let want = c.decompress(&c.compress(&sum).unwrap().payload).unwrap();
+
+    let got = allreduce(
+        Topology::Ring,
+        MergePolicy::Linear,
+        &c,
+        dim,
+        &contribs,
+        &mut PerfectTransport,
+    )
+    .unwrap();
+    assert_eq!(got.lost_hops, 0);
+    assert_eq!(got.gradient.keys(), want.keys(), "key sets diverged");
+    let got_bits: Vec<u64> = got.gradient.values().iter().map(|v| v.to_bits()).collect();
+    let want_bits: Vec<u64> = want.values().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got_bits, want_bits, "values are not bit-identical");
+}
+
+/// Acceptance criterion: Count-Sketch compressed allreduce training stays
+/// within 5% of dense-SGD loss on the fig10-style workload — the linear
+/// merge policy never compounds error across hops, so the only loss source
+/// is the one top-k extraction per round.
+#[test]
+fn countsketch_allreduce_tracks_dense_sgd_within_five_percent() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 6);
+    let cluster = ClusterConfig::cluster1(8).with_topology(Topology::Ring);
+
+    let dense = train_allreduce_with_policy(
+        &train,
+        &test,
+        dim,
+        &spec,
+        &cluster,
+        &RawCompressor::default(),
+        MergePolicy::Exact,
+    )
+    .unwrap();
+    let sketched = train_allreduce_with_policy(
+        &train,
+        &test,
+        dim,
+        &spec,
+        &cluster,
+        &CountSketchCompressor::new(CountSketchConfig::default()).unwrap(),
+        MergePolicy::Linear,
+    )
+    .unwrap();
+
+    let ld = dense.epochs.last().unwrap().test_loss;
+    let ls = sketched.epochs.last().unwrap().test_loss;
+    assert!(
+        (ls - ld).abs() <= 0.05 * ld,
+        "countsketch loss {ls} strayed more than 5% from dense loss {ld}"
+    );
+    // And it beats the zero model outright.
+    assert!(ls < (2f64).ln() * 0.95, "loss {ls} did not beat zero model");
 }
 
 /// Crash events need a central checkpoint coordinator, which peer-to-peer

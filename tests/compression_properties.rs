@@ -384,6 +384,89 @@ proptest! {
     }
 }
 
+/// Gradients whose values are dyadic rationals (multiples of 1/256 in a
+/// bounded range): every f64 addition of any number of them is exact, so
+/// Count-Sketch cell sums are bit-reproducible under any merge order.
+fn arb_dyadic_gradient() -> impl Strategy<Value = SparseGradient> {
+    btree_map(0u64..100_000, -512i32..512, 1..200).prop_map(|m| {
+        let keys: Vec<u64> = m.keys().copied().collect();
+        let values: Vec<f64> = m
+            .values()
+            .map(|&v| {
+                if v == 0 {
+                    1.0 / 256.0
+                } else {
+                    f64::from(v) / 256.0
+                }
+            })
+            .collect();
+        SparseGradient::new(100_000, keys, values).expect("ascending keys")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Count-Sketch payloads are *linear*: folding `sketch(a)` and
+    /// `sketch(b)` element-wise and extracting once decodes bit-identically
+    /// to compressing the summed gradient directly — the property the
+    /// `MergePolicy::Linear` collective rests on.
+    #[test]
+    fn count_sketch_payloads_merge_linearly(
+        a in arb_dyadic_gradient(),
+        b in arb_dyadic_gradient(),
+    ) {
+        use sketchml::core::{CompressScratch, MergeAcc, MergePolicy};
+        use sketchml::{CountSketchCompressor, CountSketchConfig, MergeableCompressor};
+
+        let c = CountSketchCompressor::new(CountSketchConfig::default()).expect("config");
+        let pa = c.compress(&a).expect("a").payload;
+        let pb = c.compress(&b).expect("b").payload;
+
+        let mut acc = MergeAcc::new();
+        acc.reset(a.dim());
+        let mut scratch = CompressScratch::new();
+        c.accumulate_hop(&mut acc, &pa, 1.0, MergePolicy::Linear, &mut scratch)
+            .expect("fold a");
+        c.accumulate_hop(&mut acc, &pb, 1.0, MergePolicy::Linear, &mut scratch)
+            .expect("fold b");
+        let merged = c.finish(&acc).expect("extract");
+
+        let sum = SparseGradient::aggregate(&[a, b]).expect("sum");
+        let direct = c
+            .decompress(&c.compress(&sum).expect("compress sum").payload)
+            .expect("decode sum");
+        prop_assert_eq!(merged.keys(), direct.keys());
+        prop_assert_eq!(merged.values(), direct.values());
+    }
+
+    /// The sharded Count-Sketch engine is thread-count invariant: the
+    /// `countsketch:...@N` frame bytes do not depend on how many worker
+    /// threads encoded the shards.
+    #[test]
+    fn sharded_count_sketch_payloads_are_thread_invariant(
+        grad in arb_dyadic_gradient(),
+        shards in 2usize..6,
+    ) {
+        use sketchml::{CountSketchCompressor, CountSketchConfig};
+
+        let engine = |threads: usize| {
+            ShardedCompressor::new(
+                CountSketchCompressor::new(CountSketchConfig::default()).expect("config"),
+                shards,
+            )
+            .expect("shard count")
+            .with_threads(threads)
+            .expect("thread count")
+        };
+        let serial = engine(1).compress(&grad).expect("serial").payload;
+        for threads in [2usize, 4] {
+            let parallel = engine(threads).compress(&grad).expect("parallel").payload;
+            prop_assert_eq!(&serial[..], &parallel[..], "threads = {}", threads);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -15,8 +15,9 @@ use bytes::BytesMut;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use sketchml_core::{
-    CompressError, CompressScratch, ErrorFeedback, FrameVersion, GradientCompressor,
-    ShardedCompressor, SketchMlCompressor, SparseGradient, ZipMlCompressor,
+    CompressError, CompressScratch, CountSketchCompressor, CountSketchConfig, ErrorFeedback,
+    FrameVersion, GradientCompressor, ShardedCompressor, SketchMlCompressor, SparseGradient,
+    ZipMlCompressor,
 };
 use sketchml_encoding::{decode_keys, encode_keys};
 use std::path::PathBuf;
@@ -244,6 +245,73 @@ fn error_feedback_wire_path_matches_golden_fixture() {
 }
 
 #[test]
+fn count_sketch_frame_matches_golden_fixture_and_rejects_every_bitflip() {
+    // A small pinned table keeps the fixture compact; the wire format is
+    // identical at every shape. Decoding is lossy (top-k heavy hitters), so
+    // unlike `assert_golden` this compares decode-vs-decode, not keys-vs-
+    // input.
+    let c = CountSketchCompressor::new(CountSketchConfig {
+        rows: 3,
+        cols: 64,
+        k: 16,
+        seed: 0xC5C5_0001,
+        momentum: None,
+    })
+    .expect("pinned config");
+    let grad = canonical_gradient();
+    let encoded = c.compress(&grad).expect("compress").payload;
+    let golden = load_or_regen("csk_3x64k16_seed901df1.hex", &encoded);
+    assert_eq!(
+        to_hex(&golden),
+        to_hex(&encoded),
+        "CSK: re-encoding the canonical gradient changed the wire format"
+    );
+    assert_eq!(golden[0], 0xC5, "CSK frames open with their magic byte");
+
+    // The zero-alloc scratch path hits the same golden bytes.
+    let mut scratch = CompressScratch::new();
+    let mut out = BytesMut::new();
+    c.compress_into(&grad, &mut scratch, &mut out)
+        .expect("compress_into");
+    assert_eq!(
+        to_hex(&golden),
+        to_hex(&out),
+        "CSK: the scratch path diverged from the golden wire format"
+    );
+
+    // The stored bytes decode exactly like a fresh encode, via both paths.
+    let from_golden = c.decompress(&golden).expect("decode fixture");
+    let from_fresh = c.decompress(&encoded).expect("decode fresh");
+    assert_eq!(from_golden.dim(), grad.dim());
+    assert_eq!(from_golden.keys(), from_fresh.keys());
+    assert_eq!(from_golden.values(), from_fresh.values());
+    let mut pooled = SparseGradient::empty(0);
+    c.decompress_into(&golden, &mut scratch, &mut pooled)
+        .expect("decompress_into fixture");
+    assert_eq!(&pooled, &from_golden);
+
+    // Full per-byte corruption sweep: the CRC32 (or the magic/version
+    // checks it does not cover) catches a flip at *every* offset.
+    for i in 0..golden.len() {
+        for mask in [0x01u8, 0x40] {
+            let mut corrupt = golden.clone();
+            corrupt[i] ^= mask;
+            assert!(
+                matches!(c.decompress(&corrupt), Err(CompressError::Corrupt(_))),
+                "CSK fixture byte {i} (mask {mask:#04x}) corrupted silently"
+            );
+        }
+    }
+    // Truncation at every boundary is equally typed.
+    for cut in 0..golden.len() {
+        assert!(
+            c.decompress(&golden[..cut]).is_err(),
+            "CSK fixture truncated at {cut} decoded successfully"
+        );
+    }
+}
+
+#[test]
 fn delta_binary_keys_match_golden_fixture() {
     let grad = canonical_gradient();
     let mut encoded = Vec::new();
@@ -356,6 +424,7 @@ fn fixtures_are_committed_not_regenerated_in_ci() {
         "delta_binary_seed901df1.hex",
         "ef_sketchml_round2_seed901df1.hex",
         "agg_ring3_seed901df1.hex",
+        "csk_3x64k16_seed901df1.hex",
     ] {
         assert!(
             fixture_path(name).exists() || std::env::var_os("REGEN_FIXTURES").is_some(),
