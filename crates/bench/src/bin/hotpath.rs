@@ -1,13 +1,17 @@
 //! Hot-path perf trajectory: allocating vs scratch compression engines.
 //!
-//! Sweeps gradient size d ∈ {10k, 100k, 1M} × {serial, sharded@4, ef} ×
-//! {alloc, scratch}, timing SketchML encode per call under a counting
-//! global allocator, and writes `BENCH_hotpath.json` so future PRs have a
-//! baseline to regress against (DESIGN.md §2.2). The run aborts if the
-//! scratch path ever produces different bytes than the allocating path, if
-//! the serial or error-feedback scratch path allocates in steady state, or
-//! if telemetry is unexpectedly enabled (the whole sweep measures the
-//! disabled-telemetry contract: one relaxed atomic load per gate).
+//! Sweeps gradient size d ∈ {10k, 100k, 1M} × {serial, sharded@4, ef,
+//! fastsgd, fastsgd8} × {alloc, scratch}, timing encode per call under a
+//! counting global allocator, and writes `BENCH_hotpath.json` so future PRs
+//! have a baseline to regress against (DESIGN.md §2.2). A second table
+//! times the vectorized primitives in isolation (batch hashing, bucket-LUT
+//! lookup, delta-binary flag packing, MinMaxSketch batch insert). The run
+//! aborts if the scratch path ever produces different bytes than the
+//! allocating path, if **any** scratch path allocates in steady state, if
+//! telemetry is unexpectedly enabled (the whole sweep measures the
+//! disabled-telemetry contract: one relaxed atomic load per gate), or if
+//! serial encode throughput regresses >20% against the committed baseline
+//! measured under the same SIMD configuration.
 //!
 //! `--quick` skips the 1M point and shrinks iteration counts (CI smoke).
 
@@ -16,9 +20,10 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 use serde::Serialize;
 use sketchml_bench::output::print_table;
+use sketchml_core::quantify::BucketTable;
 use sketchml_core::{
-    CompressScratch, ErrorFeedback, GradientCompressor, ShardedCompressor, SketchMlCompressor,
-    SparseGradient,
+    CompressScratch, ErrorFeedback, FastSgdCompressor, GradientCompressor, ShardedCompressor,
+    SketchMlCompressor, SparseGradient,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -62,11 +67,24 @@ struct Row {
 }
 
 #[derive(Serialize)]
+struct PrimRow {
+    primitive: &'static str,
+    n: usize,
+    median_ns_per_op: u64,
+    /// Millions of items processed per second.
+    mitems_per_s: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     bench: &'static str,
     quick: bool,
+    /// Whether any vector lane (AVX2/AVX-512) was active for this run; the
+    /// regression gate only compares runs with matching configurations.
+    simd: bool,
     iterations: Vec<usize>,
     rows: Vec<Row>,
+    primitives: Vec<PrimRow>,
     /// Encode speedup of the scratch path over the allocating path at the
     /// largest serial point (the ISSUE's ≥1.3× acceptance gate); absent in
     /// `--quick` runs.
@@ -138,8 +156,15 @@ fn main() {
         .with_threads(4)
         .expect("4 threads valid");
     let ef = ErrorFeedback::new(SketchMlCompressor::default());
-    let engines: [(&'static str, &dyn GradientCompressor); 3] =
-        [("serial", &serial), ("sharded4", &sharded), ("ef", &ef)];
+    let fastsgd = FastSgdCompressor::default();
+    let fastsgd8 = FastSgdCompressor::new(8).expect("8 bits valid");
+    let engines: [(&'static str, &dyn GradientCompressor); 5] = [
+        ("serial", &serial),
+        ("sharded4", &sharded),
+        ("ef", &ef),
+        ("fastsgd", &fastsgd),
+        ("fastsgd8", &fastsgd8),
+    ];
 
     let mut rows = Vec::new();
     let mut iterations = Vec::new();
@@ -207,7 +232,7 @@ fn main() {
                 std::hint::black_box(out.len());
             });
             assert!(
-                (mode != "serial" && mode != "ef") || scratch_allocs == 0,
+                scratch_allocs == 0,
                 "{mode} scratch path must be allocation-free in steady state, \
                  saw {scratch_allocs} allocs/op at d={d}"
             );
@@ -229,6 +254,59 @@ fn main() {
             });
         }
     }
+
+    // --- Vectorized primitives in isolation (the tentpole's inner loops) ---
+    let prim_n = 100_000usize;
+    let prim_iters = if quick { 60 } else { 200 };
+    let pg = gradient(prim_n, 7);
+    let (keys, values) = (pg.keys(), pg.values());
+    let mut primitives = Vec::new();
+    let mut prim = |name: &'static str, op: &mut dyn FnMut()| {
+        let (ns, _) = measure(prim_iters, 3, op);
+        primitives.push(PrimRow {
+            primitive: name,
+            n: prim_n,
+            median_ns_per_op: ns,
+            mitems_per_s: prim_n as f64 / (ns as f64 / 1e9) / 1e6,
+        });
+    };
+    let mut bins = vec![0u32; prim_n];
+    prim("hash_batch_bins", &mut || {
+        sketchml_sketches::hash::fill_bins(0x9E37_79B9_7F4A_7C15, 2048, keys, &mut bins);
+        std::hint::black_box(bins[0]);
+    });
+    let mut flips = vec![0u64; prim_n];
+    prim("hash_batch_signs", &mut || {
+        sketchml_sketches::hash::fill_sign_flips(0xA5A5_1234, keys, &mut flips);
+        std::hint::black_box(flips[0]);
+    });
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let q = 256usize;
+    let splits: Vec<f64> = (0..=q)
+        .map(|i| sorted[(i * (sorted.len() - 1)) / q])
+        .collect();
+    let mut table = BucketTable::default();
+    table.rebuild(&splits);
+    let mut buckets = Vec::new();
+    prim("lut_lookup", &mut || {
+        table.lookup_into(&splits, values, &mut buckets);
+        std::hint::black_box(buckets[0]);
+    });
+    let mut packed = BytesMut::new();
+    prim("flag_pack_keys", &mut || {
+        packed.clear();
+        let n = sketchml_encoding::delta_binary::encode_keys_into(keys, &mut packed)
+            .expect("valid keys pack");
+        std::hint::black_box(n);
+    });
+    let indexes: Vec<u16> = (0..prim_n).map(|i| (i % 255) as u16).collect();
+    let mut mm =
+        sketchml_sketches::minmax::MinMaxSketch::new(3, 65_536, 0xABCD).expect("valid sketch dims");
+    prim("sketch_insert", &mut || {
+        mm.insert_batch(keys, &indexes);
+        std::hint::black_box(mm.inserted());
+    });
 
     let speedup = |d: usize, mode: &str| {
         let pick = |path: &str| {
@@ -262,6 +340,22 @@ fn main() {
         &["d", "mode", "path", "ns/op", "MB/s", "allocs/op"],
         &table,
     );
+    let prim_table: Vec<Vec<String>> = primitives
+        .iter()
+        .map(|r| {
+            vec![
+                r.primitive.to_string(),
+                r.n.to_string(),
+                format!("{}", r.median_ns_per_op),
+                format!("{:.1}", r.mitems_per_s),
+            ]
+        })
+        .collect();
+    print_table(
+        "Vectorized primitives (isolated)",
+        &["primitive", "n", "ns/op", "Mitems/s"],
+        &prim_table,
+    );
     for &d in sizes {
         for (mode, _) in engines {
             if let Some(s) = speedup(d, mode) {
@@ -270,15 +364,69 @@ fn main() {
         }
     }
 
+    let simd = sketchml_core::simd::lanes_active();
+    let path = "BENCH_hotpath.json";
+    // Regression gate: serial encode throughput must stay within 20% of the
+    // committed baseline. Only comparable runs gate — the baseline must have
+    // been recorded under the same SIMD configuration (the `simd` field;
+    // baselines predating it were scalar). Compared at the largest gradient
+    // size present in both runs, scratch path (the steady-state engine).
+    let get = |v: &serde::Value, key: &str| -> Option<serde::Value> {
+        v.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Ok(baseline) = serde_json::from_str::<serde::Value>(&text) {
+            let base_simd = matches!(get(&baseline, "simd"), Some(serde::Value::Bool(true)));
+            if base_simd == simd {
+                let base_rows: Vec<serde::Value> = get(&baseline, "rows")
+                    .and_then(|r| r.as_arr().map(<[serde::Value]>::to_vec))
+                    .unwrap_or_default();
+                let base_at = |d: usize| {
+                    base_rows.iter().find_map(|r| {
+                        (get(r, "d").and_then(|v| v.as_u64()) == Some(d as u64)
+                            && get(r, "mode").as_ref().and_then(serde::Value::as_str)
+                                == Some("serial")
+                            && get(r, "path").as_ref().and_then(serde::Value::as_str)
+                                == Some("scratch"))
+                        .then(|| get(r, "mbps").and_then(|v| v.as_f64()))
+                        .flatten()
+                    })
+                };
+                let current = |d: usize| {
+                    rows.iter()
+                        .find(|r| r.d == d && r.mode == "serial" && r.path == "scratch")
+                        .map(|r| r.mbps)
+                };
+                if let Some(&d) = sizes.iter().rev().find(|&&d| base_at(d).is_some()) {
+                    let (base, now) = (base_at(d).expect("probed"), current(d).expect("swept"));
+                    println!("regression gate: serial scratch d={d}: {now:.1} MB/s vs baseline {base:.1} MB/s");
+                    assert!(
+                        now >= 0.8 * base,
+                        "serial encode regressed >20% vs committed baseline at d={d}: \
+                         {now:.1} MB/s < 0.8 x {base:.1} MB/s"
+                    );
+                }
+            } else {
+                println!(
+                    "regression gate: skipped (baseline simd={base_simd}, this run simd={simd})"
+                );
+            }
+        }
+    }
+
     let report = Report {
         bench: "hotpath",
         quick,
+        simd,
         iterations,
         rows,
+        primitives,
         d1m_serial_speedup,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize");
-    let path = "BENCH_hotpath.json";
     std::fs::write(path, json + "\n").expect("write BENCH_hotpath.json");
     println!("\n[results written to {path}]");
 }

@@ -199,8 +199,34 @@ impl CountSketchCompressor {
         Ok(())
     }
 
+    /// Minimum fraction of the domain a contiguous key run must cover to
+    /// take the dense encode path. Dense gradients (converted embeddings,
+    /// `to_dense` round-trips) arrive as one run over `0..d`; short runs
+    /// gain nothing from skipping the key scan.
+    const DENSE_THRESHOLD_NUM: u64 = 1;
+    const DENSE_THRESHOLD_DEN: u64 = 2;
+
+    /// True when the gradient's keys are exactly the contiguous range
+    /// `[first, first + nnz)` *and* that run covers at least the density
+    /// threshold of the domain — the keys are then implied by position.
+    fn is_contiguous_dense(grad: &SparseGradient) -> bool {
+        let n = grad.nnz() as u64;
+        let keys = grad.keys();
+        n > 0
+            && keys[keys.len() - 1] - keys[0] + 1 == n
+            && n * Self::DENSE_THRESHOLD_DEN >= grad.dim().max(1) * Self::DENSE_THRESHOLD_NUM
+    }
+
     /// Stateless encode into `scratch.csk_cells` (row-major flat loop, no
-    /// sketch struct, no allocation once warm).
+    /// sketch struct, no allocation once warm). Dense gradients whose keys
+    /// are one contiguous run skip the key scan entirely: chunked range
+    /// counters feed the batch hash primitives ([`fill_bins`] /
+    /// [`fill_sign_flips`]), which vectorize under the `simd` feature. The
+    /// scalar per-key loop remains the always-compiled reference; debug
+    /// builds assert the fast path produces a bit-identical table.
+    ///
+    /// [`fill_bins`]: sketchml_sketches::hash::fill_bins
+    /// [`fill_sign_flips`]: sketchml_sketches::hash::fill_sign_flips
     fn sketch_into_scratch(&self, grad: &SparseGradient, scratch: &mut CompressScratch) {
         let c = &self.config;
         let (rows, cols) = (c.rows as usize, c.cols as usize);
@@ -210,12 +236,79 @@ impl CountSketchCompressor {
         push_sign_seeds(rows, c.seed, &mut scratch.csk_signs);
         scratch.csk_cells.clear();
         scratch.csk_cells.resize(rows * cols, 0.0);
+        if Self::is_contiguous_dense(grad) {
+            Self::sketch_rows_dense(grad, scratch, rows, cols);
+            #[cfg(debug_assertions)]
+            {
+                let mut reference = vec![0.0f64; rows * cols];
+                Self::sketch_rows_scalar(grad, scratch, &mut reference, rows, cols);
+                debug_assert!(
+                    scratch
+                        .csk_cells
+                        .iter()
+                        .zip(&reference)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "dense Count-Sketch path diverged from scalar reference"
+                );
+            }
+            return;
+        }
+        let mut cells = std::mem::take(&mut scratch.csk_cells);
+        Self::sketch_rows_scalar(grad, scratch, &mut cells, rows, cols);
+        scratch.csk_cells = cells;
+    }
+
+    /// Scalar reference sketch loop over explicit keys.
+    fn sketch_rows_scalar(
+        grad: &SparseGradient,
+        scratch: &CompressScratch,
+        cells: &mut [f64],
+        rows: usize,
+        cols: usize,
+    ) {
+        for r in 0..rows {
+            let bin_seed = scratch.seeds[r];
+            let sign_seed = scratch.csk_signs[r];
+            let row = &mut cells[r * cols..(r + 1) * cols];
+            for (&k, &v) in grad.keys().iter().zip(grad.values()) {
+                row[HashFamily::bin_for(bin_seed, cols, k)] += sign_for(sign_seed, k) * v;
+            }
+        }
+    }
+
+    /// Contiguous-range sketch loop: keys come from a chunked counter, not
+    /// the key array, and bins/signs are hashed through the batch (lane)
+    /// primitives. Bit-identical to [`Self::sketch_rows_scalar`]: the
+    /// scatter visits pairs in the same order and XOR-ing the sign-flip mask
+    /// equals `±1.0 · v` exactly.
+    fn sketch_rows_dense(
+        grad: &SparseGradient,
+        scratch: &mut CompressScratch,
+        rows: usize,
+        cols: usize,
+    ) {
+        use sketchml_sketches::hash::{fill_bins, fill_sign_flips};
+        const CHUNK: usize = 256;
+        let mut kbuf = [0u64; CHUNK];
+        let mut bins = [0u32; CHUNK];
+        let mut flips = [0u64; CHUNK];
+        let first = grad.keys()[0];
         for r in 0..rows {
             let bin_seed = scratch.seeds[r];
             let sign_seed = scratch.csk_signs[r];
             let row = &mut scratch.csk_cells[r * cols..(r + 1) * cols];
-            for (&k, &v) in grad.keys().iter().zip(grad.values()) {
-                row[HashFamily::bin_for(bin_seed, cols, k)] += sign_for(sign_seed, k) * v;
+            let mut base = first;
+            for vc in grad.values().chunks(CHUNK) {
+                let m = vc.len();
+                for (j, k) in kbuf[..m].iter_mut().enumerate() {
+                    *k = base + j as u64;
+                }
+                fill_bins(bin_seed, cols, &kbuf[..m], &mut bins[..m]);
+                fill_sign_flips(sign_seed, &kbuf[..m], &mut flips[..m]);
+                for ((&bin, &flip), &v) in bins[..m].iter().zip(&flips[..m]).zip(vc) {
+                    row[bin as usize] += f64::from_bits(v.to_bits() ^ flip);
+                }
+                base += m as u64;
             }
         }
     }
@@ -514,6 +607,41 @@ mod tests {
         let reference = c.decompress(&msg.payload).unwrap();
         assert_eq!(decoded.keys(), reference.keys());
         assert_eq!(decoded.values(), reference.values());
+    }
+
+    #[test]
+    fn dense_fast_path_matches_scalar_reference() {
+        let c = compressor();
+        // One contiguous key run covering > half the domain: dense path.
+        let pairs: Vec<(u64, f64)> = (0..4096u64)
+            .map(|i| (i + 7, ((i % 97) as f64 - 48.0) / 16.0))
+            .collect();
+        let g = grad(5_000, &pairs);
+        assert!(CountSketchCompressor::is_contiguous_dense(&g));
+        let mut scratch = CompressScratch::new();
+        let mut out = BytesMut::new();
+        c.compress_into(&g, &mut scratch, &mut out).unwrap();
+        let (rows, cols) = (c.config.rows as usize, c.config.cols as usize);
+        let mut reference = vec![0.0f64; rows * cols];
+        CountSketchCompressor::sketch_rows_scalar(&g, &scratch, &mut reference, rows, cols);
+        assert!(
+            scratch
+                .csk_cells
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "dense path cell table must be bit-identical to the scalar scan"
+        );
+        // And the frame itself matches the allocating (scalar-scan) encoder.
+        assert_eq!(&out[..], &c.compress(&g).unwrap().payload[..]);
+        // Non-contiguous keys never take the fast path.
+        let sparse = grad(5_000, &[(0, 1.0), (4_999, -1.0)]);
+        assert!(!CountSketchCompressor::is_contiguous_dense(&sparse));
+        // Contiguous but below the density threshold: keep the key scan.
+        let short: Vec<(u64, f64)> = (0..100u64).map(|i| (i, 1.0)).collect();
+        assert!(!CountSketchCompressor::is_contiguous_dense(&grad(
+            5_000, &short
+        )));
     }
 
     #[test]

@@ -54,14 +54,17 @@ pub mod baselines;
 pub mod compressor;
 pub mod count_sketch;
 pub mod error;
+pub mod fastsgd;
 pub mod feedback;
 pub mod gradient;
 pub mod gradient_io;
 pub mod merge;
+mod pool;
 pub mod quantify;
 pub mod registry;
 pub mod scratch;
 pub mod sharded;
+pub mod simd;
 pub mod sketchml;
 pub mod space;
 pub mod zipml;
@@ -70,6 +73,7 @@ pub use baselines::{KeyCompressor, RawCompressor, TruncationCompressor, ValueWid
 pub use compressor::{roundtrip_error, CompressedGradient, GradientCompressor, RoundtripStats};
 pub use count_sketch::{CountSketchCompressor, CountSketchConfig};
 pub use error::CompressError;
+pub use fastsgd::FastSgdCompressor;
 pub use feedback::ErrorFeedback;
 pub use gradient::SparseGradient;
 pub use merge::{MergeAcc, MergePolicy, MergeableCompressor};

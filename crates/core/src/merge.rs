@@ -777,6 +777,7 @@ impl MergeableCompressor for crate::baselines::KeyCompressor {}
 impl MergeableCompressor for crate::baselines::TruncationCompressor {}
 impl MergeableCompressor for crate::quantify::QuantCompressor {}
 impl MergeableCompressor for crate::zipml::ZipMlCompressor {}
+impl MergeableCompressor for crate::fastsgd::FastSgdCompressor {}
 impl<C: GradientCompressor> MergeableCompressor for crate::sharded::ShardedCompressor<C> {}
 
 #[cfg(test)]

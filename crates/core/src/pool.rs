@@ -1,0 +1,262 @@
+//! Persistent worker pool for the sharded engine.
+//!
+//! The sharded scratch path promises **zero heap allocations per op** once
+//! warm, but `crossbeam::thread::scope` spawns fresh OS threads (stacks,
+//! handles, scope bookkeeping) on every call — both a per-op allocation and
+//! tens of microseconds of spawn latency. This module keeps a small set of
+//! detached worker threads alive for the life of the process and dispatches
+//! work to them through a mutex/condvar handshake that touches no heap:
+//! publishing a job writes an erased closure pointer into a pre-existing
+//! slot, and workers claim item indexes one at a time under the lock.
+//!
+//! The caller always participates (a run with `threads == 1` never touches
+//! the pool), item order of *completion* is irrelevant to callers — results
+//! land in per-item slots — so payload bytes remain independent of the
+//! thread count, and a run blocks until every item has finished, which is
+//! what makes the borrowed-closure erasure sound.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Hard cap on persistent workers, over and above the participating caller.
+/// Shard counts beyond this still complete; excess shards just queue.
+const MAX_WORKERS: usize = 31;
+
+/// Type-erased borrowed job: `&dyn Fn(usize)` with the lifetime transmuted
+/// away. Sound because [`run`] never returns (or unwinds) before every item
+/// has finished executing, so the pointee outlives every use.
+#[derive(Clone, Copy)]
+struct JobRef(*const (dyn Fn(usize) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` and `run` keeps it alive for the whole
+// dispatch, so sharing the pointer with worker threads is safe.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// # Safety
+    /// Caller must guarantee the original closure is still alive.
+    unsafe fn call(&self, i: usize) {
+        (*self.0)(i)
+    }
+}
+
+#[derive(Default)]
+struct State {
+    /// Current job, `None` between runs. At most one run is active at a
+    /// time: `run` is re-entrancy-guarded and callers are single-threaded
+    /// per scratch.
+    job: Option<JobRef>,
+    /// Bumped once per run so sleeping workers can tell a new job from a
+    /// spurious wakeup and enroll against `helpers_budget` exactly once.
+    epoch: u64,
+    next_item: usize,
+    n_items: usize,
+    done: usize,
+    /// How many pool workers may still enroll in the current epoch — this is
+    /// what makes `with_threads(n)` an upper bound on concurrency.
+    helpers_budget: usize,
+    /// Set when any item's closure panicked; re-raised by the caller.
+    panicked: bool,
+    /// Workers spawned so far (monotone, capped at [`MAX_WORKERS`]).
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<State>,
+    /// Serializes concurrent callers: the pool holds exactly one job at a
+    /// time, so a second caller thread queues here until the first drains.
+    run_lock: Mutex<()>,
+    /// Signals workers that a new job (or more items) is available.
+    work_cv: Condvar,
+    /// Signals the caller that the last outstanding item finished.
+    done_cv: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// True on pool worker threads and inside an active `run` on the caller
+    /// thread; nested runs (e.g. a sharded compressor wrapping another
+    /// sharded compressor) fall back to serial execution instead of
+    /// corrupting the single-job state.
+    static BUSY: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(State::default()),
+        run_lock: Mutex::new(()),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    BUSY.with(|b| b.set(true));
+    let mut last_epoch = 0u64;
+    let mut enrolled = false;
+    let mut st = pool.state.lock().expect("pool mutex");
+    loop {
+        if let Some(job) = st.job {
+            if st.next_item < st.n_items {
+                if st.epoch != last_epoch {
+                    last_epoch = st.epoch;
+                    enrolled = st.helpers_budget > 0;
+                    if enrolled {
+                        st.helpers_budget -= 1;
+                    }
+                }
+                if enrolled {
+                    let i = st.next_item;
+                    st.next_item += 1;
+                    drop(st);
+                    // SAFETY: the publishing `run` blocks until `done`
+                    // reaches `n_items`, so the closure outlives this call.
+                    let r = catch_unwind(AssertUnwindSafe(|| unsafe { job.call(i) }));
+                    st = pool.state.lock().expect("pool mutex");
+                    st.done += 1;
+                    if r.is_err() {
+                        st.panicked = true;
+                    }
+                    if st.done == st.n_items {
+                        pool.done_cv.notify_all();
+                    }
+                    continue;
+                }
+            }
+        }
+        st = pool.work_cv.wait(st).expect("pool mutex");
+    }
+}
+
+/// Runs `job(i)` for every `i in 0..n`, using the calling thread plus up to
+/// `threads - 1` persistent pool workers. Blocks until all items complete;
+/// panics from any item are re-raised here. Item *completion* order is
+/// unspecified — callers must write results into per-item slots.
+pub(crate) fn run(n: usize, threads: usize, job: &(dyn Fn(usize) + Sync)) {
+    let helpers = threads.clamp(1, n.max(1)) - 1;
+    if n <= 1 || helpers == 0 || BUSY.with(|b| b.get()) {
+        for i in 0..n {
+            job(i);
+        }
+        return;
+    }
+    let pool = pool();
+    // A panicked run re-raises while still holding this guard's stack slot,
+    // so tolerate poison — the protected state is the job slot, which a
+    // panicked run always clears before unwinding.
+    let run_guard = pool
+        .run_lock
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // SAFETY: erasing the closure's lifetime; `run` does not return or
+    // unwind until every dispatched item has finished, so no worker ever
+    // dereferences the pointer after the closure is gone.
+    let jr = JobRef(unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
+            job,
+        )
+    });
+    let mut st = pool.state.lock().expect("pool mutex");
+    debug_assert!(st.job.is_none(), "pool::run re-entered");
+    // Lazily grow the worker set toward the requested concurrency.
+    let target = helpers.min(MAX_WORKERS);
+    while st.spawned < target {
+        st.spawned += 1;
+        std::thread::Builder::new()
+            .name("sketchml-shard".into())
+            .spawn(move || worker_loop(pool))
+            .expect("spawn shard worker");
+    }
+    st.epoch = st.epoch.wrapping_add(1);
+    st.n_items = n;
+    st.next_item = 0;
+    st.done = 0;
+    st.helpers_budget = helpers;
+    st.panicked = false;
+    st.job = Some(jr);
+    pool.work_cv.notify_all();
+
+    BUSY.with(|b| b.set(true));
+    let mut caller_panic = None;
+    loop {
+        if st.next_item < st.n_items {
+            let i = st.next_item;
+            st.next_item += 1;
+            drop(st);
+            let r = catch_unwind(AssertUnwindSafe(|| job(i)));
+            st = pool.state.lock().expect("pool mutex");
+            st.done += 1;
+            if let Err(p) = r {
+                caller_panic = Some(p);
+                st.panicked = true;
+            }
+        } else if st.done == st.n_items {
+            break;
+        } else {
+            st = pool.done_cv.wait(st).expect("pool mutex");
+        }
+    }
+    st.job = None;
+    let worker_panicked = st.panicked;
+    drop(st);
+    drop(run_guard);
+    BUSY.with(|b| b.set(false));
+    if let Some(p) = caller_panic {
+        resume_unwind(p);
+    }
+    if worker_panicked {
+        panic!("sharded pool worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        for threads in [1usize, 2, 4, 9] {
+            for n in [0usize, 1, 2, 7, 64] {
+                let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                run(n, threads, &|i| {
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                    "threads={threads} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nested_runs_fall_back_to_serial() {
+        let total = AtomicUsize::new(0);
+        run(4, 4, &|_| {
+            run(3, 4, &|_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 12);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            run(8, 4, &|i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+        // Pool is reusable after a panicked run.
+        let total = AtomicUsize::new(0);
+        run(8, 4, &|_| {
+            total.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 8);
+    }
+}

@@ -77,11 +77,12 @@ pub fn bucket_of(splits: &[f64], value: f64) -> u16 {
 #[inline]
 fn order_key(v: f64) -> u64 {
     let b = (v + 0.0).to_bits();
-    if b >> 63 == 1 {
-        !b
-    } else {
-        b | (1 << 63)
-    }
+    // Branchless sign transform: an arithmetic shift smears the sign bit
+    // into `s` (all-ones for negatives, zero otherwise), so the xor below
+    // is `!b` for negatives and `b | MSB` for positives — value signs are
+    // data-dependent, so a conditional here would mispredict.
+    let s = ((b as i64) >> 63) as u64;
+    b ^ (s | (1 << 63))
 }
 
 /// Flat lookup table replacing [`bucket_of`]'s per-value binary search on
@@ -97,11 +98,20 @@ fn order_key(v: f64) -> u64 {
 pub struct BucketTable {
     base: u64,
     shift: u32,
-    /// `order_key` of each interior split, ascending.
+    /// `order_key` of each interior split, ascending, followed by
+    /// [`INTERIOR_PAD`] `u64::MAX` sentinels so the batch fixup can read a
+    /// fixed-width window without bounds checks (no finite f64 maps to
+    /// `u64::MAX` — that would be a NaN bit pattern).
     interior: Vec<u64>,
+    /// Number of real (non-sentinel) interior keys.
+    m: usize,
     /// `slots[i]` = number of interior keys mapping to a slot `< i`.
     slots: Vec<u16>,
 }
+
+/// Sentinel entries appended to [`BucketTable::interior`]; also the width of
+/// the branch-free fixup window in [`BucketTable::resolve`].
+const INTERIOR_PAD: usize = 4;
 
 impl BucketTable {
     /// Rebuilds the table for a monotone `q + 1` split array, reusing the
@@ -113,10 +123,12 @@ impl BucketTable {
         self.slots.clear();
         self.interior
             .extend(splits[1..q].iter().map(|&s| order_key(s)));
+        self.m = self.interior.len();
         let (Some(&first), Some(&last)) = (self.interior.first(), self.interior.last()) else {
             return; // q == 1: everything is bucket 0.
         };
         debug_assert!(self.interior.windows(2).all(|w| w[0] <= w[1]));
+        self.interior.extend([u64::MAX; INTERIOR_PAD]);
         let span = last - first;
         // ~4 slots per split keeps the linear fixup under one step on
         // average; the cap bounds rebuild cost for adversarial ranges.
@@ -131,7 +143,7 @@ impl BucketTable {
         self.shift = shift;
         let nslots = ((span >> shift) + 1) as usize;
         self.slots.resize(nslots + 1, 0);
-        for &k in &self.interior {
+        for &k in &self.interior[..self.m] {
             self.slots[((k - first) >> shift) as usize + 1] += 1;
         }
         for i in 1..self.slots.len() {
@@ -154,8 +166,7 @@ impl BucketTable {
 
     #[inline]
     fn lookup_fast(&self, value: f64) -> u16 {
-        let m = self.interior.len();
-        if m == 0 {
+        if self.m == 0 {
             return 0;
         }
         let k = order_key(value);
@@ -163,11 +174,129 @@ impl BucketTable {
             return 0;
         }
         let slot = (((k - self.base) >> self.shift) as usize).min(self.slots.len() - 2);
-        let mut idx = self.slots[slot] as usize;
-        while idx < m && self.interior[idx] <= k {
-            idx += 1;
+        self.resolve(self.slots[slot] as usize, k)
+    }
+
+    /// Walks `interior` forward from the slot-table starting point `idx` to
+    /// the number of interior keys `<= k`. The first [`INTERIOR_PAD`] steps
+    /// are a branch-free window of predicated adds (the slot table keeps the
+    /// true distance under one step on average, but *which* values need a
+    /// step is a coin flip the branchy loop mispredicts on); the sentinel
+    /// padding makes the window reads in-bounds for every `idx <= m`. Only
+    /// when the window saturates — rare, well-predicted — does the open
+    /// loop run.
+    #[inline]
+    fn resolve(&self, mut idx: usize, k: u64) -> u16 {
+        debug_assert!(k < u64::MAX, "u64::MAX order key is a NaN bit pattern");
+        let w = &self.interior[idx..idx + INTERIOR_PAD];
+        let c = (w[0] <= k) as usize
+            + (w[1] <= k) as usize
+            + (w[2] <= k) as usize
+            + (w[3] <= k) as usize;
+        idx += c;
+        if c == INTERIOR_PAD {
+            while idx < self.m && self.interior[idx] <= k {
+                idx += 1;
+            }
         }
         idx as u16
+    }
+
+    /// Batch counterpart of [`Self::lookup`]: clears `out` and fills it with
+    /// the bucket of every value, dispatching to the AVX2 lane when the
+    /// `simd` feature is active (scalar path debug-asserted identical).
+    pub fn lookup_into(&self, splits: &[f64], values: &[f64], out: &mut Vec<u16>) {
+        out.clear();
+        out.resize(values.len(), 0);
+        if self.m == 0 {
+            debug_assert!(values.iter().all(|&v| bucket_of(splits, v) == 0));
+            return;
+        }
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if sketchml_sketches::simd::lanes_active() {
+            // SAFETY: `lanes_active` verified AVX2 at runtime.
+            unsafe { self.lookup_avx2(values, out) };
+            #[cfg(debug_assertions)]
+            {
+                let mut reference = vec![0u16; values.len()];
+                self.lookup_scalar(values, &mut reference);
+                assert_eq!(out.as_slice(), reference.as_slice());
+            }
+            debug_assert!(out
+                .iter()
+                .zip(values)
+                .all(|(&got, &v)| got == bucket_of(splits, v)));
+            return;
+        }
+        self.lookup_scalar(values, out);
+        debug_assert!(out
+            .iter()
+            .zip(values)
+            .all(|(&got, &v)| got == bucket_of(splits, v)));
+    }
+
+    /// Scalar reference for [`Self::lookup_into`]: same transform as
+    /// [`Self::lookup_fast`] but with the below-range early-out replaced by
+    /// a mask (out-of-range keys wrap on subtract, but the clamped slot stays
+    /// in bounds and the masked start index is 0, which [`Self::resolve`]
+    /// leaves untouched because `k < interior[0]`).
+    fn lookup_scalar(&self, values: &[f64], out: &mut [u16]) {
+        let maxslot = self.slots.len() - 2;
+        for (o, &v) in out.iter_mut().zip(values) {
+            let k = order_key(v);
+            let mask = ((k >= self.base) as usize).wrapping_neg();
+            let slot = ((k.wrapping_sub(self.base) >> self.shift) as usize).min(maxslot);
+            let idx = self.slots[slot] as usize & mask;
+            *o = self.resolve(idx, k);
+        }
+    }
+
+    /// AVX2 lane: order-key transform, range mask, and slot computation for
+    /// four values per iteration; the slot-table load and window fixup stay
+    /// scalar (u16 gathers don't exist, and the fixup window is already
+    /// branch-free).
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2")]
+    unsafe fn lookup_avx2(&self, values: &[f64], out: &mut [u16]) {
+        use core::arch::x86_64::*;
+        let msb = _mm256_set1_epi64x(i64::MIN);
+        let zero = _mm256_setzero_si256();
+        let basev = _mm256_set1_epi64x(self.base as i64);
+        let basef = _mm256_xor_si256(basev, msb);
+        let shiftv = _mm256_set1_epi64x(self.shift as i64);
+        let maxslot = (self.slots.len() - 2) as u64;
+        let maxv = _mm256_set1_epi64x(maxslot as i64);
+        let maxf = _mm256_xor_si256(maxv, msb);
+        let n = values.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = _mm256_loadu_pd(values.as_ptr().add(i));
+            // `+ 0.0` canonicalizes -0.0, exactly as `order_key` does.
+            let b = _mm256_castpd_si256(_mm256_add_pd(v, _mm256_setzero_pd()));
+            let sign = _mm256_cmpgt_epi64(zero, b);
+            let k = _mm256_xor_si256(b, _mm256_or_si256(sign, msb));
+            // Unsigned compares via the sign-flip trick (AVX2 only has
+            // signed 64-bit compares).
+            let kf = _mm256_xor_si256(k, msb);
+            let below = _mm256_cmpgt_epi64(basef, kf);
+            let t = _mm256_sub_epi64(k, basev);
+            let slot = _mm256_srlv_epi64(t, shiftv);
+            let slotf = _mm256_xor_si256(slot, msb);
+            let over = _mm256_cmpgt_epi64(slotf, maxf);
+            let slot = _mm256_blendv_epi8(slot, maxv, over);
+            let mut ks = [0u64; 4];
+            let mut ss = [0u64; 4];
+            let mut bs = [0u64; 4];
+            _mm256_storeu_si256(ks.as_mut_ptr().cast(), k);
+            _mm256_storeu_si256(ss.as_mut_ptr().cast(), slot);
+            _mm256_storeu_si256(bs.as_mut_ptr().cast(), below);
+            for j in 0..4 {
+                let idx = self.slots[ss[j] as usize] as usize & !(bs[j] as usize);
+                out[i + j] = self.resolve(idx, ks[j]);
+            }
+            i += 4;
+        }
+        self.lookup_scalar(&values[i..], &mut out[i..]);
     }
 }
 
@@ -338,11 +467,7 @@ pub fn quantize_into(
     qs.means
         .extend(qs.splits.windows(2).map(|w| (w[0] + w[1]) / 2.0));
     qs.table.rebuild(&qs.splits);
-    qs.indexes.clear();
-    qs.indexes.reserve(values.len());
-    for &v in values {
-        qs.indexes.push(qs.table.lookup(&qs.splits, v));
-    }
+    qs.table.lookup_into(&qs.splits, values, &mut qs.indexes);
     Ok(())
 }
 

@@ -4,6 +4,7 @@ use crate::baselines::{KeyCompressor, RawCompressor, TruncationCompressor, Value
 use crate::compressor::GradientCompressor;
 use crate::count_sketch::{CountSketchCompressor, CountSketchConfig};
 use crate::error::CompressError;
+use crate::fastsgd::FastSgdCompressor;
 use crate::quantify::QuantCompressor;
 use crate::sharded::ShardedCompressor;
 use crate::sketchml::{MeanPrecision, SketchMlCompressor, SketchMlConfig};
@@ -19,6 +20,9 @@ use sketchml_encoding::framing::FrameVersion;
 /// `countsketch` additionally takes a parameter grammar:
 /// `countsketch[:<rows>x<cols>:<k>][:m<rho>]` — table shape, heavy hitters
 /// extracted per decode, and optional sketched momentum `ρ ∈ [0, 1)`.
+///
+/// `fastsgd[:<bits>]` selects exponent-only log quantization with
+/// `bits ∈ 2..=16` per-value code width (default 6).
 pub const KNOWN_COMPRESSORS: &[&str] = &[
     "sketchml",
     "sketchml-f32",
@@ -38,6 +42,9 @@ pub const KNOWN_COMPRESSORS: &[&str] = &[
     "countsketch:8x2048:512",
     "countsketch:8x2048:512@4",
     "countsketch:4x1024:256:m0.9",
+    "fastsgd",
+    "fastsgd:8",
+    "fastsgd@4",
 ];
 
 /// Parses `countsketch[:<rows>x<cols>:<k>][:m<rho>]` into a config.
@@ -102,6 +109,20 @@ pub fn by_name(name: &str) -> Result<Box<dyn GradientCompressor>, CompressError>
     if let Some(spec) = lower.strip_prefix("countsketch") {
         let config = count_sketch_config(name, spec)?;
         return Ok(Box::new(CountSketchCompressor::new(config)?));
+    }
+    if let Some(spec) = lower.strip_prefix("fastsgd") {
+        let bits = if spec.is_empty() {
+            FastSgdCompressor::DEFAULT_BITS
+        } else {
+            spec.strip_prefix(':')
+                .and_then(|b| b.parse().ok())
+                .ok_or_else(|| {
+                    CompressError::InvalidConfig(format!(
+                        "`{name}`: expected fastsgd[:<bits>] with bits in 2..=16"
+                    ))
+                })?
+        };
+        return Ok(Box::new(FastSgdCompressor::new(bits)?));
     }
     let c: Box<dyn GradientCompressor> = match lower.as_str() {
         "sketchml" => Box::new(SketchMlCompressor::default()),
@@ -216,6 +237,22 @@ mod tests {
             "countsketch:4x1024:256:z",    // unknown trailing component
             "countsketch:4x1024:256:m1.5", // rho out of range
             "countsketch:4x1024:256:m0.9:m0.9",
+        ] {
+            assert!(by_name(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn fastsgd_grammar_parses_and_rejects() {
+        assert_eq!(by_name("fastsgd").unwrap().name(), "FastSGD");
+        assert_eq!(by_name("FastSGD:8").unwrap().name(), "FastSGD");
+        assert_eq!(by_name("fastsgd:16@2").unwrap().name(), "FastSGD");
+        for bad in [
+            "fastsgd:",
+            "fastsgd:1",
+            "fastsgd:17",
+            "fastsgdx",
+            "fastsgd:8:8",
         ] {
             assert!(by_name(bad).is_err(), "accepted `{bad}`");
         }

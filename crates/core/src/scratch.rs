@@ -39,6 +39,7 @@ pub struct CompressScratch {
     // --- encode: per-group key sectioning (§3.4 / Appendix A.3) ---
     pub(crate) counts: Vec<usize>,
     pub(crate) cursor: Vec<usize>,
+    pub(crate) group_lut: Vec<u16>,
     // --- sharded engine: per-shard CRC32 table of the v2 frame ---
     pub(crate) crcs: Vec<u32>,
     pub(crate) sec_keys: Vec<u64>,
@@ -49,6 +50,10 @@ pub struct CompressScratch {
     // --- encode/decode: flat Count-Sketch cell table + sign seeds ---
     pub(crate) csk_cells: Vec<f64>,
     pub(crate) csk_signs: Vec<u64>,
+    // --- encode/decode: FastSGD exponent codes ---
+    pub(crate) fs_exps: Vec<i32>,
+    pub(crate) fs_codes: Vec<u16>,
+    pub(crate) fs_codes32: Vec<u32>,
     // --- decode ---
     pub(crate) pairs: Vec<(u64, f64)>,
     pub(crate) dec_keys: Vec<u64>,
@@ -56,8 +61,11 @@ pub struct CompressScratch {
     pub(crate) dec_idx: Vec<u16>,
     pub(crate) dec_cells: Vec<u16>,
     pub(crate) dec_means: Vec<f64>,
-    // --- sharded engine: one slot per shard, each with its own scratch ---
-    pub(crate) shards: Vec<ShardScratch>,
+    // --- sharded engine: one slot per shard, each with its own scratch.
+    // The mutexes are uncontended by construction (each pool worker claims a
+    // distinct slot index); they exist so the parallel region stays safe
+    // code while the slots live in one reusable Vec.
+    pub(crate) shards: Vec<std::sync::Mutex<ShardScratch>>,
 }
 
 impl CompressScratch {
@@ -70,7 +78,7 @@ impl CompressScratch {
     /// scratch, reusable gradient, and output buffer.
     pub(crate) fn ensure_shards(&mut self, n: usize) {
         while self.shards.len() < n {
-            self.shards.push(ShardScratch::new());
+            self.shards.push(std::sync::Mutex::new(ShardScratch::new()));
         }
     }
 }

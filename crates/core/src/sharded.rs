@@ -3,8 +3,8 @@
 //! [`ShardedCompressor`] wraps any [`GradientCompressor`] and splits each
 //! gradient into `shards` contiguous key-range shards, balanced by pair
 //! count. Shards are compressed (and decompressed) independently — possibly
-//! concurrently on scoped threads — and framed into one self-describing
-//! payload by [`sketchml_encoding::framing`].
+//! concurrently on the persistent worker pool in [`crate::pool`] — and
+//! framed into one self-describing payload by [`sketchml_encoding::framing`].
 //!
 //! # Determinism
 //!
@@ -18,7 +18,7 @@
 use crate::compressor::{CompressedGradient, GradientCompressor};
 use crate::error::CompressError;
 use crate::gradient::SparseGradient;
-use crate::scratch::{CompressScratch, ShardScratch};
+use crate::scratch::CompressScratch;
 use bytes::BytesMut;
 use sketchml_encoding::crc32::crc32;
 use sketchml_encoding::framing::{self, FrameVersion};
@@ -172,6 +172,39 @@ pub fn split_gradient(grad: &SparseGradient, shards: usize) -> Vec<SparseGradien
     out
 }
 
+/// Strips a mutex poison marker: a panicked shard job already propagated as
+/// a pool panic, and every slot holds plain pooled buffers that are valid in
+/// any state, so the data behind a poisoned lock is still safe to reuse.
+fn unpoison<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`verify_crcs`] over offset/length tables instead of collected slices,
+/// so the scratch decode path stays allocation-free.
+fn verify_crcs_at(
+    buf: &[u8],
+    cursor: &[usize],
+    counts: &[usize],
+    crcs: &[u32],
+) -> Result<(), CompressError> {
+    if counts.len() != crcs.len() {
+        return Err(CompressError::Corrupt(format!(
+            "frame declares {} shards but {} checksums",
+            counts.len(),
+            crcs.len()
+        )));
+    }
+    for (i, ((&at, &len), &expect)) in cursor.iter().zip(counts).zip(crcs).enumerate() {
+        let got = crc32(&buf[at..at + len]);
+        if got != expect {
+            return Err(CompressError::Corrupt(format!(
+                "shard {i} CRC mismatch: header says {expect:#010x}, payload hashes to {got:#010x}"
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Verifies each shard slice against its declared v2 CRC32, rejecting any
 /// mismatch before the inner codec ever sees the corrupted bytes.
 fn verify_crcs(slices: &[&[u8]], crcs: &[u32]) -> Result<(), CompressError> {
@@ -193,37 +226,26 @@ fn verify_crcs(slices: &[&[u8]], crcs: &[u32]) -> Result<(), CompressError> {
     Ok(())
 }
 
-/// Runs `job` over `0..n` items, writing each result into its slot, using up
-/// to `threads` scoped workers over contiguous chunks. Slot order — and thus
-/// every downstream byte — is independent of `threads`.
+/// Runs `job` over `0..n` items on the persistent worker pool, writing each
+/// result into its slot. Slot order — and thus every downstream byte — is
+/// independent of `threads`.
 fn run_chunked<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let workers = threads.clamp(1, n.max(1));
-    if workers <= 1 {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(job(i));
-        }
-    } else {
-        let chunk = n.div_ceil(workers);
-        crossbeam::thread::scope(|s| {
-            for (c, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
-                let job = &job;
-                s.spawn(move |_| {
-                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                        *slot = Some(job(c * chunk + off));
-                    }
-                });
-            }
-        })
-        .expect("compression thread pool");
-    }
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    crate::pool::run(n, threads, &|i| {
+        *slots[i].lock().expect("result slot") = Some(job(i));
+    });
     slots
         .into_iter()
-        .map(|slot| slot.expect("every slot filled"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
@@ -329,75 +351,54 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
         let nnz = grad.nnz();
         let s = self.shards.clamp(1, nnz.max(1));
         scratch.ensure_shards(s);
-        {
-            let slots = &mut scratch.shards[..s];
-            if s == 1 {
-                let slot = &mut slots[0];
+        if s == 1 {
+            let slot = unpoison(scratch.shards[0].get_mut());
+            let _t = telemetry::time(telemetry::Stage::ShardEncode);
+            telemetry::inc(telemetry::Counter::ShardedShardEncodes);
+            slot.result = Some(
+                self.inner
+                    .compress_into(grad, &mut slot.scratch, &mut slot.out),
+            );
+        } else {
+            // Same balanced contiguous split as `split_gradient`, copied
+            // into each slot's pooled gradient instead of fresh Vecs.
+            let base = nnz / s;
+            let extra = nnz % s;
+            let mut start = 0usize;
+            for (i, slot) in scratch.shards[..s].iter_mut().enumerate() {
+                let end = start + base + usize::from(i < extra);
+                unpoison(slot.get_mut())
+                    .grad
+                    .assign(
+                        grad.dim(),
+                        &grad.keys()[start..end],
+                        &grad.values()[start..end],
+                    )
+                    .expect("contiguous slice of a valid gradient is valid");
+                start = end;
+            }
+            // Each pool worker claims a distinct slot index, so every lock
+            // below is uncontended and allocation-free.
+            let slots = &scratch.shards[..s];
+            crate::pool::run(s, self.threads.clamp(1, s), &|i| {
+                let mut guard = unpoison(slots[i].lock());
+                let slot = &mut *guard;
                 let _t = telemetry::time(telemetry::Stage::ShardEncode);
                 telemetry::inc(telemetry::Counter::ShardedShardEncodes);
                 slot.result = Some(self.inner.compress_into(
-                    grad,
+                    &slot.grad,
                     &mut slot.scratch,
                     &mut slot.out,
                 ));
-            } else {
-                // Same balanced contiguous split as `split_gradient`, copied
-                // into each slot's pooled gradient instead of fresh Vecs.
-                let base = nnz / s;
-                let extra = nnz % s;
-                let mut start = 0usize;
-                for (i, slot) in slots.iter_mut().enumerate() {
-                    let end = start + base + usize::from(i < extra);
-                    slot.grad
-                        .assign(
-                            grad.dim(),
-                            &grad.keys()[start..end],
-                            &grad.values()[start..end],
-                        )
-                        .expect("contiguous slice of a valid gradient is valid");
-                    start = end;
-                }
-                let workers = self.threads.clamp(1, s);
-                if workers <= 1 {
-                    for slot in slots.iter_mut() {
-                        let _t = telemetry::time(telemetry::Stage::ShardEncode);
-                        telemetry::inc(telemetry::Counter::ShardedShardEncodes);
-                        slot.result = Some(self.inner.compress_into(
-                            &slot.grad,
-                            &mut slot.scratch,
-                            &mut slot.out,
-                        ));
-                    }
-                } else {
-                    let chunk = s.div_ceil(workers);
-                    crossbeam::thread::scope(|sc| {
-                        for slot_chunk in slots.chunks_mut(chunk) {
-                            let inner = &self.inner;
-                            sc.spawn(move |_| {
-                                for slot in slot_chunk.iter_mut() {
-                                    let _t = telemetry::time(telemetry::Stage::ShardEncode);
-                                    telemetry::inc(telemetry::Counter::ShardedShardEncodes);
-                                    slot.result = Some(inner.compress_into(
-                                        &slot.grad,
-                                        &mut slot.scratch,
-                                        &mut slot.out,
-                                    ));
-                                }
-                            });
-                        }
-                    })
-                    .expect("compression thread pool");
-                }
-            }
+            });
         }
 
         let mut report = SizeReport::default();
+        scratch.counts.clear();
         for slot in scratch.shards[..s].iter_mut() {
+            let slot = unpoison(slot.get_mut());
             let shard_report = slot.result.take().expect("every slot ran")?;
             report.accumulate(&shard_report);
-        }
-        scratch.counts.clear();
-        for slot in &scratch.shards[..s] {
             scratch.counts.push(slot.out.len());
         }
         record_frame(&scratch.counts);
@@ -411,15 +412,15 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
             FrameVersion::V1 => framing::write_header(out, &scratch.counts),
             FrameVersion::V2 => {
                 scratch.crcs.clear();
-                for slot in &scratch.shards[..s] {
-                    scratch.crcs.push(crc32(&slot.out[..]));
+                for slot in scratch.shards[..s].iter_mut() {
+                    scratch.crcs.push(crc32(&unpoison(slot.get_mut()).out[..]));
                 }
                 framing::write_header_v2(out, &scratch.counts, &scratch.crcs);
             }
         }
         report.header_bytes += frame_header;
-        for slot in &scratch.shards[..s] {
-            out.extend_from_slice(&slot.out[..]);
+        for slot in scratch.shards[..s].iter_mut() {
+            out.extend_from_slice(&unpoison(slot.get_mut()).out[..]);
         }
         Ok(report)
     }
@@ -449,57 +450,29 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
             )));
         }
         if version == FrameVersion::V2 {
-            let slices: Vec<&[u8]> = scratch
-                .cursor
-                .iter()
-                .zip(&scratch.counts)
-                .map(|(&at, &len)| &buf[at..at + len])
-                .collect();
-            verify_crcs(&slices, &scratch.crcs)?;
+            verify_crcs_at(buf, &scratch.cursor, &scratch.counts, &scratch.crcs)?;
         }
 
         scratch.ensure_shards(s);
         {
-            let (shards_scratch, rest) = {
-                // Split disjoint field borrows for the worker closures.
-                let CompressScratch {
-                    shards,
-                    counts,
-                    cursor,
-                    ..
-                } = scratch;
-                (&mut shards[..s], (&*counts, &*cursor))
-            };
-            let (counts, cursor) = rest;
-            let workers = self.threads.clamp(1, s);
-            let decode_slot = |i: usize, slot: &mut ShardScratch| {
+            // Each pool worker claims a distinct slot index, so every lock
+            // below is uncontended and allocation-free.
+            let slots = &scratch.shards[..s];
+            let (counts, cursor) = (&scratch.counts, &scratch.cursor);
+            crate::pool::run(s, self.threads.clamp(1, s), &|i| {
+                let mut guard = unpoison(slots[i].lock());
+                let slot = &mut *guard;
                 let slice = &buf[cursor[i]..cursor[i] + counts[i]];
                 let r = self
                     .inner
                     .decompress_into(slice, &mut slot.scratch, &mut slot.grad);
                 slot.result = Some(r.map(|()| SizeReport::default()));
-            };
-            if workers <= 1 {
-                for (i, slot) in shards_scratch.iter_mut().enumerate() {
-                    decode_slot(i, slot);
-                }
-            } else {
-                let chunk = s.div_ceil(workers);
-                crossbeam::thread::scope(|sc| {
-                    for (c, slot_chunk) in shards_scratch.chunks_mut(chunk).enumerate() {
-                        let decode_slot = &decode_slot;
-                        sc.spawn(move |_| {
-                            for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                                decode_slot(c * chunk + off, slot);
-                            }
-                        });
-                    }
-                })
-                .expect("compression thread pool");
-            }
+            });
         }
 
-        for slot in scratch.shards[..s].iter_mut() {
+        let mut dim = 0u64;
+        for (i, slot) in scratch.shards[..s].iter_mut().enumerate() {
+            let slot = unpoison(slot.get_mut());
             slot.result
                 .take()
                 .expect("every slot ran")
@@ -507,21 +480,18 @@ impl<C: GradientCompressor> GradientCompressor for ShardedCompressor<C> {
                     CompressError::Corrupt(msg) => CompressError::Corrupt(msg),
                     other => CompressError::Corrupt(format!("shard decode: {other}")),
                 })?;
-        }
-        let dim = scratch.shards[..s]
-            .first()
-            .map_or(0, |slot| slot.grad.dim());
-        if scratch.shards[..s]
-            .iter()
-            .any(|slot| slot.grad.dim() != dim)
-        {
-            return Err(CompressError::Corrupt(
-                "shards disagree on gradient dimension".into(),
-            ));
+            if i == 0 {
+                dim = slot.grad.dim();
+            } else if slot.grad.dim() != dim {
+                return Err(CompressError::Corrupt(
+                    "shards disagree on gradient dimension".into(),
+                ));
+            }
         }
         scratch.dec_keys.clear();
         scratch.dec_vals.clear();
-        for slot in &scratch.shards[..s] {
+        for slot in scratch.shards[..s].iter_mut() {
+            let slot = unpoison(slot.get_mut());
             scratch.dec_keys.extend_from_slice(slot.grad.keys());
             scratch.dec_vals.extend_from_slice(slot.grad.values());
         }

@@ -37,6 +37,149 @@ use sketchml_sketches::minmax::{
 };
 use sketchml_telemetry as telemetry;
 
+/// Branchless stable sign partition (§3.3 Solution 1). Gradient signs are
+/// ~50/50 and uncorrelated, so the obvious `if v < 0.0` loop mispredicts on
+/// every other pair; instead each pair is written to *both* sides' spare
+/// capacity and only the matching cursor advances (a predicated add the
+/// compiler keeps branch-free). Output order and the NaN/-0.0 placement are
+/// exactly those of the branchy loop: anything not `< 0.0` goes positive.
+fn partition_signs(
+    keys: &[u64],
+    values: &[f64],
+    pos_keys: &mut Vec<u64>,
+    pos_vals: &mut Vec<f64>,
+    neg_keys: &mut Vec<u64>,
+    neg_vals: &mut Vec<f64>,
+) {
+    let n = keys.len();
+    debug_assert_eq!(values.len(), n);
+    pos_keys.clear();
+    pos_vals.clear();
+    neg_keys.clear();
+    neg_vals.clear();
+    pos_keys.reserve(n);
+    pos_vals.reserve(n);
+    neg_keys.reserve(n);
+    neg_vals.reserve(n);
+    let (mut p, mut m) = (0usize, 0usize);
+    // SAFETY: both sides reserved `n` slots and `p + m == i <= n` at every
+    // step, so all writes land in spare capacity (the AVX2 block stores 4
+    // slots at cursor `p <= i <= n - 4`, still within the reserved `n`);
+    // `set_len` only exposes slots that were written (every slot below the
+    // final cursor was the "matching" write of some iteration). u64/f64 are
+    // Copy with no drop.
+    unsafe {
+        let pk = pos_keys.as_mut_ptr();
+        let pv = pos_vals.as_mut_ptr();
+        let nk = neg_keys.as_mut_ptr();
+        let nv = neg_vals.as_mut_ptr();
+        let mut i = 0usize;
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if sketchml_sketches::simd::lanes_active() {
+            (p, m, i) = partition_avx2(keys, values, pk, pv, nk, nv);
+        }
+        while i < n {
+            let k = *keys.get_unchecked(i);
+            let v = *values.get_unchecked(i);
+            let is_neg = (v < 0.0) as usize;
+            *pk.add(p) = k;
+            *pv.add(p) = v;
+            *nk.add(m) = k;
+            *nv.add(m) = v;
+            p += 1 - is_neg;
+            m += is_neg;
+            i += 1;
+        }
+        pos_keys.set_len(p);
+        pos_vals.set_len(p);
+        neg_keys.set_len(m);
+        neg_vals.set_len(m);
+    }
+    #[cfg(debug_assertions)]
+    {
+        let mut ep = 0usize;
+        let mut em = 0usize;
+        for (&k, &v) in keys.iter().zip(values) {
+            if v < 0.0 {
+                assert!(neg_keys[em] == k && neg_vals[em].to_bits() == v.to_bits());
+                em += 1;
+            } else {
+                assert!(pos_keys[ep] == k && pos_vals[ep].to_bits() == v.to_bits());
+                ep += 1;
+            }
+        }
+        assert!(ep == pos_keys.len() && em == neg_keys.len());
+    }
+}
+
+/// AVX2 body of [`partition_signs`]: four pairs per iteration. The sign
+/// mask (`v < 0.0`, so NaN and -0.0 land positive exactly like the scalar
+/// compare) indexes two compaction LUTs of `vpermd` lane patterns — one
+/// packing the positive pairs front-first, one the negatives — and each
+/// side gets one full-vector store at its cursor, of which only the packed
+/// prefix is later exposed. Returns `(p, m, i)` cursors for the scalar tail.
+///
+/// # Safety
+/// Caller must have verified AVX2 support, reserved `keys.len()` slots
+/// behind each output pointer, and `values.len() == keys.len()`.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn partition_avx2(
+    keys: &[u64],
+    values: &[f64],
+    pk: *mut u64,
+    pv: *mut f64,
+    nk: *mut u64,
+    nv: *mut f64,
+) -> (usize, usize, usize) {
+    use core::arch::x86_64::*;
+    // `PACK[m][side]` = epi32 lane indices moving the u64 lanes whose mask
+    // bit is clear (side 0) / set (side 1) to the front, in order.
+    const PACK: [[[u32; 8]; 2]; 16] = {
+        let mut luts = [[[0u32; 8]; 2]; 16];
+        let mut msk = 0usize;
+        while msk < 16 {
+            let mut cur = [0usize; 2];
+            let mut lane = 0u32;
+            while lane < 4 {
+                let side = (msk >> lane) & 1;
+                luts[msk][side][2 * cur[side]] = 2 * lane;
+                luts[msk][side][2 * cur[side] + 1] = 2 * lane + 1;
+                cur[side] += 1;
+                lane += 1;
+            }
+            msk += 1;
+        }
+        luts
+    };
+    let n = keys.len();
+    let zero = _mm256_setzero_pd();
+    let (mut p, mut m) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let kv = _mm256_loadu_si256(keys.as_ptr().add(i).cast());
+        let vv = _mm256_loadu_pd(values.as_ptr().add(i));
+        let msk = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LT_OQ>(vv, zero)) as usize;
+        let pos_idx = _mm256_loadu_si256(PACK[msk][0].as_ptr().cast());
+        let neg_idx = _mm256_loadu_si256(PACK[msk][1].as_ptr().cast());
+        _mm256_storeu_si256(pk.add(p).cast(), _mm256_permutevar8x32_epi32(kv, pos_idx));
+        _mm256_storeu_pd(
+            pv.add(p),
+            _mm256_castps_pd(_mm256_permutevar8x32_ps(_mm256_castpd_ps(vv), pos_idx)),
+        );
+        _mm256_storeu_si256(nk.add(m).cast(), _mm256_permutevar8x32_epi32(kv, neg_idx));
+        _mm256_storeu_pd(
+            nv.add(m),
+            _mm256_castps_pd(_mm256_permutevar8x32_ps(_mm256_castpd_ps(vv), neg_idx)),
+        );
+        let neg = msk.count_ones() as usize;
+        p += 4 - neg;
+        m += neg;
+        i += 4;
+    }
+    (p, m, i)
+}
+
 /// Precision of the bucket-means table on the wire (§3.5 charges `8q`
 /// bytes for f64 means; f32 halves that at ~1e-7 relative value error —
 /// the §B.4 "weight types" trade applied to SketchML's own metadata).
@@ -370,38 +513,54 @@ impl SketchMlCompressor {
 
         // Stable counting sort of (key, index) pairs into per-group
         // sections, so each section keeps ascending key order — the same
-        // order `encode_side` accumulates into its per-group Vecs.
-        scratch.counts.clear();
-        scratch.counts.resize(r_eff, 0);
-        for &idx in &scratch.quant.indexes {
-            scratch.counts[(idx / group_width) as usize] += 1;
-        }
-        scratch.cursor.clear();
-        let mut at = 0usize;
-        for &c in &scratch.counts {
-            scratch.cursor.push(at);
-            at += c;
-        }
-        scratch.sec_keys.clear();
-        scratch.sec_keys.resize(n, 0);
-        scratch.sec_idx.clear();
-        scratch.sec_idx.resize(n, 0);
-        for (&k, &idx) in keys.iter().zip(&scratch.quant.indexes) {
-            let g = (idx / group_width) as usize;
-            let p = scratch.cursor[g];
-            scratch.sec_keys[p] = k;
-            scratch.sec_idx[p] = idx;
-            scratch.cursor[g] += 1;
+        // order `encode_side` accumulates into its per-group Vecs. The
+        // bucket→group map is a q-entry LUT so the two hot passes avoid a
+        // per-element integer division.
+        {
+            scratch.group_lut.clear();
+            for idx in 0..q {
+                scratch.group_lut.push(idx / group_width);
+            }
+            let group_lut = &scratch.group_lut[..q as usize];
+            scratch.counts.clear();
+            scratch.counts.resize(r_eff, 0);
+            for &idx in &scratch.quant.indexes {
+                scratch.counts[group_lut[idx as usize] as usize] += 1;
+            }
+            scratch.cursor.clear();
+            let mut at = 0usize;
+            for &c in &scratch.counts {
+                scratch.cursor.push(at);
+                at += c;
+            }
+            scratch.sec_keys.clear();
+            scratch.sec_keys.resize(n, 0);
+            scratch.sec_idx.clear();
+            scratch.sec_idx.resize(n, 0);
+            let sec_keys = &mut scratch.sec_keys[..n];
+            let sec_idx = &mut scratch.sec_idx[..n];
+            let cursor = &mut scratch.cursor[..r_eff];
+            for (&k, &idx) in keys.iter().zip(&scratch.quant.indexes) {
+                let g = group_lut[idx as usize] as usize;
+                let p = cursor[g];
+                // SAFETY: `p` is group `g`'s cursor, which the counting
+                // pass bounds by the group's section end `<= n`.
+                unsafe {
+                    *sec_keys.get_unchecked_mut(p) = k;
+                    *sec_idx.get_unchecked_mut(p) = idx;
+                }
+                cursor[g] = p + 1;
+            }
         }
 
         // Flat `r_eff × rows × cols` cell table plus per-group row seeds:
         // exactly the tables `GroupedMinMaxSketch` would build (seeds share
         // the derivation in `push_row_seeds`), without constructing it.
+        let table = rows * cols;
         scratch.seeds.clear();
         for g in 0..r_eff {
             push_row_seeds(rows, group_seed(side_seed, g), &mut scratch.seeds);
         }
-        let table = rows * cols;
         scratch.cells.clear();
         scratch.cells.resize(r_eff * table, EMPTY_CELL);
 
@@ -491,20 +650,22 @@ impl SketchMlCompressor {
                     }
                 }
             }
-            {
+            key_bytes += {
                 let _t = telemetry::time(telemetry::Stage::KeyEncode);
-                key_bytes += delta_binary::encode_keys_into(g_keys, out)?;
-            }
-            let _t = telemetry::time(telemetry::Stage::SketchEncode);
-            // EMPTY cells are never consulted for keys of this section
-            // (their own insert wrote all their cells), so they can ship
-            // as 0 to stay within `bits`.
-            for c in cells.iter_mut() {
-                if *c == EMPTY_CELL {
-                    *c = 0;
+                delta_binary::encode_keys_into(g_keys, out)
+            }?;
+            value_bytes += {
+                let _t = telemetry::time(telemetry::Stage::SketchEncode);
+                // EMPTY cells are never consulted for keys of this section
+                // (their own insert wrote all their cells), so they can ship
+                // as 0 to stay within `bits`.
+                for c in cells.iter_mut() {
+                    if *c == EMPTY_CELL {
+                        *c = 0;
+                    }
                 }
-            }
-            value_bytes += bitpack::pack_u16_into(cells, bits, out)?;
+                bitpack::pack_u16_into(cells, bits, out)
+            }?;
             begin = end;
         }
         Ok((key_bytes, value_bytes))
@@ -850,19 +1011,14 @@ impl GradientCompressor for SketchMlCompressor {
         let mut pos_vals = std::mem::take(&mut scratch.pos_vals);
         let mut neg_keys = std::mem::take(&mut scratch.neg_keys);
         let mut neg_vals = std::mem::take(&mut scratch.neg_vals);
-        pos_keys.clear();
-        pos_vals.clear();
-        neg_keys.clear();
-        neg_vals.clear();
-        for (k, v) in grad.iter() {
-            if v < 0.0 {
-                neg_keys.push(k);
-                neg_vals.push(v);
-            } else {
-                pos_keys.push(k);
-                pos_vals.push(v);
-            }
-        }
+        partition_signs(
+            grad.keys(),
+            grad.values(),
+            &mut pos_keys,
+            &mut pos_vals,
+            &mut neg_keys,
+            &mut neg_vals,
+        );
         let sides: Result<(usize, usize), CompressError> = (|| {
             let (kb_pos, vb_pos) =
                 self.encode_side_into(&pos_keys, &pos_vals, false, self.config.seed, scratch, out)?;

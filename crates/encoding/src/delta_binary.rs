@@ -122,36 +122,197 @@ pub fn encode_keys(keys: &[u64], out: &mut impl BufMut) -> Result<usize, Encodin
 /// See [`delta_transform`]. On error the tail of `out` past its original
 /// length is unspecified.
 pub fn encode_keys_into(keys: &[u64], out: &mut BytesMut) -> Result<usize, EncodingError> {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if crate::simd::lanes_active() {
+        let r = encode_keys_into_lanes(keys, out);
+        #[cfg(debug_assertions)]
+        if let Ok(len) = r {
+            let mut reference = BytesMut::new();
+            encode_keys_into_scalar(keys, &mut reference)
+                .expect("scalar path must agree that the lane input was valid");
+            assert_eq!(
+                &out[out.len() - len..],
+                &reference[..],
+                "delta-binary lane diverged from scalar reference"
+            );
+        }
+        return r;
+    }
+    encode_keys_into_scalar(keys, out)
+}
+
+/// Scalar reference implementation of [`encode_keys_into`].
+fn encode_keys_into_scalar(keys: &[u64], out: &mut BytesMut) -> Result<usize, EncodingError> {
     let n = keys.len();
     let start = out.len();
     varint::write_u64(out, n as u64);
     let flag_at = out.len();
-    out.resize(flag_at + n.div_ceil(4), 0);
-
-    let mut prev: Option<u64> = None;
-    for (i, &k) in keys.iter().enumerate() {
-        let delta = match prev {
-            None => k,
-            Some(p) if k > p => k - p,
-            Some(p) if k == p => return Err(EncodingError::DuplicateKey { key: k, offset: i }),
-            Some(p) => {
-                return Err(EncodingError::InvalidInput(format!(
-                    "keys must be strictly ascending: keys[{i}] = {k} < keys[{}] = {p}",
-                    i - 1
-                )))
-            }
-        };
-        let delta = u32::try_from(delta).map_err(|_| {
-            EncodingError::InvalidInput(format!(
-                "delta {delta} at position {i} exceeds the 4-byte maximum"
-            ))
-        })?;
-        prev = Some(k);
-        let nb = bytes_needed(delta);
-        out[flag_at + i / 4] |= ((nb - 1) as u8) << ((i % 4) * 2);
-        out.extend_from_slice(&delta.to_le_bytes()[..nb]);
+    let payload_at = flag_at + n.div_ceil(4);
+    // Reserve the 4-bytes-per-delta worst case up front (zero-filled — the
+    // flag bytes need the zeros, the payload tail is truncated off below) so
+    // the hot loop runs with no capacity checks and no data-dependent
+    // branches: every delta is stored as an unconditional 4-byte overlapping
+    // little-endian write and the cursor advances by the true width, which
+    // the next write's low bytes then overwrite.
+    out.resize(payload_at + 4 * n, 0);
+    let data: &mut [u8] = out;
+    let mut bad = false;
+    let mut prev = 0u64;
+    let mut pos = payload_at;
+    encode_run_scalar(keys, 0, data, flag_at, &mut prev, &mut pos, &mut bad);
+    if bad {
+        // Re-run the checking transform to surface the exact error the
+        // allocating path reports (`out`'s tail is unspecified on error).
+        delta_transform(keys)?;
+        debug_assert!(false, "validity flag set but delta_transform passed");
     }
+    out.truncate(pos);
     Ok(out.len() - start)
+}
+
+/// Hot scalar run shared by the pure-scalar path and the lane path's
+/// prologue/tail: encodes `keys` (absolute indices starting at `i0`) with
+/// carried `prev`/`pos`/`bad` state.
+#[inline]
+fn encode_run_scalar(
+    keys: &[u64],
+    i0: usize,
+    data: &mut [u8],
+    flag_at: usize,
+    prev: &mut u64,
+    pos: &mut usize,
+    bad: &mut bool,
+) {
+    let mut p = *prev;
+    let mut at = *pos;
+    let mut b = *bad;
+    for (off, &k) in keys.iter().enumerate() {
+        let i = i0 + off;
+        let d64 = k.wrapping_sub(p);
+        // Violations (duplicate / descending / >4-byte delta) only set a
+        // flag here; the classic typed error is reproduced by the caller.
+        b |= (i != 0 && k <= p) | (d64 > u64::from(u32::MAX));
+        p = k;
+        let d = d64 as u32;
+        // Branchless threshold module: bytes to hold the highest set bit.
+        let bits = 32 - (d | 1).leading_zeros() as usize;
+        let nb = (bits + 7) >> 3;
+        data[flag_at + i / 4] |= ((nb - 1) as u8) << ((i % 4) * 2);
+        data[at..at + 4].copy_from_slice(&d.to_le_bytes());
+        at += nb;
+    }
+    *prev = p;
+    *pos = at;
+    *bad = b;
+}
+
+/// Lane-dispatched variant of [`encode_keys_into_scalar`]: a 4-key scalar
+/// prologue aligns the stream so the AVX2 middle emits whole flag bytes,
+/// and a scalar tail finishes the remainder. Byte-identical output.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn encode_keys_into_lanes(keys: &[u64], out: &mut BytesMut) -> Result<usize, EncodingError> {
+    let n = keys.len();
+    let start = out.len();
+    varint::write_u64(out, n as u64);
+    let flag_at = out.len();
+    let payload_at = flag_at + n.div_ceil(4);
+    out.resize(payload_at + 4 * n, 0);
+    let data: &mut [u8] = out;
+    let mut prev = 0u64;
+    let mut pos = payload_at;
+    let mut bad = false;
+    let p0 = n.min(4);
+    encode_run_scalar(&keys[..p0], 0, data, flag_at, &mut prev, &mut pos, &mut bad);
+    let mid_end = if n >= 8 {
+        // SAFETY: AVX2 verified by `lanes_active` in the dispatcher.
+        unsafe { encode_mid_avx2(keys, data, flag_at, &mut pos, &mut bad) }
+    } else {
+        p0
+    };
+    if mid_end > p0 {
+        prev = keys[mid_end - 1];
+    }
+    encode_run_scalar(
+        &keys[mid_end..],
+        mid_end,
+        data,
+        flag_at,
+        &mut prev,
+        &mut pos,
+        &mut bad,
+    );
+    if bad {
+        delta_transform(keys)?;
+        debug_assert!(false, "validity flag set but delta_transform passed");
+    }
+    out.truncate(pos);
+    Ok(out.len() - start)
+}
+
+/// AVX2 middle loop of the delta-binary encoder: four keys per iteration.
+/// Deltas come from an offset-by-one unaligned load; the §3.4 threshold
+/// module becomes three 64-bit compares whose mask sum is `-(nb - 1)` per
+/// lane, which both packs one whole flag byte and advances the payload
+/// cursor. Validity (ascending, 4-byte deltas) is accumulated as a vector
+/// mask and folded into `bad` once at the end — the error path re-checks
+/// scalar anyway. Starts at absolute index 4 (the prologue's work) and
+/// returns the first index not consumed (a multiple of 4).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn encode_mid_avx2(
+    keys: &[u64],
+    data: &mut [u8],
+    flag_at: usize,
+    pos: &mut usize,
+    bad: &mut bool,
+) -> usize {
+    use core::arch::x86_64::*;
+    let n = keys.len();
+    debug_assert!(n >= 8);
+    let msb = _mm256_set1_epi64x(i64::MIN);
+    let ones = _mm256_set1_epi64x(-1);
+    // `u32::MAX` with the sign bit flipped, for the unsigned width check.
+    let max32f = _mm256_set1_epi64x((0xFFFF_FFFFu64 ^ (1u64 << 63)) as i64);
+    let t1 = _mm256_set1_epi64x(0xFF);
+    let t2 = _mm256_set1_epi64x(0xFFFF);
+    let t3 = _mm256_set1_epi64x(0xFF_FFFF);
+    let mut badv = _mm256_setzero_si256();
+    let mut at = *pos;
+    let mut i = 4usize;
+    while i + 4 <= n {
+        let k = _mm256_loadu_si256(keys.as_ptr().add(i).cast());
+        let pm = _mm256_loadu_si256(keys.as_ptr().add(i - 1).cast());
+        let d = _mm256_sub_epi64(k, pm);
+        // Unsigned `k > prev` via the sign-flip trick (AVX2 compares are
+        // signed); a lane that fails is a duplicate or descending key.
+        let ascending = _mm256_cmpgt_epi64(_mm256_xor_si256(k, msb), _mm256_xor_si256(pm, msb));
+        let big = _mm256_cmpgt_epi64(_mm256_xor_si256(d, msb), max32f);
+        badv = _mm256_or_si256(
+            badv,
+            _mm256_or_si256(_mm256_andnot_si256(ascending, ones), big),
+        );
+        let c = _mm256_add_epi64(
+            _mm256_add_epi64(_mm256_cmpgt_epi64(d, t1), _mm256_cmpgt_epi64(d, t2)),
+            _mm256_cmpgt_epi64(d, t3),
+        );
+        let mut ds = [0u64; 4];
+        let mut cs = [0i64; 4];
+        _mm256_storeu_si256(ds.as_mut_ptr().cast(), d);
+        _mm256_storeu_si256(cs.as_mut_ptr().cast(), c);
+        let flag = (-cs[0]) as u8
+            | (((-cs[1]) as u8) << 2)
+            | (((-cs[2]) as u8) << 4)
+            | (((-cs[3]) as u8) << 6);
+        data[flag_at + i / 4] = flag;
+        for j in 0..4 {
+            data[at..at + 4].copy_from_slice(&(ds[j] as u32).to_le_bytes());
+            at += 1 + (-cs[j]) as usize;
+        }
+        i += 4;
+    }
+    *bad |= _mm256_testz_si256(badv, badv) == 0;
+    *pos = at;
+    i
 }
 
 /// Decodes a key array previously written by [`encode_keys`].

@@ -45,6 +45,7 @@ pub mod framing;
 pub mod huffman;
 pub mod rice;
 pub mod rle;
+pub mod simd;
 pub mod stats;
 pub mod varint;
 

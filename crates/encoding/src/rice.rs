@@ -130,22 +130,85 @@ pub fn encode_rice(values: &[u32], out: &mut impl BufMut) -> usize {
     written += 1;
     let mut bits = BitWriter::new();
     for &v in values {
-        let q = (v as u64) >> k;
-        // Unary quotient: q ones then a zero. Emit in chunks to respect the
-        // accumulator width.
-        let mut rem = q;
-        while rem >= 32 {
-            bits.push(u64::MAX, 32);
-            rem -= 32;
-        }
-        bits.push(((1u64 << rem) - 1) << 1, rem as u32 + 1);
-        if k > 0 {
-            bits.push(v as u64, k as u32);
-        }
+        push_rice_value(&mut bits, v, k);
     }
     let body = bits.finish();
     out.put_slice(&body);
     written + body.len()
+}
+
+/// Appends one Rice-coded value to a bit writer: unary quotient (ones then a
+/// zero, emitted in chunks to respect the accumulator width) followed by the
+/// low `k` remainder bits.
+#[inline]
+fn push_rice_value(bits: &mut BitWriter, v: u32, k: u8) {
+    let q = (v as u64) >> k;
+    let mut rem = q;
+    while rem >= 32 {
+        bits.push(u64::MAX, 32);
+        rem -= 32;
+    }
+    bits.push(((1u64 << rem) - 1) << 1, rem as u32 + 1);
+    if k > 0 {
+        bits.push(v as u64, k as u32);
+    }
+}
+
+/// Zero-temporary variant of [`encode_rice`]: streams the bitstream directly
+/// into `out` instead of building an intermediate byte vector, so pooled
+/// callers stay allocation-free. Byte-identical output to [`encode_rice`].
+/// Returns bytes written.
+pub fn encode_rice_into(values: &[u32], out: &mut bytes::BytesMut) -> usize {
+    #[inline]
+    fn push(out: &mut bytes::BytesMut, acc: &mut u64, nbits: &mut u32, v: u64, n: u32) {
+        debug_assert!(n < 58, "push width too large for the accumulator");
+        if n == 0 {
+            return;
+        }
+        *acc = (*acc << n) | (v & ((1u64 << n) - 1));
+        *nbits += n;
+        while *nbits >= 8 {
+            *nbits -= 8;
+            out.put_u8((*acc >> *nbits) as u8);
+        }
+    }
+    let k = optimal_k(values);
+    let start = out.len();
+    varint::write_u64(out, values.len() as u64);
+    out.put_u8(k);
+    let mut acc = 0u64;
+    let mut nbits = 0u32;
+    for &v in values {
+        let q = (v as u64) >> k;
+        let mut rem = q;
+        while rem >= 32 {
+            push(out, &mut acc, &mut nbits, u64::MAX, 32);
+            rem -= 32;
+        }
+        push(
+            out,
+            &mut acc,
+            &mut nbits,
+            ((1u64 << rem) - 1) << 1,
+            rem as u32 + 1,
+        );
+        if k > 0 {
+            push(out, &mut acc, &mut nbits, v as u64, k as u32);
+        }
+    }
+    if nbits > 0 {
+        out.put_u8((acc << (8 - nbits)) as u8);
+    }
+    out.len() - start
+}
+
+/// Exact byte count [`encode_rice`] will emit for `values` (including the
+/// count varint and parameter byte) — lets callers compare codecs before
+/// committing bytes.
+pub fn encoded_len_rice(values: &[u32]) -> usize {
+    let k = optimal_k(values);
+    let bits: u64 = values.iter().map(|&v| (v as u64 >> k) + 1 + k as u64).sum();
+    varint::encoded_len(values.len() as u64) + 1 + (bits as usize).div_ceil(8)
 }
 
 /// Decodes a stream written by [`encode_rice`].
@@ -154,6 +217,21 @@ pub fn encode_rice(values: &[u32], out: &mut impl BufMut) -> usize {
 /// [`EncodingError::UnexpectedEof`] on truncation, [`EncodingError::Corrupt`]
 /// on an implausible unary run.
 pub fn decode_rice(buf: &mut impl Buf) -> Result<Vec<u32>, EncodingError> {
+    let mut out = Vec::new();
+    decode_rice_into(buf, &mut out)?;
+    Ok(out)
+}
+
+/// Variant of [`decode_rice`] decoding into a reusable buffer (`out` is
+/// cleared first). A contiguous `buf` is decoded straight off its chunk
+/// without an intermediate copy, so pooled callers stay allocation-free.
+///
+/// Like [`decode_rice`], this consumes the rest of `buf`: the bitstream
+/// carries no byte length, so it must be the final field of its frame.
+///
+/// # Errors
+/// See [`decode_rice`].
+pub fn decode_rice_into(buf: &mut impl Buf, out: &mut Vec<u32>) -> Result<(), EncodingError> {
     let n = varint::read_u64(buf)? as usize;
     if !buf.has_remaining() {
         return Err(EncodingError::UnexpectedEof {
@@ -164,11 +242,21 @@ pub fn decode_rice(buf: &mut impl Buf) -> Result<Vec<u32>, EncodingError> {
     if k > 31 {
         return Err(EncodingError::Corrupt(format!("rice parameter {k} > 31")));
     }
-    let body: Vec<u8> = {
-        let mut v = vec![0u8; buf.remaining()];
-        buf.copy_to_slice(&mut v);
-        v
-    };
+    out.clear();
+    if buf.chunk().len() == buf.remaining() {
+        let body = buf.chunk();
+        decode_rice_body(body, n, k, out)?;
+        let len = body.len();
+        buf.advance(len);
+    } else {
+        let mut body = vec![0u8; buf.remaining()];
+        buf.copy_to_slice(&mut body);
+        decode_rice_body(&body, n, k, out)?;
+    }
+    Ok(())
+}
+
+fn decode_rice_body(body: &[u8], n: usize, k: u8, out: &mut Vec<u32>) -> Result<(), EncodingError> {
     // Allocation-bomb guard: every value costs at least its unary terminator
     // bit, so a declared count beyond 8× the body length is corrupt.
     if n > body.len().saturating_mul(8) {
@@ -177,8 +265,8 @@ pub fn decode_rice(buf: &mut impl Buf) -> Result<Vec<u32>, EncodingError> {
             body.len().saturating_mul(8)
         )));
     }
-    let mut bits = BitReader::new(&body);
-    let mut out = Vec::with_capacity(n);
+    let mut bits = BitReader::new(body);
+    out.reserve(n);
     for _ in 0..n {
         let mut q: u64 = 0;
         while bits.read_bit()? == 1 {
@@ -193,7 +281,7 @@ pub fn decode_rice(buf: &mut impl Buf) -> Result<Vec<u32>, EncodingError> {
             .map_err(|_| EncodingError::Corrupt("rice value overflows u32".into()))?;
         out.push(v);
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Rice-encodes a strictly ascending key array by delta-transforming first
@@ -252,6 +340,27 @@ mod tests {
                 })
                 .collect();
             assert_eq!(roundtrip(&values), values);
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let mut rng = StdRng::seed_from_u64(63);
+        for round in 0..20 {
+            let n = if round == 0 { 0 } else { rng.gen_range(1..500) };
+            let values: Vec<u32> = (0..n)
+                .map(|_| rng.gen::<u32>() >> rng.gen_range(0..32))
+                .collect();
+            let mut a = BytesMut::new();
+            let wa = encode_rice(&values, &mut a);
+            let mut b = BytesMut::new();
+            let wb = encode_rice_into(&values, &mut b);
+            assert_eq!(a, b, "encode_rice_into diverged at round {round}");
+            assert_eq!(wa, wb);
+            assert_eq!(encoded_len_rice(&values), wa, "size prediction wrong");
+            let mut out = Vec::new();
+            decode_rice_into(&mut a.freeze(), &mut out).unwrap();
+            assert_eq!(out, values);
         }
     }
 

@@ -1,0 +1,38 @@
+//! SIMD lane dispatch for the codec hot paths.
+//!
+//! Mirrors `sketchml-sketches::simd`: every vectorized routine keeps an
+//! always-compiled scalar reference, lanes compile only under the `simd`
+//! cargo feature on x86_64, are selected at runtime on AVX2 hardware, and
+//! debug builds assert lane output equals the scalar reference byte-for-
+//! byte. [`force_scalar`] lets differential tests pin the scalar path.
+//! (This crate has its own toggle because it does not depend on the
+//! sketches crate; `sketchml-core` re-exports a combined switch.)
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Forces the scalar reference implementations even when the `simd` feature
+/// and AVX2 are both available. Test hook for scalar-vs-lane differential
+/// tests; a no-op (scalar is the only path) without the feature.
+pub fn force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::SeqCst);
+}
+
+/// True when vector lanes are compiled in, supported by this CPU, and not
+/// forced off by [`force_scalar`].
+#[inline]
+pub fn lanes_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if FORCE_SCALAR.load(Ordering::Relaxed) {
+            return false;
+        }
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        let _ = FORCE_SCALAR.load(Ordering::Relaxed);
+        false
+    }
+}

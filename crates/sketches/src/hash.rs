@@ -98,6 +98,174 @@ impl HashFamily {
     }
 }
 
+/// Fills `out[i]` with [`HashFamily::bin_for`]`(row_seed, cols, keys[i])`
+/// over the whole slice. This batch form is the unit the `simd` feature
+/// vectorizes (4 keys per AVX2 iteration); [`fill_bins_scalar`] is the
+/// always-compiled reference, and debug builds assert the lane matches it
+/// bit-for-bit.
+///
+/// # Panics
+/// Panics if the slices differ in length or `cols` exceeds `u32::MAX`
+/// (every sketch shape in this crate is far below that).
+pub fn fill_bins(row_seed: u64, cols: usize, keys: &[u64], out: &mut [u32]) {
+    assert_eq!(keys.len(), out.len(), "bins buffer must match keys length");
+    assert!(
+        u32::try_from(cols).is_ok(),
+        "fill_bins requires cols <= u32::MAX"
+    );
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if crate::simd::lanes_active() {
+        // SAFETY: `lanes_active` verified AVX2 is available at runtime.
+        unsafe { avx2::fill_bins(row_seed, cols as u32, keys, out) };
+        #[cfg(debug_assertions)]
+        {
+            let mut reference = vec![0u32; keys.len()];
+            fill_bins_scalar(row_seed, cols, keys, &mut reference);
+            debug_assert_eq!(
+                out,
+                &reference[..],
+                "simd lane diverged from scalar fill_bins"
+            );
+        }
+        return;
+    }
+    fill_bins_scalar(row_seed, cols, keys, out);
+}
+
+/// Scalar reference implementation of [`fill_bins`].
+#[inline]
+pub fn fill_bins_scalar(row_seed: u64, cols: usize, keys: &[u64], out: &mut [u32]) {
+    for (o, &k) in out.iter_mut().zip(keys) {
+        *o = HashFamily::bin_for(row_seed, cols, k) as u32;
+    }
+}
+
+/// Fills `out[i]` with `(mix64(keys[i] ^ sign_seed) & 1) << 63` — a sign-bit
+/// *flip mask* for Count-Sketch's ±1 hash: XOR-ing it into an `f64`'s bits
+/// multiplies the value by the row's sign for that key (exact for every
+/// finite value, so sums stay bit-identical to the `±1.0 *` formulation).
+/// Batch unit of the `simd` feature; [`fill_sign_flips_scalar`] is the
+/// always-compiled reference and debug builds assert the lane matches it.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn fill_sign_flips(sign_seed: u64, keys: &[u64], out: &mut [u64]) {
+    assert_eq!(keys.len(), out.len(), "flips buffer must match keys length");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if crate::simd::lanes_active() {
+        // SAFETY: `lanes_active` verified AVX2 is available at runtime.
+        unsafe { avx2::fill_sign_flips(sign_seed, keys, out) };
+        #[cfg(debug_assertions)]
+        {
+            let mut reference = vec![0u64; keys.len()];
+            fill_sign_flips_scalar(sign_seed, keys, &mut reference);
+            debug_assert_eq!(
+                out,
+                &reference[..],
+                "simd lane diverged from scalar fill_sign_flips"
+            );
+        }
+        return;
+    }
+    fill_sign_flips_scalar(sign_seed, keys, out);
+}
+
+/// Scalar reference implementation of [`fill_sign_flips`].
+#[inline]
+pub fn fill_sign_flips_scalar(sign_seed: u64, keys: &[u64], out: &mut [u64]) {
+    for (o, &k) in out.iter_mut().zip(keys) {
+        *o = (mix64(k ^ sign_seed) & 1) << 63;
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    const M0: i64 = 0x9E37_79B9_7F4A_7C15u64 as i64;
+    const M1: i64 = 0xBF58_476D_1CE4_E5B9u64 as i64;
+    const M2: i64 = 0x94D0_49BB_1331_11EBu64 as i64;
+
+    /// Per-lane `a.wrapping_mul(b)` — AVX2 has no 64-bit multiply, so it is
+    /// synthesized from 32×32→64 partial products.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul64_lo(a: __m256i, b: __m256i) -> __m256i {
+        let lo = _mm256_mul_epu32(a, b);
+        let t1 = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+        let t2 = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+        _mm256_add_epi64(lo, _mm256_slli_epi64(_mm256_add_epi64(t1, t2), 32))
+    }
+
+    /// Per-lane [`super::mix64`].
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mix64x4(mut z: __m256i) -> __m256i {
+        z = _mm256_add_epi64(z, _mm256_set1_epi64x(M0));
+        z = mul64_lo(
+            _mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+            _mm256_set1_epi64x(M1),
+        );
+        z = mul64_lo(
+            _mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+            _mm256_set1_epi64x(M2),
+        );
+        _mm256_xor_si256(z, _mm256_srli_epi64(z, 31))
+    }
+
+    /// `((mix64(k ^ seed) as u128 * cols) >> 64)` for four keys at a time.
+    ///
+    /// With `cols < 2^32` the widening high product reduces to
+    /// `floor((h_hi·c + floor(h_lo·c / 2^32)) / 2^32)`: `h_hi·c + (h_lo·c >>
+    /// 32)` cannot overflow 64 bits, so two 32×32 partial products replace
+    /// the full 64×64 widening multiply.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fill_bins(row_seed: u64, cols: u32, keys: &[u64], out: &mut [u32]) {
+        let seed = _mm256_set1_epi64x(row_seed as i64);
+        let c = _mm256_set1_epi64x(i64::from(cols));
+        let n = keys.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let k = _mm256_loadu_si256(keys.as_ptr().add(i).cast());
+            let h = mix64x4(_mm256_xor_si256(k, seed));
+            let lo = _mm256_mul_epu32(h, c);
+            let hi = _mm256_mul_epu32(_mm256_srli_epi64(h, 32), c);
+            let bins = _mm256_srli_epi64(_mm256_add_epi64(hi, _mm256_srli_epi64(lo, 32)), 32);
+            // Pack the four 64-bit lanes' low words into 4×u32.
+            let packed =
+                _mm256_permutevar8x32_epi32(bins, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+            _mm_storeu_si128(
+                out.as_mut_ptr().add(i).cast(),
+                _mm256_castsi256_si128(packed),
+            );
+            i += 4;
+        }
+        for j in i..n {
+            out[j] = super::HashFamily::bin_for(row_seed, cols as usize, keys[j]) as u32;
+        }
+    }
+
+    /// Per-lane [`super::fill_sign_flips_scalar`]: low mix bit shifted to the
+    /// sign-bit position, four keys at a time.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fill_sign_flips(sign_seed: u64, keys: &[u64], out: &mut [u64]) {
+        let seed = _mm256_set1_epi64x(sign_seed as i64);
+        let one = _mm256_set1_epi64x(1);
+        let n = keys.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let k = _mm256_loadu_si256(keys.as_ptr().add(i).cast());
+            let h = mix64x4(_mm256_xor_si256(k, seed));
+            let flips = _mm256_slli_epi64(_mm256_and_si256(h, one), 63);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), flips);
+            i += 4;
+        }
+        for j in i..n {
+            out[j] = (super::mix64(keys[j] ^ sign_seed) & 1) << 63;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,11 +40,12 @@ pub mod error;
 pub mod hash;
 pub mod minmax;
 pub mod quantile;
+pub mod simd;
 pub mod theory;
 
 pub use count_sketch::{push_sign_seeds, sign_for, CountSketch};
 pub use countmin::CountMinSketch;
 pub use error::SketchError;
-pub use hash::{push_row_seeds, HashFamily};
+pub use hash::{fill_bins, fill_bins_scalar, push_row_seeds, HashFamily};
 pub use minmax::{insert_batch_raw, query_batch_raw, GroupedMinMaxSketch, MinMaxSketch};
 pub use quantile::{GkSummary, MergingQuantileSketch, QuantileSketch, TDigest};

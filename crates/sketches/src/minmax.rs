@@ -238,20 +238,49 @@ pub fn insert_batch_raw(
 ) {
     assert_eq!(cells.len(), row_seeds.len() * cols, "cell table shape");
     assert_eq!(keys.len(), indexes.len(), "keys/indexes length mismatch");
-    for (row, &seed) in row_seeds.iter().enumerate() {
-        let row_cells = &mut cells[row * cols..(row + 1) * cols];
-        for (&key, &index) in keys.iter().zip(indexes) {
-            debug_assert!(
-                index != EMPTY_CELL,
-                "index {index} collides with the empty sentinel"
-            );
-            let cell = &mut row_cells[HashFamily::bin_for(seed, cols, key)];
-            if *cell > index {
-                *cell = index;
+    if u32::try_from(cols).is_err() {
+        // Shapes beyond the batched-hash contract: plain per-key loops.
+        for (row, &seed) in row_seeds.iter().enumerate() {
+            let row_cells = &mut cells[row * cols..(row + 1) * cols];
+            for (&key, &index) in keys.iter().zip(indexes) {
+                let cell = &mut row_cells[HashFamily::bin_for(seed, cols, key)];
+                *cell = (*cell).min(index);
             }
         }
+        return;
+    }
+    // Hash a stack-sized chunk of keys per row in one `fill_bins` batch (the
+    // vectorized unit), then scatter the min-updates. Min-insert is
+    // order-independent, so regrouping by chunk leaves the table identical
+    // to per-key row-major inserts.
+    let mut bins = [0u32; BIN_CHUNK];
+    let mut at = 0;
+    while at < keys.len() {
+        let end = (at + BIN_CHUNK).min(keys.len());
+        let key_chunk = &keys[at..end];
+        let idx_chunk = &indexes[at..end];
+        for (row, &seed) in row_seeds.iter().enumerate() {
+            let row_cells = &mut cells[row * cols..(row + 1) * cols];
+            let bins = &mut bins[..key_chunk.len()];
+            crate::hash::fill_bins(seed, cols, key_chunk, bins);
+            for (&bin, &index) in bins.iter().zip(idx_chunk) {
+                debug_assert!(
+                    index != EMPTY_CELL,
+                    "index {index} collides with the empty sentinel"
+                );
+                // Unconditional min + store: the branchy form mispredicts on
+                // ~half the collisions.
+                let cell = &mut row_cells[bin as usize];
+                *cell = (*cell).min(index);
+            }
+        }
+        at = end;
     }
 }
+
+/// Keys hashed per [`crate::hash::fill_bins`] batch in the chunked
+/// insert/query paths; sized to keep the bins buffer on the stack.
+const BIN_CHUNK: usize = 256;
 
 /// Max-queries every key against a raw cell table (see [`insert_batch_raw`]),
 /// writing one index per key into `out` (cleared first). Returns `false` —
@@ -269,17 +298,40 @@ pub fn query_batch_raw(
     assert_eq!(cells.len(), row_seeds.len() * cols, "cell table shape");
     out.clear();
     out.resize(keys.len(), 0);
-    for (row, &seed) in row_seeds.iter().enumerate() {
-        let row_cells = &cells[row * cols..(row + 1) * cols];
-        for (&key, best) in keys.iter().zip(out.iter_mut()) {
-            let v = row_cells[HashFamily::bin_for(seed, cols, key)];
-            if v == EMPTY_CELL {
-                return false;
-            }
-            if v > *best {
-                *best = v;
+    if u32::try_from(cols).is_err() {
+        for (row, &seed) in row_seeds.iter().enumerate() {
+            let row_cells = &cells[row * cols..(row + 1) * cols];
+            for (&key, best) in keys.iter().zip(out.iter_mut()) {
+                let v = row_cells[HashFamily::bin_for(seed, cols, key)];
+                if v == EMPTY_CELL {
+                    return false;
+                }
+                *best = (*best).max(v);
             }
         }
+        return true;
+    }
+    let mut bins = [0u32; BIN_CHUNK];
+    let mut at = 0;
+    while at < keys.len() {
+        let end = (at + BIN_CHUNK).min(keys.len());
+        let key_chunk = &keys[at..end];
+        let out_chunk = &mut out[at..end];
+        for (row, &seed) in row_seeds.iter().enumerate() {
+            let row_cells = &cells[row * cols..(row + 1) * cols];
+            let bins = &mut bins[..key_chunk.len()];
+            crate::hash::fill_bins(seed, cols, key_chunk, bins);
+            for (&bin, best) in bins.iter().zip(out_chunk.iter_mut()) {
+                let v = row_cells[bin as usize];
+                if v == EMPTY_CELL {
+                    return false;
+                }
+                if v > *best {
+                    *best = v;
+                }
+            }
+        }
+        at = end;
     }
     true
 }

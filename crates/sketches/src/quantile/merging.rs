@@ -21,6 +21,144 @@ use serde::{Deserialize, Serialize};
 /// `m = 128`; see §4.1 "The size of quantile sketch is 128 by default").
 pub const DEFAULT_CAPACITY: usize = 128;
 
+/// Stack budget (in items) for the key-space sort below; level buffers at
+/// the default capacities stay far under this, and larger buffers fall back
+/// to the comparator sort.
+const SORT_STACK: usize = 512;
+
+/// Maps f64 bits to a u64 whose *unsigned* order equals [`f64::total_cmp`]
+/// order. Bijective — see [`from_total_key`] — and equal keys correspond to
+/// bitwise-identical floats, so sorting keys and mapping back is exactly
+/// `sort_unstable_by(f64::total_cmp)`.
+#[inline]
+fn total_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`total_key`].
+#[inline]
+fn from_total_key(k: u64) -> f64 {
+    f64::from_bits(if k >> 63 == 1 { k & !(1 << 63) } else { !k })
+}
+
+/// Sorts `buf` exactly as `buf.sort_unstable_by(f64::total_cmp)` would, but
+/// through the integer key space: one u64 compare per comparison instead of
+/// total_cmp's sign-magnitude transform on both operands every time. Level
+/// buffers above level 0 are concatenations of the sorted halves emitted by
+/// prior compactions, so the common case is detected and resolved with a
+/// linear two-run merge instead of a full sort.
+fn sort_total(buf: &mut [f64]) {
+    let n = buf.len();
+    if n > SORT_STACK {
+        buf.sort_unstable_by(f64::total_cmp);
+        return;
+    }
+    let mut key_buf = [0u64; SORT_STACK];
+    let keys = &mut key_buf[..n];
+    for (k, &v) in keys.iter_mut().zip(buf.iter()) {
+        *k = total_key(v);
+    }
+    // Detect presorted runs: `split` = end of the first ascending run.
+    let mut split = 1;
+    while split < n && keys[split - 1] <= keys[split] {
+        split += 1;
+    }
+    if split < n {
+        let mut i = split + 1;
+        while i < n && keys[i - 1] <= keys[i] {
+            i += 1;
+        }
+        if i == n {
+            // Exactly two sorted runs. Compactions emit sorted 64-chunks, so
+            // full upper-level buffers are two 64-runs — the in-register
+            // bitonic merge's exact shape.
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            if n == 128 && split == 64 && crate::simd::lanes512_active() {
+                debug_parity(keys, |k| {
+                    // SAFETY: AVX-512F verified by `lanes512_active`.
+                    unsafe { super::sort128::merge_halves_128(k) };
+                });
+                for (v, &k) in buf.iter_mut().zip(keys.iter()) {
+                    *v = from_total_key(k);
+                }
+                return;
+            }
+            // Linear merge through an aux buffer.
+            let mut aux = [0u64; SORT_STACK];
+            merge_runs(keys, &mut aux[..n], split);
+            keys.copy_from_slice(&aux[..n]);
+        } else {
+            // Random contents: the level-0 case, almost always exactly the
+            // compactor capacity of 128 — sorted branch-free in zmm
+            // registers when AVX-512F is available.
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            if n == 128 && crate::simd::lanes512_active() {
+                debug_parity(keys, |k| {
+                    // SAFETY: AVX-512F verified by `lanes512_active`.
+                    unsafe { super::sort128::sort_128(k) };
+                });
+                for (v, &k) in buf.iter_mut().zip(keys.iter()) {
+                    *v = from_total_key(k);
+                }
+                return;
+            }
+            keys.sort_unstable();
+        }
+    }
+    for (v, &k) in buf.iter_mut().zip(keys.iter()) {
+        *v = from_total_key(k);
+    }
+}
+
+/// Runs `f` on `keys` and, in debug builds, asserts the result is identical
+/// to `sort_unstable` (u64 duplicates are interchangeable, so every correct
+/// sort of the same multiset produces the same bytes).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn debug_parity(keys: &mut [u64], f: impl FnOnce(&mut [u64])) {
+    #[cfg(debug_assertions)]
+    let mut reference = keys.to_vec();
+    f(keys);
+    #[cfg(debug_assertions)]
+    {
+        reference.sort_unstable();
+        assert_eq!(keys, reference.as_slice(), "SIMD sort diverged from scalar");
+    }
+}
+
+/// Merges the two ascending runs `src[..half]` and `src[half..]` into `dst`
+/// (`dst.len() == src.len()`), taking from the left run on ties. The select
+/// is branch-free — random compactor contents make every comparison a coin
+/// flip, so the classic `if a <= b` merge mispredicts on every other
+/// element.
+#[inline]
+fn merge_runs(src: &[u64], dst: &mut [u64], half: usize) {
+    let n = src.len();
+    assert!(0 < half && half <= n && dst.len() == n);
+    let (mut a, mut b) = (0usize, half);
+    for d in dst.iter_mut() {
+        // Clamped-index loads are always in bounds, so the exhaustion guard
+        // is a register select (cmov) over an already-loaded value instead
+        // of a branch around a load. An exhausted run presents `u64::MAX`,
+        // which no real key equals: that would be the total-order key of an
+        // f64 with all exponent bits set (a NaN), rejected at insert.
+        // SAFETY: `a.min(half - 1) < half <= n` and `b.min(n - 1) < n`.
+        let ka_raw = unsafe { *src.get_unchecked(a.min(half - 1)) };
+        let kb_raw = unsafe { *src.get_unchecked(b.min(n - 1)) };
+        let ka = if a < half { ka_raw } else { u64::MAX };
+        let kb = if b < n { kb_raw } else { u64::MAX };
+        let take_a = ka <= kb;
+        *d = if take_a { ka } else { kb };
+        a += take_a as usize;
+        b += 1 - take_a as usize;
+    }
+}
+
 /// Mergeable quantile sketch built from a hierarchy of compactor buffers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MergingQuantileSketch {
@@ -83,10 +221,9 @@ impl MergingQuantileSketch {
             self.levels.push(Vec::with_capacity(self.capacity));
         }
         let mut buf = std::mem::take(&mut self.levels[l]);
-        // Unstable sort is safe here: items equal under `total_cmp` are
-        // bitwise identical, so any reorder yields the same array (and the
-        // same survivors), and no temporary sort allocation is made.
-        buf.sort_unstable_by(f64::total_cmp);
+        // Items equal under `total_cmp` are bitwise identical, so any
+        // unstable reorder yields the same array (and the same survivors).
+        sort_total(&mut buf);
         let offset = usize::from(self.next_bit());
         self.levels[l + 1].extend(buf.iter().skip(offset).step_by(2).copied());
         // Put the (cleared) buffer back so its capacity is reused.
@@ -234,6 +371,29 @@ impl QuantileSketch for MergingQuantileSketch {
 
     fn max(&self) -> Option<f64> {
         (self.count > 0).then_some(self.max)
+    }
+
+    /// Bulk insertion that replays [`QuantileSketch::insert`] exactly —
+    /// level-0 fills to the same boundaries, so compaction parity and the
+    /// resulting splits are bit-identical — while amortizing the capacity
+    /// check and min/max bookkeeping over whole chunks.
+    fn extend_from_slice(&mut self, values: &[f64]) {
+        let mut rest = values;
+        while !rest.is_empty() {
+            let room = (self.capacity - self.levels[0].len()).max(1);
+            let (chunk, tail) = rest.split_at(room.min(rest.len()));
+            for &v in chunk {
+                debug_assert!(v.is_finite(), "quantile sketch requires finite values");
+                self.min = self.min.min(v);
+                self.max = self.max.max(v);
+            }
+            self.count += chunk.len() as u64;
+            self.levels[0].extend_from_slice(chunk);
+            if self.levels[0].len() >= self.capacity {
+                self.maybe_compact();
+            }
+            rest = tail;
+        }
     }
 
     fn query(&self, phi: f64) -> Result<f64, SketchError> {

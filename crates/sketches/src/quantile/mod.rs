@@ -19,6 +19,8 @@
 
 mod gk;
 mod merging;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub(crate) mod sort128;
 mod tdigest;
 
 pub use gk::GkSummary;

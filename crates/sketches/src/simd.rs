@@ -1,0 +1,54 @@
+//! SIMD lane dispatch for the sketch hot paths.
+//!
+//! Every vectorized routine in this crate keeps an always-compiled scalar
+//! reference implementation; the lanes are compiled only under the `simd`
+//! cargo feature on x86_64 and selected at runtime when AVX2 is present.
+//! Debug builds assert lane output equals the scalar reference bit-for-bit,
+//! and the cross-crate proptests in `sketchml-core` additionally compare
+//! whole payloads with lanes force-disabled via [`force_scalar`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Forces the scalar reference implementations even when the `simd` feature
+/// and AVX2 are both available. Test hook for scalar-vs-lane differential
+/// tests; a no-op (scalar is the only path) without the feature.
+pub fn force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::SeqCst);
+}
+
+/// True when vector lanes are compiled in, supported by this CPU, and not
+/// forced off by [`force_scalar`].
+#[inline]
+pub fn lanes_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if FORCE_SCALAR.load(Ordering::Relaxed) {
+            return false;
+        }
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        let _ = FORCE_SCALAR.load(Ordering::Relaxed);
+        false
+    }
+}
+
+/// Like [`lanes_active`] but for the AVX-512F lanes (the in-register
+/// compactor sort); same feature gate, CPU detection, and scalar-force hook.
+#[inline]
+pub fn lanes512_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if FORCE_SCALAR.load(Ordering::Relaxed) {
+            return false;
+        }
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}

@@ -69,9 +69,9 @@ pub use sketchml_cluster::{
 pub use sketchml_collectives::{MergePolicy, MergeableCompressor, Topology};
 pub use sketchml_core::{
     compressor_by_name, CompressError, CompressedGradient, CountSketchCompressor,
-    CountSketchConfig, ErrorFeedback, GradientCompressor, KeyCompressor, QuantCompressor,
-    RawCompressor, Rounding, ShardedCompressor, SketchMlCompressor, SketchMlConfig, SparseGradient,
-    TruncationCompressor, ZipMlCompressor,
+    CountSketchConfig, ErrorFeedback, FastSgdCompressor, GradientCompressor, KeyCompressor,
+    QuantCompressor, RawCompressor, Rounding, ShardedCompressor, SketchMlCompressor,
+    SketchMlConfig, SparseGradient, TruncationCompressor, ZipMlCompressor,
 };
 pub use sketchml_data::{MnistLikeSpec, SparseDatasetSpec};
 pub use sketchml_ml::{

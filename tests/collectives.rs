@@ -6,9 +6,9 @@
 use sketchml::telemetry::TelemetrySession;
 use sketchml::{
     train_allreduce, train_allreduce_chaos, train_allreduce_with_policy, train_distributed,
-    ClusterConfig, CompressError, CountSketchCompressor, CountSketchConfig, FaultPlan, GlmLoss,
-    GradientCompressor, Instance, MergePolicy, MergeableCompressor, RawCompressor,
-    SketchMlCompressor, SparseDatasetSpec, SparseGradient, Topology, TrainSpec,
+    ClusterConfig, CompressError, CountSketchCompressor, CountSketchConfig, FastSgdCompressor,
+    FaultPlan, GlmLoss, GradientCompressor, Instance, MergePolicy, MergeableCompressor,
+    RawCompressor, SketchMlCompressor, SparseDatasetSpec, SparseGradient, Topology, TrainSpec,
 };
 
 fn dataset() -> (Vec<Instance>, Vec<Instance>, usize) {
@@ -332,6 +332,44 @@ fn countsketch_allreduce_tracks_dense_sgd_within_five_percent() {
     );
     // And it beats the zero model outright.
     assert!(ls < (2f64).ln() * 0.95, "loss {ls} did not beat zero model");
+}
+
+/// Acceptance criterion: FastSGD exponent-only log quantization trains
+/// allreduce within 5% of dense-SGD loss on the same workload — the
+/// quantizer never flips a sign and stays within one octave of every value,
+/// so per-coordinate it acts like a bounded learning-rate perturbation.
+#[test]
+fn fastsgd_allreduce_tracks_dense_sgd_within_five_percent() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 6);
+    let cluster = ClusterConfig::cluster1(8).with_topology(Topology::Ring);
+
+    let dense = train_allreduce(
+        &train,
+        &test,
+        dim,
+        &spec,
+        &cluster,
+        &RawCompressor::default(),
+    )
+    .unwrap();
+    let quantized = train_allreduce(
+        &train,
+        &test,
+        dim,
+        &spec,
+        &cluster,
+        &FastSgdCompressor::default(),
+    )
+    .unwrap();
+
+    let ld = dense.epochs.last().unwrap().test_loss;
+    let lq = quantized.epochs.last().unwrap().test_loss;
+    assert!(
+        (lq - ld).abs() <= 0.05 * ld,
+        "fastsgd loss {lq} strayed more than 5% from dense loss {ld}"
+    );
+    assert!(lq < (2f64).ln() * 0.95, "loss {lq} did not beat zero model");
 }
 
 /// Crash events need a central checkpoint coordinator, which peer-to-peer

@@ -1,0 +1,203 @@
+//! Differential property tests: the vectorized lanes must be externally
+//! invisible. With the `simd` feature enabled, every registered compressor —
+//! including `@N` sharded variants — must produce *byte-identical* payloads
+//! and *bit-identical* decodes whether the lanes run or the always-compiled
+//! scalar reference runs.
+//!
+//! [`sketchml::core::simd::force_scalar`] pins the whole stack (hashing,
+//! bucket lookup, sorting, sign partition, delta-binary packing, FastSGD
+//! exponent codes) to scalar code. Each case runs twin compressor instances
+//! over the same gradient sequence — one with lanes active, one forced
+//! scalar — so stateful compressors (momentum, error-feedback residuals,
+//! stochastic rounding seeds) evolve in lockstep. Under default features the
+//! toggle is a no-op and both twins run scalar code; the `simd` CI
+//! configuration is what gives these assertions their teeth.
+
+use proptest::collection::btree_map;
+use proptest::prelude::*;
+use sketchml::core::registry::KNOWN_COMPRESSORS;
+use sketchml::core::simd;
+use sketchml::{
+    compressor_by_name, ErrorFeedback, FastSgdCompressor, GradientCompressor, SketchMlCompressor,
+    SparseGradient,
+};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The `force_scalar` toggle is process-global, and the tests in this binary
+/// run on separate threads: a lock serializes them, and dropping the guard
+/// restores the lanes even when a failing assertion unwinds mid-case.
+static TOGGLE: Mutex<()> = Mutex::new(());
+
+struct LaneGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl LaneGuard {
+    fn acquire() -> Self {
+        let held = TOGGLE.lock().unwrap_or_else(PoisonError::into_inner);
+        simd::force_scalar(false);
+        LaneGuard(held)
+    }
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        simd::force_scalar(false);
+    }
+}
+
+fn arb_gradient() -> impl Strategy<Value = SparseGradient> {
+    btree_map(0u64..2_000_000, -1.0f64..1.0, 1..400).prop_map(|m| {
+        let keys: Vec<u64> = m.keys().copied().collect();
+        let values: Vec<f64> = m
+            .values()
+            .map(|&v| if v == 0.0 { 1e-9 } else { v })
+            .collect();
+        SparseGradient::new(2_000_000, keys, values).expect("ascending keys")
+    })
+}
+
+/// First index where the two payloads disagree, for a readable failure.
+fn first_diff(a: &[u8], b: &[u8]) -> Option<usize> {
+    if a.len() != b.len() {
+        return Some(a.len().min(b.len()));
+    }
+    a.iter().zip(b).position(|(x, y)| x != y)
+}
+
+fn assert_payloads_identical(name: &str, step: usize, lanes: &[u8], scalar: &[u8]) {
+    if let Some(i) = first_diff(lanes, scalar) {
+        panic!(
+            "`{name}` step {step}: simd payload ({} B) != scalar payload ({} B), \
+             first divergence at byte {i}",
+            lanes.len(),
+            scalar.len(),
+        );
+    }
+}
+
+fn assert_decodes_identical(
+    name: &str,
+    step: usize,
+    lanes: &SparseGradient,
+    scalar: &SparseGradient,
+) {
+    assert_eq!(lanes.dim(), scalar.dim(), "`{name}` step {step}: dim");
+    assert_eq!(lanes.keys(), scalar.keys(), "`{name}` step {step}: keys");
+    for (i, (x, y)) in lanes.values().iter().zip(scalar.values()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "`{name}` step {step}: value #{i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Every registered compressor, fed a 3-gradient sequence: payloads and
+    /// decodes are identical between the lane path and the scalar reference.
+    #[test]
+    fn all_registered_compressors_are_lane_invariant(
+        seq in proptest::collection::vec(arb_gradient(), 3),
+    ) {
+        let _guard = LaneGuard::acquire();
+        for &name in KNOWN_COMPRESSORS {
+            let with_lanes = compressor_by_name(name).expect(name);
+            let forced_scalar = compressor_by_name(name).expect(name);
+            for (step, grad) in seq.iter().enumerate() {
+                simd::force_scalar(false);
+                let a = with_lanes.compress(grad).expect(name);
+                simd::force_scalar(true);
+                let b = forced_scalar.compress(grad).expect(name);
+                assert_payloads_identical(name, step, &a.payload, &b.payload);
+                let db = forced_scalar.decompress(&b.payload).expect(name);
+                simd::force_scalar(false);
+                let da = with_lanes.decompress(&a.payload).expect(name);
+                assert_decodes_identical(name, step, &da, &db);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Error feedback accumulates residuals across rounds; the residual map
+    /// itself must stay bit-identical between the two paths, or divergence
+    /// would compound silently over training even with matching payloads.
+    #[test]
+    fn error_feedback_residual_maps_are_lane_invariant(
+        seq in proptest::collection::vec(arb_gradient(), 4),
+    ) {
+        let _guard = LaneGuard::acquire();
+        let with_lanes = ErrorFeedback::new(SketchMlCompressor::default());
+        let forced_scalar = ErrorFeedback::new(SketchMlCompressor::default());
+        for (step, grad) in seq.iter().enumerate() {
+            simd::force_scalar(false);
+            let a = with_lanes.compress(grad).expect("ef simd");
+            simd::force_scalar(true);
+            let b = forced_scalar.compress(grad).expect("ef scalar");
+            assert_payloads_identical("ef:sketchml", step, &a.payload, &b.payload);
+            let ra = with_lanes.residual_entries();
+            let rb = forced_scalar.residual_entries();
+            prop_assert_eq!(ra.len(), rb.len(), "residual map size at step {}", step);
+            for ((ka, va), (kb, vb)) in ra.iter().zip(&rb) {
+                prop_assert_eq!(ka, kb, "residual key at step {}", step);
+                prop_assert_eq!(
+                    va.to_bits(),
+                    vb.to_bits(),
+                    "residual value for key {} at step {}", ka, step
+                );
+            }
+        }
+        simd::force_scalar(false);
+    }
+
+    /// FastSGD with error feedback: the exponent-code hot path plus its
+    /// built-in residual compensation, checked over a multi-round sequence.
+    #[test]
+    fn fastsgd_error_feedback_is_lane_invariant(
+        seq in proptest::collection::vec(arb_gradient(), 4),
+        bits in 4u8..=8,
+    ) {
+        let _guard = LaneGuard::acquire();
+        let with_lanes = ErrorFeedback::new(FastSgdCompressor::new(bits).expect("bits"));
+        let forced_scalar = ErrorFeedback::new(FastSgdCompressor::new(bits).expect("bits"));
+        for (step, grad) in seq.iter().enumerate() {
+            simd::force_scalar(false);
+            let a = with_lanes.compress(grad).expect("fastsgd simd");
+            simd::force_scalar(true);
+            let b = forced_scalar.compress(grad).expect("fastsgd scalar");
+            assert_payloads_identical("ef:fastsgd", step, &a.payload, &b.payload);
+            let db = forced_scalar.decompress(&b.payload).expect("fastsgd scalar decode");
+            simd::force_scalar(false);
+            let da = with_lanes.decompress(&a.payload).expect("fastsgd simd decode");
+            assert_decodes_identical("ef:fastsgd", step, &da, &db);
+        }
+    }
+}
+
+/// Deterministic smoke version of the sweep, so a plain `cargo test` run
+/// exercises every name even when proptest shrinks or is filtered out.
+#[test]
+fn registered_compressors_lane_invariant_smoke() {
+    let _guard = LaneGuard::acquire();
+    let keys: Vec<u64> = (0..512u64).map(|i| i * 17 + 3).collect();
+    let values: Vec<f64> = (0..512)
+        .map(|i| ((i as f64) - 256.0) * 0.00371 + 0.0005)
+        .collect();
+    let grad = SparseGradient::new(100_000, keys, values).expect("gradient");
+    for &name in KNOWN_COMPRESSORS {
+        let with_lanes = compressor_by_name(name).expect(name);
+        let forced_scalar = compressor_by_name(name).expect(name);
+        simd::force_scalar(false);
+        let a = with_lanes.compress(&grad).expect(name);
+        simd::force_scalar(true);
+        let b = forced_scalar.compress(&grad).expect(name);
+        assert_payloads_identical(name, 0, &a.payload, &b.payload);
+        let db = forced_scalar.decompress(&b.payload).expect(name);
+        simd::force_scalar(false);
+        let da = with_lanes.decompress(&a.payload).expect(name);
+        assert_decodes_identical(name, 0, &da, &db);
+    }
+}
