@@ -1,0 +1,251 @@
+//! Elastic-membership resilience: training through permanent worker loss,
+//! crash-then-rejoin churn, and straggler skew with adaptive staleness.
+//!
+//! Runs an 8-worker ring allreduce under four scenarios — no faults, one
+//! permanent crash, one crash that heals with a mid-training join, and a
+//! 3x straggler handled by straggler-adaptive SSP — and records final
+//! loss, epochs to reach the fault-free loss (+5%), reconfiguration stall
+//! time, and the membership transitions. Writes `BENCH_elastic.json` so
+//! future PRs regress against the committed numbers.
+//!
+//! The run aborts unless (a) the permanent-crash run converges within 5%
+//! of the fault-free loss, (b) the healing run records at least one
+//! eviction and one join, and (c) the adaptive-SSP run retunes the bound
+//! at least once.
+//!
+//! `--quick` shrinks the dataset and epoch count (CI smoke).
+
+use serde::Serialize;
+use sketchml_bench::output::print_table;
+use sketchml_cluster::{
+    train_allreduce, train_allreduce_chaos, train_ssp_adaptive_chaos, AdaptiveSsp, ClusterConfig,
+    ElasticConfig, FaultPlan, SspConfig, TrainSpec,
+};
+use sketchml_collectives::Topology;
+use sketchml_core::SketchMlCompressor;
+use sketchml_data::{SparseDatasetSpec, Task};
+use sketchml_ml::{GlmLoss, Instance};
+
+const WORKERS: usize = 8;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: &'static str,
+    final_loss: f64,
+    /// First epoch whose test loss is within 5% of the fault-free final
+    /// loss (0 = never reached).
+    epochs_to_target: usize,
+    sim_seconds: f64,
+    /// Simulated seconds stalled on reconfiguration: crash recoveries plus
+    /// checkpoint-pull joins.
+    stall_seconds: f64,
+    evictions: u64,
+    joins: u64,
+    reconfigurations: u64,
+    degraded_rounds: u64,
+    staleness_retunes: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    quick: bool,
+    workers: usize,
+    epochs: usize,
+    /// The convergence target: fault-free final loss x 1.05.
+    target_loss: f64,
+    rows: Vec<Row>,
+}
+
+fn dataset(quick: bool) -> (Vec<Instance>, Vec<Instance>, usize) {
+    let spec = SparseDatasetSpec {
+        name: "elastic".into(),
+        instances: if quick { 1_200 } else { 4_000 },
+        features: 30_000,
+        avg_nnz: 20,
+        skew: 1.1,
+        label_noise: 0.02,
+        task: Task::Classification,
+        seed: 606,
+    };
+    let (tr, te) = spec.generate_split();
+    (tr, te, 30_000)
+}
+
+fn epochs_to_target(curve: &[(usize, f64)], target: f64) -> usize {
+    curve
+        .iter()
+        .find(|(_, loss)| *loss <= target)
+        .map(|(e, _)| *e)
+        .unwrap_or(0)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let epochs = if quick { 2 } else { 6 };
+    let (train, test, dim) = dataset(quick);
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, epochs);
+    let cluster = ClusterConfig::cluster1(WORKERS)
+        .with_topology(Topology::Ring)
+        .with_elastic(ElasticConfig::default().with_suspicion_threshold(2));
+    let compressor = SketchMlCompressor::default();
+    // 10 rounds per epoch at the default batch ratio: fail mid-run.
+    let mid = (epochs as u64 * 10) / 2;
+
+    let clean =
+        train_allreduce(&train, &test, dim, &spec, &cluster, &compressor).expect("fault-free run");
+    let clean_loss = clean.epochs.last().expect("epochs").test_loss;
+    let target_loss = clean_loss * 1.05;
+    let clean_curve: Vec<(usize, f64)> = clean
+        .epochs
+        .iter()
+        .map(|e| (e.epoch, e.test_loss))
+        .collect();
+
+    let mut rows = vec![Row {
+        scenario: "no-fault",
+        final_loss: clean_loss,
+        epochs_to_target: epochs_to_target(&clean_curve, target_loss),
+        sim_seconds: clean.epochs.iter().map(|e| e.sim_seconds).sum(),
+        stall_seconds: 0.0,
+        evictions: 0,
+        joins: 0,
+        reconfigurations: 0,
+        degraded_rounds: 0,
+        staleness_retunes: 0,
+    }];
+
+    for (scenario, plan) in [
+        (
+            "permanent-crash",
+            FaultPlan::seeded(77).with_permanent_crash(5, mid),
+        ),
+        (
+            "crash-then-join",
+            FaultPlan::seeded(78).with_crash(5, mid.saturating_sub(4), 6),
+        ),
+    ] {
+        let outcome =
+            train_allreduce_chaos(&train, &test, dim, &spec, &cluster, &compressor, &plan)
+                .expect(scenario);
+        let curve: Vec<(usize, f64)> = outcome
+            .report
+            .epochs
+            .iter()
+            .map(|e| (e.epoch, e.test_loss))
+            .collect();
+        let t = &outcome.trace;
+        rows.push(Row {
+            scenario,
+            final_loss: outcome.report.epochs.last().expect("epochs").test_loss,
+            epochs_to_target: epochs_to_target(&curve, target_loss),
+            sim_seconds: outcome.report.epochs.iter().map(|e| e.sim_seconds).sum(),
+            stall_seconds: t.recovery_seconds + t.join_seconds,
+            evictions: t.evictions,
+            joins: t.joins,
+            reconfigurations: t.reconfigurations,
+            degraded_rounds: t.degraded_rounds,
+            staleness_retunes: t.staleness_retunes,
+        });
+    }
+
+    // Straggler scenario: one worker at 3x compute, absorbed by SSP with
+    // the staleness bound retuned online from the straggler-wait gauge.
+    let mut factors = vec![1.0; WORKERS];
+    factors[WORKERS - 1] = 3.0;
+    let plan = FaultPlan::seeded(79).with_stragglers(factors);
+    let (ssp_report, ssp_trace) = train_ssp_adaptive_chaos(
+        &train,
+        &test,
+        dim,
+        &spec,
+        &cluster,
+        &SspConfig::ssp(0, 0.0),
+        &AdaptiveSsp::default(),
+        &compressor,
+        &plan,
+    )
+    .expect("adaptive ssp run");
+    let ssp_curve: Vec<(usize, f64)> = ssp_report
+        .epochs
+        .iter()
+        .map(|e| (e.epoch, e.test_loss))
+        .collect();
+    rows.push(Row {
+        scenario: "straggler-adaptive-ssp",
+        final_loss: ssp_report.epochs.last().expect("epochs").test_loss,
+        epochs_to_target: epochs_to_target(&ssp_curve, target_loss),
+        sim_seconds: ssp_report.total_sim_seconds(),
+        stall_seconds: ssp_trace.recovery_seconds + ssp_trace.join_seconds,
+        evictions: ssp_trace.evictions,
+        joins: ssp_trace.joins,
+        reconfigurations: ssp_trace.reconfigurations,
+        degraded_rounds: ssp_trace.degraded_rounds,
+        staleness_retunes: ssp_trace.staleness_retunes,
+    });
+
+    let row = |s: &str| rows.iter().find(|r| r.scenario == s).expect("scenario row");
+    let crash = row("permanent-crash");
+    assert!(
+        (crash.final_loss - clean_loss).abs() <= 0.05 * clean_loss,
+        "permanent-crash loss {} strayed more than 5% from fault-free {clean_loss}",
+        crash.final_loss
+    );
+    assert!(crash.evictions >= 1, "the dead worker must be evicted");
+    let heal = row("crash-then-join");
+    assert!(
+        heal.evictions >= 1 && heal.joins >= 1,
+        "the healing run must evict then rejoin (evictions {}, joins {})",
+        heal.evictions,
+        heal.joins
+    );
+    let ssp = row("straggler-adaptive-ssp");
+    assert!(
+        ssp.staleness_retunes >= 1,
+        "the adaptive controller must retune at least once"
+    );
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                format!("{:.4}", r.final_loss),
+                r.epochs_to_target.to_string(),
+                format!("{:.3}", r.sim_seconds),
+                format!("{:.3}", r.stall_seconds),
+                format!("{}/{}/{}", r.evictions, r.joins, r.reconfigurations),
+                r.degraded_rounds.to_string(),
+                r.staleness_retunes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Elastic membership: training through failures (ring, n=8)",
+        &[
+            "scenario",
+            "final loss",
+            "ep→target",
+            "sim s",
+            "stall s",
+            "evict/join/reconf",
+            "degraded",
+            "retunes",
+        ],
+        &table,
+    );
+    println!("\nfault-free loss {clean_loss:.4}, target {target_loss:.4}");
+
+    let report = Report {
+        bench: "elastic",
+        quick,
+        workers: WORKERS,
+        epochs,
+        target_loss,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    let path = "BENCH_elastic.json";
+    std::fs::write(path, json + "\n").expect("write BENCH_elastic.json");
+    println!("[results written to {path}]");
+}

@@ -17,13 +17,27 @@
 //! codec work is charged at the topology's critical path (serial at the
 //! star driver, spread across all workers on the ring, across the live
 //! subtree width on the tree).
+//!
+//! Elasticity (DESIGN.md §2.8): chaos runs carry an
+//! [`ElasticMembership`](crate::membership) layer. Each round a heartbeat
+//! detector suspects and eventually evicts unresponsive members, evicted
+//! workers whose process is back pull a checkpoint and rejoin, and the hop
+//! schedule is recomputed over the surviving member set — mergeable
+//! sketches make the aggregate independent of the member count, so the
+//! topology can be rebuilt mid-training without changing the math. A round
+//! in which a scheduled member goes dark falls back to a degraded star
+//! among the survivors; the next round runs the rebuilt topology. All of it
+//! is seeded: the same plan replays the identical membership trace.
 
 use crate::config::ClusterConfig;
-use crate::faults::{FaultPlan, FaultyLink};
+use crate::faults::{FaultEvent, FaultPlan, FaultyLink};
+use crate::membership::ElasticMembership;
 use crate::obs;
-use crate::trainer::{EpochStats, OptState, TrainOutcome, TrainReport, TrainSpec};
+use crate::trainer::{
+    checkpoint_bytes, EpochStats, OptState, TrainOutcome, TrainReport, TrainSpec,
+};
 use crate::worker::{partition, process_glm_batch, WorkerMessage, WorkerScratch};
-use sketchml_collectives::{allreduce, Contribution, Hop, Topology, Transport};
+use sketchml_collectives::{allreduce, Contribution, Hop, RemappedTransport, Topology, Transport};
 use sketchml_core::{
     CompressError, CompressScratch, FrameVersion, GradientCompressor, MergeAcc, MergePolicy,
     MergeableCompressor,
@@ -210,13 +224,20 @@ pub fn train_allreduce_with_policy(
 /// distribute hop lost costs time only. The same plan and data always
 /// produce the identical trace and final loss.
 ///
-/// Crash events are rejected: a peer-to-peer round has no central
-/// checkpoint coordinator, so crash/recovery belongs to the star-topology
-/// entry points ([`crate::train_distributed_chaos`]).
+/// Crash events engage the elastic membership layer: a heartbeat detector
+/// (tuned by [`ClusterConfig::elastic`]) suspects and evicts workers that
+/// stop acking, the hop schedule is rebuilt over the survivors, and a
+/// worker whose outage window ends pulls a checkpoint and rejoins the
+/// group — pull retries, backoff and the checkpoint transfer are charged
+/// to the simulated clock. A round caught mid-failure degrades to a star
+/// among the survivors; a permanent crash ([`FaultPlan::with_permanent_crash`])
+/// shrinks the group for good. Every transition is recorded as a typed
+/// [`FaultEvent`] in the trace, so the same plan and data replay the
+/// identical membership history bit for bit.
 ///
 /// # Errors
-/// [`CompressError::InvalidConfig`] on a crash-bearing or invalid plan;
-/// otherwise as [`train_allreduce`].
+/// [`CompressError::InvalidConfig`] on an invalid plan; otherwise as
+/// [`train_allreduce`].
 pub fn train_allreduce_chaos(
     train: &[Instance],
     test: &[Instance],
@@ -255,16 +276,6 @@ fn run_allreduce(
         ));
     }
     cluster.validate()?;
-    if let Some(plan) = faults {
-        if !plan.crashes.is_empty() {
-            return Err(CompressError::InvalidConfig(
-                "allreduce: crash events are not supported — peer-to-peer rounds have no \
-                 central checkpoint coordinator; use train_distributed_chaos for \
-                 crash/recovery runs"
-                    .into(),
-            ));
-        }
-    }
     let _recording = obs::scope_for(cluster);
     // Chaos runs with checksums ship native payloads in the CRC-carrying v2
     // frame, as the star trainer does. AGG hop frames carry no CRC; their
@@ -297,6 +308,11 @@ fn run_allreduce(
         None => None,
     };
     let mut transport = SimTransport::new(cluster, merge_comp, policy, dim as u64, link);
+    // Fault plans activate the elastic membership layer; fault-free runs
+    // keep the static full group (the detector has nothing to detect).
+    let mut elastic =
+        faults.map(|plan| ElasticMembership::new(cluster.workers, cluster.elastic, plan.seed));
+    let mut global_batch: u64 = 0;
 
     let mut epochs = Vec::with_capacity(spec.max_epochs);
     let mut curve = Vec::new();
@@ -312,48 +328,108 @@ fn run_allreduce(
         };
         let batches = batcher.epoch();
         let mut loss_accum = 0.0;
+        let mut rounds_done: u64 = 0;
         for batch in &batches {
-            let parts = partition(batch, cluster.workers);
-            let computed: Vec<WorkerMessage> = crossbeam::thread::scope(|s| {
+            // Membership round first: heartbeats, evictions and joins all
+            // settle before the shard assignment, so the partition below is
+            // always re-chunked over the current member set.
+            let (members, down) = match (elastic.as_mut(), transport.link.as_mut()) {
+                (Some(ms), Some(link)) => {
+                    let epochs_done = epochs.len();
+                    let mut ckpt_len = || match opt.adam() {
+                        Some(adam) => checkpoint_bytes(&model, adam, epochs_done)
+                            .map(|b| b.len())
+                            .unwrap_or(64 + 8 * dim),
+                        None => 64 + 8 * dim,
+                    };
+                    let rp = ms.step(link, global_batch, &mut ckpt_len);
+                    // Reconfiguration stalls (checkpoint pulls, retry
+                    // backoff) gate the whole group, like any comm cost.
+                    es.comm_seconds += rp.stall_seconds;
+                    (rp.members, rp.down)
+                }
+                _ => (
+                    (0..cluster.workers).collect::<Vec<_>>(),
+                    vec![false; cluster.workers],
+                ),
+            };
+
+            let parts = partition(batch, members.len());
+            let computed: Vec<Option<WorkerMessage>> = crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = parts
                     .iter()
                     .zip(worker_scratch.iter_mut())
-                    .map(|(part, ws)| {
+                    .zip(down.iter())
+                    .map(|((part, ws), &is_down)| {
+                        if is_down {
+                            // A dark member's shard is lost this round —
+                            // the data cost of detection latency.
+                            return None;
+                        }
                         let model = &model;
                         let cost = &cluster.cost;
-                        s.spawn(move |_| {
+                        Some(s.spawn(move |_| {
                             let slice: Vec<Instance> =
                                 part.iter().map(|&i| train[i].clone()).collect();
                             process_glm_batch(model, &slice, worker_comp, cost, ws)
-                        })
+                        }))
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
+                    .map(|h| match h {
+                        Some(h) => h.join().expect("worker thread panicked").map(Some),
+                        None => Ok(None),
+                    })
                     .collect::<Result<Vec<_>, _>>()
             })
             .expect("crossbeam scope")?;
 
-            // Workers run in parallel: the slowest straggler-adjusted worker
-            // gates the batch, exactly as in the star trainer.
-            let compute = computed
+            let survivors: Vec<usize> = computed
                 .iter()
-                .enumerate()
-                .map(|(w, m)| m.sim_compute * transport.compute_factor(w))
+                .zip(&members)
+                .filter_map(|(m, &slot)| m.as_ref().map(|_| slot))
+                .collect();
+            if survivors.is_empty() {
+                // Every scheduled member is dark: nothing to aggregate.
+                global_batch += 1;
+                continue;
+            }
+            let alive: Vec<&WorkerMessage> = computed.iter().flatten().collect();
+
+            // Workers run in parallel: the slowest straggler-adjusted worker
+            // gates the batch, exactly as in the star trainer. Straggler
+            // factors are keyed by physical slot.
+            let compute = alive
+                .iter()
+                .zip(&survivors)
+                .map(|(m, &slot)| m.sim_compute * transport.compute_factor(slot))
                 .fold(0.0f64, f64::max);
             if sketchml_telemetry::enabled() {
-                let unskewed = computed
-                    .iter()
-                    .map(|m| m.sim_compute)
-                    .fold(0.0f64, f64::max);
+                let unskewed = alive.iter().map(|m| m.sim_compute).fold(0.0f64, f64::max);
                 obs::straggler_wait(compute - unskewed);
             }
-            let worker_codec = computed.iter().map(|m| m.sim_codec).fold(0.0f64, f64::max);
+            let worker_codec = alive.iter().map(|m| m.sim_codec).fold(0.0f64, f64::max);
 
-            let total_instances: usize = computed.iter().map(|m| m.instances).sum();
-            let loss_sum: f64 = computed.iter().map(|m| m.loss_sum).sum();
-            let contribs: Vec<Contribution> = computed
+            // A member that went dark mid-round degrades this round to a
+            // star over the survivors; the rebuilt ring/tree runs next
+            // round, once the detector has caught up.
+            let round_topology = if survivors.len() < members.len() {
+                if let Some(link) = transport.link.as_mut() {
+                    link.record_membership(FaultEvent::DegradedRound {
+                        batch: global_batch,
+                        survivors: survivors.len(),
+                    });
+                }
+                Topology::Star
+            } else {
+                cluster.topology
+            };
+            transport.topology = round_topology;
+
+            let total_instances: usize = alive.iter().map(|m| m.instances).sum();
+            let loss_sum: f64 = alive.iter().map(|m| m.loss_sum).sum();
+            let contribs: Vec<Contribution> = alive
                 .iter()
                 .map(|m| Contribution {
                     payload: &m.payload,
@@ -362,14 +438,21 @@ fn run_allreduce(
                 .collect();
 
             let wall = std::time::Instant::now();
-            let round = allreduce(
-                cluster.topology,
-                policy,
-                merge_comp,
-                dim as u64,
-                &contribs,
-                &mut transport,
-            )?;
+            // Schedules are computed over logical ranks 0..k; the remap
+            // pins them to surviving physical slots so fault injection and
+            // straggler skew stay keyed to the worker they were planned for.
+            let round = {
+                let mut remapped =
+                    RemappedTransport::new(&mut transport, &survivors, cluster.workers);
+                allreduce(
+                    round_topology,
+                    policy,
+                    merge_comp,
+                    dim as u64,
+                    &contribs,
+                    &mut remapped,
+                )?
+            };
             let merge_wall = wall.elapsed().as_secs_f64();
             let comm = transport.take_seconds();
 
@@ -378,22 +461,24 @@ fn run_allreduce(
             es.compute_seconds += compute;
             es.codec_seconds += worker_codec
                 + cluster.cost.codec_time(round.codec_pairs as usize)
-                    / merge_width(cluster.topology, cluster.workers);
+                    / merge_width(round_topology, survivors.len());
             es.comm_seconds += comm;
             es.uplink_bytes += round.reduce_bytes;
             es.downlink_bytes += round.distribute_bytes;
-            es.pairs += computed.iter().map(|m| m.report.pairs as u64).sum::<u64>();
-            es.raw_bytes += computed
+            es.pairs += alive.iter().map(|m| m.report.pairs as u64).sum::<u64>();
+            es.raw_bytes += alive
                 .iter()
                 .map(|m| 12 * m.report.pairs as u64)
                 .sum::<u64>();
-            es.measured_codec_seconds += computed.iter().map(|m| m.measured_codec).sum::<f64>();
+            es.measured_codec_seconds += alive.iter().map(|m| m.measured_codec).sum::<f64>();
             es.measured_codec_seconds += merge_wall;
             loss_accum += loss_sum / total_instances.max(1) as f64;
+            rounds_done += 1;
+            global_batch += 1;
         }
-        obs::rounds(batches.len() as u64, es.uplink_bytes, es.downlink_bytes);
+        obs::rounds(rounds_done, es.uplink_bytes, es.downlink_bytes);
         es.sim_seconds = es.compute_seconds + es.comm_seconds + es.codec_seconds;
-        es.train_loss = loss_accum / batches.len() as f64;
+        es.train_loss = loss_accum / rounds_done.max(1) as f64;
         es.test_loss = model.mean_loss(test);
         clock += es.sim_seconds;
         curve.push(LossPoint {

@@ -1,5 +1,6 @@
 //! Simulated-cluster configuration (paper §4.1 "Clusters" and "Protocol").
 
+use crate::membership::ElasticConfig;
 use crate::network::CostModel;
 use serde::Serialize;
 use sketchml_collectives::Topology;
@@ -8,9 +9,10 @@ use sketchml_core::{CompressError, FrameVersion, GradientCompressor, ShardedComp
 /// Configuration of one simulated training run.
 ///
 /// `Deserialize` is implemented by hand (rather than derived) so that the
-/// `telemetry` and `topology` fields are optional in serialized configs —
-/// documents written before the fields existed keep loading, defaulting
-/// them to `false` and [`Topology::Star`].
+/// `telemetry`, `topology`, and `elastic` fields are optional in serialized
+/// configs — documents written before the fields existed keep loading,
+/// defaulting them to `false`, [`Topology::Star`], and
+/// [`ElasticConfig::default`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ClusterConfig {
     /// Number of workers (executors) `W`.
@@ -40,6 +42,11 @@ pub struct ClusterConfig {
     /// payloads peer-to-peer. Ignored by the star-only entry points
     /// ([`crate::train_distributed`] and friends).
     pub topology: Topology,
+    /// Elastic-membership knobs used by the chaos entry points: how many
+    /// missed heartbeats evict a member, the per-round checkpoint-pull
+    /// budget for joiners, and the membership floor. Inert without a fault
+    /// plan.
+    pub elastic: ElasticConfig,
 }
 
 impl serde::Deserialize for ClusterConfig {
@@ -69,6 +76,11 @@ impl serde::Deserialize for ClusterConfig {
                 Ok(val) => serde::Deserialize::from_value(val)?,
                 Err(_) => Topology::Star,
             },
+            // Optional likewise: pre-elastic configs get the defaults.
+            elastic: match serde::field(obj, "elastic") {
+                Ok(val) => serde::Deserialize::from_value(val)?,
+                Err(_) => ElasticConfig::default(),
+            },
         })
     }
 }
@@ -84,6 +96,7 @@ impl ClusterConfig {
             compress_threads: 1,
             telemetry: false,
             topology: Topology::Star,
+            elastic: ElasticConfig::default(),
         }
     }
 
@@ -97,6 +110,7 @@ impl ClusterConfig {
             compress_threads: 1,
             telemetry: false,
             topology: Topology::Star,
+            elastic: ElasticConfig::default(),
         }
     }
 
@@ -114,6 +128,7 @@ impl ClusterConfig {
             compress_threads: 1,
             telemetry: false,
             topology: Topology::Star,
+            elastic: ElasticConfig::default(),
         }
     }
 
@@ -139,6 +154,13 @@ impl ClusterConfig {
     /// Selects the aggregation topology used by [`crate::train_allreduce`].
     pub fn with_topology(mut self, topology: Topology) -> Self {
         self.topology = topology;
+        self
+    }
+
+    /// Overrides the elastic-membership knobs used by the chaos entry
+    /// points.
+    pub fn with_elastic(mut self, elastic: ElasticConfig) -> Self {
+        self.elastic = elastic;
         self
     }
 
@@ -188,6 +210,7 @@ impl ClusterConfig {
                 net.latency
             )));
         }
+        self.elastic.validate(self.workers)?;
         Ok(())
     }
 
@@ -280,6 +303,28 @@ mod tests {
             serde::Deserialize::from_value(&serde::Value::Obj(obj)).unwrap();
         assert_eq!(legacy.topology, Topology::Star);
         assert_eq!(legacy.workers, c.workers);
+    }
+
+    #[test]
+    fn elastic_field_is_optional_in_serialized_configs() {
+        let c = ClusterConfig::cluster1(8)
+            .with_elastic(ElasticConfig::default().with_suspicion_threshold(5));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.elastic.suspicion_threshold, 5);
+        // A document written before the field existed still loads, with the
+        // elastic knobs defaulting.
+        let v = serde::Serialize::to_value(&c);
+        let mut obj = v.as_obj().unwrap().to_vec();
+        obj.retain(|(k, _)| k != "elastic");
+        let legacy: ClusterConfig =
+            serde::Deserialize::from_value(&serde::Value::Obj(obj)).unwrap();
+        assert_eq!(legacy.elastic, ElasticConfig::default());
+        // Validation propagates to the elastic knobs.
+        let bad =
+            ClusterConfig::cluster1(4).with_elastic(ElasticConfig::default().with_min_members(9));
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod allreduce;
 pub mod config;
 pub mod driver;
 pub mod faults;
+pub mod membership;
 pub mod mlp_trainer;
 pub mod network;
 mod obs;
@@ -42,13 +43,16 @@ pub mod worker;
 pub use allreduce::{train_allreduce, train_allreduce_chaos, train_allreduce_with_policy};
 pub use config::ClusterConfig;
 pub use faults::{CrashEvent, CrashPhase, FaultEvent, FaultPlan, FaultTrace, FaultyLink};
+pub use membership::ElasticConfig;
 pub use mlp_trainer::{
     train_mlp_distributed, train_mlp_distributed_chaos, MlpTrainReport, MlpTrainSpec,
 };
 pub use network::{CostModel, NetworkModel};
 pub use ps::{train_parameter_server, train_parameter_server_chaos, ShardMap};
 pub use sketchml_collectives::{MergePolicy, Topology};
-pub use ssp::{train_ssp, train_ssp_chaos, SspConfig, SspReport};
+pub use ssp::{
+    train_ssp, train_ssp_adaptive_chaos, train_ssp_chaos, AdaptiveSsp, SspConfig, SspReport,
+};
 pub use trainer::{
     train_distributed, train_distributed_chaos, train_distributed_resumable, EpochStats,
     TrainOutcome, TrainReport, TrainSpec,

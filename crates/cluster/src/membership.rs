@@ -1,0 +1,428 @@
+//! Elastic cluster membership: deterministic failure detection, eviction,
+//! and mid-training joins (DESIGN.md §2.8).
+//!
+//! SketchML's sketches are *mergeable* — aggregation is order-insensitive —
+//! so a collective topology can be rebuilt over a different member set
+//! between rounds without changing the math. This module supplies the
+//! membership machinery that decides *which* set:
+//!
+//! - A heartbeat-based failure detector runs once per round over the
+//!   [`FaultyLink`]. A member misses its ack when its process is down
+//!   (crash schedule) or the ack is lost on the wire (the plan's
+//!   `drop_prob`); [`ElasticConfig::suspicion_threshold`] consecutive
+//!   misses evict it. A suspicion that clears is counted as a detector
+//!   false positive — from inside the system a lossy link and a short
+//!   outage are indistinguishable.
+//! - Evicted workers whose process is back up try to rejoin by pulling a
+//!   checkpoint through the same lossy link: up to
+//!   [`ElasticConfig::join_attempts`] pulls per round, each charged to the
+//!   cost model (transfer + exponential backoff); an exhausted budget
+//!   defers the join to the next round.
+//!
+//! Determinism: heartbeat and join-pull draws come from a dedicated
+//! SplitMix64 stream seeded from `plan.seed ^ HEARTBEAT_STREAM`, so the
+//! detector never shifts the data-path fault stream — a chaos run with
+//! membership enabled replays bit-for-bit, and every transition lands in
+//! the [`FaultTrace`](crate::FaultTrace) as a typed event in a fixed order
+//! (heartbeats in member order, then joins in worker order, then one
+//! `Reconfigured` marker).
+
+use crate::faults::{CrashPhase, FaultEvent, FaultyLink, SplitMix64};
+use serde::{Deserialize, Serialize};
+use sketchml_core::CompressError;
+
+/// XOR'd into the fault-plan seed to derive the heartbeat/join stream.
+const HEARTBEAT_STREAM: u64 = 0x454C_4153_5449_4331; // "ELASTIC1"
+
+/// Knobs of the elastic membership layer, carried by
+/// [`ClusterConfig`](crate::ClusterConfig). The defaults keep a lossy but
+/// crash-free run stable (three consecutive lost acks at 10% drop odds is a
+/// 0.1% event) while evicting a dead worker within three rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElasticConfig {
+    /// Consecutive missed heartbeat acks before a member is evicted (≥ 1).
+    pub suspicion_threshold: u32,
+    /// Checkpoint-pull attempts a joining worker gets per round before the
+    /// join is deferred to the next round (1..=32).
+    pub join_attempts: u32,
+    /// Smallest membership the detector may shrink the group to (≥ 1); a
+    /// member is kept — suspected but not evicted — rather than going below.
+    pub min_members: usize,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            suspicion_threshold: 3,
+            join_attempts: 4,
+            min_members: 1,
+        }
+    }
+}
+
+impl ElasticConfig {
+    /// Sets the consecutive-miss eviction threshold.
+    pub fn with_suspicion_threshold(mut self, threshold: u32) -> Self {
+        self.suspicion_threshold = threshold;
+        self
+    }
+
+    /// Sets the per-round checkpoint-pull budget for joiners.
+    pub fn with_join_attempts(mut self, attempts: u32) -> Self {
+        self.join_attempts = attempts;
+        self
+    }
+
+    /// Sets the membership floor.
+    pub fn with_min_members(mut self, min: usize) -> Self {
+        self.min_members = min;
+        self
+    }
+
+    /// Validates the config for a cluster of `workers` workers.
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidConfig`] naming the offending field: a zero
+    /// threshold, a pull budget outside `1..=32`, or a membership floor of
+    /// zero or above the cluster size.
+    pub fn validate(&self, workers: usize) -> Result<(), CompressError> {
+        if self.suspicion_threshold == 0 {
+            return Err(CompressError::InvalidConfig(
+                "elastic: suspicion_threshold must be at least 1".into(),
+            ));
+        }
+        if self.join_attempts == 0 || self.join_attempts > 32 {
+            return Err(CompressError::InvalidConfig(format!(
+                "elastic: join_attempts {} must be in 1..=32",
+                self.join_attempts
+            )));
+        }
+        if self.min_members == 0 || self.min_members > workers {
+            return Err(CompressError::InvalidConfig(format!(
+                "elastic: min_members {} must be in 1..={workers}",
+                self.min_members
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// What the membership layer decided for one training round.
+#[derive(Debug, Clone)]
+pub(crate) struct RoundPlan {
+    /// Physical worker slots scheduled this round, ascending.
+    pub members: Vec<usize>,
+    /// Per-`members` entry: whether that member's process is down this
+    /// round (suspected but not yet evicted — its shard is lost).
+    pub down: Vec<bool>,
+    /// Simulated seconds spent on joins and crash recoveries this round,
+    /// charged to the global clock.
+    pub stall_seconds: f64,
+    /// Whether the member set changed (schedules must be rebuilt). The
+    /// trainer rebuilds unconditionally from `members`; tests assert on it.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub changed: bool,
+}
+
+/// The failure-detector + join state machine. One instance lives inside an
+/// elastic trainer; [`Self::step`] is called once per round *before* the
+/// round's collective.
+#[derive(Debug, Clone)]
+pub(crate) struct ElasticMembership {
+    cfg: ElasticConfig,
+    workers: usize,
+    /// Live physical slots, ascending.
+    members: Vec<usize>,
+    /// Per-slot consecutive missed acks.
+    suspicion: Vec<u32>,
+    /// Per-slot: evicted and waiting to rejoin.
+    evicted: Vec<bool>,
+    hb_rng: SplitMix64,
+}
+
+impl ElasticMembership {
+    /// A full membership of `workers` slots, heartbeats seeded from `seed`
+    /// (the fault plan's seed; the stream is independent of the data path).
+    pub fn new(workers: usize, cfg: ElasticConfig, seed: u64) -> Self {
+        ElasticMembership {
+            cfg,
+            workers,
+            members: (0..workers).collect(),
+            suspicion: vec![0; workers],
+            evicted: vec![false; workers],
+            hb_rng: SplitMix64::new(seed ^ HEARTBEAT_STREAM),
+        }
+    }
+
+    /// Current members, ascending.
+    #[cfg(test)]
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Runs one detector round at global `batch`: heartbeats every member,
+    /// evicts on threshold, lets evicted-but-alive workers attempt a
+    /// checkpoint pull of `checkpoint_bytes()` bytes, and records every
+    /// transition on `link`'s trace.
+    pub fn step(
+        &mut self,
+        link: &mut FaultyLink,
+        batch: u64,
+        checkpoint_bytes: &mut dyn FnMut() -> usize,
+    ) -> RoundPlan {
+        let drop_prob = link.plan().drop_prob;
+        let mut stall = 0.0f64;
+        let mut changed = false;
+
+        let phases: Vec<CrashPhase> = (0..self.workers)
+            .map(|w| link.crash_phase(w, batch))
+            .collect();
+
+        // 1. Heartbeat every current member in slot order. The ack draw is
+        // made even for down members so the stream length per round is a
+        // pure function of the member count.
+        for slot in self.members.clone() {
+            if phases[slot] == CrashPhase::Rejoin {
+                // A short outage that ended before eviction: restore state
+                // like the star trainer does.
+                stall += link.charge_recovery(slot, batch, checkpoint_bytes());
+            }
+            let down = phases[slot] == CrashPhase::Down;
+            let ack_lost = self.hb_rng.next_f64() < drop_prob;
+            if down || ack_lost {
+                self.suspicion[slot] += 1;
+                if self.suspicion[slot] == 1 {
+                    link.record_membership(FaultEvent::Suspected {
+                        worker: slot,
+                        batch,
+                    });
+                }
+                if self.suspicion[slot] >= self.cfg.suspicion_threshold
+                    && self.members.len() > self.cfg.min_members
+                {
+                    self.members.retain(|&m| m != slot);
+                    self.evicted[slot] = true;
+                    self.suspicion[slot] = 0;
+                    link.record_membership(FaultEvent::Evicted {
+                        worker: slot,
+                        batch,
+                    });
+                    changed = true;
+                }
+            } else if self.suspicion[slot] > 0 {
+                self.suspicion[slot] = 0;
+                link.record_membership(FaultEvent::SuspicionCleared {
+                    worker: slot,
+                    batch,
+                });
+            }
+        }
+
+        // 2. Joins: evicted slots whose process is back up pull a
+        // checkpoint through the lossy link, budgeted per round.
+        for (slot, &phase) in phases.iter().enumerate() {
+            if !self.evicted[slot] || phase == CrashPhase::Down {
+                continue;
+            }
+            let bytes = checkpoint_bytes();
+            for attempt in 1..=self.cfg.join_attempts {
+                stall += link.charge_join_attempt(bytes, attempt);
+                if self.hb_rng.next_f64() < drop_prob {
+                    continue; // pull lost; budget permitting, retry
+                }
+                link.record_membership(FaultEvent::Joined {
+                    worker: slot,
+                    batch,
+                    checkpoint_bytes: bytes as u64,
+                    attempts: attempt,
+                });
+                self.evicted[slot] = false;
+                self.suspicion[slot] = 0;
+                self.members.push(slot);
+                self.members.sort_unstable();
+                changed = true;
+                break;
+            }
+        }
+
+        if changed {
+            link.record_membership(FaultEvent::Reconfigured {
+                batch,
+                members: self.members.len(),
+            });
+        }
+
+        let down = self
+            .members
+            .iter()
+            .map(|&m| phases[m] == CrashPhase::Down)
+            .collect();
+        RoundPlan {
+            members: self.members.clone(),
+            down,
+            stall_seconds: stall,
+            changed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::network::NetworkModel;
+
+    fn link(plan: &FaultPlan, workers: usize) -> FaultyLink {
+        FaultyLink::new(plan, NetworkModel::cluster1(), workers).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        ElasticConfig::default().validate(4).unwrap();
+        assert!(ElasticConfig::default()
+            .with_suspicion_threshold(0)
+            .validate(4)
+            .is_err());
+        assert!(ElasticConfig::default()
+            .with_join_attempts(0)
+            .validate(4)
+            .is_err());
+        assert!(ElasticConfig::default()
+            .with_join_attempts(33)
+            .validate(4)
+            .is_err());
+        assert!(ElasticConfig::default()
+            .with_min_members(0)
+            .validate(4)
+            .is_err());
+        assert!(ElasticConfig::default()
+            .with_min_members(5)
+            .validate(4)
+            .is_err());
+    }
+
+    #[test]
+    fn permanent_crash_is_suspected_then_evicted() {
+        let plan = FaultPlan::seeded(7).with_permanent_crash(2, 1);
+        let mut l = link(&plan, 4);
+        let cfg = ElasticConfig::default().with_suspicion_threshold(2);
+        let mut ms = ElasticMembership::new(4, cfg, plan.seed);
+        let mut bytes = || 1024usize;
+
+        let r0 = ms.step(&mut l, 0, &mut bytes);
+        assert_eq!(r0.members, vec![0, 1, 2, 3]);
+        assert!(!r0.changed);
+
+        let r1 = ms.step(&mut l, 1, &mut bytes); // first miss: suspected
+        assert_eq!(r1.members.len(), 4);
+        assert!(r1.down[2], "down member flagged while still scheduled");
+
+        let r2 = ms.step(&mut l, 2, &mut bytes); // second miss: evicted
+        assert_eq!(r2.members, vec![0, 1, 3]);
+        assert!(r2.changed);
+
+        // Permanent: never rejoins, membership stays at 3.
+        for b in 3..30 {
+            let r = ms.step(&mut l, b, &mut bytes);
+            assert_eq!(r.members, vec![0, 1, 3]);
+        }
+        let trace = l.into_trace();
+        assert_eq!(trace.evictions, 1);
+        assert_eq!(trace.joins, 0);
+        assert_eq!(trace.reconfigurations, 1);
+    }
+
+    #[test]
+    fn finite_crash_evicts_then_rejoins() {
+        let plan = FaultPlan::seeded(7).with_crash(1, 2, 6);
+        let mut l = link(&plan, 3);
+        let cfg = ElasticConfig::default().with_suspicion_threshold(2);
+        let mut ms = ElasticMembership::new(3, cfg, plan.seed);
+        let mut bytes = || 512usize;
+
+        for b in 0..4u64 {
+            ms.step(&mut l, b, &mut bytes);
+        }
+        assert_eq!(ms.members(), &[0, 2], "evicted after 2 down rounds");
+
+        // Window [2, 8) closes; with drop_prob 0 the first pull succeeds.
+        let mut rejoined_at = None;
+        for b in 4..12u64 {
+            let r = ms.step(&mut l, b, &mut bytes);
+            if r.members.len() == 3 {
+                rejoined_at = Some(b);
+                break;
+            }
+        }
+        assert_eq!(rejoined_at, Some(8), "joins the round the process is up");
+        let trace = l.into_trace();
+        assert_eq!(trace.evictions, 1);
+        assert_eq!(trace.joins, 1);
+        assert_eq!(trace.reconfigurations, 2);
+        assert!(trace.join_seconds > 0.0, "pull charged to the cost model");
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Joined { worker: 1, .. })));
+    }
+
+    #[test]
+    fn min_members_floor_blocks_eviction() {
+        let plan = FaultPlan::seeded(3).with_permanent_crash(0, 0);
+        let mut l = link(&plan, 2);
+        let cfg = ElasticConfig::default()
+            .with_suspicion_threshold(1)
+            .with_min_members(2);
+        let mut ms = ElasticMembership::new(2, cfg, plan.seed);
+        let mut bytes = || 64usize;
+        for b in 0..10u64 {
+            let r = ms.step(&mut l, b, &mut bytes);
+            assert_eq!(r.members.len(), 2, "floor holds");
+            assert!(r.down[0], "dead member stays flagged");
+        }
+        assert_eq!(l.trace().evictions, 0);
+    }
+
+    #[test]
+    fn detector_is_deterministic_per_seed() {
+        let plan = FaultPlan::seeded(99).with_drops(0.3).with_crash(1, 5, 10);
+        let run = || {
+            let mut l = link(&plan, 4);
+            let mut ms = ElasticMembership::new(4, ElasticConfig::default(), plan.seed);
+            let mut bytes = || 256usize;
+            let mut sizes = Vec::new();
+            for b in 0..40u64 {
+                sizes.push(ms.step(&mut l, b, &mut bytes).members.len());
+            }
+            (l.into_trace(), sizes)
+        };
+        let (t1, s1) = run();
+        let (t2, s2) = run();
+        assert_eq!(t1, t2, "same seed ⇒ bit-identical membership trace");
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn lossy_heartbeats_can_clear_as_false_positives() {
+        // Heavy drops, no crashes: suspicions fire and clear; any eviction
+        // is a detector false positive followed by a quick rejoin.
+        let plan = FaultPlan::seeded(11).with_drops(0.4);
+        let mut l = link(&plan, 4);
+        let mut ms = ElasticMembership::new(4, ElasticConfig::default(), plan.seed);
+        let mut bytes = || 128usize;
+        for b in 0..200u64 {
+            ms.step(&mut l, b, &mut bytes);
+        }
+        let trace = l.into_trace();
+        assert!(trace.suspicions > 0, "40% ack loss must raise suspicions");
+        assert!(trace.false_suspicions > 0, "most clear on the next ack");
+        assert!(
+            trace.false_suspicions <= trace.suspicions,
+            "clears are a subset of opens"
+        );
+        assert_eq!(
+            trace.evictions, trace.joins,
+            "every false eviction of a live worker ends in a rejoin"
+        );
+    }
+}

@@ -67,9 +67,17 @@ pub(crate) fn trace_totals(trace: &FaultTrace) {
     telemetry::add(C::ClusterLostMessages, trace.lost_messages);
     telemetry::add(C::ClusterCrashes, trace.crashes);
     telemetry::add(C::ClusterRecoveries, trace.recoveries);
+    telemetry::add(C::MembershipSuspicions, trace.suspicions);
+    telemetry::add(C::MembershipFalseSuspicions, trace.false_suspicions);
+    telemetry::add(C::MembershipEvictions, trace.evictions);
+    telemetry::add(C::MembershipJoins, trace.joins);
+    telemetry::add(C::MembershipReconfigurations, trace.reconfigurations);
+    telemetry::add(C::MembershipDegradedRounds, trace.degraded_rounds);
+    telemetry::add(C::MembershipStalenessRetunes, trace.staleness_retunes);
     telemetry::gauge_add(telemetry::Gauge::ClusterBackoffSeconds, trace.retry_seconds);
     telemetry::gauge_add(
         telemetry::Gauge::ClusterRecoverySeconds,
         trace.recovery_seconds,
     );
+    telemetry::gauge_add(telemetry::Gauge::MembershipJoinSeconds, trace.join_seconds);
 }

@@ -15,7 +15,7 @@
 //! in event order.
 
 use crate::config::ClusterConfig;
-use crate::faults::{CrashPhase, FaultPlan, FaultTrace, FaultyLink};
+use crate::faults::{CrashPhase, FaultEvent, FaultPlan, FaultTrace, FaultyLink};
 use crate::obs;
 use bytes::BytesMut;
 use serde::{Deserialize, Serialize};
@@ -81,6 +81,74 @@ impl SspConfig {
     }
 }
 
+/// Online retuning of the SSP staleness bound from observed straggler
+/// wait — the same quantity the `straggler_wait` telemetry gauge tracks.
+///
+/// Every `window` iterations the controller compares the accumulated
+/// skew-induced wait against the unskewed compute base. A wait share above
+/// `raise_above` loosens the bound one step (hide more skew); one below
+/// `lower_below` tightens it one step (fresher gradients). Each change is
+/// recorded in the fault trace as a
+/// [`FaultEvent::StalenessRetuned`](crate::faults::FaultEvent) event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSsp {
+    /// Iterations per observation window.
+    pub window: u64,
+    /// Loosen the bound when wait/compute exceeds this share.
+    pub raise_above: f64,
+    /// Tighten the bound when wait/compute falls below this share.
+    pub lower_below: f64,
+    /// Floor for the staleness bound (0 = may tighten all the way to BSP).
+    pub min_staleness: usize,
+    /// Ceiling for the staleness bound.
+    pub max_staleness: usize,
+}
+
+impl Default for AdaptiveSsp {
+    fn default() -> Self {
+        AdaptiveSsp {
+            window: 32,
+            raise_above: 0.2,
+            lower_below: 0.05,
+            min_staleness: 0,
+            max_staleness: 8,
+        }
+    }
+}
+
+impl AdaptiveSsp {
+    /// Validates the controller knobs.
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidConfig`] on an empty window, non-finite or
+    /// inverted thresholds, or an inverted staleness range.
+    pub fn validate(&self) -> Result<(), CompressError> {
+        if self.window == 0 {
+            return Err(CompressError::InvalidConfig(
+                "adaptive ssp: window must be at least 1 iteration".into(),
+            ));
+        }
+        if !self.raise_above.is_finite()
+            || !self.lower_below.is_finite()
+            || self.lower_below < 0.0
+            || self.raise_above <= self.lower_below
+        {
+            return Err(CompressError::InvalidConfig(format!(
+                "adaptive ssp: thresholds lower {} / raise {} must be finite, non-negative \
+                 and ordered lower < raise",
+                self.lower_below, self.raise_above
+            )));
+        }
+        if self.min_staleness > self.max_staleness {
+            return Err(CompressError::InvalidConfig(format!(
+                "adaptive ssp: staleness range {}..={} is inverted",
+                self.min_staleness, self.max_staleness
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// One sampled point of an SSP run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SspEpochStats {
@@ -136,7 +204,7 @@ pub fn train_ssp(
     ssp: &SspConfig,
     compressor: &dyn GradientCompressor,
 ) -> Result<SspReport, CompressError> {
-    run_ssp(train, test, dim, spec, cluster, ssp, compressor, None).map(|(r, _)| r)
+    run_ssp(train, test, dim, spec, cluster, ssp, compressor, None, None).map(|(r, _)| r)
 }
 
 /// [`train_ssp`] under a deterministic fault plan: pushes suffer drops,
@@ -169,6 +237,43 @@ pub fn train_ssp_chaos(
         ssp,
         compressor,
         Some(faults),
+        None,
+    )
+}
+
+/// [`train_ssp_chaos`] with the staleness bound retuned online by an
+/// [`AdaptiveSsp`] controller: `ssp.staleness` seeds the bound, and every
+/// `window` iterations the observed straggler-wait share raises or lowers
+/// it within the controller's range — a straggler-heavy cohort drifts
+/// toward looser staleness, a homogeneous one back toward BSP. Retunes
+/// are recorded in the trace as
+/// [`FaultEvent::StalenessRetuned`](crate::faults::FaultEvent) events.
+///
+/// # Errors
+/// As [`train_ssp_chaos`], plus [`CompressError::InvalidConfig`] for
+/// invalid controller knobs.
+#[allow(clippy::too_many_arguments)]
+pub fn train_ssp_adaptive_chaos(
+    train: &[Instance],
+    test: &[Instance],
+    dim: usize,
+    spec: &TrainSpec,
+    cluster: &ClusterConfig,
+    ssp: &SspConfig,
+    adaptive: &AdaptiveSsp,
+    compressor: &dyn GradientCompressor,
+    faults: &FaultPlan,
+) -> Result<(SspReport, FaultTrace), CompressError> {
+    run_ssp(
+        train,
+        test,
+        dim,
+        spec,
+        cluster,
+        ssp,
+        compressor,
+        Some(faults),
+        Some(adaptive),
     )
 }
 
@@ -182,6 +287,7 @@ fn run_ssp(
     ssp: &SspConfig,
     compressor: &dyn GradientCompressor,
     faults: Option<&FaultPlan>,
+    adaptive: Option<&AdaptiveSsp>,
 ) -> Result<(SspReport, FaultTrace), CompressError> {
     if train.is_empty() {
         return Err(CompressError::InvalidConfig(
@@ -190,6 +296,9 @@ fn run_ssp(
     }
     cluster.validate()?;
     ssp.validate()?;
+    if let Some(ad) = adaptive {
+        ad.validate()?;
+    }
     let _recording = obs::scope_for(cluster);
     let frame = if faults.is_some_and(|p| p.checksum) {
         FrameVersion::V2
@@ -243,6 +352,15 @@ fn run_ssp(
     let mut instances_done = 0u64;
     let mut next_epoch_mark = train.len() as u64;
     let mut total_iters = 0u64;
+    // The live staleness bound: fixed at the config value, unless an
+    // adaptive controller retunes it at window boundaries.
+    let mut staleness = match adaptive {
+        Some(ad) => ssp.staleness.clamp(ad.min_staleness, ad.max_staleness),
+        None => ssp.staleness,
+    };
+    let mut win_wait = 0.0f64;
+    let mut win_base = 0.0f64;
+    let mut win_iters = 0u64;
 
     while total_iters < target_iters {
         // Crash schedule (fault plans only): downed workers leave the
@@ -279,7 +397,7 @@ fn run_ssp(
             continue;
         };
         let Some(w) = (0..workers)
-            .filter(|&w| !down[w] && iters[w] <= min_iter + ssp.staleness as u64)
+            .filter(|&w| !down[w] && iters[w] <= min_iter + staleness as u64)
             .min_by(|&a, &b| clocks[a].total_cmp(&clocks[b]))
         else {
             total_iters += 1;
@@ -340,10 +458,11 @@ fn run_ssp(
         // Advance this worker's clock: pull + compute + push. Plan-declared
         // stragglers stack multiplicatively on the config's speed spread.
         let straggle_factor = link.as_ref().map_or(1.0, |l| l.compute_factor(w));
-        let compute = cluster.cost.compute_time(feature_ops) * speed(w) * straggle_factor;
+        let nominal = cluster.cost.compute_time(feature_ops);
+        let compute = nominal * speed(w) * straggle_factor;
         // Pull bytes mirror the push (model delta ≈ gradient size).
         obs::rounds(1, uplink_bytes - uplink_before, wire.len() as u64);
-        obs::straggler_wait(compute - cluster.cost.compute_time(feature_ops));
+        obs::straggler_wait(compute - nominal);
         let pull = cluster.cost.network.transfer_time(wire.len()); // model delta ≈ gradient size
         let codec = cluster.cost.codec_time(sparse.nnz() * 2);
         clocks[w] += compute + push + pull + codec;
@@ -353,7 +472,7 @@ fn run_ssp(
         // round completes (all alive workers at the same iteration count).
         iters[w] += 1;
         total_iters += 1;
-        if ssp.staleness == 0
+        if staleness == 0
             && (0..workers)
                 .filter(|&x| !down[x])
                 .all(|x| iters[x] == iters[w])
@@ -366,6 +485,42 @@ fn run_ssp(
                 if !down[x] {
                     *c = barrier;
                 }
+            }
+        }
+
+        // Adaptive staleness: at each window boundary, compare the
+        // skew-induced wait against the unskewed compute base and step the
+        // bound toward the regime that fits the observed cohort.
+        if let Some(ad) = adaptive {
+            win_wait += compute - nominal;
+            win_base += nominal;
+            win_iters += 1;
+            if win_iters >= ad.window {
+                let share = if win_base > 0.0 {
+                    win_wait / win_base
+                } else {
+                    0.0
+                };
+                let next = if share > ad.raise_above {
+                    (staleness + 1).min(ad.max_staleness)
+                } else if share < ad.lower_below {
+                    staleness.saturating_sub(1).max(ad.min_staleness)
+                } else {
+                    staleness
+                };
+                if next != staleness {
+                    if let Some(l) = link.as_mut() {
+                        l.record_membership(FaultEvent::StalenessRetuned {
+                            at_iter: total_iters,
+                            from: staleness,
+                            to: next,
+                        });
+                    }
+                    staleness = next;
+                }
+                win_wait = 0.0;
+                win_base = 0.0;
+                win_iters = 0;
             }
         }
 
@@ -394,7 +549,10 @@ fn run_ssp(
     Ok((
         SspReport {
             method: compressor.name().to_string(),
-            staleness: ssp.staleness,
+            // The live bound: equals the config value unless an adaptive
+            // controller moved it, in which case the final setting lands
+            // here.
+            staleness,
             epochs,
             curve,
         },
@@ -499,6 +657,58 @@ mod tests {
             assert!(report.total_sim_seconds().is_finite());
             assert!(report.best_test_loss().is_finite());
         }
+    }
+
+    #[test]
+    fn adaptive_controller_loosens_staleness_under_stragglers() {
+        // A 3x config straggle spread keeps the wait share far above the
+        // raise threshold, so the controller must step the bound up from
+        // BSP and record every retune in the trace.
+        let (train, test, dim) = dataset();
+        let spec = TrainSpec::paper(GlmLoss::Logistic, 0.05, 2);
+        let cluster = ClusterConfig::cluster1(4);
+        let plan = FaultPlan::seeded(41);
+        let ad = AdaptiveSsp {
+            window: 16,
+            ..AdaptiveSsp::default()
+        };
+        let (report, trace) = train_ssp_adaptive_chaos(
+            &train,
+            &test,
+            dim,
+            &spec,
+            &cluster,
+            &SspConfig::ssp(0, 3.0),
+            &ad,
+            &SketchMlCompressor::default(),
+            &plan,
+        )
+        .unwrap();
+        assert!(
+            trace.staleness_retunes >= 1,
+            "expected at least one retune, trace: {}",
+            trace.summary()
+        );
+        assert!(
+            report.staleness > 0,
+            "final bound {} should have loosened past BSP",
+            report.staleness
+        );
+        assert!(report.best_test_loss() < (2f64).ln());
+
+        // Bad knobs are rejected up front.
+        let bad = AdaptiveSsp {
+            window: 0,
+            ..AdaptiveSsp::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(AdaptiveSsp {
+            raise_above: 0.01,
+            lower_below: 0.5,
+            ..AdaptiveSsp::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -228,8 +228,9 @@ impl OptState {
 }
 
 /// Serializes a restore point through the real checkpoint codec so crash
-/// recovery ships (and is charged for) genuine bytes.
-fn checkpoint_bytes(
+/// recovery ships (and is charged for) genuine bytes. Shared with the
+/// elastic allreduce trainer, whose joiners pull the same artifact.
+pub(crate) fn checkpoint_bytes(
     model: &GlmModel,
     adam: &Adam,
     epochs_done: usize,

@@ -18,7 +18,9 @@
 //! keeps a single authoritative model, so stale replicas diverge in time,
 //! never in state.
 
-use crate::topology::{chunk_ranges, distribute_schedule, reduce_schedule, Hop, Topology};
+use crate::topology::{
+    chunk_ranges, distribute_schedule, reduce_schedule, validate_schedule, Hop, Topology,
+};
 use crate::transport::Transport;
 use bytes::BytesMut;
 use sketchml_core::{
@@ -180,10 +182,15 @@ impl Books {
 /// Runs one allreduce round over `contributions`, returning the aggregate
 /// and its accounting. `contributions.len()` defines the worker count.
 ///
+/// Any `n ≥ 1` is accepted for every topology: a ring or tree of one has an
+/// empty hop schedule and produces the star result bit for bit, which is
+/// what lets an elastic group keep training after shrinking below the
+/// configured [`Topology::min_workers`] floor.
+///
 /// # Errors
-/// [`CompressError::InvalidConfig`] when the worker count is below the
-/// topology's minimum or a weight is non-finite; propagates decode, merge
-/// and re-encode failures.
+/// [`CompressError::InvalidConfig`] when there are no contributions, a
+/// weight is non-finite, or the hop schedule fails [`validate_schedule`];
+/// propagates decode, merge and re-encode failures.
 pub fn allreduce(
     topology: Topology,
     policy: MergePolicy,
@@ -193,11 +200,10 @@ pub fn allreduce(
     transport: &mut dyn Transport,
 ) -> Result<AllreduceReport, CompressError> {
     let n = contributions.len();
-    if n < topology.min_workers() {
+    if n == 0 {
         return Err(CompressError::InvalidConfig(format!(
-            "{} allreduce needs at least {} workers, got {n}",
-            topology.name(),
-            topology.min_workers()
+            "{} allreduce needs at least one contribution",
+            topology.name()
         )));
     }
     for (w, c) in contributions.iter().enumerate() {
@@ -216,6 +222,11 @@ pub fn allreduce(
             policy.name()
         )));
     }
+    // Typed guard between the schedule generator and the per-node state it
+    // indexes: a malformed schedule surfaces here, not as an index panic.
+    let chunks = if topology == Topology::Ring { n } else { 1 };
+    validate_schedule(&reduce_schedule(topology, n), n, chunks)?;
+    validate_schedule(&distribute_schedule(topology, n), n, chunks)?;
     let mut scratch = CompressScratch::default();
     match topology {
         Topology::Star => star(
@@ -262,6 +273,20 @@ fn decode_final(
         compressor.accumulate_hop(&mut acc, p, 1.0, policy, scratch)?;
     }
     compressor.finish(&acc)
+}
+
+/// Chunk index of a ring hop. The ring schedule always chunks its hops, but
+/// `chunk` is an `Option` at the type level, so an unchunked or out-of-range
+/// hop — a malformed schedule, not an invariant of this module — degrades to
+/// a typed error instead of a panic.
+fn ring_chunk(hop: Hop, chunks: usize) -> Result<usize, CompressError> {
+    match hop.chunk {
+        Some(c) if c < chunks => Ok(c),
+        _ => Err(CompressError::InvalidConfig(format!(
+            "ring schedule: hop {} → {} at step {} must name a chunk below {chunks}, got {:?}",
+            hop.from, hop.to, hop.step, hop.chunk
+        ))),
+    }
 }
 
 fn star(
@@ -343,7 +368,7 @@ fn ring(
     // leaves the receiver's partial missing the sender's share.
     let mut out = BytesMut::new();
     for hop in reduce_schedule(Topology::Ring, n) {
-        let c = hop.chunk.expect("ring hops are chunked");
+        let c = ring_chunk(hop, n)?;
         books.codec_pairs += emit(compressor, &accs[hop.from][c], policy, scratch, &mut out)?;
         if let Some(delivered) = books.ship(transport, hop, &out) {
             let _t = telemetry::time(telemetry::Stage::CollectiveMerge);
@@ -371,7 +396,7 @@ fn ring(
         owner_payload.push(bytes);
     }
     for hop in distribute_schedule(Topology::Ring, n) {
-        let c = hop.chunk.expect("ring hops are chunked");
+        let c = ring_chunk(hop, n)?;
         let payload = match held[hop.from][c].take() {
             Some(p) => p,
             // The forwarder never received this chunk (an upstream hop was
@@ -785,32 +810,89 @@ mod tests {
     }
 
     #[test]
-    fn too_few_workers_is_a_typed_error() {
+    fn zero_contributions_is_a_typed_error() {
         let c = RawCompressor::default();
-        let ps = payloads(&c, 100, 1, 5);
-        let contribs = contributions(&ps);
-        for t in [Topology::Ring, Topology::Tree] {
-            let err = allreduce(
-                t,
-                MergePolicy::Exact,
-                &c,
-                100,
-                &contribs,
-                &mut PerfectTransport,
-            )
-            .unwrap_err();
-            assert!(matches!(err, CompressError::InvalidConfig(_)));
+        for t in [Topology::Star, Topology::Ring, Topology::Tree] {
+            let err =
+                allreduce(t, MergePolicy::Exact, &c, 100, &[], &mut PerfectTransport).unwrap_err();
+            assert!(matches!(err, CompressError::InvalidConfig(_)), "{t:?}");
         }
-        // Star degenerates fine at one worker.
-        allreduce(
-            Topology::Star,
-            MergePolicy::Exact,
-            &c,
-            100,
-            &contribs,
-            &mut PerfectTransport,
-        )
-        .unwrap();
+    }
+
+    #[test]
+    fn degenerate_groups_match_star_bit_for_bit() {
+        // An elastic group can shrink to two — or one — live members; the
+        // ring and tree must then produce the star aggregate exactly. At
+        // n=1 the schedules are empty; at n=2 f64 commutativity makes the
+        // merge order irrelevant bit for bit.
+        let raw = RawCompressor::default();
+        let sketch = SketchMlCompressor::default();
+        let dim = 4_096u64;
+        for compressor in [&raw as &dyn MergeableCompressor, &sketch] {
+            for n in [1usize, 2] {
+                let ps = payloads(compressor, dim, n, 200);
+                let contribs = contributions(&ps);
+                let run = |t| {
+                    allreduce(
+                        t,
+                        MergePolicy::Exact,
+                        compressor,
+                        dim,
+                        &contribs,
+                        &mut PerfectTransport,
+                    )
+                    .unwrap()
+                };
+                let star = run(Topology::Star);
+                for t in [Topology::Ring, Topology::Tree] {
+                    let got = run(t);
+                    assert_eq!(
+                        got.gradient.keys(),
+                        star.gradient.keys(),
+                        "{} n={n} keys",
+                        t.name()
+                    );
+                    let star_bits: Vec<u64> =
+                        star.gradient.values().iter().map(|v| v.to_bits()).collect();
+                    let got_bits: Vec<u64> =
+                        got.gradient.values().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(got_bits, star_bits, "{} n={n} values", t.name());
+                    assert_eq!(got.lost_hops, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_ring_chunks_are_typed_errors() {
+        let hop = Hop {
+            step: 0,
+            from: 0,
+            to: 1,
+            chunk: None,
+        };
+        let err = ring_chunk(hop, 4).unwrap_err();
+        assert!(matches!(err, CompressError::InvalidConfig(_)));
+        let hop = Hop {
+            step: 0,
+            from: 0,
+            to: 1,
+            chunk: Some(4),
+        };
+        assert!(ring_chunk(hop, 4).is_err());
+        assert_eq!(
+            ring_chunk(
+                Hop {
+                    step: 0,
+                    from: 0,
+                    to: 1,
+                    chunk: Some(3)
+                },
+                4
+            )
+            .unwrap(),
+            3
+        );
     }
 
     #[test]

@@ -35,8 +35,10 @@ pub mod topology;
 pub mod transport;
 
 pub use executor::{allreduce, AllreduceReport, Contribution};
-pub use topology::{chunk_ranges, distribute_schedule, reduce_schedule, Hop, Topology};
-pub use transport::{PerfectTransport, Transport};
+pub use topology::{
+    chunk_ranges, distribute_schedule, reduce_schedule, validate_schedule, Hop, Topology,
+};
+pub use transport::{PerfectTransport, RemappedTransport, Transport};
 
 // Re-exported so downstream crates can name the merge vocabulary without a
 // direct sketchml-core dependency.

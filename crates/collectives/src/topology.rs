@@ -56,8 +56,15 @@ impl Topology {
         }
     }
 
-    /// Smallest worker count the topology is defined for. Ring and tree
-    /// need a peer to exchange with; star degenerates fine at one worker.
+    /// Smallest worker count a *configured* group should start with. Ring
+    /// and tree want a peer to exchange with; star degenerates fine at one
+    /// worker.
+    ///
+    /// This is a configuration floor, not an executor limit: once a round
+    /// is running, the executor accepts any `n ≥ 1` — a ring or tree of one
+    /// has an empty schedule and reduces to the star's single merge, which
+    /// is what lets an elastic group shrink below the floor mid-training
+    /// instead of aborting.
     pub fn min_workers(self) -> usize {
         match self {
             Topology::Star => 1,
@@ -216,6 +223,37 @@ pub fn distribute_schedule(topology: Topology, n: usize) -> Vec<Hop> {
     hops
 }
 
+/// Checks a hop schedule against the group it will run over: every endpoint
+/// must be a worker `0..n` (or the star driver `n`), and every chunk index
+/// must fall inside the `chunks` chunk layout.
+///
+/// The executor validates its own generated schedules with this before
+/// touching any per-node state, so a malformed schedule — from a future
+/// hand-built topology or a corrupted reconfiguration — surfaces as a typed
+/// error instead of an index panic.
+///
+/// # Errors
+/// [`CompressError::InvalidConfig`] naming the first offending hop.
+pub fn validate_schedule(hops: &[Hop], n: usize, chunks: usize) -> Result<(), CompressError> {
+    for h in hops {
+        if h.from > n || h.to > n || h.from == h.to {
+            return Err(CompressError::InvalidConfig(format!(
+                "schedule: hop {} → {} at step {} is outside the {n}-worker group",
+                h.from, h.to, h.step
+            )));
+        }
+        if let Some(c) = h.chunk {
+            if c >= chunks {
+                return Err(CompressError::InvalidConfig(format!(
+                    "schedule: hop {} → {} at step {} names chunk {c} of {chunks}",
+                    h.from, h.to, h.step
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +377,50 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn degenerate_single_worker_schedules_are_empty() {
+        // A ring or tree of one has nobody to talk to: both phases are
+        // hopless, which is what makes n=1 collapse to the star result.
+        for t in [Topology::Ring, Topology::Tree] {
+            assert!(reduce_schedule(t, 1).is_empty(), "{t:?}");
+            assert!(distribute_schedule(t, 1).is_empty(), "{t:?}");
+        }
+        assert_eq!(reduce_schedule(Topology::Star, 1).len(), 1);
+        assert_eq!(distribute_schedule(Topology::Star, 1).len(), 1);
+    }
+
+    #[test]
+    fn generated_schedules_validate_and_malformed_ones_do_not() {
+        for t in [Topology::Star, Topology::Ring, Topology::Tree] {
+            for n in [1usize, 2, 3, 8] {
+                let chunks = if t == Topology::Ring { n } else { 1 };
+                validate_schedule(&reduce_schedule(t, n), n, chunks).unwrap();
+                validate_schedule(&distribute_schedule(t, n), n, chunks).unwrap();
+            }
+        }
+        let oob = [Hop {
+            step: 0,
+            from: 9,
+            to: 0,
+            chunk: None,
+        }];
+        assert!(validate_schedule(&oob, 4, 1).is_err());
+        let selfsend = [Hop {
+            step: 0,
+            from: 2,
+            to: 2,
+            chunk: None,
+        }];
+        assert!(validate_schedule(&selfsend, 4, 1).is_err());
+        let badchunk = [Hop {
+            step: 0,
+            from: 0,
+            to: 1,
+            chunk: Some(4),
+        }];
+        assert!(validate_schedule(&badchunk, 4, 4).is_err());
     }
 
     #[test]

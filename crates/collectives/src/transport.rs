@@ -33,3 +33,48 @@ impl<T: Transport + ?Sized> Transport for &mut T {
         (**self).transmit(hop, payload)
     }
 }
+
+/// Rewrites the executor's *logical* node indices onto an elastic group's
+/// *physical* member slots before handing each hop to the inner transport.
+///
+/// Schedules are always computed over `0..k` for the `k` members of the
+/// current round, but fault schedules, straggler factors, and telemetry are
+/// keyed by the physical worker slot a member occupies. Wrapping the real
+/// transport in this adapter is the reconfiguration step: after an eviction
+/// or join the caller passes the new member list and every hop lands on the
+/// right physical link, with steps and chunks untouched. Logical index `k`
+/// (the star driver) maps to the fixed `driver` slot.
+#[derive(Debug)]
+pub struct RemappedTransport<'a, T: ?Sized> {
+    inner: &'a mut T,
+    members: &'a [usize],
+    driver: usize,
+}
+
+impl<'a, T: Transport + ?Sized> RemappedTransport<'a, T> {
+    /// Wraps `inner` so logical index `i` maps to `members[i]`, and the
+    /// logical driver `members.len()` maps to `driver`.
+    pub fn new(inner: &'a mut T, members: &'a [usize], driver: usize) -> Self {
+        RemappedTransport {
+            inner,
+            members,
+            driver,
+        }
+    }
+
+    fn physical(&self, logical: usize) -> usize {
+        self.members.get(logical).copied().unwrap_or(self.driver)
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for RemappedTransport<'_, T> {
+    fn transmit(&mut self, hop: Hop, payload: &[u8]) -> Option<Vec<u8>> {
+        let mapped = Hop {
+            step: hop.step,
+            from: self.physical(hop.from),
+            to: self.physical(hop.to),
+            chunk: hop.chunk,
+        };
+        self.inner.transmit(mapped, payload)
+    }
+}

@@ -50,6 +50,25 @@ impl Checkpoint {
             .map_err(|e| MlError::InvalidInput(format!("checkpoint flush: {e}")))
     }
 
+    /// Serializes to an in-memory buffer — the artifact an elastic joiner
+    /// pulls over the (simulated) wire before entering the group.
+    ///
+    /// # Errors
+    /// As [`Self::save`].
+    pub fn to_bytes(&self) -> Result<Vec<u8>, MlError> {
+        let mut buf = Vec::new();
+        self.save(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Deserializes and validates an in-memory buffer.
+    ///
+    /// # Errors
+    /// As [`Self::load`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, MlError> {
+        Self::load(bytes)
+    }
+
     /// Deserializes from a reader.
     ///
     /// # Errors
@@ -113,9 +132,8 @@ mod tests {
             let g = m2.batch_gradient(&data);
             m2.apply_gradient(&mut o2, &g.keys, &g.values);
         }
-        let mut buf = Vec::new();
-        Checkpoint::new(m2, o2, split).save(&mut buf).unwrap();
-        let ck = Checkpoint::load(buf.as_slice()).unwrap();
+        let buf = Checkpoint::new(m2, o2, split).to_bytes().unwrap();
+        let ck = Checkpoint::from_bytes(&buf).unwrap();
         assert_eq!(ck.epochs_done, split);
         let (mut m2, mut o2) = (ck.model, ck.optimizer);
         for _ in split..total {

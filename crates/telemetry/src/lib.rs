@@ -41,8 +41,9 @@ use std::time::Instant;
 
 /// Version stamped into every [`TelemetrySnapshot`]; bump on schema changes.
 /// Version 2 added the collectives section (allreduce hop/merge accounting);
-/// version 3 added `collectives.linear_folds` (Count-Sketch table merges).
-pub const SCHEMA_VERSION: u32 = 3;
+/// version 3 added `collectives.linear_folds` (Count-Sketch table merges);
+/// version 4 added the membership section (elastic evictions/joins).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Number of power-of-two buckets in every histogram.
 pub const HIST_BUCKETS: usize = 16;
@@ -147,9 +148,25 @@ pub enum Counter {
     /// Collectives: Count-Sketch cell-table windows folded element-wise
     /// under `MergePolicy::Linear`.
     CollectiveLinearFolds,
+    /// Membership: suspicions opened by the failure detector.
+    MembershipSuspicions,
+    /// Membership: suspicions that cleared without an eviction (detector
+    /// false positives from ack loss).
+    MembershipFalseSuspicions,
+    /// Membership: workers evicted from the group.
+    MembershipEvictions,
+    /// Membership: workers that (re)joined after a checkpoint pull.
+    MembershipJoins,
+    /// Membership: rounds whose member set changed (schedules rebuilt).
+    MembershipReconfigurations,
+    /// Membership: rounds degraded to a star among survivors because a
+    /// scheduled member went dark mid-round.
+    MembershipDegradedRounds,
+    /// Membership: online retunes of the SSP staleness bound.
+    MembershipStalenessRetunes,
 }
 
-const NUM_COUNTERS: usize = 30;
+const NUM_COUNTERS: usize = 37;
 
 impl Counter {
     fn idx(self) -> usize {
@@ -167,9 +184,11 @@ pub enum Gauge {
     ClusterStragglerWaitSeconds,
     /// Simulated seconds charged for crash recovery.
     ClusterRecoverySeconds,
+    /// Simulated seconds joiners spent pulling checkpoints (incl. backoff).
+    MembershipJoinSeconds,
 }
 
-const NUM_GAUGES: usize = 3;
+const NUM_GAUGES: usize = 4;
 
 impl Gauge {
     fn idx(self) -> usize {
@@ -566,6 +585,20 @@ pub struct CollectivesSnapshot {
     pub merge: StageStat,
 }
 
+/// Elastic-membership section of the snapshot (failure detection,
+/// evictions, joins and degraded rounds of a chaos run).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MembershipSnapshot {
+    pub suspicions: u64,
+    pub false_suspicions: u64,
+    pub evictions: u64,
+    pub joins: u64,
+    pub reconfigurations: u64,
+    pub degraded_rounds: u64,
+    pub staleness_retunes: u64,
+    pub join_seconds: f64,
+}
+
 /// Everything the registry recorded, as plain serializable data.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TelemetrySnapshot {
@@ -574,6 +607,7 @@ pub struct TelemetrySnapshot {
     pub sharded: ShardedSnapshot,
     pub cluster: ClusterSnapshot,
     pub collectives: CollectivesSnapshot,
+    pub membership: MembershipSnapshot,
 }
 
 impl TelemetrySnapshot {
@@ -641,10 +675,14 @@ impl TelemetrySnapshot {
                 self.cluster.straggler_wait_seconds,
             ),
             ("recovery_seconds", self.cluster.recovery_seconds),
+            ("membership.join_seconds", self.membership.join_seconds),
         ] {
             if !v.is_finite() || v < 0.0 {
                 return Err(format!("{name} {v} must be finite and non-negative"));
             }
+        }
+        if self.membership.false_suspicions > self.membership.suspicions {
+            return Err("membership false_suspicions > suspicions".into());
         }
         Ok(())
     }
@@ -734,6 +772,16 @@ pub fn snapshot() -> TelemetrySnapshot {
             lost_hops: counter(Counter::CollectiveLostHops),
             linear_folds: counter(Counter::CollectiveLinearFolds),
             merge: stage_stat(Stage::CollectiveMerge),
+        },
+        membership: MembershipSnapshot {
+            suspicions: counter(Counter::MembershipSuspicions),
+            false_suspicions: counter(Counter::MembershipFalseSuspicions),
+            evictions: counter(Counter::MembershipEvictions),
+            joins: counter(Counter::MembershipJoins),
+            reconfigurations: counter(Counter::MembershipReconfigurations),
+            degraded_rounds: counter(Counter::MembershipDegradedRounds),
+            staleness_retunes: counter(Counter::MembershipStalenessRetunes),
+            join_seconds: gauge(Gauge::MembershipJoinSeconds),
         },
     }
 }

@@ -62,9 +62,9 @@ pub use sketchml_telemetry as telemetry;
 pub use sketchml_cluster::{
     train_allreduce, train_allreduce_chaos, train_allreduce_with_policy, train_distributed,
     train_distributed_chaos, train_distributed_resumable, train_mlp_distributed_chaos,
-    train_parameter_server, train_parameter_server_chaos, train_ssp, train_ssp_chaos,
-    ClusterConfig, FaultPlan, FaultTrace, FaultyLink, ShardMap, SspConfig, TrainOutcome,
-    TrainReport, TrainSpec,
+    train_parameter_server, train_parameter_server_chaos, train_ssp, train_ssp_adaptive_chaos,
+    train_ssp_chaos, AdaptiveSsp, ClusterConfig, ElasticConfig, FaultPlan, FaultTrace, FaultyLink,
+    ShardMap, SspConfig, TrainOutcome, TrainReport, TrainSpec,
 };
 pub use sketchml_collectives::{MergePolicy, MergeableCompressor, Topology};
 pub use sketchml_core::{

@@ -1,0 +1,183 @@
+//! Elastic membership acceptance tests (ISSUE 8): permanent worker loss,
+//! mid-training rejoins, degraded rounds, adaptive staleness — all
+//! deterministic per seed and all within a bounded loss penalty of the
+//! fault-free run.
+
+use sketchml::telemetry::TelemetrySession;
+use sketchml::{
+    train_allreduce, train_allreduce_chaos, train_ssp_adaptive_chaos, AdaptiveSsp, ClusterConfig,
+    ElasticConfig, FaultPlan, GlmLoss, Instance, SketchMlCompressor, SparseDatasetSpec, SspConfig,
+    Topology, TrainSpec,
+};
+
+fn dataset() -> (Vec<Instance>, Vec<Instance>, usize) {
+    let spec = SparseDatasetSpec {
+        name: "elastic".into(),
+        instances: 1_600,
+        features: 30_000,
+        avg_nnz: 20,
+        skew: 1.1,
+        label_noise: 0.02,
+        task: sketchml::data::Task::Classification,
+        seed: 4242,
+    };
+    let (tr, te) = spec.generate_split();
+    (tr, te, 30_000)
+}
+
+/// The headline acceptance criterion: losing 1 of 8 ring workers for good
+/// mid-training converges within 5% of the fault-free loss, and the same
+/// seed replays a bit-identical fault trace — membership events included —
+/// across three runs.
+#[test]
+fn permanent_worker_loss_trains_within_five_percent_and_replays_bitwise() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 4);
+    let cluster = ClusterConfig::cluster1(8).with_topology(Topology::Ring);
+    let c = SketchMlCompressor::default();
+
+    let clean = train_allreduce(&train, &test, dim, &spec, &cluster, &c).unwrap();
+    let clean_loss = clean.epochs.last().unwrap().test_loss;
+
+    // Worker 5 dies for good in the middle of epoch 2 of 4 (10 rounds per
+    // epoch at the default batch ratio).
+    let plan = FaultPlan::seeded(77).with_permanent_crash(5, 15);
+    let run = || train_allreduce_chaos(&train, &test, dim, &spec, &cluster, &c, &plan).unwrap();
+    let o1 = run();
+    let o2 = run();
+    let o3 = run();
+
+    assert_eq!(o1.trace, o2.trace, "same seed must replay bit-for-bit");
+    assert_eq!(o2.trace, o3.trace, "same seed must replay bit-for-bit");
+    assert!(
+        o1.trace.evictions >= 1 && o1.trace.reconfigurations >= 1,
+        "the dead worker must be evicted: {}",
+        o1.trace.summary()
+    );
+    assert_eq!(o1.trace.joins, 0, "a permanent crash never rejoins");
+    assert!(
+        o1.trace.degraded_rounds >= 1,
+        "rounds during the detection window degrade to a star: {}",
+        o1.trace.summary()
+    );
+
+    let lost_loss = o1.report.epochs.last().unwrap().test_loss;
+    assert!(
+        (lost_loss - clean_loss).abs() <= 0.05 * clean_loss,
+        "loss with a lost worker {lost_loss} strayed more than 5% from fault-free {clean_loss}"
+    );
+}
+
+/// Reconfiguration at the smallest elastic scale: a 3-worker ring and tree
+/// shrink to 2 survivors without panicking, and the survivors still train.
+#[test]
+fn three_workers_shrink_to_two_cleanly() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 2);
+    let plan = FaultPlan::seeded(5).with_permanent_crash(1, 10);
+    for topology in [Topology::Ring, Topology::Tree] {
+        let cluster = ClusterConfig::cluster1(3).with_topology(topology);
+        let c = SketchMlCompressor::default();
+        let outcome =
+            train_allreduce_chaos(&train, &test, dim, &spec, &cluster, &c, &plan).unwrap();
+        assert_eq!(outcome.trace.evictions, 1, "{topology:?}");
+        let loss = outcome.report.epochs.last().unwrap().test_loss;
+        assert!(
+            loss < (2f64).ln(),
+            "{topology:?} survivors' loss {loss} should beat the zero model"
+        );
+    }
+}
+
+/// A finite outage window: the worker is evicted, its process comes back,
+/// and it rejoins through a charged checkpoint pull — joins and both
+/// reconfigurations land in the trace.
+#[test]
+fn finite_outage_evicts_then_rejoins_with_charged_pull() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 3);
+    let cluster = ClusterConfig::cluster1(6)
+        .with_topology(Topology::Ring)
+        .with_elastic(ElasticConfig::default().with_suspicion_threshold(2));
+    let c = SketchMlCompressor::default();
+    let plan = FaultPlan::seeded(13).with_crash(2, 8, 10);
+
+    let outcome = train_allreduce_chaos(&train, &test, dim, &spec, &cluster, &c, &plan).unwrap();
+    let t = &outcome.trace;
+    assert_eq!(t.evictions, 1, "{}", t.summary());
+    assert_eq!(t.joins, 1, "the worker must rejoin: {}", t.summary());
+    assert!(t.reconfigurations >= 2, "shrink then grow: {}", t.summary());
+    assert!(
+        t.join_seconds > 0.0,
+        "the checkpoint pull must cost simulated time"
+    );
+    let loss = outcome.report.epochs.last().unwrap().test_loss;
+    assert!(loss < (2f64).ln(), "loss {loss} should beat the zero model");
+}
+
+/// The membership telemetry section mirrors the trace totals of a chaos run.
+#[test]
+fn membership_telemetry_section_mirrors_the_trace() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.03, 2);
+    let cluster = ClusterConfig::cluster1(4)
+        .with_topology(Topology::Ring)
+        .with_telemetry(true);
+    let c = SketchMlCompressor::default();
+    let plan = FaultPlan::seeded(21).with_drops(0.05).with_crash(3, 8, 10);
+
+    let session = TelemetrySession::begin();
+    let outcome = train_allreduce_chaos(&train, &test, dim, &spec, &cluster, &c, &plan).unwrap();
+    let snap = session.finish();
+    snap.validate().expect("snapshot must validate");
+
+    let t = &outcome.trace;
+    assert_eq!(snap.membership.suspicions, t.suspicions);
+    assert_eq!(snap.membership.false_suspicions, t.false_suspicions);
+    assert_eq!(snap.membership.evictions, t.evictions);
+    assert_eq!(snap.membership.joins, t.joins);
+    assert_eq!(snap.membership.reconfigurations, t.reconfigurations);
+    assert_eq!(snap.membership.degraded_rounds, t.degraded_rounds);
+    assert!((snap.membership.join_seconds - t.join_seconds).abs() < 1e-12);
+    assert!(t.suspicions >= 1, "the crash must be noticed");
+}
+
+/// Straggler-adaptive SSP: a 3x plan straggler keeps the wait share above
+/// the raise threshold, so the controller loosens the bound from BSP and
+/// records each retune; the run still converges.
+#[test]
+fn adaptive_ssp_loosens_staleness_under_plan_stragglers() {
+    let (train, test, dim) = dataset();
+    let spec = TrainSpec::paper(GlmLoss::Logistic, 0.05, 2);
+    let cluster = ClusterConfig::cluster1(4);
+    let plan = FaultPlan::seeded(31).with_stragglers(vec![1.0, 1.0, 1.0, 3.0]);
+    let ad = AdaptiveSsp {
+        window: 16,
+        ..AdaptiveSsp::default()
+    };
+
+    let (report, trace) = train_ssp_adaptive_chaos(
+        &train,
+        &test,
+        dim,
+        &spec,
+        &cluster,
+        &SspConfig::ssp(0, 0.0),
+        &ad,
+        &SketchMlCompressor::default(),
+        &plan,
+    )
+    .unwrap();
+
+    assert!(
+        trace.staleness_retunes >= 1,
+        "expected retunes, trace: {}",
+        trace.summary()
+    );
+    assert!(
+        report.staleness > 0,
+        "bound {} should have loosened past BSP",
+        report.staleness
+    );
+    assert!(report.best_test_loss() < (2f64).ln());
+}
