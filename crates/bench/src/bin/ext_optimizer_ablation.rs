@@ -32,7 +32,7 @@ fn main() {
     let optimizers = [
         OptimizerKind::Sgd(0.02),
         OptimizerKind::Momentum(0.02, 0.9),
-        OptimizerKind::AdaGrad(0.05),
+        OptimizerKind::AdaGrad(0.05, 1e-8),
         OptimizerKind::Adam(AdamConfig::with_lr(0.02)),
     ];
     let mut rows = Vec::new();

@@ -43,6 +43,7 @@ fn main() {
     };
     let tspec = MlpTrainSpec {
         adam: AdamConfig::with_lr(0.005),
+        opt_state: Default::default(),
         batch_ratio: 0.02,
         epochs,
         seed: 0xB32,

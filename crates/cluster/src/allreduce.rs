@@ -34,7 +34,7 @@ use crate::faults::{FaultEvent, FaultPlan, FaultyLink};
 use crate::membership::ElasticMembership;
 use crate::obs;
 use crate::trainer::{
-    checkpoint_bytes, EpochStats, OptState, TrainOutcome, TrainReport, TrainSpec,
+    build_opt_state, checkpoint_bytes, EpochStats, TrainOutcome, TrainReport, TrainSpec,
 };
 use crate::worker::{partition, process_glm_batch, WorkerMessage, WorkerScratch};
 use sketchml_collectives::{allreduce, Contribution, Hop, RemappedTransport, Topology, Transport};
@@ -295,7 +295,8 @@ fn run_allreduce(
 
     let mut model = GlmModel::new(dim, spec.loss, spec.l2)
         .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
-    let mut opt = OptState::build(spec.optimizer, dim)?;
+    let mut opt = build_opt_state(spec, dim)?;
+    obs::opt_state_bytes(opt.state_bytes() as u64);
 
     let mut batcher = Batcher::new(train.len(), cluster.batch_ratio, spec.seed);
     let mut detector = ConvergenceDetector::default();
@@ -336,11 +337,10 @@ fn run_allreduce(
             let (members, down) = match (elastic.as_mut(), transport.link.as_mut()) {
                 (Some(ms), Some(link)) => {
                     let epochs_done = epochs.len();
-                    let mut ckpt_len = || match opt.adam() {
-                        Some(adam) => checkpoint_bytes(&model, adam, epochs_done)
+                    let mut ckpt_len = || {
+                        checkpoint_bytes(&model, &opt, epochs_done)
                             .map(|b| b.len())
-                            .unwrap_or(64 + 8 * dim),
-                        None => 64 + 8 * dim,
+                            .unwrap_or(64 + 8 * dim)
                     };
                     let rp = ms.step(link, global_batch, &mut ckpt_len);
                     // Reconfiguration stalls (checkpoint pulls, retry
@@ -456,7 +456,7 @@ fn run_allreduce(
             let merge_wall = wall.elapsed().as_secs_f64();
             let comm = transport.take_seconds();
 
-            model.apply_gradient(opt.as_dyn(), round.gradient.keys(), round.gradient.values());
+            model.apply_gradient(&mut opt, round.gradient.keys(), round.gradient.values());
 
             es.compute_seconds += compute;
             es.codec_seconds += worker_codec
@@ -513,10 +513,7 @@ fn run_allreduce(
         .map(FaultyLink::into_trace)
         .unwrap_or_default();
     obs::trace_totals(&trace);
-    let checkpoint = match opt {
-        OptState::Adam(adam) => Some(Checkpoint::new(model, adam, epochs_done)),
-        OptState::Other(_) => None,
-    };
+    let checkpoint = Some(Checkpoint::new(model, opt, epochs_done));
     Ok(TrainOutcome {
         report,
         trace,

@@ -50,6 +50,7 @@ pub use mlp_trainer::{
 pub use network::{CostModel, NetworkModel};
 pub use ps::{train_parameter_server, train_parameter_server_chaos, ShardMap};
 pub use sketchml_collectives::{MergePolicy, Topology};
+pub use sketchml_ml::{OptStateMode, OptimizerState};
 pub use ssp::{
     train_ssp, train_ssp_adaptive_chaos, train_ssp_chaos, AdaptiveSsp, SspConfig, SspReport,
 };

@@ -16,14 +16,16 @@ use sketchml_core::{
 };
 use sketchml_ml::metrics::LossPoint;
 use sketchml_ml::mlp::MlpInstance;
-use sketchml_ml::{Adam, AdamConfig, Mlp, MlpConfig};
+use sketchml_ml::{AdamConfig, Mlp, MlpConfig, OptStateMode, OptimizerKind, OptimizerState};
 use std::time::Instant;
 
 /// Hyper-parameters of the MLP run (§B.3: batch 0.1%, lr 0.005).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct MlpTrainSpec {
     /// Adam hyper-parameters.
     pub adam: AdamConfig,
+    /// Optimizer-state layout (dense moments or count-sketch tables).
+    pub opt_state: OptStateMode,
     /// Mini-batch size as a fraction of the training set.
     pub batch_ratio: f64,
     /// Number of epochs.
@@ -32,15 +34,41 @@ pub struct MlpTrainSpec {
     pub seed: u64,
 }
 
+// Hand-written so specs serialized before `opt_state` existed still parse.
+impl serde::Deserialize for MlpTrainSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| serde::Error::custom("MlpTrainSpec: expected an object"))?;
+        Ok(MlpTrainSpec {
+            adam: serde::Deserialize::from_value(serde::field(obj, "adam")?)?,
+            opt_state: match serde::field(obj, "opt_state") {
+                Ok(val) => serde::Deserialize::from_value(val)?,
+                Err(_) => OptStateMode::Dense,
+            },
+            batch_ratio: serde::Deserialize::from_value(serde::field(obj, "batch_ratio")?)?,
+            epochs: serde::Deserialize::from_value(serde::field(obj, "epochs")?)?,
+            seed: serde::Deserialize::from_value(serde::field(obj, "seed")?)?,
+        })
+    }
+}
+
 impl MlpTrainSpec {
     /// §B.3's protocol.
     pub fn paper(epochs: usize) -> Self {
         MlpTrainSpec {
             adam: AdamConfig::with_lr(0.005),
+            opt_state: OptStateMode::Dense,
             batch_ratio: 0.001,
             epochs,
             seed: 0xB3,
         }
+    }
+
+    /// The same protocol with a different optimizer-state layout.
+    pub fn with_opt_state(mut self, opt_state: OptStateMode) -> Self {
+        self.opt_state = opt_state;
+        self
     }
 }
 
@@ -155,8 +183,9 @@ fn run_mlp(
     let mut global_batch = 0u64;
     let mut mlp = Mlp::new(net).map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
     let params = mlp.num_params();
-    let mut opt =
-        Adam::new(params, spec.adam).map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
+    let mut opt = OptimizerState::build(OptimizerKind::Adam(spec.adam), spec.opt_state, params)
+        .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
+    obs::opt_state_bytes(opt.state_bytes() as u64);
 
     let batch_size =
         ((train.len() as f64 * spec.batch_ratio).round() as usize).clamp(1, train.len());
@@ -356,6 +385,7 @@ mod tests {
         let (train, test) = spec.generate_split();
         let net = MlpConfig::small(spec.pixels(), 12, spec.classes);
         let tspec = MlpTrainSpec {
+            opt_state: Default::default(),
             adam: AdamConfig::with_lr(0.02),
             batch_ratio: 0.1,
             epochs: 6,
@@ -384,6 +414,7 @@ mod tests {
         let (train, test) = spec.generate_split();
         let net = MlpConfig::small(spec.pixels(), 8, spec.classes);
         let tspec = MlpTrainSpec {
+            opt_state: Default::default(),
             adam: AdamConfig::with_lr(0.02),
             batch_ratio: 0.2,
             epochs: 2,

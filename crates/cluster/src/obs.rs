@@ -37,6 +37,15 @@ pub(crate) fn straggler_wait(seconds: f64) {
     }
 }
 
+/// Records the bytes a run's optimizer auxiliary state occupies (dense
+/// moment vectors or count-sketch tables). Called once per training run,
+/// right after the optimizer is built or resumed.
+pub(crate) fn opt_state_bytes(bytes: u64) {
+    if telemetry::enabled() {
+        telemetry::add(telemetry::Counter::ClusterOptStateBytes, bytes);
+    }
+}
+
 /// Counts an end-of-epoch checkpoint refresh.
 pub(crate) fn checkpoint_saved() {
     if telemetry::enabled() {

@@ -28,7 +28,7 @@ use sketchml_core::{
 };
 use sketchml_data::Batcher;
 use sketchml_ml::metrics::{ConvergenceDetector, LossPoint};
-use sketchml_ml::{GlmModel, Instance, Optimizer};
+use sketchml_ml::{GlmModel, Instance};
 
 use crate::trainer::{EpochStats, TrainReport, TrainSpec};
 
@@ -201,10 +201,8 @@ fn run_ps(
     let shards = ShardMap::new(dim as u64, servers);
     let mut model = GlmModel::new(dim, spec.loss, spec.l2)
         .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
-    let mut opt: Box<dyn Optimizer> = spec
-        .optimizer
-        .build(dim)
-        .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
+    let mut opt = crate::trainer::build_opt_state(spec, dim)?;
+    obs::opt_state_bytes(opt.state_bytes() as u64);
     let mut batcher = Batcher::new(train.len(), cluster.batch_ratio, spec.seed);
     let mut detector = ConvergenceDetector::default();
 
@@ -369,7 +367,7 @@ fn run_ps(
             } else {
                 batch_loss_sum / total_instances as f64
             };
-            model.apply_gradient(opt.as_mut(), aggregated.keys(), aggregated.values());
+            model.apply_gradient(&mut opt, aggregated.keys(), aggregated.values());
 
             // Pull: each worker fetches the updated shards (compressed); the
             // S servers serve their slice to W workers in parallel.

@@ -23,7 +23,7 @@ use sketchml_core::{
     CompressError, CompressScratch, FrameVersion, GradientCompressor, SparseGradient,
 };
 use sketchml_ml::metrics::LossPoint;
-use sketchml_ml::{GlmModel, Instance, Optimizer};
+use sketchml_ml::{GlmModel, Instance};
 
 use crate::trainer::TrainSpec;
 
@@ -317,10 +317,8 @@ fn run_ssp(
     };
     let mut model = GlmModel::new(dim, spec.loss, spec.l2)
         .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
-    let mut opt: Box<dyn Optimizer> = spec
-        .optimizer
-        .build(dim)
-        .map_err(|e| CompressError::InvalidConfig(e.to_string()))?;
+    let mut opt = crate::trainer::build_opt_state(spec, dim)?;
+    obs::opt_state_bytes(opt.state_bytes() as u64);
 
     // Static data partitioning across workers (§2.2 data parallelism).
     let partitions: Vec<Vec<usize>> = {
@@ -435,7 +433,7 @@ fn run_ssp(
                 uplink_bytes += wire.len() as u64;
                 compressor.decompress_into(&wire, &mut scratch, &mut decoded)?;
                 decoded.scale(1.0 / workers as f64); // same scaling as sync averaging
-                model.apply_gradient(opt.as_mut(), decoded.keys(), decoded.values());
+                model.apply_gradient(&mut opt, decoded.keys(), decoded.values());
                 cluster.cost.network.transfer_time(wire.len())
             }
             Some(l) => {
@@ -449,7 +447,7 @@ fn run_ssp(
                 if let Some(payload) = tx.payload {
                     compressor.decompress_into(&payload, &mut scratch, &mut decoded)?;
                     decoded.scale(1.0 / workers as f64);
-                    model.apply_gradient(opt.as_mut(), decoded.keys(), decoded.values());
+                    model.apply_gradient(&mut opt, decoded.keys(), decoded.values());
                 }
                 tx.sim_seconds
             }

@@ -13,12 +13,13 @@ use sketchml_core::{CompressError, FrameVersion, GradientCompressor};
 use sketchml_data::Batcher;
 use sketchml_ml::metrics::{ConvergenceDetector, LossPoint};
 use sketchml_ml::{
-    Adam, AdamConfig, Checkpoint, GlmLoss, GlmModel, Instance, Optimizer, OptimizerKind,
+    AdamConfig, Checkpoint, GlmLoss, GlmModel, Instance, OptStateMode, OptimizerKind,
+    OptimizerState,
 };
 
 /// Training hyper-parameters (§4.1 "Protocol": λ = 0.01, Adam β₁ = 0.9,
 /// β₂ = 0.999, ε = 1e-8, grid-searched η).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct TrainSpec {
     /// Loss family (LR / SVM / Linear).
     pub loss: GlmLoss,
@@ -27,12 +28,40 @@ pub struct TrainSpec {
     /// Optimizer (the paper applies Adam to every method "for the purpose
     /// of fairness"; plain SGD is kept for the §3.3 Solution-2 ablation).
     pub optimizer: OptimizerKind,
+    /// How optimizer state is materialized: dense `O(d)` vectors or
+    /// count-sketch tables of fixed size (the 100M+-dim mode).
+    pub opt_state: OptStateMode,
     /// Maximum number of epochs.
     pub max_epochs: usize,
     /// Stop early once §4.4's convergence criterion holds.
     pub stop_on_convergence: bool,
     /// Batch-shuffling seed.
     pub seed: u64,
+}
+
+// Hand-written so specs serialized before `opt_state` existed still parse
+// (they default to dense state) — same pattern as `ClusterConfig`.
+impl serde::Deserialize for TrainSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| serde::Error::custom("TrainSpec: expected an object"))?;
+        Ok(TrainSpec {
+            loss: serde::Deserialize::from_value(serde::field(obj, "loss")?)?,
+            l2: serde::Deserialize::from_value(serde::field(obj, "l2")?)?,
+            optimizer: serde::Deserialize::from_value(serde::field(obj, "optimizer")?)?,
+            opt_state: match serde::field(obj, "opt_state") {
+                Ok(val) => serde::Deserialize::from_value(val)?,
+                Err(_) => OptStateMode::Dense,
+            },
+            max_epochs: serde::Deserialize::from_value(serde::field(obj, "max_epochs")?)?,
+            stop_on_convergence: serde::Deserialize::from_value(serde::field(
+                obj,
+                "stop_on_convergence",
+            )?)?,
+            seed: serde::Deserialize::from_value(serde::field(obj, "seed")?)?,
+        })
+    }
 }
 
 impl TrainSpec {
@@ -42,6 +71,7 @@ impl TrainSpec {
             loss,
             l2: 0.01,
             optimizer: OptimizerKind::Adam(AdamConfig::with_lr(lr)),
+            opt_state: OptStateMode::Dense,
             max_epochs,
             stop_on_convergence: false,
             seed: 0x7EA1,
@@ -51,6 +81,12 @@ impl TrainSpec {
     /// The same protocol with a different optimizer (the §3.3 ablation).
     pub fn with_optimizer(mut self, optimizer: OptimizerKind) -> Self {
         self.optimizer = optimizer;
+        self
+    }
+
+    /// The same protocol with a different optimizer-state layout.
+    pub fn with_opt_state(mut self, opt_state: OptStateMode) -> Self {
+        self.opt_state = opt_state;
         self
     }
 }
@@ -177,54 +213,30 @@ impl TrainReport {
 }
 
 /// Result of a chaos or resumable run: the regular report plus the fault
-/// trace (empty for fault-free runs) and, when the optimizer is Adam, a
-/// checkpoint of the final state for later resumption.
+/// trace (empty for fault-free runs) and a checkpoint of the final state for
+/// later resumption.
 #[derive(Debug, Clone)]
 pub struct TrainOutcome {
     /// The per-epoch report, identical in shape to a fault-free run's.
     pub report: TrainReport,
     /// Ordered record of every injected fault and its recovery cost.
     pub trace: FaultTrace,
-    /// Restartable final state (`None` for non-Adam optimizers, whose
-    /// internal state is not serializable).
+    /// Restartable final state. Present for every [`OptimizerKind`] since
+    /// checkpoint v2 (v1 silently produced `None` for anything but Adam);
+    /// an unserializable state surfaces as a typed
+    /// [`CompressError::InvalidConfig`] from the run instead of a silent
+    /// `None` here.
     pub checkpoint: Option<Checkpoint>,
 }
 
-/// Optimizer state that stays checkpointable when it is Adam (the
-/// [`Optimizer`] trait offers no downcast, so the concrete type is kept).
-/// Shared with the allreduce trainer.
-pub(crate) enum OptState {
-    Adam(Adam),
-    Other(Box<dyn Optimizer>),
-}
-
-impl OptState {
-    pub(crate) fn build(kind: OptimizerKind, dim: usize) -> Result<Self, CompressError> {
-        Ok(match kind {
-            OptimizerKind::Adam(cfg) => OptState::Adam(
-                Adam::new(dim, cfg).map_err(|e| CompressError::InvalidConfig(e.to_string()))?,
-            ),
-            other => OptState::Other(
-                other
-                    .build(dim)
-                    .map_err(|e| CompressError::InvalidConfig(e.to_string()))?,
-            ),
-        })
-    }
-
-    pub(crate) fn as_dyn(&mut self) -> &mut dyn Optimizer {
-        match self {
-            OptState::Adam(a) => a,
-            OptState::Other(b) => b.as_mut(),
-        }
-    }
-
-    pub(crate) fn adam(&self) -> Option<&Adam> {
-        match self {
-            OptState::Adam(a) => Some(a),
-            OptState::Other(_) => None,
-        }
-    }
+/// Builds the concrete, checkpointable optimizer state a spec asks for.
+/// Shared with the allreduce/PS/SSP trainers.
+pub(crate) fn build_opt_state(
+    spec: &TrainSpec,
+    dim: usize,
+) -> Result<OptimizerState, CompressError> {
+    OptimizerState::build(spec.optimizer, spec.opt_state, dim)
+        .map_err(|e| CompressError::InvalidConfig(e.to_string()))
 }
 
 /// Serializes a restore point through the real checkpoint codec so crash
@@ -232,11 +244,11 @@ impl OptState {
 /// elastic allreduce trainer, whose joiners pull the same artifact.
 pub(crate) fn checkpoint_bytes(
     model: &GlmModel,
-    adam: &Adam,
+    opt: &OptimizerState,
     epochs_done: usize,
 ) -> Result<Vec<u8>, CompressError> {
     let mut buf = Vec::new();
-    Checkpoint::new(model.clone(), adam.clone(), epochs_done)
+    Checkpoint::new(model.clone(), opt.clone(), epochs_done)
         .save(&mut buf)
         .map_err(|e| CompressError::InvalidConfig(format!("checkpoint: {e}")))?;
     Ok(buf)
@@ -367,14 +379,15 @@ fn run_train(
                 )));
             }
             start_epoch = ck.epochs_done;
-            (ck.model, OptState::Adam(ck.optimizer))
+            (ck.model, ck.optimizer)
         }
         None => (
             GlmModel::new(dim, spec.loss, spec.l2)
                 .map_err(|e| CompressError::InvalidConfig(e.to_string()))?,
-            OptState::build(spec.optimizer, dim)?,
+            build_opt_state(spec, dim)?,
         ),
     };
+    obs::opt_state_bytes(opt.state_bytes() as u64);
     let mut batcher = Batcher::new(train.len(), cluster.batch_ratio, spec.seed);
     // Replay the shuffles of completed epochs so the resumed run sees
     // exactly the batches the uninterrupted run would.
@@ -424,28 +437,18 @@ fn run_train(
                         CrashPhase::Rejoin => {
                             // The rejoining worker restores from the last
                             // end-of-epoch checkpoint (real serialized
-                            // bytes) — or, for non-Adam runs, re-pulls the
-                            // raw weight vector.
-                            let bytes = match (&last_checkpoint, opt.adam()) {
-                                (Some(b), _) => b.clone(),
-                                (None, Some(adam)) => {
-                                    checkpoint_bytes(&model, adam, epochs_completed)?
-                                }
-                                (None, None) => Vec::new(),
+                            // bytes) — every optimizer kind has one since
+                            // checkpoint v2.
+                            let bytes = match &last_checkpoint {
+                                Some(b) => b.clone(),
+                                None => checkpoint_bytes(&model, &opt, epochs_completed)?,
                             };
-                            let len = if bytes.is_empty() {
-                                8 * dim
-                            } else {
-                                // Prove the restore path end to end: the
-                                // shipped bytes must actually load.
-                                Checkpoint::load(bytes.as_slice()).map_err(|e| {
-                                    CompressError::InvalidConfig(format!(
-                                        "recovery checkpoint: {e}"
-                                    ))
-                                })?;
-                                bytes.len()
-                            };
-                            es.comm_seconds += l.charge_recovery(w, global_batch, len);
+                            // Prove the restore path end to end: the
+                            // shipped bytes must actually load.
+                            Checkpoint::load(bytes.as_slice()).map_err(|e| {
+                                CompressError::InvalidConfig(format!("recovery checkpoint: {e}"))
+                            })?;
+                            es.comm_seconds += l.charge_recovery(w, global_batch, bytes.len());
                         }
                     }
                 }
@@ -579,7 +582,7 @@ fn run_train(
                 l.broadcast_penalty(global_batch - 1, agg.downlink_bytes)
             });
 
-            model.apply_gradient(opt.as_dyn(), agg.gradient.keys(), agg.gradient.values());
+            model.apply_gradient(&mut opt, agg.gradient.keys(), agg.gradient.values());
 
             es.codec_seconds += agg.sim_codec;
             es.comm_seconds += downlink + downlink_penalty;
@@ -600,10 +603,8 @@ fn run_train(
         epochs_completed = epoch;
         // Refresh the restore point crashed workers recover from.
         if link.is_some() {
-            if let Some(adam) = opt.adam() {
-                last_checkpoint = Some(checkpoint_bytes(&model, adam, epoch)?);
-                obs::checkpoint_saved();
-            }
+            last_checkpoint = Some(checkpoint_bytes(&model, &opt, epoch)?);
+            obs::checkpoint_saved();
         }
         let converged = detector.push(es.test_loss);
         epochs.push(es);
@@ -627,10 +628,7 @@ fn run_train(
     };
     let trace = link.map(FaultyLink::into_trace).unwrap_or_default();
     obs::trace_totals(&trace);
-    let checkpoint = match opt {
-        OptState::Adam(adam) => Some(Checkpoint::new(model, adam, epochs_completed)),
-        OptState::Other(_) => None,
-    };
+    let checkpoint = Some(Checkpoint::new(model, opt, epochs_completed));
     Ok(TrainOutcome {
         report,
         trace,

@@ -1,39 +1,74 @@
 //! Model + optimizer checkpointing.
 //!
-//! Long Adam-SGD runs (the paper's Table 2 jobs take up to 23 hours) need
-//! restartable state: the weight vector alone is not enough because Adam's
-//! moments and step counter shape every subsequent update. A checkpoint
-//! captures both and round-trips through JSON.
+//! Long SGD runs (the paper's Table 2 jobs take up to 23 hours) need
+//! restartable state: the weight vector alone is not enough because the
+//! optimizer's moments and step counter shape every subsequent update. A
+//! checkpoint captures both and round-trips through JSON.
+//!
+//! ## Format versions
+//!
+//! - **v1** stored the optimizer as a bare [`Adam`] object — only Adam runs
+//!   could checkpoint, and Momentum/AdaGrad/SGD runs silently produced no
+//!   checkpoint at all.
+//! - **v2** (current) stores a tagged [`OptimizerState`] enum, covering every
+//!   dense optimizer *and* the sketched variants of [`crate::opt_state`].
+//!   v1 files still load: their `optimizer` field is parsed as Adam and
+//!   wrapped in [`OptimizerState::Adam`].
 
 use crate::error::MlError;
 use crate::model::GlmModel;
-use crate::optimizer::Adam;
-use serde::{Deserialize, Serialize};
+use crate::opt_state::OptimizerState;
+use serde::Serialize;
 use std::io::{BufReader, BufWriter, Read, Write};
 
-/// A restartable training state: model + Adam state + epoch cursor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// A restartable training state: model + optimizer state + epoch cursor.
+#[derive(Debug, Clone, Serialize)]
 pub struct Checkpoint {
     /// Format version for forward compatibility.
     pub version: u32,
     /// The GLM being trained.
     pub model: GlmModel,
-    /// The Adam optimizer with its moments and step counter.
-    pub optimizer: Adam,
+    /// The optimizer with its auxiliary state and any step counter.
+    pub optimizer: OptimizerState,
     /// Epochs completed so far.
     pub epochs_done: usize,
 }
 
+// Hand-written to keep v1 files loadable: v1 encoded `optimizer` as a plain
+// Adam object (`{"config":…,"m":…,"v":…,"t":…}`), v2 as a tagged
+// `OptimizerState` (`{"Adam":{…}}`, `{"SketchedAdaGrad":{…}}`, …).
+impl serde::Deserialize for Checkpoint {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| serde::Error::custom("Checkpoint: expected an object"))?;
+        let version: u32 = serde::Deserialize::from_value(serde::field(obj, "version")?)?;
+        let opt_val = serde::field(obj, "optimizer")?;
+        let optimizer = if version <= 1 {
+            OptimizerState::Adam(serde::Deserialize::from_value(opt_val)?)
+        } else {
+            serde::Deserialize::from_value(opt_val)?
+        };
+        Ok(Checkpoint {
+            version,
+            model: serde::Deserialize::from_value(serde::field(obj, "model")?)?,
+            optimizer,
+            epochs_done: serde::Deserialize::from_value(serde::field(obj, "epochs_done")?)?,
+        })
+    }
+}
+
 impl Checkpoint {
     /// Current format version.
-    pub const VERSION: u32 = 1;
+    pub const VERSION: u32 = 2;
 
-    /// Bundles the pieces into a checkpoint.
-    pub fn new(model: GlmModel, optimizer: Adam, epochs_done: usize) -> Self {
+    /// Bundles the pieces into a checkpoint. Accepts any concrete optimizer
+    /// via the `From` conversions on [`OptimizerState`].
+    pub fn new(model: GlmModel, optimizer: impl Into<OptimizerState>, epochs_done: usize) -> Self {
         Checkpoint {
             version: Self::VERSION,
             model,
-            optimizer,
+            optimizer: optimizer.into(),
             epochs_done,
         }
     }
@@ -69,12 +104,13 @@ impl Checkpoint {
         Self::load(bytes)
     }
 
-    /// Deserializes from a reader.
+    /// Deserializes from a reader. Accepts the current version and every
+    /// older one (v1 Adam-only checkpoints are upgraded in place).
     ///
     /// # Errors
     /// [`MlError::InvalidInput`] on malformed JSON or a future version.
     pub fn load(reader: impl Read) -> Result<Self, MlError> {
-        let ck: Checkpoint = serde_json::from_reader(BufReader::new(reader))
+        let mut ck: Checkpoint = serde_json::from_reader(BufReader::new(reader))
             .map_err(|e| MlError::InvalidInput(format!("checkpoint parse: {e}")))?;
         if ck.version > Self::VERSION {
             return Err(MlError::InvalidInput(format!(
@@ -88,6 +124,9 @@ impl Checkpoint {
                 "checkpoint has an empty model".into(),
             ));
         }
+        // The in-memory representation is always current; re-saving a loaded
+        // v1 checkpoint writes a valid v2 file.
+        ck.version = Self::VERSION;
         Ok(ck)
     }
 }
@@ -96,7 +135,8 @@ impl Checkpoint {
 mod tests {
     use super::*;
     use crate::loss::GlmLoss;
-    use crate::optimizer::AdamConfig;
+    use crate::opt_state::{OptStateMode, SketchedAdam};
+    use crate::optimizer::{Adam, AdamConfig, Optimizer, OptimizerKind};
     use crate::vector::{Instance, SparseVector};
 
     fn toy() -> Vec<Instance> {
@@ -142,7 +182,93 @@ mod tests {
         }
 
         assert_eq!(m1.weights, m2.weights, "resume must be exact");
-        assert_eq!(o1.steps(), o2.steps());
+        assert_eq!(o1.steps(), o2.as_adam().unwrap().steps());
+    }
+
+    #[test]
+    fn every_kind_and_mode_roundtrips_bit_exact() {
+        let data = toy();
+        for kind in [
+            OptimizerKind::Sgd(0.05),
+            OptimizerKind::Momentum(0.05, 0.9),
+            OptimizerKind::AdaGrad(0.1, 1e-8),
+            OptimizerKind::Adam(AdamConfig::with_lr(0.05)),
+        ] {
+            for mode in [OptStateMode::Dense, OptStateMode::sketched(3, 512)] {
+                let mut model = GlmModel::new(1, GlmLoss::Logistic, 0.01).unwrap();
+                let mut opt = OptimizerState::build(kind, mode, 1).unwrap();
+                for _ in 0..10 {
+                    let g = model.batch_gradient(&data);
+                    model.apply_gradient(&mut opt, &g.keys, &g.values);
+                }
+                let buf = Checkpoint::new(model.clone(), opt.clone(), 10)
+                    .to_bytes()
+                    .unwrap();
+                let ck = Checkpoint::from_bytes(&buf).unwrap();
+                let (mut ma, mut oa) = (model, opt);
+                let (mut mb, mut ob) = (ck.model, ck.optimizer);
+                for _ in 0..10 {
+                    let g = ma.batch_gradient(&data);
+                    ma.apply_gradient(&mut oa, &g.keys, &g.values);
+                    let g = mb.batch_gradient(&data);
+                    mb.apply_gradient(&mut ob, &g.keys, &g.values);
+                }
+                assert_eq!(
+                    ma.weights,
+                    mb.weights,
+                    "{} {mode:?} resume must be exact",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v1_adam_only_checkpoint_still_loads() {
+        // A v1 file as written before the OptimizerState generalization:
+        // `optimizer` is a bare Adam object, not a tagged enum.
+        let v1 = r#"{
+            "version": 1,
+            "model": {"weights": [0.5, -0.25], "loss": "Logistic", "l2": 0.01},
+            "optimizer": {
+                "config": {"lr": 0.05, "beta1": 0.9, "beta2": 0.999, "epsilon": 1e-8},
+                "m": [0.1, 0.2],
+                "v": [0.01, 0.02],
+                "t": 7
+            },
+            "epochs_done": 3
+        }"#;
+        let ck = Checkpoint::load(v1.as_bytes()).unwrap();
+        assert_eq!(ck.version, Checkpoint::VERSION, "loaded state is upgraded");
+        assert_eq!(ck.epochs_done, 3);
+        assert_eq!(ck.model.weights, vec![0.5, -0.25]);
+        let adam = ck.optimizer.as_adam().expect("v1 optimizer is Adam");
+        assert_eq!(adam.steps(), 7);
+        assert_eq!(adam.config().lr, 0.05);
+        // Re-saving writes a valid v2 file.
+        let bytes = ck.to_bytes().unwrap();
+        let again = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(again.optimizer.as_adam().unwrap().steps(), 7);
+    }
+
+    #[test]
+    fn sketched_state_roundtrips_through_checkpoint() {
+        let model = GlmModel::new(8, GlmLoss::Squared, 0.0).unwrap();
+        let mut sk = SketchedAdam::new(AdamConfig::with_lr(0.05), 3, 256).unwrap();
+        let mut w = vec![0.0; 8];
+        for i in 0..30u64 {
+            sk.step(&mut w, &[i % 8], &[0.4]);
+        }
+        let buf = Checkpoint::new(model, sk.clone(), 5).to_bytes().unwrap();
+        let ck = Checkpoint::from_bytes(&buf).unwrap();
+        let mut restored = ck.optimizer;
+        let mut sk = OptimizerState::SketchedAdam(sk);
+        let (mut wa, mut wb) = (vec![0.2; 8], vec![0.2; 8]);
+        for i in 0..20u64 {
+            sk.step(&mut wa, &[i % 8], &[-0.3]);
+            restored.step(&mut wb, &[i % 8], &[-0.3]);
+        }
+        assert_eq!(wa, wb, "sketched checkpoint must restore bit-exact state");
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod loss;
 pub mod metrics;
 pub mod mlp;
 pub mod model;
+pub mod opt_state;
 pub mod optimizer;
 pub mod vector;
 
@@ -33,5 +34,8 @@ pub use error::MlError;
 pub use loss::GlmLoss;
 pub use mlp::{Mlp, MlpConfig};
 pub use model::{BatchGradient, GlmModel};
+pub use opt_state::{
+    OptStateMode, OptimizerState, SketchedAdaGrad, SketchedAdam, SketchedMomentum,
+};
 pub use optimizer::{AdaGrad, Adam, AdamConfig, Momentum, Optimizer, OptimizerKind, Sgd};
 pub use vector::{Instance, SparseVector};

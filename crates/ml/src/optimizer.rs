@@ -145,6 +145,11 @@ impl Adam {
     pub fn config(&self) -> &AdamConfig {
         &self.config
     }
+
+    /// Bytes held in moment vectors.
+    pub fn state_bytes(&self) -> usize {
+        8 * (self.m.len() + self.v.len())
+    }
 }
 
 impl Optimizer for Adam {
@@ -156,8 +161,10 @@ impl Optimizer for Adam {
             beta2,
             epsilon,
         } = self.config;
-        let bc1 = 1.0 - beta1.powi(self.t as i32);
-        let bc2 = 1.0 - beta2.powi(self.t as i32);
+        // powf, not powi: casting t to i32 wraps past i32::MAX, flipping the
+        // exponent sign and with it the bias correction.
+        let bc1 = 1.0 - beta1.powf(self.t as f64);
+        let bc2 = 1.0 - beta2.powf(self.t as f64);
         for (&k, &g) in keys.iter().zip(values) {
             let k = k as usize;
             if k >= weights.len() {
@@ -207,6 +214,11 @@ impl Momentum {
             velocity: vec![0.0; dim],
         })
     }
+
+    /// Bytes held in the velocity vector.
+    pub fn state_bytes(&self) -> usize {
+        8 * self.velocity.len()
+    }
 }
 
 impl Optimizer for Momentum {
@@ -240,19 +252,40 @@ pub struct AdaGrad {
 }
 
 impl AdaGrad {
-    /// Creates an AdaGrad optimizer for a `dim`-dimensional model.
+    /// Default stability term when none is configured.
+    pub const DEFAULT_EPSILON: f64 = 1e-8;
+
+    /// Creates an AdaGrad optimizer for a `dim`-dimensional model with the
+    /// default ε.
     ///
     /// # Errors
     /// [`MlError::InvalidConfig`] on out-of-range hyper-parameters.
     pub fn new(dim: usize, lr: f64) -> Result<Self, MlError> {
+        Self::with_epsilon(dim, lr, Self::DEFAULT_EPSILON)
+    }
+
+    /// Creates an AdaGrad optimizer with an explicit stability term.
+    ///
+    /// # Errors
+    /// [`MlError::InvalidConfig`] unless `lr > 0` and `epsilon > 0` (both
+    /// finite) — the same validation [`AdamConfig`] gets.
+    pub fn with_epsilon(dim: usize, lr: f64, epsilon: f64) -> Result<Self, MlError> {
         if lr <= 0.0 || !lr.is_finite() {
             return Err(MlError::InvalidConfig("lr must be positive".into()));
         }
+        if epsilon <= 0.0 || !epsilon.is_finite() {
+            return Err(MlError::InvalidConfig("epsilon must be positive".into()));
+        }
         Ok(AdaGrad {
             lr,
-            epsilon: 1e-8,
+            epsilon,
             accum: vec![0.0; dim],
         })
+    }
+
+    /// Bytes held in the accumulator vector.
+    pub fn state_bytes(&self) -> usize {
+        8 * self.accum.len()
     }
 }
 
@@ -277,16 +310,68 @@ impl Optimizer for AdaGrad {
 /// A serializable optimizer selector, used by the trainer configuration so
 /// experiments can ablate the §3.3 "Adaptive Learning Rate" solution
 /// (SketchML with plain SGD vs with Adam).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub enum OptimizerKind {
     /// Plain SGD at the given learning rate.
     Sgd(f64),
     /// Momentum SGD `(lr, gamma)`.
     Momentum(f64, f64),
-    /// AdaGrad at the given learning rate.
-    AdaGrad(f64),
+    /// AdaGrad `(lr, epsilon)`.
+    AdaGrad(f64, f64),
     /// Adam with full hyper-parameters (the paper's default).
     Adam(AdamConfig),
+}
+
+// Hand-written so pre-existing configs that serialized `AdaGrad` as a bare
+// learning rate (`{"AdaGrad": 0.05}`) still parse — they get the historical
+// default ε — while the current `(lr, epsilon)` form round-trips as a pair.
+impl serde::Deserialize for OptimizerKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| serde::Error::custom("OptimizerKind: expected an object"))?;
+        let (variant, val) = obj
+            .first()
+            .ok_or_else(|| serde::Error::custom("OptimizerKind: empty object"))?;
+        let pair = |val: &serde::Value, variant: &str| -> Result<(f64, f64), serde::Error> {
+            let arr = val.as_arr().ok_or_else(|| {
+                serde::Error::custom(format!("OptimizerKind::{variant}: expected a pair"))
+            })?;
+            if arr.len() != 2 {
+                return Err(serde::Error::custom(format!(
+                    "OptimizerKind::{variant}: expected 2 values, got {}",
+                    arr.len()
+                )));
+            }
+            Ok((
+                serde::Deserialize::from_value(&arr[0])?,
+                serde::Deserialize::from_value(&arr[1])?,
+            ))
+        };
+        match variant.as_str() {
+            "Sgd" => Ok(OptimizerKind::Sgd(serde::Deserialize::from_value(val)?)),
+            "Momentum" => {
+                let (lr, gamma) = pair(val, "Momentum")?;
+                Ok(OptimizerKind::Momentum(lr, gamma))
+            }
+            "AdaGrad" => {
+                if val.as_arr().is_some() {
+                    let (lr, epsilon) = pair(val, "AdaGrad")?;
+                    Ok(OptimizerKind::AdaGrad(lr, epsilon))
+                } else {
+                    // Legacy single-value form.
+                    Ok(OptimizerKind::AdaGrad(
+                        serde::Deserialize::from_value(val)?,
+                        AdaGrad::DEFAULT_EPSILON,
+                    ))
+                }
+            }
+            "Adam" => Ok(OptimizerKind::Adam(serde::Deserialize::from_value(val)?)),
+            other => Err(serde::Error::custom(format!(
+                "OptimizerKind: unknown variant {other}"
+            ))),
+        }
+    }
 }
 
 impl OptimizerKind {
@@ -298,7 +383,9 @@ impl OptimizerKind {
         Ok(match self {
             OptimizerKind::Sgd(lr) => Box::new(Sgd::new(lr)?),
             OptimizerKind::Momentum(lr, gamma) => Box::new(Momentum::new(dim, lr, gamma)?),
-            OptimizerKind::AdaGrad(lr) => Box::new(AdaGrad::new(dim, lr)?),
+            OptimizerKind::AdaGrad(lr, epsilon) => {
+                Box::new(AdaGrad::with_epsilon(dim, lr, epsilon)?)
+            }
             OptimizerKind::Adam(cfg) => Box::new(Adam::new(dim, cfg)?),
         })
     }
@@ -308,7 +395,7 @@ impl OptimizerKind {
         match self {
             OptimizerKind::Sgd(_) => "SGD",
             OptimizerKind::Momentum(..) => "Momentum",
-            OptimizerKind::AdaGrad(_) => "AdaGrad",
+            OptimizerKind::AdaGrad(..) => "AdaGrad",
             OptimizerKind::Adam(_) => "Adam",
         }
     }
@@ -496,6 +583,58 @@ mod tests {
     }
 
     #[test]
+    fn adagrad_validates_epsilon() {
+        assert!(AdaGrad::with_epsilon(1, 0.1, 0.0).is_err());
+        assert!(AdaGrad::with_epsilon(1, 0.1, -1e-8).is_err());
+        assert!(AdaGrad::with_epsilon(1, 0.1, f64::NAN).is_err());
+        assert!(AdaGrad::with_epsilon(1, 0.1, f64::INFINITY).is_err());
+        let ada = AdaGrad::with_epsilon(1, 0.1, 1e-6).unwrap();
+        assert_eq!(ada.epsilon, 1e-6);
+        assert_eq!(
+            AdaGrad::new(1, 0.1).unwrap().epsilon,
+            AdaGrad::DEFAULT_EPSILON
+        );
+    }
+
+    #[test]
+    fn adam_bias_correction_survives_huge_step_counts() {
+        // Regression: `beta.powi(t as i32)` wrapped once t exceeded i32::MAX,
+        // flipping the exponent sign so `1 - β^t` went negative and the step
+        // reversed direction. powf saturates gracefully (β^t → 0, bc → 1).
+        let mut adam = Adam::new(1, AdamConfig::with_lr(0.1)).unwrap();
+        adam.t = i32::MAX as u64 + 17;
+        let mut w = vec![0.0];
+        adam.step(&mut w, &[0], &[1.0]);
+        assert!(w[0].is_finite(), "step must stay finite, got {}", w[0]);
+        assert!(
+            w[0] < 0.0,
+            "a positive gradient must still decrease the weight, got {}",
+            w[0]
+        );
+    }
+
+    #[test]
+    fn optimizer_kind_accepts_legacy_adagrad_json() {
+        // Pre-epsilon configs serialized AdaGrad as a bare learning rate.
+        let kind: OptimizerKind = serde_json::from_str(r#"{"AdaGrad":0.05}"#).unwrap();
+        assert_eq!(kind, OptimizerKind::AdaGrad(0.05, AdaGrad::DEFAULT_EPSILON));
+        // The current pair form round-trips.
+        let kind = OptimizerKind::AdaGrad(0.1, 1e-6);
+        let json = serde_json::to_string(&kind).unwrap();
+        assert_eq!(serde_json::from_str::<OptimizerKind>(&json).unwrap(), kind);
+        // Other variants round-trip through the hand-written impl too.
+        for kind in [
+            OptimizerKind::Sgd(0.02),
+            OptimizerKind::Momentum(0.02, 0.9),
+            OptimizerKind::Adam(AdamConfig::default()),
+        ] {
+            let json = serde_json::to_string(&kind).unwrap();
+            assert_eq!(serde_json::from_str::<OptimizerKind>(&json).unwrap(), kind);
+        }
+        assert!(serde_json::from_str::<OptimizerKind>(r#"{"Nadam":0.1}"#).is_err());
+    }
+
+    #[test]
     fn adagrad_converges_on_quadratic() {
         let mut opt = AdaGrad::new(1, 0.5).unwrap();
         let mut w = vec![0.0];
@@ -511,7 +650,7 @@ mod tests {
         for kind in [
             OptimizerKind::Sgd(0.1),
             OptimizerKind::Momentum(0.1, 0.9),
-            OptimizerKind::AdaGrad(0.1),
+            OptimizerKind::AdaGrad(0.1, 1e-8),
             OptimizerKind::Adam(AdamConfig::default()),
         ] {
             let mut opt = kind.build(4).unwrap();

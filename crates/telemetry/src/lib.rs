@@ -42,8 +42,9 @@ use std::time::Instant;
 /// Version stamped into every [`TelemetrySnapshot`]; bump on schema changes.
 /// Version 2 added the collectives section (allreduce hop/merge accounting);
 /// version 3 added `collectives.linear_folds` (Count-Sketch table merges);
-/// version 4 added the membership section (elastic evictions/joins).
-pub const SCHEMA_VERSION: u32 = 4;
+/// version 4 added the membership section (elastic evictions/joins);
+/// version 5 added `cluster.opt_state_bytes` (sketched optimizer state).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Number of power-of-two buckets in every histogram.
 pub const HIST_BUCKETS: usize = 16;
@@ -164,9 +165,12 @@ pub enum Counter {
     MembershipDegradedRounds,
     /// Membership: online retunes of the SSP staleness bound.
     MembershipStalenessRetunes,
+    /// Cluster: bytes of per-worker optimizer auxiliary state (dense moment
+    /// vectors or count-sketch tables), recorded once per training run.
+    ClusterOptStateBytes,
 }
 
-const NUM_COUNTERS: usize = 37;
+const NUM_COUNTERS: usize = 38;
 
 impl Counter {
     fn idx(self) -> usize {
@@ -569,6 +573,7 @@ pub struct ClusterSnapshot {
     pub recoveries: u64,
     pub checkpoint_saves: u64,
     pub resumes: u64,
+    pub opt_state_bytes: u64,
     pub backoff_seconds: f64,
     pub straggler_wait_seconds: f64,
     pub recovery_seconds: f64,
@@ -761,6 +766,7 @@ pub fn snapshot() -> TelemetrySnapshot {
             recoveries: counter(Counter::ClusterRecoveries),
             checkpoint_saves: counter(Counter::ClusterCheckpointSaves),
             resumes: counter(Counter::ClusterResumes),
+            opt_state_bytes: counter(Counter::ClusterOptStateBytes),
             backoff_seconds: gauge(Gauge::ClusterBackoffSeconds),
             straggler_wait_seconds: gauge(Gauge::ClusterStragglerWaitSeconds),
             recovery_seconds: gauge(Gauge::ClusterRecoverySeconds),

@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let spec = MlpTrainSpec {
         adam: AdamConfig::with_lr(0.01),
+        opt_state: Default::default(),
         batch_ratio: 0.05,
         epochs: 6,
         seed: 5,

@@ -75,5 +75,6 @@ pub use sketchml_core::{
 };
 pub use sketchml_data::{MnistLikeSpec, SparseDatasetSpec};
 pub use sketchml_ml::{
-    AdaGrad, Adam, AdamConfig, GlmLoss, GlmModel, Instance, Momentum, OptimizerKind, SparseVector,
+    AdaGrad, Adam, AdamConfig, Checkpoint, GlmLoss, GlmModel, Instance, Momentum, OptStateMode,
+    OptimizerKind, OptimizerState, SketchedAdaGrad, SketchedAdam, SketchedMomentum, SparseVector,
 };

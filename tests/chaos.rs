@@ -192,6 +192,166 @@ fn checkpoint_resume_matches_uninterrupted_run_exactly() {
     );
 }
 
+/// Bugfix regression: non-Adam optimizers used to hit `OptState::Other(_) =>
+/// None` and silently lose their checkpoints. Every kind must now checkpoint,
+/// and a resumed run must be bit-identical to an uninterrupted one.
+#[test]
+fn non_adam_checkpoint_resume_is_bit_exact() {
+    use sketchml::ml::OptimizerKind;
+    let (train, test, dim) = dataset();
+    let cluster = ClusterConfig::cluster1(4);
+    let compressor = SketchMlCompressor::default();
+    for kind in [
+        OptimizerKind::Sgd(0.05),
+        OptimizerKind::Momentum(0.05, 0.9),
+        OptimizerKind::AdaGrad(0.05, 1e-8),
+    ] {
+        let full_spec = TrainSpec::paper(GlmLoss::Logistic, 0.05, 4).with_optimizer(kind);
+        let reference = train_distributed(&train, &test, dim, &full_spec, &cluster, &compressor)
+            .unwrap()
+            .epochs
+            .last()
+            .unwrap()
+            .test_loss;
+
+        let half_spec = TrainSpec {
+            max_epochs: 2,
+            ..full_spec
+        };
+        let halted = train_distributed_resumable(
+            &train,
+            &test,
+            dim,
+            &half_spec,
+            &cluster,
+            &compressor,
+            None,
+            None,
+        )
+        .unwrap();
+        let checkpoint = halted
+            .checkpoint
+            .unwrap_or_else(|| panic!("{kind:?} must produce a checkpoint"));
+        assert_eq!(checkpoint.epochs_done, 2);
+
+        let resumed = train_distributed_resumable(
+            &train,
+            &test,
+            dim,
+            &full_spec,
+            &cluster,
+            &compressor,
+            None,
+            Some(checkpoint),
+        )
+        .unwrap();
+        let resumed_loss = resumed.report.epochs.last().unwrap().test_loss;
+        assert_eq!(
+            resumed_loss.to_bits(),
+            reference.to_bits(),
+            "{kind:?}: resumed {resumed_loss} != uninterrupted {reference}"
+        );
+    }
+}
+
+/// Acceptance: a chaos run that crashes a worker under Momentum and AdaGrad
+/// restores from the checkpoint and stays deterministic — same seed, same
+/// fault trace, bit-identical final loss.
+#[test]
+fn momentum_and_adagrad_crash_recovery_is_deterministic() {
+    use sketchml::ml::OptimizerKind;
+    let (train, test, dim) = dataset();
+    let cluster = ClusterConfig::cluster1(4);
+    let compressor = SketchMlCompressor::default();
+    for kind in [
+        OptimizerKind::Momentum(0.05, 0.9),
+        OptimizerKind::AdaGrad(0.05, 1e-8),
+    ] {
+        let spec = TrainSpec::paper(GlmLoss::Logistic, 0.05, 3).with_optimizer(kind);
+        let plan = FaultPlan::seeded(0xBADC0DE).with_crash(1, 3, 2);
+        let run = || {
+            train_distributed_chaos(&train, &test, dim, &spec, &cluster, &compressor, &plan)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.trace.crashes, 1, "{kind:?}: scheduled crash must fire");
+        assert_eq!(
+            a.trace.recoveries, 1,
+            "{kind:?}: crashed worker must recover"
+        );
+        assert_eq!(a.trace, b.trace, "{kind:?}: post-resume traces diverged");
+        let la = a.report.epochs.last().unwrap().test_loss;
+        let lb = b.report.epochs.last().unwrap().test_loss;
+        assert_eq!(
+            la.to_bits(),
+            lb.to_bits(),
+            "{kind:?}: post-resume losses diverged: {la} vs {lb}"
+        );
+    }
+}
+
+/// Sketched optimizer state rides through the same checkpoint machinery:
+/// resume under `OptStateMode::Sketched` is bit-exact, and the checkpoint
+/// payload stays small regardless of the model dimension.
+#[test]
+fn sketched_opt_state_checkpoint_resume_is_bit_exact() {
+    use sketchml::ml::OptStateMode;
+    let (train, test, dim) = dataset();
+    let cluster = ClusterConfig::cluster1(4);
+    let compressor = SketchMlCompressor::default();
+    let full_spec = TrainSpec::paper(GlmLoss::Logistic, 0.05, 4)
+        .with_opt_state(OptStateMode::sketched(3, 4096));
+
+    let reference = train_distributed(&train, &test, dim, &full_spec, &cluster, &compressor)
+        .unwrap()
+        .epochs
+        .last()
+        .unwrap()
+        .test_loss;
+
+    let half_spec = TrainSpec {
+        max_epochs: 2,
+        ..full_spec
+    };
+    let halted = train_distributed_resumable(
+        &train,
+        &test,
+        dim,
+        &half_spec,
+        &cluster,
+        &compressor,
+        None,
+        None,
+    )
+    .unwrap();
+    let checkpoint = halted
+        .checkpoint
+        .expect("sketched runs produce checkpoints");
+    assert!(
+        checkpoint.optimizer.is_sketched(),
+        "checkpoint must carry the sketched state"
+    );
+
+    let resumed = train_distributed_resumable(
+        &train,
+        &test,
+        dim,
+        &full_spec,
+        &cluster,
+        &compressor,
+        None,
+        Some(checkpoint),
+    )
+    .unwrap();
+    let resumed_loss = resumed.report.epochs.last().unwrap().test_loss;
+    assert_eq!(
+        resumed_loss.to_bits(),
+        reference.to_bits(),
+        "sketched resume {resumed_loss} != uninterrupted {reference}"
+    );
+}
+
 #[test]
 fn resume_rejects_mismatched_or_exhausted_checkpoints() {
     let (train, test, dim) = dataset();
