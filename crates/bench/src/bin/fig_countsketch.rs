@@ -117,6 +117,7 @@ fn matched_config(target_bytes: usize, rows: u32, k: u32) -> CountSketchConfig {
         k,
         seed: 0xC5C5_0001,
         momentum: None,
+        auto_k: false,
     }
 }
 
@@ -222,6 +223,7 @@ fn main() {
         k: 4_096,
         seed: 0xC5C5_0001,
         momentum: None,
+        auto_k: false,
     };
     let merge_comp = CountSketchCompressor::new(merge_config).expect("merge config");
     let max_n = *merge_ns.iter().max().expect("non-empty");

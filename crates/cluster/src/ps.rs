@@ -91,7 +91,13 @@ impl ShardMap {
     }
 
     /// Splits a gradient into per-shard gradients (keys stay global).
-    pub fn split(&self, grad: &SparseGradient) -> Vec<SparseGradient> {
+    ///
+    /// # Errors
+    /// [`CompressError::InvalidGradient`] if a per-shard slice violates the
+    /// [`SparseGradient`] invariants — only reachable with a malformed input
+    /// gradient (e.g. keys out of the declared dimension), which a live
+    /// server must surface as a typed error rather than a panic.
+    pub fn split(&self, grad: &SparseGradient) -> Result<Vec<SparseGradient>, CompressError> {
         let mut keys: Vec<Vec<u64>> = vec![Vec::new(); self.servers];
         let mut values: Vec<Vec<f64>> = vec![Vec::new(); self.servers];
         for (k, v) in grad.iter() {
@@ -103,7 +109,7 @@ impl ShardMap {
             .zip(values)
             .map(|(k, v)| {
                 SparseGradient::new(grad.dim(), k, v)
-                    .expect("shard split preserves ordering and bounds")
+                    .map_err(|e| CompressError::InvalidGradient(format!("shard split: {e}")))
             })
             .collect()
     }
@@ -254,19 +260,30 @@ fn run_ps(
                                 let slice: Vec<Instance> =
                                     part.iter().map(|&i| train[i].clone()).collect();
                                 let g = model.batch_gradient(&slice);
-                                let sparse =
-                                    SparseGradient::new(model.dim() as u64, g.keys, g.values)
-                                        .expect("batch gradient is well-formed");
-                                (sparse, g.loss_sum, slice.len())
+                                SparseGradient::new(model.dim() as u64, g.keys, g.values)
+                                    .map(|sparse| (sparse, g.loss_sum, slice.len()))
+                                    .map_err(|e| {
+                                        CompressError::InvalidGradient(format!(
+                                            "worker {w} batch gradient: {e}"
+                                        ))
+                                    })
                             }))
                         })
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.map(|h| h.join().expect("worker thread panicked")))
-                        .collect()
+                        .map(|h| match h {
+                            Some(h) => match h.join() {
+                                Ok(r) => r.map(Some),
+                                Err(_) => Err(CompressError::InvalidConfig(
+                                    "ps worker thread panicked".into(),
+                                )),
+                            },
+                            None => Ok(None),
+                        })
+                        .collect::<Result<Vec<_>, _>>()
                 })
-                .expect("crossbeam scope");
+                .map_err(|_| CompressError::InvalidConfig("ps worker scope panicked".into()))??;
 
             let total_instances: usize = results.iter().flatten().map(|r| r.2).sum();
             // Compute gates on the slowest (straggler-adjusted) alive worker.
@@ -307,7 +324,7 @@ fn run_ps(
             let mut pairs_this_batch = 0u64;
             for (w, result) in results.iter().enumerate() {
                 let Some((grad, _, n)) = result else { continue };
-                let split = shards.split(grad);
+                let split = shards.split(grad)?;
                 for (s, shard_grad) in split.into_iter().enumerate() {
                     if shard_grad.is_empty() {
                         continue;
@@ -372,7 +389,7 @@ fn run_ps(
             // Pull: each worker fetches the updated shards (compressed); the
             // S servers serve their slice to W workers in parallel.
             let mut pull_time = vec![0.0f64; shards.servers()];
-            for (s, shard_grad) in shards.split(&aggregated).iter().enumerate() {
+            for (s, shard_grad) in shards.split(&aggregated)?.iter().enumerate() {
                 if shard_grad.is_empty() {
                     continue;
                 }
@@ -453,7 +470,7 @@ mod tests {
             .unwrap();
         for strategy in [ShardStrategy::Range, ShardStrategy::Hash] {
             let m = ShardMap::with_strategy(100, 4, strategy);
-            let split = m.split(&g);
+            let split = m.split(&g).unwrap();
             assert_eq!(split.len(), 4);
             let non_empty: Vec<&SparseGradient> = split.iter().filter(|s| !s.is_empty()).collect();
             assert!(!non_empty.is_empty());
@@ -473,7 +490,7 @@ mod tests {
         let g = SparseGradient::new(4096, keyset, values).unwrap();
         let imbalance = |strategy: ShardStrategy| {
             let m = ShardMap::with_strategy(4096, 8, strategy);
-            let sizes: Vec<usize> = m.split(&g).iter().map(|s| s.nnz()).collect();
+            let sizes: Vec<usize> = m.split(&g).unwrap().iter().map(|s| s.nnz()).collect();
             let max = *sizes.iter().max().unwrap() as f64;
             let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
             max / mean

@@ -48,7 +48,7 @@ proptest! {
         let g = SparseGradient::new(100_000, keys, values).unwrap();
         let strategy = if range_strategy { ShardStrategy::Range } else { ShardStrategy::Hash };
         let m = ShardMap::with_strategy(100_000, servers, strategy);
-        let split = m.split(&g);
+        let split = m.split(&g).unwrap();
         prop_assert_eq!(split.len(), servers.max(1));
         let merged = SparseGradient::aggregate(&split).unwrap();
         prop_assert_eq!(merged, g);

@@ -31,19 +31,26 @@ use sketchml_sketches::hash::{push_row_seeds, HashFamily};
 use std::sync::{Mutex, MutexGuard};
 
 /// Shape and behaviour of a [`CountSketchCompressor`].
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct CountSketchConfig {
     /// Sketch rows (independent hash/sign pairs); at most 64.
     pub rows: u32,
     /// Sketch columns (bins per row).
     pub cols: u32,
-    /// Heavy hitters extracted on decode.
+    /// Heavy hitters extracted on decode (ignored when `auto_k` is set).
     pub k: u32,
     /// Seed for both hash families; sender and receiver must agree.
     pub seed: u64,
     /// `Some(ρ)` enables sketched momentum + error feedback in sketch
     /// space (stateful); `None` is pure deterministic compression.
     pub momentum: Option<f64>,
+    /// Adaptive heavy-hitter count (registry `k=auto`): each frame's `k`
+    /// is derived from the round's observed nnz instead of the fixed `k`
+    /// above — sparse rounds stop extracting ghosts past their own pair
+    /// count, dense rounds are clamped to the table's resolving power
+    /// (`cols / 4`). The chosen `k` travels in the frame header, so the
+    /// decoder follows the encoder round by round.
+    pub auto_k: bool,
 }
 
 impl Default for CountSketchConfig {
@@ -54,7 +61,29 @@ impl Default for CountSketchConfig {
             k: 512,
             seed: 0xC5C5_0001,
             momentum: None,
+            auto_k: false,
         }
+    }
+}
+
+// Hand-written so configs serialized before `auto_k` existed still parse
+// (they default to the fixed-k mode) — same pattern as `TrainSpec`.
+impl serde::Deserialize for CountSketchConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| serde::Error::custom("CountSketchConfig: expected an object"))?;
+        Ok(CountSketchConfig {
+            rows: serde::Deserialize::from_value(serde::field(obj, "rows")?)?,
+            cols: serde::Deserialize::from_value(serde::field(obj, "cols")?)?,
+            k: serde::Deserialize::from_value(serde::field(obj, "k")?)?,
+            seed: serde::Deserialize::from_value(serde::field(obj, "seed")?)?,
+            momentum: serde::Deserialize::from_value(serde::field(obj, "momentum")?)?,
+            auto_k: match serde::field(obj, "auto_k") {
+                Ok(val) => serde::Deserialize::from_value(val)?,
+                Err(_) => false,
+            },
+        })
     }
 }
 
@@ -100,12 +129,29 @@ impl CountSketchConfig {
         self.rows as usize * self.cols as usize
     }
 
+    /// Ceiling for an adaptive `k`: extracting more than `cols / 4` heavy
+    /// hitters from a row of `cols` counters mostly surfaces collision
+    /// noise, so auto mode never asks for more.
+    fn auto_k_cap(&self) -> u32 {
+        (self.cols / 4).max(1)
+    }
+
+    /// The heavy-hitter count stamped into a frame for a gradient with
+    /// `nnz` pairs: the fixed `k`, or — in auto mode — the observed nnz
+    /// clamped to `[1, cols / 4]`.
+    pub fn effective_k(&self, nnz: u64) -> u32 {
+        if !self.auto_k {
+            return self.k;
+        }
+        nnz.clamp(1, u64::from(self.auto_k_cap())) as u32
+    }
+
     fn header(&self, dim: u64, nnz: u64, key_range: (u64, u64)) -> CskHeader {
         CskHeader {
             dim,
             rows: self.rows,
             cols: self.cols,
-            k: self.k,
+            k: self.effective_k(nnz),
             seed: self.seed,
             nnz,
             key_lo: key_range.0,
@@ -180,13 +226,29 @@ impl CountSketchCompressor {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Checks a parsed frame against this compressor's configuration.
+    /// Checks a parsed frame against this compressor's configuration. In
+    /// auto-`k` mode the frame's `k` is the encoder's per-round choice, so
+    /// only its bounds are checked, not equality.
     fn check_frame(&self, h: &CskHeader) -> Result<(), CompressError> {
         let c = &self.config;
-        if h.rows != c.rows || h.cols != c.cols || h.k != c.k || h.seed != c.seed {
+        if h.rows != c.rows || h.cols != c.cols || h.seed != c.seed {
             return Err(CompressError::Corrupt(format!(
-                "CSK frame {}x{} k={} seed={} does not match configured {}x{} k={} seed={}",
-                h.rows, h.cols, h.k, h.seed, c.rows, c.cols, c.k, c.seed
+                "CSK frame {}x{} seed={} does not match configured {}x{} seed={}",
+                h.rows, h.cols, h.seed, c.rows, c.cols, c.seed
+            )));
+        }
+        if c.auto_k {
+            if h.k == 0 || h.k > c.auto_k_cap() {
+                return Err(CompressError::Corrupt(format!(
+                    "CSK frame k={} outside auto-k bounds 1..={}",
+                    h.k,
+                    c.auto_k_cap()
+                )));
+            }
+        } else if h.k != c.k {
+            return Err(CompressError::Corrupt(format!(
+                "CSK frame k={} does not match configured k={}",
+                h.k, c.k
             )));
         }
         if !h.is_full() {
@@ -346,17 +408,16 @@ impl CountSketchCompressor {
         let sketch = state.sketch.as_mut().expect("state sketch just ensured");
         sketch.scale(rho);
         sketch.insert_batch(grad.keys(), grad.values());
-        let header_bytes = csk::write_frame(
-            &c.header(dim, grad.nnz() as u64, range),
-            sketch.cells(),
-            out,
-        )
-        .map_err(CompressError::Encoding)?;
-        // Extract what the receiver will extract, and subtract it: the
-        // remaining table is exactly the quantization residual.
+        let header = c.header(dim, grad.nnz() as u64, range);
+        let frame_k = header.k;
+        let header_bytes =
+            csk::write_frame(&header, sketch.cells(), out).map_err(CompressError::Encoding)?;
+        // Extract what the receiver will extract (the frame's own k, which
+        // auto mode adapts per round), and subtract it: the remaining table
+        // is exactly the quantization residual.
         let mut keys = Vec::new();
         let mut vals = Vec::new();
-        sketch.top_k_range_into(c.k as usize, range.0..range.1, &mut keys, &mut vals);
+        sketch.top_k_range_into(frame_k as usize, range.0..range.1, &mut keys, &mut vals);
         for v in &mut vals {
             *v = -*v;
         }
@@ -480,7 +541,16 @@ impl MergeableCompressor for CountSketchCompressor {
         let mut keys = Vec::new();
         let mut vals = Vec::new();
         let (lo, end) = table.key_range();
-        sketch.top_k_range_into(table.k() as usize, lo..end, &mut keys, &mut vals);
+        // Auto-k hops each stamp a per-round count; the merged gradient's
+        // support is bounded by the *total* folded nnz, not any single hop's
+        // request, so extraction widens to that (still capped at cols/4).
+        // Zero-estimate keys are filtered, so a generous bound stays exact.
+        let k = if c.auto_k {
+            self.config.effective_k(table.nnz()) as usize
+        } else {
+            table.k() as usize
+        };
+        sketch.top_k_range_into(k, lo..end, &mut keys, &mut vals);
         SparseGradient::new(table.dim(), keys, vals)
             .map_err(|e| CompressError::Corrupt(format!("recovered top-k invalid: {e}")))
     }
@@ -669,6 +739,99 @@ mod tests {
         ));
         assert!(c.decompress(&[]).is_err());
         assert!(c.decompress(&[0xC5]).is_err());
+    }
+
+    #[test]
+    fn auto_k_tracks_observed_nnz_per_round() {
+        let c = CountSketchCompressor::new(CountSketchConfig {
+            auto_k: true,
+            k: 1, // ignored in auto mode
+            ..CountSketchConfig::default()
+        })
+        .unwrap();
+        // Round 1: 3 pairs → the frame asks for exactly 3 heavy hitters and
+        // the sparse round decodes exactly (k=1 would have dropped two).
+        let g = grad(40_000, &[(7, 0.5), (90, -0.25), (900, 0.125)]);
+        let d = c.decompress(&c.compress(&g).unwrap().payload).unwrap();
+        assert_eq!(d.keys(), g.keys());
+        assert_eq!(d.values(), g.values());
+        // Round 2 (same compressor, denser): k is clamped to cols/4.
+        let cap = (CountSketchConfig::default().cols / 4) as usize;
+        let pairs: Vec<(u64, f64)> = (0..2 * cap as u64)
+            .map(|i| (i * 7, 1.0 + i as f64))
+            .collect();
+        let dense = c
+            .decompress(&c.compress(&grad(40_000, &pairs)).unwrap().payload)
+            .unwrap();
+        assert!(dense.nnz() <= cap, "{} extracted, cap {cap}", dense.nnz());
+    }
+
+    #[test]
+    fn auto_k_decoder_rejects_out_of_bounds_frame_k() {
+        let auto = CountSketchCompressor::new(CountSketchConfig {
+            auto_k: true,
+            ..CountSketchConfig::default()
+        })
+        .unwrap();
+        // A fixed-k peer stamps k=1024, which exceeds the auto cap
+        // (cols / 4 = 512) and must be rejected as a typed error, not
+        // silently honoured.
+        let fixed = CountSketchCompressor::new(CountSketchConfig {
+            k: 1024,
+            ..CountSketchConfig::default()
+        })
+        .unwrap();
+        let msg = fixed.compress(&grad(100, &[(1, 1.0)])).unwrap();
+        assert!(matches!(
+            auto.decompress(&msg.payload),
+            Err(CompressError::Corrupt(_))
+        ));
+        // The other direction: a fixed-k decoder rejects an auto frame whose
+        // per-round k differs from its configured k.
+        let auto_msg = auto.compress(&grad(100, &[(1, 1.0), (2, 2.0)])).unwrap();
+        assert!(matches!(
+            fixed.decompress(&auto_msg.payload),
+            Err(CompressError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn auto_k_linear_merge_takes_max_frame_k() {
+        let c = CountSketchCompressor::new(CountSketchConfig {
+            auto_k: true,
+            ..CountSketchConfig::default()
+        })
+        .unwrap();
+        // Two hops with different per-round k (2 pairs vs 3 pairs): the
+        // accumulated table extracts with the max, recovering every key.
+        let a = grad(4_096, &[(1, 0.5), (100, -0.25)]);
+        let b = grad(4_096, &[(100, 0.75), (500, -2.0), (900, 1.5)]);
+        let pa = c.compress(&a).unwrap();
+        let pb = c.compress(&b).unwrap();
+        let mut scratch = CompressScratch::new();
+        let mut acc = MergeAcc::new();
+        acc.reset(4_096);
+        c.accumulate_hop(
+            &mut acc,
+            &pa.payload,
+            1.0,
+            MergePolicy::Linear,
+            &mut scratch,
+        )
+        .unwrap();
+        c.accumulate_hop(
+            &mut acc,
+            &pb.payload,
+            1.0,
+            MergePolicy::Linear,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(acc.linear().unwrap().k(), 3);
+        let merged = c.finish(&acc).unwrap();
+        let sum = SparseGradient::aggregate(&[a, b]).unwrap();
+        assert_eq!(merged.keys(), sum.keys());
+        assert_eq!(merged.values(), sum.values());
     }
 
     #[test]

@@ -113,7 +113,8 @@ impl LinearTable {
         self.cols
     }
 
-    /// Heavy hitters to extract at the final hop.
+    /// Heavy hitters to extract at the final hop — the max over every folded
+    /// frame's `k` (auto-k hops stamp a per-round value).
     pub fn k(&self) -> u32 {
         self.k
     }
@@ -165,25 +166,13 @@ impl LinearTable {
     }
 
     fn check_compatible(&self, h: &CskHeader) -> Result<(), CompressError> {
-        if self.dim != h.dim
-            || self.rows != h.rows
-            || self.cols != h.cols
-            || self.k != h.k
-            || self.seed != h.seed
-        {
+        // `k` is deliberately NOT compared: auto-k frames carry a per-round
+        // heavy-hitter count, and the fold keeps the max of every hop's k.
+        if self.dim != h.dim || self.rows != h.rows || self.cols != h.cols || self.seed != h.seed {
             return Err(CompressError::Corrupt(format!(
-                "CSK frame shape {}x{} k={} seed={} dim={} does not match \
-                 accumulated table {}x{} k={} seed={} dim={}",
-                h.rows,
-                h.cols,
-                h.k,
-                h.seed,
-                h.dim,
-                self.rows,
-                self.cols,
-                self.k,
-                self.seed,
-                self.dim
+                "CSK frame shape {}x{} seed={} dim={} does not match \
+                 accumulated table {}x{} seed={} dim={}",
+                h.rows, h.cols, h.seed, h.dim, self.rows, self.cols, self.seed, self.dim
             )));
         }
         Ok(())
@@ -498,6 +487,9 @@ impl MergeAcc {
         let table = match &mut self.linear {
             Some(t) => {
                 t.check_compatible(h)?;
+                // Auto-k hops adapt k per round; extraction honours the
+                // widest request seen across the fold.
+                t.k = t.k.max(h.k);
                 t
             }
             None => {

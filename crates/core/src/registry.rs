@@ -19,7 +19,10 @@ use sketchml_encoding::framing::FrameVersion;
 ///
 /// `countsketch` additionally takes a parameter grammar:
 /// `countsketch[:<rows>x<cols>:<k>][:m<rho>]` — table shape, heavy hitters
-/// extracted per decode, and optional sketched momentum `ρ ∈ [0, 1)`.
+/// extracted per decode, and optional sketched momentum `ρ ∈ [0, 1)`. The
+/// `<k>` slot (or a standalone `countsketch:auto`) accepts the literal
+/// `auto`, which adapts the per-round heavy-hitter count to each gradient's
+/// observed nnz (clamped to `cols/4`) instead of a fixed `k`.
 ///
 /// `fastsgd[:<bits>]` selects exponent-only log quantization with
 /// `bits ∈ 2..=16` per-value code width (default 6).
@@ -42,21 +45,28 @@ pub const KNOWN_COMPRESSORS: &[&str] = &[
     "countsketch:8x2048:512",
     "countsketch:8x2048:512@4",
     "countsketch:4x1024:256:m0.9",
+    "countsketch:auto",
+    "countsketch:8x2048:auto",
     "fastsgd",
     "fastsgd:8",
     "fastsgd@4",
 ];
 
-/// Parses `countsketch[:<rows>x<cols>:<k>][:m<rho>]` into a config.
+/// Parses `countsketch[:<rows>x<cols>:<k|auto>][:m<rho>]` (or the shapeless
+/// `countsketch:auto`) into a config.
 fn count_sketch_config(name: &str, spec: &str) -> Result<CountSketchConfig, CompressError> {
     let bad = |what: &str| {
         CompressError::InvalidConfig(format!(
-            "`{name}`: {what}; expected countsketch[:<rows>x<cols>:<k>][:m<rho>]"
+            "`{name}`: {what}; expected countsketch[:<rows>x<cols>:<k|auto>][:m<rho>]"
         ))
     };
     let mut config = CountSketchConfig::default();
     let mut parts = spec.split(':').filter(|p| !p.is_empty()).peekable();
-    if let Some(shape) = parts.peek().filter(|p| !p.starts_with(['m', 'M'])) {
+    if parts.peek().is_some_and(|p| p.eq_ignore_ascii_case("auto")) {
+        // Default shape, adaptive k.
+        config.auto_k = true;
+        parts.next();
+    } else if let Some(shape) = parts.peek().filter(|p| !p.starts_with(['m', 'M'])) {
         let (rows, cols) = shape
             .split_once(['x', 'X'])
             .ok_or_else(|| bad("malformed shape"))?;
@@ -64,7 +74,13 @@ fn count_sketch_config(name: &str, spec: &str) -> Result<CountSketchConfig, Comp
         config.cols = cols.parse().map_err(|_| bad("cols must be an integer"))?;
         parts.next();
         let k = parts.next().ok_or_else(|| bad("missing k after shape"))?;
-        config.k = k.parse().map_err(|_| bad("k must be an integer"))?;
+        if k.eq_ignore_ascii_case("auto") {
+            config.auto_k = true;
+        } else {
+            config.k = k
+                .parse()
+                .map_err(|_| bad("k must be an integer or `auto`"))?;
+        }
     }
     if let Some(tail) = parts.next() {
         let rho = tail
@@ -237,6 +253,31 @@ mod tests {
             "countsketch:4x1024:256:z",    // unknown trailing component
             "countsketch:4x1024:256:m1.5", // rho out of range
             "countsketch:4x1024:256:m0.9:m0.9",
+        ] {
+            assert!(by_name(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn countsketch_auto_k_parses_and_rejects() {
+        // Auto-k roundtrips a tiny gradient exactly: per-round k follows the
+        // observed nnz, where the fixed default (k=512 of a 2048-col table)
+        // would still roundtrip but prove nothing about adaptation.
+        let grad = SparseGradient::new(1000, vec![1, 5, 900], vec![0.5, -0.25, 0.125]).unwrap();
+        for name in ["countsketch:auto", "countsketch:8x2048:AUTO"] {
+            let c = by_name(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let decoded = c.decompress(&c.compress(&grad).unwrap().payload).unwrap();
+            assert_eq!(decoded.keys(), grad.keys(), "{name}");
+        }
+        // Composes with momentum and sharding.
+        assert!(by_name("countsketch:4x1024:auto:m0.9").is_ok());
+        assert!(by_name("countsketch:auto:m0.5").is_ok());
+        assert!(by_name("countsketch:8x2048:auto@4c").is_ok());
+        for bad in [
+            "countsketch:auto:512",      // k after shapeless auto
+            "countsketch:autox",         // junk tail on the literal
+            "countsketch:4x1024:auto:z", // unknown trailing component
+            "countsketch:auto:auto",
         ] {
             assert!(by_name(bad).is_err(), "accepted `{bad}`");
         }

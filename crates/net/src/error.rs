@@ -1,0 +1,129 @@
+//! Typed errors for the live parameter server.
+
+use sketchml_core::CompressError;
+use std::fmt;
+
+/// Numeric error codes carried by wire-level `Error` responses, so a peer
+/// can react without parsing the human-readable message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame was structurally invalid.
+    Malformed,
+    /// No protocol version overlaps between the peers.
+    Version,
+    /// The server's bounded push queue is full; retry after a pull.
+    Backpressure,
+    /// The request was valid but the server failed internally.
+    Internal,
+    /// The request is not valid in the server's current state.
+    BadState,
+}
+
+impl ErrorCode {
+    /// Wire representation.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::Version => 2,
+            ErrorCode::Backpressure => 3,
+            ErrorCode::Internal => 4,
+            ErrorCode::BadState => 5,
+        }
+    }
+
+    /// Parses the wire representation.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::Version,
+            3 => ErrorCode::Backpressure,
+            4 => ErrorCode::Internal,
+            5 => ErrorCode::BadState,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Version => "version",
+            ErrorCode::Backpressure => "backpressure",
+            ErrorCode::Internal => "internal",
+            ErrorCode::BadState => "bad-state",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Everything that can go wrong on the live-serving path. Frame decoding
+/// returns `Protocol`/`Io` instead of panicking, including on truncated or
+/// adversarial input — the partial-read test suite enforces this.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure (includes EOF mid-frame).
+    Io(std::io::Error),
+    /// A frame violated the wire grammar (bad magic, kind, length, or body).
+    Protocol(String),
+    /// Version negotiation failed: the peer supports `[min, max]`.
+    VersionMismatch {
+        /// Lowest protocol version the peer accepts.
+        min: u16,
+        /// Highest protocol version the peer accepts.
+        max: u16,
+    },
+    /// The remote answered with a typed error response.
+    Remote {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// A gradient payload failed to compress/decompress.
+    Compress(CompressError),
+    /// Configuration or state error local to this process.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+            NetError::VersionMismatch { min, max } => {
+                write!(
+                    f,
+                    "no common protocol version (peer supports {min}..={max})"
+                )
+            }
+            NetError::Remote { code, message } => {
+                write!(f, "remote error [{code}]: {message}")
+            }
+            NetError::Compress(e) => write!(f, "codec error: {e}"),
+            NetError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Compress(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<CompressError> for NetError {
+    fn from(e: CompressError) -> Self {
+        NetError::Compress(e)
+    }
+}

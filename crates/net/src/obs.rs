@@ -1,0 +1,47 @@
+//! Thin shims from server events to the global telemetry registry
+//! (schema v6 `serving` section). All of these are no-ops unless a
+//! telemetry session is recording.
+
+use sketchml_telemetry::{counter_max, inc, Counter};
+
+/// A connection was accepted.
+pub fn connection() {
+    inc(Counter::ServingConnections);
+}
+
+/// A request frame was decoded; `inflight` is the concurrent count
+/// including this one (tracked as a high-water mark).
+pub fn request(inflight: u64) {
+    inc(Counter::ServingRequests);
+    counter_max(Counter::ServingInflightMax, inflight);
+}
+
+/// A `Predict` batch was scored (`instances` rows).
+pub fn predict(_instances: u64) {
+    inc(Counter::ServingPredicts);
+}
+
+/// A `PushGradient` was accepted into the trainer queue.
+pub fn push() {
+    inc(Counter::ServingPushes);
+}
+
+/// A `PullModel` was answered.
+pub fn pull() {
+    inc(Counter::ServingPulls);
+}
+
+/// A push was refused because the bounded queue was full.
+pub fn backpressure() {
+    inc(Counter::ServingBackpressureRejects);
+}
+
+/// A trainer round coalesced every expected worker push.
+pub fn coalesced_round() {
+    inc(Counter::ServingCoalescedRounds);
+}
+
+/// The push queue reached `depth` entries (tracked as a high-water mark).
+pub fn queue_depth(depth: u64) {
+    counter_max(Counter::ServingQueueDepthMax, depth);
+}

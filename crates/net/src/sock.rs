@@ -1,0 +1,162 @@
+//! Transport abstraction: one connection type over TCP or Unix-domain
+//! sockets, so the wire protocol and the server runtime are
+//! transport-agnostic.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+
+/// A bound, accepting socket.
+#[derive(Debug)]
+pub enum Listener {
+    /// TCP listener (loopback or real NIC).
+    Tcp(TcpListener),
+    /// Unix-domain listener (same-host, no TCP stack).
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds a TCP listener; `127.0.0.1:0` picks a free loopback port.
+    ///
+    /// # Errors
+    /// Propagates the OS bind failure.
+    pub fn bind_tcp(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Ok(Listener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Binds a Unix-domain listener at `path` (must not exist yet).
+    ///
+    /// # Errors
+    /// Propagates the OS bind failure.
+    #[cfg(unix)]
+    pub fn bind_unix(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Listener::Unix(UnixListener::bind(path)?))
+    }
+
+    /// Accepts the next connection, blocking.
+    ///
+    /// # Errors
+    /// Propagates the OS accept failure.
+    pub fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true).ok();
+                Ok(Conn::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Conn::Unix(s))
+            }
+        }
+    }
+
+    /// Human-readable bound address: `tcp://ip:port` or `unix://path`.
+    /// For TCP with port 0, this reports the OS-resolved port.
+    pub fn local_desc(&self) -> String {
+        match self {
+            Listener::Tcp(l) => match l.local_addr() {
+                Ok(a) => format!("tcp://{a}"),
+                Err(_) => "tcp://?".into(),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.local_addr() {
+                Ok(a) => format!(
+                    "unix://{}",
+                    a.as_pathname().unwrap_or(Path::new("?")).display()
+                ),
+                Err(_) => "unix://?".into(),
+            },
+        }
+    }
+}
+
+/// One established connection.
+#[derive(Debug)]
+pub enum Conn {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Connects to a `tcp://host:port` or `unix://path` address (bare
+    /// `host:port` is treated as TCP).
+    ///
+    /// # Errors
+    /// Propagates the OS connect failure.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        if let Some(path) = addr.strip_prefix("unix://") {
+            #[cfg(unix)]
+            return Ok(Conn::Unix(UnixStream::connect(path)?));
+            #[cfg(not(unix))]
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                format!("unix sockets unavailable on this platform: {path}"),
+            ));
+        }
+        let addr = addr.strip_prefix("tcp://").unwrap_or(addr);
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true).ok();
+        Ok(Conn::Tcp(s))
+    }
+
+    /// An independently readable/writable handle to the same socket.
+    ///
+    /// # Errors
+    /// Propagates the OS dup failure.
+    pub fn try_clone(&self) -> std::io::Result<Self> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Shuts down both directions, unblocking any reader.
+    pub fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                s.shutdown(std::net::Shutdown::Both).ok();
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.shutdown(std::net::Shutdown::Both).ok();
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}

@@ -43,8 +43,10 @@ use std::time::Instant;
 /// Version 2 added the collectives section (allreduce hop/merge accounting);
 /// version 3 added `collectives.linear_folds` (Count-Sketch table merges);
 /// version 4 added the membership section (elastic evictions/joins);
-/// version 5 added `cluster.opt_state_bytes` (sketched optimizer state).
-pub const SCHEMA_VERSION: u32 = 5;
+/// version 5 added `cluster.opt_state_bytes` (sketched optimizer state);
+/// version 6 added the serving section (live socket server: qps, in-flight,
+/// queue depth, predict latency percentiles).
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Number of power-of-two buckets in every histogram.
 pub const HIST_BUCKETS: usize = 16;
@@ -168,9 +170,30 @@ pub enum Counter {
     /// Cluster: bytes of per-worker optimizer auxiliary state (dense moment
     /// vectors or count-sketch tables), recorded once per training run.
     ClusterOptStateBytes,
+    /// Serving: connections accepted by the live socket server.
+    ServingConnections,
+    /// Serving: requests handled (all kinds, including errors).
+    ServingRequests,
+    /// Serving: `Predict` requests served from the model store.
+    ServingPredicts,
+    /// Serving: `PushGradient` requests accepted into the trainer queue.
+    ServingPushes,
+    /// Serving: `PullModel` requests answered with a snapshot.
+    ServingPulls,
+    /// Serving: pushes rejected because the bounded trainer queue was full.
+    ServingBackpressureRejects,
+    /// Serving: trainer rounds that coalesced every expected worker push
+    /// (as opposed to timing out and aggregating a partial set).
+    ServingCoalescedRounds,
+    /// Serving: high-water mark of concurrently in-flight requests
+    /// (max-semantics: update via [`counter_max`]).
+    ServingInflightMax,
+    /// Serving: high-water mark of the trainer push-queue depth
+    /// (max-semantics: update via [`counter_max`]).
+    ServingQueueDepthMax,
 }
 
-const NUM_COUNTERS: usize = 38;
+const NUM_COUNTERS: usize = 47;
 
 impl Counter {
     fn idx(self) -> usize {
@@ -190,9 +213,16 @@ pub enum Gauge {
     ClusterRecoverySeconds,
     /// Simulated seconds joiners spent pulling checkpoints (incl. backoff).
     MembershipJoinSeconds,
+    /// Serving: sustained requests per second over the server's lifetime
+    /// (set-semantics: overwritten via [`gauge_set`] at shutdown).
+    ServingQps,
+    /// Serving: p50 `Predict` latency in microseconds (set-semantics).
+    ServingPredictP50Micros,
+    /// Serving: p99 `Predict` latency in microseconds (set-semantics).
+    ServingPredictP99Micros,
 }
 
-const NUM_GAUGES: usize = 4;
+const NUM_GAUGES: usize = 7;
 
 impl Gauge {
     fn idx(self) -> usize {
@@ -318,6 +348,27 @@ pub fn add(counter: Counter, delta: u64) {
 #[inline]
 pub fn inc(counter: Counter) {
     add(counter, 1);
+}
+
+/// Raises a max-semantics counter to `value` if it is below it (no-op while
+/// disabled). Used for high-water marks (in-flight requests, queue depth),
+/// which — like the adds — are order-independent and thus deterministic.
+#[inline]
+pub fn counter_max(counter: Counter, value: u64) {
+    if enabled() {
+        REGISTRY.counters[counter.idx()].fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+/// Overwrites a set-semantics gauge with `value` (no-op while disabled).
+/// Non-finite values are ignored, matching [`gauge_add`]. Used for
+/// derived summary figures (QPS, latency percentiles) written once by the
+/// component that computed them.
+#[inline]
+pub fn gauge_set(gauge: Gauge, value: f64) {
+    if enabled() && value.is_finite() {
+        REGISTRY.gauges[gauge.idx()].store(value.to_bits(), Ordering::Relaxed);
+    }
 }
 
 /// Adds `delta` (simulated seconds) to a gauge (no-op while disabled).
@@ -604,6 +655,24 @@ pub struct MembershipSnapshot {
     pub join_seconds: f64,
 }
 
+/// Live-serving section of the snapshot (the `sketchml-net` socket server:
+/// request mix, backpressure, and mixed train+infer load figures).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServingSnapshot {
+    pub connections: u64,
+    pub requests: u64,
+    pub predicts: u64,
+    pub pushes: u64,
+    pub pulls: u64,
+    pub backpressure_rejects: u64,
+    pub coalesced_rounds: u64,
+    pub inflight_max: u64,
+    pub queue_depth_max: u64,
+    pub qps: f64,
+    pub predict_p50_micros: f64,
+    pub predict_p99_micros: f64,
+}
+
 /// Everything the registry recorded, as plain serializable data.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TelemetrySnapshot {
@@ -613,6 +682,7 @@ pub struct TelemetrySnapshot {
     pub cluster: ClusterSnapshot,
     pub collectives: CollectivesSnapshot,
     pub membership: MembershipSnapshot,
+    pub serving: ServingSnapshot,
 }
 
 impl TelemetrySnapshot {
@@ -688,6 +758,28 @@ impl TelemetrySnapshot {
         }
         if self.membership.false_suspicions > self.membership.suspicions {
             return Err("membership false_suspicions > suspicions".into());
+        }
+        let kind_sum = self.serving.predicts + self.serving.pushes + self.serving.pulls;
+        if kind_sum > self.serving.requests {
+            return Err("serving predicts+pushes+pulls > requests".into());
+        }
+        for (name, v) in [
+            ("serving.qps", self.serving.qps),
+            (
+                "serving.predict_p50_micros",
+                self.serving.predict_p50_micros,
+            ),
+            (
+                "serving.predict_p99_micros",
+                self.serving.predict_p99_micros,
+            ),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} {v} must be finite and non-negative"));
+            }
+        }
+        if self.serving.predict_p50_micros > self.serving.predict_p99_micros {
+            return Err("serving predict_p50_micros > predict_p99_micros".into());
         }
         Ok(())
     }
@@ -789,6 +881,20 @@ pub fn snapshot() -> TelemetrySnapshot {
             staleness_retunes: counter(Counter::MembershipStalenessRetunes),
             join_seconds: gauge(Gauge::MembershipJoinSeconds),
         },
+        serving: ServingSnapshot {
+            connections: counter(Counter::ServingConnections),
+            requests: counter(Counter::ServingRequests),
+            predicts: counter(Counter::ServingPredicts),
+            pushes: counter(Counter::ServingPushes),
+            pulls: counter(Counter::ServingPulls),
+            backpressure_rejects: counter(Counter::ServingBackpressureRejects),
+            coalesced_rounds: counter(Counter::ServingCoalescedRounds),
+            inflight_max: counter(Counter::ServingInflightMax),
+            queue_depth_max: counter(Counter::ServingQueueDepthMax),
+            qps: gauge(Gauge::ServingQps),
+            predict_p50_micros: gauge(Gauge::ServingPredictP50Micros),
+            predict_p99_micros: gauge(Gauge::ServingPredictP99Micros),
+        },
     }
 }
 
@@ -840,6 +946,50 @@ mod tests {
             }
         );
         snap.validate().expect("snapshot must validate");
+    }
+
+    #[test]
+    fn serving_max_and_set_semantics() {
+        let session = TelemetrySession::begin();
+        counter_max(Counter::ServingInflightMax, 4);
+        counter_max(Counter::ServingInflightMax, 9);
+        counter_max(Counter::ServingInflightMax, 2); // below high-water: kept
+        counter_max(Counter::ServingQueueDepthMax, 3);
+        gauge_set(Gauge::ServingQps, 1500.0);
+        gauge_set(Gauge::ServingQps, 1200.0); // overwrite, not accumulate
+        gauge_set(Gauge::ServingPredictP50Micros, 80.0);
+        gauge_set(Gauge::ServingPredictP99Micros, 450.0);
+        gauge_set(Gauge::ServingPredictP99Micros, f64::INFINITY); // ignored
+        add(Counter::ServingRequests, 10);
+        add(Counter::ServingPredicts, 6);
+        add(Counter::ServingPushes, 3);
+        inc(Counter::ServingPulls);
+        // Disabled mid-session: both helpers are no-ops.
+        set_enabled(false);
+        counter_max(Counter::ServingInflightMax, 100);
+        gauge_set(Gauge::ServingQps, 9999.0);
+        set_enabled(true);
+        let snap = session.finish();
+        assert_eq!(snap.serving.inflight_max, 9);
+        assert_eq!(snap.serving.queue_depth_max, 3);
+        assert_eq!(snap.serving.qps, 1200.0);
+        assert_eq!(snap.serving.predict_p50_micros, 80.0);
+        assert_eq!(snap.serving.predict_p99_micros, 450.0);
+        snap.validate().expect("serving snapshot must validate");
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_serving_section() {
+        let mut snap = TelemetrySnapshot::default_with_version();
+        snap.serving.predicts = 5; // requests stays 0
+        assert!(snap.validate().is_err());
+        let mut snap = TelemetrySnapshot::default_with_version();
+        snap.serving.qps = -1.0;
+        assert!(snap.validate().is_err());
+        let mut snap = TelemetrySnapshot::default_with_version();
+        snap.serving.predict_p50_micros = 100.0;
+        snap.serving.predict_p99_micros = 50.0;
+        assert!(snap.validate().is_err());
     }
 
     #[test]

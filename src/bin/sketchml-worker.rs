@@ -1,0 +1,58 @@
+//! `sketchml-worker` — one training worker process of the live parameter
+//! server.
+//!
+//! Connects to a running `sketchml-serve`, fetches the session config,
+//! regenerates its identical dataset shard schedule, and participates in
+//! training (pull → compute gradient → compress → push) until the server
+//! reports training done. A respawned worker joining mid-training first
+//! validates the server's checkpoint (the crash-recovery path).
+//!
+//! ```text
+//! sketchml-worker --addr tcp://127.0.0.1:4242 --worker 0
+//! ```
+//!
+//! On completion prints `WORKER_DONE worker=<id> accepted=<n> stale=<n>
+//! recovered=<bool>`.
+
+use sketchml::net::run_worker;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut addr = None;
+    let mut worker: Option<u32> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--addr", Some(v)) => addr = Some(v),
+            ("--worker", Some(v)) => match v.parse() {
+                Ok(id) => worker = Some(id),
+                Err(e) => {
+                    eprintln!("sketchml-worker: --worker {v}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            (other, _) => {
+                eprintln!("sketchml-worker: unknown or valueless flag {other}");
+                eprintln!("usage: sketchml-worker --addr tcp://host:port --worker ID");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(addr), Some(worker)) = (addr, worker) else {
+        eprintln!("usage: sketchml-worker --addr tcp://host:port --worker ID");
+        return ExitCode::from(2);
+    };
+    match run_worker(&addr, worker) {
+        Ok(stats) => {
+            println!(
+                "WORKER_DONE worker={worker} accepted={} stale={} recovered={}",
+                stats.pushes_accepted, stats.pushes_stale, stats.recovered_from_checkpoint
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sketchml-worker: worker {worker}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

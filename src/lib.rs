@@ -19,6 +19,10 @@
 //! - [`cluster`] — the driver/executor distributed-training simulator;
 //! - [`collectives`] — mergeable-sketch allreduce: ring / tree / star
 //!   aggregation of compressed gradient payloads;
+//! - [`net`] — the live parameter server: framed wire protocol over
+//!   TCP/Unix sockets, threaded server runtime with backpressure, an
+//!   epoch-snapshot model store serving inference during training, and
+//!   the full worker participant loop with checkpoint recovery;
 //! - [`telemetry`] — opt-in pipeline/cluster counters, histograms, and
 //!   stage timers behind a single relaxed atomic gate.
 //!
@@ -56,6 +60,7 @@ pub use sketchml_core as core;
 pub use sketchml_data as data;
 pub use sketchml_encoding as encoding;
 pub use sketchml_ml as ml;
+pub use sketchml_net as net;
 pub use sketchml_sketches as sketches;
 pub use sketchml_telemetry as telemetry;
 

@@ -103,7 +103,7 @@ fn shard_map_facade_access() {
     use sketchml::ShardMap;
     let m = ShardMap::new(1000, 5);
     let g = sketchml::SparseGradient::new(1000, vec![0, 500, 999], vec![1.0, 2.0, 3.0]).unwrap();
-    let split = m.split(&g);
+    let split = m.split(&g).unwrap();
     assert_eq!(split.len(), 5);
     let merged = sketchml::SparseGradient::aggregate(&split).unwrap();
     assert_eq!(merged, g);

@@ -256,6 +256,7 @@ fn count_sketch_frame_matches_golden_fixture_and_rejects_every_bitflip() {
         k: 16,
         seed: 0xC5C5_0001,
         momentum: None,
+        auto_k: false,
     })
     .expect("pinned config");
     let grad = canonical_gradient();
